@@ -1,0 +1,52 @@
+//! Figure 12 (§C.1): single-server write throughput vs minimum sync batch
+//! size.
+//!
+//! Paper shape: delaying and batching syncs is where CURP's ~4× throughput
+//! comes from; throughput rises steeply with batch size and flattens by ~50
+//! ("larger batches marginally help throughput"). Even at batch size 1,
+//! CURP's one-outstanding-sync rule coalesces ~15 writes per sync.
+
+use curp_bench::{figure_header, print_series};
+use curp_sim::{run_sim, vus, Mode, RamcloudParams, SimCluster};
+use curp_workload::Workload;
+
+const BATCHES: &[usize] = &[1, 2, 5, 10, 20, 30, 40, 50];
+const CLIENTS: usize = 15;
+const DURATION_US: u64 = 20_000;
+const KEYS: u64 = 1_000_000;
+
+fn throughput(mode: Mode, f: usize, batch: usize) -> f64 {
+    run_sim(async move {
+        let mut params = RamcloudParams::new(f);
+        params.batch_size = batch;
+        let cluster = SimCluster::build(mode, params).await;
+        let r = cluster
+            .run_closed_loop(CLIENTS, vus(DURATION_US), |_| Workload::uniform_writes(KEYS))
+            .await;
+        r.throughput_ops_per_sec / 1_000.0
+    })
+}
+
+fn main() {
+    curp_bench::ignore_bench_args();
+    figure_header(
+        "Figure 12",
+        "write throughput (k ops/s) vs minimum batch size (15 clients)",
+        &[
+            "throughput grows with batch size, flattening by ~50",
+            "baselines (unreplicated/original) are batch-size-independent",
+        ],
+    );
+    for (name, f) in [("curp_f1", 1usize), ("curp_f2", 2), ("curp_f3", 3)] {
+        let points: Vec<(f64, f64)> =
+            BATCHES.iter().map(|&b| (b as f64, throughput(Mode::Curp, f, b))).collect();
+        print_series(name, &points);
+    }
+    // Flat reference lines, measured once each.
+    let unrep = throughput(Mode::Unreplicated, 0, 50);
+    let asy = throughput(Mode::Async, 3, 50);
+    let orig = throughput(Mode::Original, 3, 50);
+    print_series("unreplicated", &[(1.0, unrep), (50.0, unrep)]);
+    print_series("async_f3", &[(1.0, asy), (50.0, asy)]);
+    print_series("original_f3", &[(1.0, orig), (50.0, orig)]);
+}

@@ -1,0 +1,46 @@
+//! Figure 5: complementary CDF of latency for 100 B random writes.
+//!
+//! Paper setup: writes issued sequentially by a single client to a single
+//! server batching 50 writes between syncs; 1 M samples. We run 10 k samples
+//! per configuration in scaled virtual time (the distribution shape
+//! converges long before that).
+//!
+//! Paper numbers: median 13.8 µs (original, f=3), 7.3 µs (CURP f=3),
+//! 6.9 µs (unreplicated); CURP f=1/2 indistinguishable from unreplicated.
+
+use curp_bench::{figure_header, print_scalar, print_series};
+use curp_sim::{run_sim, Mode, RamcloudParams, SimCluster};
+
+const SAMPLES: usize = 10_000;
+const KEYS: u64 = 1_000_000;
+
+fn measure(mode: Mode, f: usize) -> curp_workload::LatencyRecorder {
+    run_sim(async move {
+        let cluster = SimCluster::build(mode, RamcloudParams::new(f)).await;
+        cluster.measure_write_latency(SAMPLES, KEYS).await
+    })
+}
+
+fn main() {
+    curp_bench::ignore_bench_args();
+    figure_header(
+        "Figure 5",
+        "CCDF of 100B write latency (single client, batch=50)",
+        &[
+            "median: original(f=3)=13.8us, CURP(f=3)=7.3us, unreplicated=6.9us",
+            "CURP f=1/2 add no noticeable overhead vs unreplicated",
+        ],
+    );
+    let configs: Vec<(&str, Mode, usize)> = vec![
+        ("original_f3", Mode::Original, 3),
+        ("curp_f3", Mode::Curp, 3),
+        ("curp_f2", Mode::Curp, 2),
+        ("curp_f1", Mode::Curp, 1),
+        ("unreplicated", Mode::Unreplicated, 0),
+    ];
+    for (name, mode, f) in configs {
+        let mut rec = measure(mode, f);
+        print_scalar(&format!("{name}_median_us"), rec.median_us(), "us");
+        print_series(name, &rec.ccdf_us());
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 6: single-server write throughput vs client count.
+//!
+//! Paper setup: each client issues 100 B random writes back-to-back; the
+//! server batches 50 writes per sync. Reported shape: CURP ≈ 4× original
+//! RAMCloud; ~6 % per-replica cost vs unreplicated; async replication
+//! slightly above CURP (the ~10 % witness-gc overhead).
+
+use curp_bench::{figure_header, print_series};
+use curp_sim::{run_sim, vus, Mode, RamcloudParams, SimCluster};
+use curp_workload::Workload;
+
+const CLIENT_COUNTS: &[usize] = &[1, 2, 5, 10, 15, 20, 30];
+const DURATION_US: u64 = 20_000; // 20 virtual ms per point
+const KEYS: u64 = 1_000_000;
+
+fn throughput(mode: Mode, f: usize, clients: usize) -> f64 {
+    run_sim(async move {
+        let cluster = SimCluster::build(mode, RamcloudParams::new(f)).await;
+        let result = cluster
+            .run_closed_loop(clients, vus(DURATION_US), |_| Workload::uniform_writes(KEYS))
+            .await;
+        result.throughput_ops_per_sec / 1_000.0 // k writes/sec, the paper's axis
+    })
+}
+
+fn main() {
+    curp_bench::ignore_bench_args();
+    figure_header(
+        "Figure 6",
+        "write throughput (k ops/s) vs client count (100B writes, batch=50)",
+        &[
+            "CURP improves throughput ~4x over original RAMCloud",
+            "one added CURP replica costs ~6% vs unreplicated",
+            "async (no witnesses) is ~10% above CURP f=3",
+        ],
+    );
+    let configs: Vec<(&str, Mode, usize)> = vec![
+        ("unreplicated", Mode::Unreplicated, 0),
+        ("async_f3", Mode::Async, 3),
+        ("curp_f1", Mode::Curp, 1),
+        ("curp_f2", Mode::Curp, 2),
+        ("curp_f3", Mode::Curp, 3),
+        ("original_f3", Mode::Original, 3),
+    ];
+    for (name, mode, f) in configs {
+        let points: Vec<(f64, f64)> = CLIENT_COUNTS
+            .iter()
+            .map(|&c| (c as f64, throughput(mode, f, c)))
+            .collect();
+        print_series(name, &points);
+    }
+}

@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the protocol's fast-path components:
+//! witness record/gc, commutativity checks, store execution, and the wire
+//! codec. These are real wall-clock numbers (no simulation).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use curp_proto::message::{RecordedRequest, Request};
+use curp_proto::op::Op;
+use curp_proto::types::{ClientId, KeyHash, MasterId, RpcId, WitnessListVersion};
+use curp_proto::wire::{Decode, Encode};
+use curp_storage::Store;
+use curp_witness::{CacheConfig, WitnessCache};
+
+fn request(seq: u64, key: u64) -> RecordedRequest {
+    let op = Op::Put {
+        key: Bytes::from(key.to_le_bytes().to_vec()),
+        value: Bytes::from_static(b"0123456789012345678901234567890123456789"),
+    };
+    RecordedRequest {
+        master_id: MasterId(1),
+        rpc_id: RpcId::new(ClientId(1), seq),
+        key_hashes: op.key_hashes(),
+        op,
+    }
+}
+
+fn bench_witness(c: &mut Criterion) {
+    c.bench_function("witness_record_gc_cycle", |b| {
+        let mut cache = WitnessCache::new(CacheConfig::default());
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let req = request(seq, seq);
+            let pair = (req.key_hashes[0], req.rpc_id);
+            cache.record(req);
+            cache.gc(&[pair]);
+        });
+    });
+    c.bench_function("witness_record_reject_conflict", |b| {
+        let mut cache = WitnessCache::new(CacheConfig::default());
+        cache.record(request(1, 42));
+        let mut seq = 1u64;
+        b.iter(|| {
+            seq += 1;
+            cache.record(request(seq, 42)) // same key: rejected
+        });
+    });
+    c.bench_function("witness_commute_probe", |b| {
+        let mut cache = WitnessCache::new(CacheConfig::default());
+        for i in 0..1000 {
+            cache.record(request(i + 1, i));
+        }
+        let probe = [KeyHash::of(b"some-other-key")];
+        b.iter(|| cache.commutes_with_read(&probe));
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("store_put_100b", |b| {
+        let mut store = Store::new();
+        let value = Bytes::from(vec![0u8; 100]);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.execute(&Op::Put {
+                key: Bytes::from((i % 100_000).to_le_bytes().to_vec()),
+                value: value.clone(),
+            })
+        });
+    });
+    c.bench_function("store_unsynced_check", |b| {
+        let mut store = Store::new();
+        for i in 0..100_000u64 {
+            store.execute(&Op::Put {
+                key: Bytes::from(i.to_le_bytes().to_vec()),
+                value: Bytes::from_static(b"v"),
+            });
+        }
+        store.mark_synced(store.log_head());
+        let op = Op::Put { key: Bytes::from(7u64.to_le_bytes().to_vec()), value: Bytes::new() };
+        b.iter(|| store.touches_unsynced(&op));
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let req = Request::ClientUpdate {
+        rpc_id: RpcId::new(ClientId(7), 1234),
+        first_incomplete: 1200,
+        witness_list_version: WitnessListVersion(3),
+        op: Op::Put {
+            key: Bytes::from_static(b"user4821309184"),
+            value: Bytes::from(vec![0u8; 100]),
+        },
+    };
+    c.bench_function("codec_encode_update", |b| b.iter(|| req.to_bytes()));
+    let bytes = req.to_bytes();
+    c.bench_function("codec_decode_update", |b| {
+        b.iter(|| Request::from_bytes(&bytes).unwrap())
+    });
+    c.bench_function("keyhash_30b", |b| {
+        let key = b"012345678901234567890123456789";
+        b.iter(|| KeyHash::of(key));
+    });
+}
+
+fn bench_commutativity(c: &mut Criterion) {
+    c.bench_function("op_commutes_with", |b| {
+        let a = Op::Put { key: Bytes::from_static(b"alpha"), value: Bytes::from_static(b"1") };
+        let bop = Op::Put { key: Bytes::from_static(b"beta"), value: Bytes::from_static(b"2") };
+        b.iter(|| a.commutes_with(&bop));
+    });
+    c.bench_function("multiput_3key_footprint", |b| {
+        b.iter_batched(
+            || Op::MultiPut {
+                kvs: vec![
+                    (Bytes::from_static(b"a"), Bytes::from_static(b"1")),
+                    (Bytes::from_static(b"b"), Bytes::from_static(b"2")),
+                    (Bytes::from_static(b"c"), Bytes::from_static(b"3")),
+                ],
+            },
+            |op| op.key_hashes(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_witness, bench_store, bench_codec, bench_commutativity
+}
+criterion_main!(benches);

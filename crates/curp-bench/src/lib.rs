@@ -1,0 +1,39 @@
+//! Shared output helpers for the figure-reproduction benches.
+//!
+//! Every paper figure has a `harness = false` bench target that prints the
+//! same series the paper plots, in a grep-friendly tab-separated format:
+//!
+//! ```text
+//! # Figure N: <title>
+//! # paper: <the numbers/shape the paper reports>
+//! series <name>
+//! <x>\t<y>
+//! ...
+//! ```
+
+/// Prints a figure header with the paper's reference numbers.
+pub fn figure_header(figure: &str, title: &str, paper_notes: &[&str]) {
+    println!("\n# {figure}: {title}");
+    for note in paper_notes {
+        println!("# paper: {note}");
+    }
+}
+
+/// Prints one named series of (x, y) points.
+pub fn print_series(name: &str, points: &[(f64, f64)]) {
+    println!("series\t{name}");
+    for (x, y) in points {
+        println!("{x:.3}\t{y:.6}");
+    }
+}
+
+/// Prints one named scalar (medians, throughputs, ...).
+pub fn print_scalar(name: &str, value: f64, unit: &str) {
+    println!("scalar\t{name}\t{value:.3}\t{unit}");
+}
+
+/// Skips the arguments Cargo's bench runner passes to custom harnesses.
+pub fn ignore_bench_args() {
+    // `cargo bench` invokes custom harnesses with `--bench`; nothing to do.
+    let _ = std::env::args();
+}

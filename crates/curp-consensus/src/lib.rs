@@ -1,0 +1,28 @@
+//! CURP on consensus (Appendix A.2): a strong-leader, Raft-style replicated
+//! state machine where clients complete updates in **1 RTT** by recording
+//! them on a *superquorum* of per-replica witnesses while the leader
+//! executes speculatively.
+//!
+//! The protocol uses `2f + 1` replicas, each embedding a witness component.
+//! A client completes an update iff
+//!
+//! * the leader committed it in a majority (2-RTT path), **or**
+//! * the leader executed it speculatively *and* `f + ⌈f/2⌉ + 1` witnesses
+//!   accepted the record (1-RTT path).
+//!
+//! The superquorum size is what makes recovery safe: any `f + 1` available
+//! witnesses then contain every completed-but-uncommitted request in at
+//! least `⌈f/2⌉ + 1` copies, while non-commutative losers appear in at most
+//! `⌊f/2⌋` — so a new leader replays exactly the requests that appear in
+//! more than `⌈f/2⌉` of any `f + 1` witness sets (§A.2).
+//!
+//! Record RPCs are term-tagged: witnesses reject records from deposed
+//! leaders' clients, which neutralizes zombie leaders (§A.2).
+
+pub mod client;
+pub mod msg;
+pub mod replica;
+
+pub use client::ConsensusClient;
+pub use msg::{ConsensusReply, ConsensusRpc};
+pub use replica::{Replica, ReplicaConfig};

@@ -1,0 +1,496 @@
+//! Consensus message types, tunneled through
+//! [`Request::Consensus`](curp_proto::message::Request::Consensus).
+
+use bytes::{Buf, BufMut};
+use curp_proto::message::RecordedRequest;
+use curp_proto::op::{Op, OpResult};
+use curp_proto::types::{RpcId, ServerId};
+use curp_proto::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaftEntry {
+    /// Term in which the entry was appended.
+    pub term: u64,
+    /// Log index (1-based).
+    pub index: u64,
+    /// RIFL id of the client command (None for internal no-ops).
+    pub rpc_id: Option<RpcId>,
+    /// The command.
+    pub op: Op,
+}
+
+impl Encode for RaftEntry {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.term.encode(buf);
+        self.index.encode(buf);
+        self.rpc_id.encode(buf);
+        self.op.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        16 + self.rpc_id.encoded_len() + self.op.encoded_len()
+    }
+}
+
+impl Decode for RaftEntry {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(RaftEntry {
+            term: u64::decode(buf)?,
+            index: u64::decode(buf)?,
+            rpc_id: Option::<RpcId>::decode(buf)?,
+            op: Op::decode(buf)?,
+        })
+    }
+}
+
+/// Consensus requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsensusRpc {
+    /// Raft RequestVote.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// The candidate.
+        candidate: ServerId,
+        /// Index of the candidate's last log entry.
+        last_log_index: u64,
+        /// Term of the candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Raft AppendEntries (also the heartbeat).
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// The leader.
+        leader: ServerId,
+        /// Index of the entry preceding `entries`.
+        prev_index: u64,
+        /// Term of that entry.
+        prev_term: u64,
+        /// New entries (empty for heartbeats).
+        entries: Vec<RaftEntry>,
+        /// Leader's commit index.
+        commit: u64,
+    },
+    /// Client command (update) to the leader.
+    Command {
+        /// RIFL id.
+        rpc_id: RpcId,
+        /// The mutation.
+        op: Op,
+    },
+    /// Client read-only command to the leader.
+    Read {
+        /// The read.
+        op: Op,
+    },
+    /// Client asks the leader to commit everything (the 2-RTT slow path).
+    Sync,
+    /// Term-tagged witness record (§A.2): the witness component of a replica
+    /// accepts iff `term` matches its replica's current term and the request
+    /// commutes with everything it holds.
+    WitnessRecord {
+        /// The client's view of the current term.
+        term: u64,
+        /// The request to save.
+        request: RecordedRequest,
+    },
+    /// New leader collects witness contents during leadership change.
+    WitnessCollect,
+    /// Asks a replica who it thinks leads (client bootstrap).
+    WhoLeads,
+}
+
+/// Consensus replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsensusReply {
+    /// RequestVote reply.
+    Vote {
+        /// Voter's term.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// AppendEntries reply.
+    Appended {
+        /// Follower's term.
+        term: u64,
+        /// Success (log matched at `prev`).
+        ok: bool,
+        /// Follower's last matching index (for nextIndex repair).
+        match_index: u64,
+    },
+    /// Command executed speculatively (not yet committed).
+    Speculative {
+        /// Execution result.
+        result: OpResult,
+    },
+    /// Command executed and committed (durable in a majority).
+    Committed {
+        /// Execution result.
+        result: OpResult,
+    },
+    /// Read result (leader serves reads locally; a read touching an
+    /// uncommitted entry forces a commit first, like §3.2.3).
+    ReadResult {
+        /// The value.
+        result: OpResult,
+    },
+    /// Everything the leader had is committed.
+    SyncDone,
+    /// This replica is not the leader.
+    NotLeader {
+        /// Best-known leader, if any.
+        hint: Option<ServerId>,
+    },
+    /// Witness record accepted.
+    RecordAccepted,
+    /// Witness record rejected (stale term, conflict, or no space).
+    RecordRejected,
+    /// Witness contents for leadership change.
+    WitnessData {
+        /// Everything the witness holds.
+        requests: Vec<RecordedRequest>,
+    },
+    /// Leader identity answer.
+    Leader {
+        /// Current term.
+        term: u64,
+        /// Best-known leader.
+        leader: Option<ServerId>,
+    },
+    /// Retriable failure.
+    Busy {
+        /// Reason.
+        reason: String,
+    },
+}
+
+macro_rules! tags {
+    ($($name:ident = $val:expr,)*) => {
+        $(const $name: u8 = $val;)*
+    };
+}
+
+tags! {
+    RPC_VOTE = 0,
+    RPC_APPEND = 1,
+    RPC_COMMAND = 2,
+    RPC_READ = 3,
+    RPC_SYNC = 4,
+    RPC_W_RECORD = 5,
+    RPC_W_COLLECT = 6,
+    RPC_WHO = 7,
+}
+
+impl Encode for ConsensusRpc {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            ConsensusRpc::RequestVote { term, candidate, last_log_index, last_log_term } => {
+                buf.put_u8(RPC_VOTE);
+                term.encode(buf);
+                candidate.encode(buf);
+                last_log_index.encode(buf);
+                last_log_term.encode(buf);
+            }
+            ConsensusRpc::AppendEntries { term, leader, prev_index, prev_term, entries, commit } => {
+                buf.put_u8(RPC_APPEND);
+                term.encode(buf);
+                leader.encode(buf);
+                prev_index.encode(buf);
+                prev_term.encode(buf);
+                encode_seq(entries, buf);
+                commit.encode(buf);
+            }
+            ConsensusRpc::Command { rpc_id, op } => {
+                buf.put_u8(RPC_COMMAND);
+                rpc_id.encode(buf);
+                op.encode(buf);
+            }
+            ConsensusRpc::Read { op } => {
+                buf.put_u8(RPC_READ);
+                op.encode(buf);
+            }
+            ConsensusRpc::Sync => buf.put_u8(RPC_SYNC),
+            ConsensusRpc::WitnessRecord { term, request } => {
+                buf.put_u8(RPC_W_RECORD);
+                term.encode(buf);
+                request.encode(buf);
+            }
+            ConsensusRpc::WitnessCollect => buf.put_u8(RPC_W_COLLECT),
+            ConsensusRpc::WhoLeads => buf.put_u8(RPC_WHO),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ConsensusRpc::RequestVote { .. } => 32,
+            ConsensusRpc::AppendEntries { entries, .. } => 40 + seq_encoded_len(entries),
+            ConsensusRpc::Command { rpc_id, op } => rpc_id.encoded_len() + op.encoded_len(),
+            ConsensusRpc::Read { op } => op.encoded_len(),
+            ConsensusRpc::Sync | ConsensusRpc::WitnessCollect | ConsensusRpc::WhoLeads => 0,
+            ConsensusRpc::WitnessRecord { request, .. } => 8 + request.encoded_len(),
+        }
+    }
+}
+
+impl Decode for ConsensusRpc {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        Ok(match tag {
+            RPC_VOTE => ConsensusRpc::RequestVote {
+                term: u64::decode(buf)?,
+                candidate: ServerId::decode(buf)?,
+                last_log_index: u64::decode(buf)?,
+                last_log_term: u64::decode(buf)?,
+            },
+            RPC_APPEND => ConsensusRpc::AppendEntries {
+                term: u64::decode(buf)?,
+                leader: ServerId::decode(buf)?,
+                prev_index: u64::decode(buf)?,
+                prev_term: u64::decode(buf)?,
+                entries: decode_seq(buf)?,
+                commit: u64::decode(buf)?,
+            },
+            RPC_COMMAND => {
+                ConsensusRpc::Command { rpc_id: RpcId::decode(buf)?, op: Op::decode(buf)? }
+            }
+            RPC_READ => ConsensusRpc::Read { op: Op::decode(buf)? },
+            RPC_SYNC => ConsensusRpc::Sync,
+            RPC_W_RECORD => ConsensusRpc::WitnessRecord {
+                term: u64::decode(buf)?,
+                request: RecordedRequest::decode(buf)?,
+            },
+            RPC_W_COLLECT => ConsensusRpc::WitnessCollect,
+            RPC_WHO => ConsensusRpc::WhoLeads,
+            tag => return Err(DecodeError::InvalidTag { ty: "ConsensusRpc", tag }),
+        })
+    }
+}
+
+tags! {
+    RPL_VOTE = 0,
+    RPL_APPENDED = 1,
+    RPL_SPEC = 2,
+    RPL_COMMITTED = 3,
+    RPL_READ = 4,
+    RPL_SYNC_DONE = 5,
+    RPL_NOT_LEADER = 6,
+    RPL_REC_OK = 7,
+    RPL_REC_NO = 8,
+    RPL_W_DATA = 9,
+    RPL_LEADER = 10,
+    RPL_BUSY = 11,
+}
+
+impl Encode for ConsensusReply {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            ConsensusReply::Vote { term, granted } => {
+                buf.put_u8(RPL_VOTE);
+                term.encode(buf);
+                granted.encode(buf);
+            }
+            ConsensusReply::Appended { term, ok, match_index } => {
+                buf.put_u8(RPL_APPENDED);
+                term.encode(buf);
+                ok.encode(buf);
+                match_index.encode(buf);
+            }
+            ConsensusReply::Speculative { result } => {
+                buf.put_u8(RPL_SPEC);
+                result.encode(buf);
+            }
+            ConsensusReply::Committed { result } => {
+                buf.put_u8(RPL_COMMITTED);
+                result.encode(buf);
+            }
+            ConsensusReply::ReadResult { result } => {
+                buf.put_u8(RPL_READ);
+                result.encode(buf);
+            }
+            ConsensusReply::SyncDone => buf.put_u8(RPL_SYNC_DONE),
+            ConsensusReply::NotLeader { hint } => {
+                buf.put_u8(RPL_NOT_LEADER);
+                hint.encode(buf);
+            }
+            ConsensusReply::RecordAccepted => buf.put_u8(RPL_REC_OK),
+            ConsensusReply::RecordRejected => buf.put_u8(RPL_REC_NO),
+            ConsensusReply::WitnessData { requests } => {
+                buf.put_u8(RPL_W_DATA);
+                encode_seq(requests, buf);
+            }
+            ConsensusReply::Leader { term, leader } => {
+                buf.put_u8(RPL_LEADER);
+                term.encode(buf);
+                leader.encode(buf);
+            }
+            ConsensusReply::Busy { reason } => {
+                buf.put_u8(RPL_BUSY);
+                reason.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ConsensusReply::Vote { .. } => 9,
+            ConsensusReply::Appended { .. } => 17,
+            ConsensusReply::Speculative { result }
+            | ConsensusReply::Committed { result }
+            | ConsensusReply::ReadResult { result } => result.encoded_len(),
+            ConsensusReply::SyncDone
+            | ConsensusReply::RecordAccepted
+            | ConsensusReply::RecordRejected => 0,
+            ConsensusReply::NotLeader { hint } => hint.encoded_len(),
+            ConsensusReply::WitnessData { requests } => seq_encoded_len(requests),
+            ConsensusReply::Leader { term, leader } => term.encoded_len() + leader.encoded_len(),
+            ConsensusReply::Busy { reason } => reason.encoded_len(),
+        }
+    }
+}
+
+impl Decode for ConsensusReply {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        Ok(match tag {
+            RPL_VOTE => ConsensusReply::Vote { term: u64::decode(buf)?, granted: bool::decode(buf)? },
+            RPL_APPENDED => ConsensusReply::Appended {
+                term: u64::decode(buf)?,
+                ok: bool::decode(buf)?,
+                match_index: u64::decode(buf)?,
+            },
+            RPL_SPEC => ConsensusReply::Speculative { result: OpResult::decode(buf)? },
+            RPL_COMMITTED => ConsensusReply::Committed { result: OpResult::decode(buf)? },
+            RPL_READ => ConsensusReply::ReadResult { result: OpResult::decode(buf)? },
+            RPL_SYNC_DONE => ConsensusReply::SyncDone,
+            RPL_NOT_LEADER => {
+                ConsensusReply::NotLeader { hint: Option::<ServerId>::decode(buf)? }
+            }
+            RPL_REC_OK => ConsensusReply::RecordAccepted,
+            RPL_REC_NO => ConsensusReply::RecordRejected,
+            RPL_W_DATA => ConsensusReply::WitnessData { requests: decode_seq(buf)? },
+            RPL_LEADER => ConsensusReply::Leader {
+                term: u64::decode(buf)?,
+                leader: Option::<ServerId>::decode(buf)?,
+            },
+            RPL_BUSY => ConsensusReply::Busy { reason: String::decode(buf)? },
+            tag => return Err(DecodeError::InvalidTag { ty: "ConsensusReply", tag }),
+        })
+    }
+}
+
+/// Wraps a consensus message for the shared transport.
+pub fn wrap_rpc(rpc: &ConsensusRpc) -> curp_proto::message::Request {
+    curp_proto::message::Request::Consensus { payload: rpc.to_bytes() }
+}
+
+/// Wraps a consensus reply.
+pub fn wrap_reply(reply: &ConsensusReply) -> curp_proto::message::Response {
+    curp_proto::message::Response::Consensus { payload: reply.to_bytes() }
+}
+
+/// Extracts a consensus reply from a transport response.
+pub fn unwrap_reply(rsp: &curp_proto::message::Response) -> Option<ConsensusReply> {
+    match rsp {
+        curp_proto::message::Response::Consensus { payload } => {
+            ConsensusReply::from_bytes(payload).ok()
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curp_proto::types::{ClientId, MasterId};
+    use curp_proto::wire::roundtrip;
+
+    fn b(s: &str) -> bytes::Bytes {
+        bytes::Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn sample_entry() -> RaftEntry {
+        RaftEntry {
+            term: 2,
+            index: 9,
+            rpc_id: Some(RpcId::new(ClientId(1), 4)),
+            op: Op::Put { key: b("k"), value: b("v") },
+        }
+    }
+
+    #[test]
+    fn rpcs_roundtrip() {
+        let samples = vec![
+            ConsensusRpc::RequestVote {
+                term: 3,
+                candidate: ServerId(1),
+                last_log_index: 7,
+                last_log_term: 2,
+            },
+            ConsensusRpc::AppendEntries {
+                term: 3,
+                leader: ServerId(1),
+                prev_index: 6,
+                prev_term: 2,
+                entries: vec![sample_entry()],
+                commit: 5,
+            },
+            ConsensusRpc::Command {
+                rpc_id: RpcId::new(ClientId(2), 8),
+                op: Op::Delete { key: b("k") },
+            },
+            ConsensusRpc::Read { op: Op::Get { key: b("k") } },
+            ConsensusRpc::Sync,
+            ConsensusRpc::WitnessRecord {
+                term: 3,
+                request: RecordedRequest {
+                    master_id: MasterId(0),
+                    rpc_id: RpcId::new(ClientId(2), 8),
+                    key_hashes: vec![curp_proto::types::KeyHash(5)],
+                    op: Op::Put { key: b("k"), value: b("v") },
+                },
+            },
+            ConsensusRpc::WitnessCollect,
+            ConsensusRpc::WhoLeads,
+        ];
+        for s in samples {
+            roundtrip(&s);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let samples = vec![
+            ConsensusReply::Vote { term: 1, granted: true },
+            ConsensusReply::Appended { term: 1, ok: false, match_index: 4 },
+            ConsensusReply::Speculative { result: OpResult::Written { version: 1 } },
+            ConsensusReply::Committed { result: OpResult::Counter(3) },
+            ConsensusReply::ReadResult { result: OpResult::Value(None) },
+            ConsensusReply::SyncDone,
+            ConsensusReply::NotLeader { hint: Some(ServerId(2)) },
+            ConsensusReply::RecordAccepted,
+            ConsensusReply::RecordRejected,
+            ConsensusReply::WitnessData { requests: vec![] },
+            ConsensusReply::Leader { term: 4, leader: None },
+            ConsensusReply::Busy { reason: "electing".into() },
+        ];
+        for s in samples {
+            roundtrip(&s);
+        }
+    }
+
+    #[test]
+    fn tunnel_wrapping() {
+        let rpc = ConsensusRpc::Sync;
+        let wrapped = wrap_rpc(&rpc);
+        match wrapped {
+            curp_proto::message::Request::Consensus { payload } => {
+                assert_eq!(ConsensusRpc::from_bytes(&payload).unwrap(), rpc);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let reply = ConsensusReply::SyncDone;
+        assert_eq!(unwrap_reply(&wrap_reply(&reply)), Some(reply));
+    }
+}

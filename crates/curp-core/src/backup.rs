@@ -1,0 +1,353 @@
+//! The backup role: ordered, durable replicas of a master's log.
+//!
+//! Backups hold "data that includes ordering information" (Figure 1). A
+//! backup applies each master sync — a batch of contiguous, ordered
+//! [`LogEntry`]s — to a materialized [`Store`] plus [`RiflTable`], verifying
+//! determinism as it goes, and fences stale master epochs to neutralize
+//! zombies (§4.7). During recovery it serves its materialized state as a
+//! [`Snapshot`] (the "restoration from backups" step, §3.3).
+
+use std::collections::HashMap;
+
+use curp_proto::message::{LogEntry, Request, Response};
+use curp_proto::op::{Op, OpResult};
+use curp_proto::types::{Epoch, MasterId};
+use curp_rifl::RiflTable;
+use curp_storage::Store;
+use parking_lot::Mutex;
+
+use crate::snapshot::Snapshot;
+
+struct Replica {
+    store: Store,
+    rifl: RiflTable,
+    next_seq: u64,
+    epoch: Epoch,
+    /// Out-of-order arrivals waiting for their predecessors (masters may
+    /// replicate entries from several worker threads concurrently, so a
+    /// later entry can arrive first; it is buffered, not rejected).
+    reorder: std::collections::BTreeMap<u64, LogEntry>,
+}
+
+impl Replica {
+    fn new(epoch: Epoch) -> Self {
+        Replica {
+            store: Store::new(),
+            rifl: RiflTable::new(),
+            next_seq: 0,
+            epoch,
+            reorder: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn apply(&mut self, e: &LogEntry) {
+        let result = self.store.execute(&e.op);
+        debug_assert_eq!(result, e.result, "nondeterministic replay of entry {}", e.seq);
+        if let Some(id) = e.rpc_id {
+            self.rifl.record(id, e.result.clone());
+        }
+        self.next_seq += 1;
+    }
+
+    fn drain_reorder(&mut self) {
+        while let Some(e) = self.reorder.remove(&self.next_seq) {
+            self.apply(&e);
+        }
+    }
+}
+
+/// A backup server hosting one replica per master.
+#[derive(Default)]
+pub struct BackupService {
+    replicas: Mutex<HashMap<MasterId, Replica>>,
+}
+
+impl BackupService {
+    /// Creates an empty backup service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies a sync batch. Returns `(accepted, next_seq)`.
+    ///
+    /// * A stale epoch is rejected (`accepted == false`): the sender is a
+    ///   fenced zombie (§4.7).
+    /// * Entries below `next_seq` are duplicates from a retried sync and are
+    ///   skipped idempotently.
+    /// * Entries above `next_seq` are buffered and applied once their
+    ///   predecessors arrive (concurrent replication from multiple master
+    ///   workers may reorder batches in flight).
+    pub fn sync(&self, master: MasterId, epoch: Epoch, entries: &[LogEntry]) -> (bool, u64) {
+        let mut replicas = self.replicas.lock();
+        let replica = replicas.entry(master).or_insert_with(|| Replica::new(epoch));
+        if epoch < replica.epoch {
+            return (false, replica.next_seq);
+        }
+        replica.epoch = epoch;
+        for e in entries {
+            if e.seq < replica.next_seq {
+                continue; // idempotent re-send
+            }
+            if e.seq > replica.next_seq {
+                replica.reorder.insert(e.seq, e.clone());
+                continue;
+            }
+            replica.apply(e);
+            replica.drain_reorder();
+        }
+        (true, replica.next_seq)
+    }
+
+    /// Raises the fencing epoch for `master` (coordinator, pre-recovery §4.7).
+    pub fn set_epoch(&self, master: MasterId, epoch: Epoch) {
+        let mut replicas = self.replicas.lock();
+        let replica = replicas.entry(master).or_insert_with(|| Replica::new(epoch));
+        if epoch > replica.epoch {
+            replica.epoch = epoch;
+        }
+    }
+
+    /// Serves the materialized replica as a snapshot (recovery restore).
+    ///
+    /// A master that crashed before its first sync has no replica yet; the
+    /// restore then starts from an empty state (everything it executed lives
+    /// only on witnesses), so an absent replica yields an empty snapshot.
+    pub fn fetch(&self, master: MasterId) -> (u64, Snapshot) {
+        let mut replicas = self.replicas.lock();
+        let replica = replicas.entry(master).or_insert_with(|| Replica::new(Epoch(0)));
+        (replica.next_seq, Snapshot::capture(&replica.store, &replica.rifl, replica.next_seq))
+    }
+
+    /// Replaces (or creates) the replica for `master` from a snapshot.
+    /// Rejects stale epochs, like [`sync`](Self::sync).
+    pub fn install(&self, master: MasterId, epoch: Epoch, next_seq: u64, snap: &Snapshot) -> bool {
+        let mut replicas = self.replicas.lock();
+        if let Some(existing) = replicas.get(&master) {
+            if epoch < existing.epoch {
+                return false;
+            }
+        }
+        let (store, rifl) = snap.restore();
+        replicas.insert(
+            master,
+            Replica { store, rifl, next_seq, epoch, reorder: std::collections::BTreeMap::new() },
+        );
+        true
+    }
+
+    /// Executes a read-only op against the replica (possibly stale — callers
+    /// must have passed the §A.1 witness probe first).
+    pub fn read(&self, master: MasterId, op: &Op) -> Option<OpResult> {
+        if !op.is_read_only() {
+            return None;
+        }
+        let mut replicas = self.replicas.lock();
+        let replica = replicas.get_mut(&master)?;
+        Some(replica.store.execute(op))
+    }
+
+    /// Drops the replica for `master` (post-recovery cleanup).
+    pub fn drop_replica(&self, master: MasterId) {
+        self.replicas.lock().remove(&master);
+    }
+
+    /// Next expected sequence number, if the replica exists (diagnostics).
+    pub fn next_seq(&self, master: MasterId) -> Option<u64> {
+        self.replicas.lock().get(&master).map(|r| r.next_seq)
+    }
+
+    /// Dispatches a backup-directed [`Request`].
+    pub fn handle_request(&self, req: &Request) -> Response {
+        match req {
+            Request::BackupSync { master_id, epoch, entries } => {
+                let (accepted, next_seq) = self.sync(*master_id, *epoch, entries);
+                Response::BackupSynced { accepted, next_seq }
+            }
+            Request::BackupFetch { master_id } => {
+                let (next_seq, snap) = self.fetch(*master_id);
+                Response::BackupData { next_seq, snapshot: snap.to_blob() }
+            }
+            Request::BackupInstall { master_id, epoch, next_seq, snapshot } => {
+                match Snapshot::from_blob(snapshot) {
+                    Ok(snap) if self.install(*master_id, *epoch, *next_seq, &snap) => {
+                        Response::BackupInstalled
+                    }
+                    Ok(_) => Response::Retry { reason: "stale install epoch".into() },
+                    Err(e) => Response::Retry { reason: format!("bad snapshot: {e}") },
+                }
+            }
+            Request::BackupRead { master_id, op } => match self.read(*master_id, op) {
+                Some(result) => Response::BackupValue { result },
+                None => Response::Retry { reason: "no replica or not a read".into() },
+            },
+            Request::BackupSetEpoch { master_id, epoch } => {
+                self.set_epoch(*master_id, *epoch);
+                Response::EpochSet
+            }
+            _ => Response::Retry { reason: "not a backup request".into() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use curp_proto::types::{ClientId, RpcId};
+
+    const M: MasterId = MasterId(1);
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn entry(seq: u64, key: &str, val: &str, version: u64) -> LogEntry {
+        LogEntry {
+            seq,
+            rpc_id: Some(RpcId::new(ClientId(1), seq + 1)),
+            op: Op::Put { key: b(key), value: b(val) },
+            result: OpResult::Written { version },
+        }
+    }
+
+    #[test]
+    fn applies_ordered_entries() {
+        let bs = BackupService::new();
+        let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "2", 1)]);
+        assert!(ok);
+        assert_eq!(next, 2);
+        assert_eq!(
+            bs.read(M, &Op::Get { key: b("a") }),
+            Some(OpResult::Value(Some(b("1"))))
+        );
+    }
+
+    #[test]
+    fn duplicate_entries_are_idempotent() {
+        let bs = BackupService::new();
+        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1)]);
+        // Re-send of the same batch plus one new entry.
+        let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "a", "2", 2)]);
+        assert!(ok);
+        assert_eq!(next, 2);
+        assert_eq!(
+            bs.read(M, &Op::Get { key: b("a") }),
+            Some(OpResult::Value(Some(b("2"))))
+        );
+    }
+
+    #[test]
+    fn out_of_order_entries_are_buffered_until_contiguous() {
+        let bs = BackupService::new();
+        let (ok, next) = bs.sync(M, Epoch(0), &[entry(1, "a", "2", 2)]);
+        assert!(ok, "future entry is buffered, not refused");
+        assert_eq!(next, 0, "nothing applied yet");
+        // Reads do not see buffered entries.
+        assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(None)));
+        let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1)]);
+        assert!(ok);
+        assert_eq!(next, 2, "gap filled; both applied in order");
+        assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(Some(b("2")))));
+    }
+
+    #[test]
+    fn zombie_epoch_fenced() {
+        let bs = BackupService::new();
+        bs.sync(M, Epoch(1), &[entry(0, "a", "1", 1)]);
+        bs.set_epoch(M, Epoch(2));
+        let (ok, _) = bs.sync(M, Epoch(1), &[entry(1, "a", "2", 2)]);
+        assert!(!ok, "stale-epoch sync must be rejected");
+        // The new epoch's syncs are fine.
+        let (ok, _) = bs.sync(M, Epoch(2), &[entry(1, "a", "2", 2)]);
+        assert!(ok);
+    }
+
+    #[test]
+    fn epoch_never_lowers() {
+        let bs = BackupService::new();
+        bs.set_epoch(M, Epoch(5));
+        bs.set_epoch(M, Epoch(3));
+        let (ok, _) = bs.sync(M, Epoch(4), &[]);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn fetch_of_unknown_master_is_empty() {
+        let bs = BackupService::new();
+        let (next, snap) = bs.fetch(MasterId(42));
+        assert_eq!(next, 0);
+        assert!(snap.objects.is_empty());
+    }
+
+    #[test]
+    fn fetch_install_roundtrip() {
+        let bs = BackupService::new();
+        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "2", 1)]);
+        let (next, snap) = bs.fetch(M);
+        assert_eq!(next, 2);
+
+        let target = BackupService::new();
+        assert!(target.install(MasterId(2), Epoch(1), next, &snap));
+        assert_eq!(
+            target.read(MasterId(2), &Op::Get { key: b("b") }),
+            Some(OpResult::Value(Some(b("2"))))
+        );
+        // RIFL records travel with the snapshot.
+        let replicas = target.replicas.lock();
+        assert_eq!(replicas.get(&MasterId(2)).unwrap().rifl.record_count(), 2);
+    }
+
+    #[test]
+    fn install_rejects_stale_epoch() {
+        let bs = BackupService::new();
+        bs.set_epoch(M, Epoch(5));
+        let snap = Snapshot::capture(&Store::new(), &RiflTable::new(), 0);
+        assert!(!bs.install(M, Epoch(4), 0, &snap));
+        assert!(bs.install(M, Epoch(5), 0, &snap));
+    }
+
+    #[test]
+    fn read_rejects_mutations() {
+        let bs = BackupService::new();
+        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1)]);
+        assert_eq!(bs.read(M, &Op::Put { key: b("a"), value: b("2") }), None);
+    }
+
+    #[test]
+    fn rifl_records_accumulate() {
+        let bs = BackupService::new();
+        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "1", 1)]);
+        let replicas = bs.replicas.lock();
+        assert_eq!(replicas.get(&M).unwrap().rifl.record_count(), 2);
+    }
+
+    #[test]
+    fn rpc_dispatch() {
+        let bs = BackupService::new();
+        let rsp = bs.handle_request(&Request::BackupSync {
+            master_id: M,
+            epoch: Epoch(0),
+            entries: vec![entry(0, "a", "1", 1)],
+        });
+        assert_eq!(rsp, Response::BackupSynced { accepted: true, next_seq: 1 });
+        match bs.handle_request(&Request::BackupFetch { master_id: M }) {
+            Response::BackupData { next_seq, snapshot } => {
+                assert_eq!(next_seq, 1);
+                assert!(Snapshot::from_blob(&snapshot).is_ok());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            bs.handle_request(&Request::BackupRead { master_id: M, op: Op::Get { key: b("a") } }),
+            Response::BackupValue { result: OpResult::Value(Some(b("1"))) }
+        );
+        assert_eq!(
+            bs.handle_request(&Request::BackupSetEpoch { master_id: M, epoch: Epoch(9) }),
+            Response::EpochSet
+        );
+        assert!(matches!(
+            bs.handle_request(&Request::GetConfig),
+            Response::Retry { .. }
+        ));
+    }
+}

@@ -1,0 +1,343 @@
+//! The CURP client (§3.2.1).
+//!
+//! The 1-RTT fast path: for each update, the client sends the update RPC to
+//! the master *and* record RPCs to all `f` witnesses in parallel. It
+//! completes the operation when
+//!
+//! * the master responded `synced` (the master already replicated — 2 RTT
+//!   total, no client sync needed, §3.2.3), or
+//! * the master responded speculatively *and* every witness accepted (1 RTT).
+//!
+//! Otherwise it falls back to an explicit `sync` RPC (2–3 RTT), and if that
+//! fails it restarts the whole operation — re-fetching the configuration in
+//! case the master crashed and was recovered elsewhere. Retries reuse the
+//! same RIFL id so re-executions are filtered.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use curp_proto::cluster::{ClusterConfig, PartitionConfig};
+use curp_proto::message::{RecordedRequest, Request, Response};
+use curp_proto::op::{Op, OpResult};
+use curp_proto::types::{RpcId, ServerId};
+use curp_rifl::RiflSequencer;
+use curp_transport::rpc::RpcClient;
+use parking_lot::Mutex;
+
+use crate::master::futures_join_all;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Retries exhausted; carries the last failure description.
+    Exhausted(String),
+    /// A multi-key operation spanned more than one partition (not routable).
+    MultiPartition,
+    /// No partition owns the key (mis-configured cluster).
+    NoPartition,
+    /// The coordinator could not be reached.
+    Coordinator(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted(s) => write!(f, "retries exhausted: {s}"),
+            ClientError::MultiPartition => write!(f, "operation spans partitions"),
+            ClientError::NoPartition => write!(f, "no partition owns the key"),
+            ClientError::Coordinator(s) => write!(f, "coordinator error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Whether to record updates on witnesses (`false` reproduces the
+    /// paper's *Async* baseline: masters respond before replication and the
+    /// client completes without any durability — Figure 6's "Async (f=3)").
+    pub record_witnesses: bool,
+    /// Attempts before giving up on an operation.
+    pub max_retries: u32,
+    /// Backoff between retries.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            record_witnesses: true,
+            max_retries: 25,
+            retry_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Path counters (tests, figures).
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Operations completed on the 1-RTT fast path.
+    pub fast_path: AtomicU64,
+    /// Operations completed because the master synced (2 RTT, no client sync).
+    pub synced_by_master: AtomicU64,
+    /// Operations that needed an explicit sync RPC (2–3 RTT).
+    pub explicit_sync: AtomicU64,
+    /// Full operation restarts.
+    pub restarts: AtomicU64,
+}
+
+struct ClientState {
+    config: ClusterConfig,
+    rifl: RiflSequencer,
+}
+
+/// A CURP client handle. Cheap to share via `Arc`; all methods take `&self`.
+pub struct CurpClient {
+    rpc: Arc<dyn RpcClient>,
+    coordinator: ServerId,
+    cfg: ClientConfig,
+    state: Mutex<ClientState>,
+    /// Path statistics.
+    pub stats: ClientStats,
+}
+
+impl CurpClient {
+    /// Connects: acquires a RIFL lease and fetches the cluster configuration.
+    pub async fn connect(
+        rpc: Arc<dyn RpcClient>,
+        coordinator: ServerId,
+        cfg: ClientConfig,
+    ) -> Result<CurpClient, ClientError> {
+        let lease = match rpc.call(coordinator, Request::AcquireLease).await {
+            Ok(Response::Lease { client, .. }) => client,
+            other => return Err(ClientError::Coordinator(format!("{other:?}"))),
+        };
+        let config = match rpc.call(coordinator, Request::GetConfig).await {
+            Ok(Response::Config { config }) => config,
+            other => return Err(ClientError::Coordinator(format!("{other:?}"))),
+        };
+        Ok(CurpClient {
+            rpc,
+            coordinator,
+            cfg,
+            state: Mutex::new(ClientState { config, rifl: RiflSequencer::new(lease) }),
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// Re-fetches the cluster configuration from the coordinator.
+    pub async fn refresh_config(&self) -> Result<(), ClientError> {
+        match self.rpc.call(self.coordinator, Request::GetConfig).await {
+            Ok(Response::Config { config }) => {
+                let mut st = self.state.lock();
+                if config.version >= st.config.version {
+                    st.config = config;
+                }
+                Ok(())
+            }
+            other => Err(ClientError::Coordinator(format!("{other:?}"))),
+        }
+    }
+
+    /// Renews the client's RIFL lease.
+    pub async fn renew_lease(&self) -> Result<(), ClientError> {
+        let client = self.state.lock().rifl.client_id();
+        match self.rpc.call(self.coordinator, Request::RenewLease { client }).await {
+            Ok(Response::Lease { .. }) => Ok(()),
+            other => Err(ClientError::Coordinator(format!("{other:?}"))),
+        }
+    }
+
+    fn route(&self, op: &Op) -> Result<PartitionConfig, ClientError> {
+        let hashes = op.key_hashes();
+        let st = self.state.lock();
+        let first = *hashes.first().ok_or(ClientError::NoPartition)?;
+        let part = st.config.partition_for(first).ok_or(ClientError::NoPartition)?.clone();
+        if !hashes.iter().all(|&h| part.range.contains(h)) {
+            return Err(ClientError::MultiPartition);
+        }
+        Ok(part)
+    }
+
+    /// Executes a mutation with CURP's fast path. Linearizable: the result
+    /// is durable (f-fault-tolerant) when this returns.
+    pub async fn update(&self, op: Op) -> Result<OpResult, ClientError> {
+        let rpc_id = self.state.lock().rifl.next_rpc_id();
+        let mut last_err = String::new();
+        for attempt in 0..self.cfg.max_retries {
+            if attempt > 0 {
+                self.stats.restarts.fetch_add(1, Ordering::Relaxed);
+                tokio::time::sleep(self.cfg.retry_backoff).await;
+            }
+            let part = match self.route(&op) {
+                Ok(p) => p,
+                Err(ClientError::NoPartition) => {
+                    self.refresh_config().await.ok();
+                    last_err = "no partition".into();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match self.try_once(&part, rpc_id, &op).await {
+                TryOutcome::Done(result) => {
+                    self.state.lock().rifl.complete(rpc_id);
+                    return Ok(result);
+                }
+                TryOutcome::RefreshAndRetry(err) => {
+                    last_err = err;
+                    self.refresh_config().await.ok();
+                }
+            }
+        }
+        Err(ClientError::Exhausted(last_err))
+    }
+
+    async fn try_once(&self, part: &PartitionConfig, rpc_id: RpcId, op: &Op) -> TryOutcome {
+        let first_incomplete = self.state.lock().rifl.first_incomplete();
+        let update_fut = self.rpc.call(
+            part.master,
+            Request::ClientUpdate {
+                rpc_id,
+                first_incomplete,
+                witness_list_version: part.witness_list_version,
+                op: op.clone(),
+            },
+        );
+        // Record RPCs go out in parallel with the update (§3.2.1).
+        let witnesses: Vec<ServerId> =
+            if self.cfg.record_witnesses { part.witnesses.clone() } else { Vec::new() };
+        let record = RecordedRequest {
+            master_id: part.master_id,
+            rpc_id,
+            key_hashes: op.key_hashes(),
+            op: op.clone(),
+        };
+        let record_futs: Vec<_> = witnesses
+            .iter()
+            .map(|&w| self.rpc.call(w, Request::WitnessRecord { request: record.clone() }))
+            .collect();
+
+        let (master_rsp, witness_rsps) =
+            tokio::join!(update_fut, futures_join_all(record_futs));
+
+        let (result, synced) = match master_rsp {
+            Ok(Response::Update { result, synced }) => (result, synced),
+            Ok(Response::StaleWitnessList { .. }) => {
+                return TryOutcome::RefreshAndRetry("stale witness list".into())
+            }
+            Ok(Response::NotOwner) => return TryOutcome::RefreshAndRetry("not owner".into()),
+            Ok(Response::Retry { reason }) => return TryOutcome::RefreshAndRetry(reason),
+            Ok(other) => return TryOutcome::RefreshAndRetry(format!("unexpected: {other:?}")),
+            Err(e) => return TryOutcome::RefreshAndRetry(format!("master rpc: {e}")),
+        };
+
+        if synced {
+            // Durable on backups; witness outcomes are irrelevant (§3.2.3).
+            self.stats.synced_by_master.fetch_add(1, Ordering::Relaxed);
+            return TryOutcome::Done(result);
+        }
+        if !self.cfg.record_witnesses {
+            // Async-replication baseline: externalize without durability.
+            self.stats.fast_path.fetch_add(1, Ordering::Relaxed);
+            return TryOutcome::Done(result);
+        }
+        let all_accepted = !witnesses.is_empty()
+            && witness_rsps.iter().all(|r| matches!(r, Ok(Response::RecordAccepted)));
+        if all_accepted || part.fault_tolerance() == 0 {
+            // 1-RTT fast path: recorded on all f witnesses (§3.2.1).
+            self.stats.fast_path.fetch_add(1, Ordering::Relaxed);
+            return TryOutcome::Done(result);
+        }
+
+        // Slow path: ask the master to make it durable on backups.
+        self.stats.explicit_sync.fetch_add(1, Ordering::Relaxed);
+        match self.rpc.call(part.master, Request::Sync).await {
+            Ok(Response::SyncDone) => TryOutcome::Done(result),
+            // "If there is no response to the sync RPC ... the client
+            // restarts the entire process" (§3.2.1).
+            Ok(other) => TryOutcome::RefreshAndRetry(format!("sync refused: {other:?}")),
+            Err(e) => TryOutcome::RefreshAndRetry(format!("sync rpc: {e}")),
+        }
+    }
+
+    /// Executes a read-only operation at the partition master (1 RTT).
+    pub async fn read(&self, op: Op) -> Result<OpResult, ClientError> {
+        assert!(op.is_read_only(), "use update() for mutations");
+        let mut last_err = String::new();
+        for attempt in 0..self.cfg.max_retries {
+            if attempt > 0 {
+                tokio::time::sleep(self.cfg.retry_backoff).await;
+            }
+            let part = match self.route(&op) {
+                Ok(p) => p,
+                Err(e) => return Err(e),
+            };
+            match self.rpc.call(part.master, Request::ClientRead { op: op.clone() }).await {
+                Ok(Response::Read { result }) => return Ok(result),
+                Ok(Response::NotOwner) => {
+                    last_err = "not owner".into();
+                    self.refresh_config().await.ok();
+                }
+                Ok(other) => {
+                    last_err = format!("unexpected: {other:?}");
+                    self.refresh_config().await.ok();
+                }
+                Err(e) => {
+                    last_err = format!("rpc: {e}");
+                    self.refresh_config().await.ok();
+                }
+            }
+        }
+        Err(ClientError::Exhausted(last_err))
+    }
+
+    /// Consistent read from a backup (§A.1, 0 wide-area RTTs in
+    /// geo-replication): probe a witness for commutativity; if the key has
+    /// no pending update, read the backup; otherwise fall back to the master.
+    ///
+    /// `replica` selects which of the partition's backups/witnesses to use
+    /// (e.g. the one in the local region).
+    pub async fn read_nearby(&self, op: Op, replica: usize) -> Result<OpResult, ClientError> {
+        assert!(op.is_read_only(), "use update() for mutations");
+        let part = self.route(&op)?;
+        if part.witnesses.is_empty() || part.backups.is_empty() {
+            return self.read(op).await;
+        }
+        let witness = part.witnesses[replica % part.witnesses.len()];
+        let backup = part.backups[replica % part.backups.len()];
+        let probe = self
+            .rpc
+            .call(
+                witness,
+                Request::WitnessCommuteCheck {
+                    master_id: part.master_id,
+                    key_hashes: op.key_hashes(),
+                },
+            )
+            .await;
+        match probe {
+            Ok(Response::CommuteOk { commutative: true }) => {
+                match self
+                    .rpc
+                    .call(backup, Request::BackupRead { master_id: part.master_id, op: op.clone() })
+                    .await
+                {
+                    Ok(Response::BackupValue { result }) => Ok(result),
+                    // Backup unavailable: the master always works.
+                    _ => self.read(op).await,
+                }
+            }
+            // A pending update on this key (or a frozen witness): the backup
+            // may be stale, read at the master (§A.1).
+            _ => self.read(op).await,
+        }
+    }
+}
+
+enum TryOutcome {
+    Done(OpResult),
+    RefreshAndRetry(String),
+}

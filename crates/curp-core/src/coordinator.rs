@@ -1,0 +1,473 @@
+//! The cluster configuration manager ("the owner of all cluster
+//! configurations", §3.6).
+//!
+//! The coordinator is the consensus-replicated control plane the paper
+//! assumes as given (Chubby/ZooKeeper-class); here it is a single in-process
+//! authority. It owns the partition map, witness-list versions, fencing
+//! epochs and RIFL leases, and orchestrates the three reconfigurations of
+//! §3.6 plus master crash recovery:
+//!
+//! * **master recovery** — fence the crashed master's epoch on all backups,
+//!   have the new master restore + replay (§4.6), swap the partition entry;
+//! * **witness replacement** — start a fresh instance, tell the master (which
+//!   syncs before acknowledging), bump the witness-list version;
+//! * **migration** — split a partition and move the upper half.
+//!
+//! Control-plane actions use direct [`CurpServer`] handles (coordinator and
+//! servers share a process in this implementation); the data plane runs over
+//! the transport.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use curp_proto::cluster::{ClusterConfig, HashRange, PartitionConfig};
+use curp_proto::message::{Request, Response};
+use curp_proto::types::{ClientId, MasterId, ServerId, WitnessListVersion};
+use curp_rifl::LeaseManager;
+use curp_transport::rpc::{BoxFuture, RpcClient, RpcHandler};
+use parking_lot::Mutex;
+
+use crate::master::{futures_join_all, Master, MasterConfig, MasterSeed};
+use crate::server::CurpServer;
+use crate::snapshot::Snapshot;
+
+/// Factory producing an [`RpcClient`] whose calls originate from a given
+/// server id (masters send syncs/gcs *as themselves*).
+pub type ClientFactory = Box<dyn Fn(ServerId) -> Arc<dyn RpcClient> + Send + Sync>;
+
+struct CoordState {
+    config: ClusterConfig,
+    leases: LeaseManager,
+    next_master: u64,
+}
+
+/// The coordinator.
+pub struct Coordinator {
+    client_for: ClientFactory,
+    master_cfg: MasterConfig,
+    st: Mutex<CoordState>,
+    servers: Mutex<HashMap<ServerId, Arc<CurpServer>>>,
+    epoch0: tokio::time::Instant,
+}
+
+impl Coordinator {
+    /// Creates a coordinator. `client_for` builds per-server RPC clients;
+    /// `master_cfg` is the template for every master it creates.
+    pub fn new(client_for: ClientFactory, master_cfg: MasterConfig, lease_ttl_ms: u64) -> Arc<Self> {
+        Arc::new(Coordinator {
+            client_for,
+            master_cfg,
+            st: Mutex::new(CoordState {
+                config: ClusterConfig { partitions: Vec::new(), version: 1 },
+                leases: LeaseManager::new(lease_ttl_ms),
+                next_master: 1,
+            }),
+            servers: Mutex::new(HashMap::new()),
+            epoch0: tokio::time::Instant::now(),
+        })
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch0.elapsed().as_millis() as u64
+    }
+
+    /// Registers a server handle for control-plane use.
+    pub fn register_server(&self, server: Arc<CurpServer>) {
+        self.servers.lock().insert(server.id(), server);
+    }
+
+    fn server(&self, id: ServerId) -> Result<Arc<CurpServer>, String> {
+        self.servers.lock().get(&id).cloned().ok_or_else(|| format!("unknown server {id}"))
+    }
+
+    /// Current configuration snapshot.
+    pub fn config(&self) -> ClusterConfig {
+        self.st.lock().config.clone()
+    }
+
+    /// Creates a new partition: installs a master on `master_srv`, starts
+    /// witness instances, and publishes the configuration.
+    pub async fn create_partition(
+        &self,
+        master_srv: ServerId,
+        backups: Vec<ServerId>,
+        witnesses: Vec<ServerId>,
+        range: HashRange,
+    ) -> Result<MasterId, String> {
+        let master_id = {
+            let mut st = self.st.lock();
+            let id = MasterId(st.next_master);
+            st.next_master += 1;
+            id
+        };
+        let wl_version = WitnessListVersion(1);
+        // Start witness instances before the master serves anything.
+        for &w in &witnesses {
+            let rsp = (self.client_for)(master_srv)
+                .call(w, Request::WitnessStart { master_id })
+                .await;
+            match rsp {
+                Ok(Response::WitnessStarted { ok: true }) => {}
+                other => return Err(format!("witness start on {w} failed: {other:?}")),
+            }
+        }
+        let server = self.server(master_srv)?;
+        let master = Master::new(
+            MasterSeed {
+                id: master_id,
+                epoch: curp_proto::types::Epoch(1),
+                backups: backups.clone(),
+                witnesses: witnesses.clone(),
+                wl_version,
+                range,
+            },
+            self.master_cfg.clone(),
+            (self.client_for)(master_srv),
+        );
+        master.spawn_syncer();
+        server.set_master(Arc::clone(&master));
+
+        let mut st = self.st.lock();
+        st.config.partitions.push(PartitionConfig {
+            master_id,
+            master: master_srv,
+            backups,
+            witnesses,
+            witness_list_version: wl_version,
+            epoch: curp_proto::types::Epoch(1),
+            range,
+        });
+        st.config.version += 1;
+        Ok(master_id)
+    }
+
+    /// Recovers a crashed master onto `new_srv` (§3.3, §4.6): fences the old
+    /// epoch on every backup, restores from the first reachable backup,
+    /// replays from the first reachable witness, starts fresh witness
+    /// instances for the new master id, and publishes the new configuration.
+    pub async fn recover_master(
+        &self,
+        crashed: MasterId,
+        new_srv: ServerId,
+    ) -> Result<MasterId, String> {
+        let part = self
+            .st
+            .lock()
+            .config
+            .partition_by_master(crashed)
+            .cloned()
+            .ok_or_else(|| format!("unknown master {crashed:?}"))?;
+        let rpc = (self.client_for)(new_srv);
+        let new_epoch = part.epoch.next();
+
+        // Step 0: fence the zombie (§4.7). Every backup must be fenced
+        // before we read state, or a zombie sync could slip in afterwards.
+        for &b in &part.backups {
+            match rpc.call(b, Request::BackupSetEpoch { master_id: crashed, epoch: new_epoch }).await
+            {
+                Ok(Response::EpochSet) => {}
+                other => return Err(format!("fencing backup {b} failed: {other:?}")),
+            }
+        }
+
+        let new_id = {
+            let mut st = self.st.lock();
+            let id = MasterId(st.next_master);
+            st.next_master += 1;
+            id
+        };
+
+        // New witness instances for the new master id, on the same servers
+        // ("resetting witnesses for the new master or assigning a new set").
+        for &w in &part.witnesses {
+            match rpc.call(w, Request::WitnessStart { master_id: new_id }).await {
+                Ok(Response::WitnessStarted { ok: true }) => {}
+                other => return Err(format!("witness start on {w} failed: {other:?}")),
+            }
+        }
+
+        // Pick the first reachable witness as the replay source; the new
+        // master's getRecoveryData freezes it (§4.6). "The new master picks
+        // any available witness. If none ... are reachable, [it] must wait."
+        let mut recovered: Result<Arc<Master>, String> = Err("no backup reachable".into());
+        'outer: for &backup_src in &part.backups {
+            for &witness_src in &part.witnesses {
+                let seed = MasterSeed {
+                    id: new_id,
+                    epoch: new_epoch,
+                    backups: part.backups.clone(),
+                    witnesses: part.witnesses.clone(),
+                    wl_version: part.witness_list_version.next(),
+                    range: part.range,
+                };
+                match Master::recover(
+                    seed,
+                    self.master_cfg.clone(),
+                    Arc::clone(&rpc),
+                    crashed,
+                    backup_src,
+                    witness_src,
+                )
+                .await
+                {
+                    Ok(m) => {
+                        recovered = Ok(m);
+                        break 'outer;
+                    }
+                    Err(e) => recovered = Err(e),
+                }
+            }
+        }
+        let master = recovered?;
+        master.spawn_syncer();
+        self.server(new_srv)?.set_master(Arc::clone(&master));
+
+        // Decommission the old witness instances; they are now useless.
+        let ends = part
+            .witnesses
+            .iter()
+            .map(|&w| rpc.call(w, Request::WitnessEnd { master_id: crashed }));
+        let _ = futures_join_all(ends).await;
+
+        let mut st = self.st.lock();
+        if let Some(p) = st.config.partitions.iter_mut().find(|p| p.master_id == crashed) {
+            p.master_id = new_id;
+            p.master = new_srv;
+            p.epoch = new_epoch;
+            p.witness_list_version = p.witness_list_version.next();
+        }
+        st.config.version += 1;
+        Ok(new_id)
+    }
+
+    /// Replaces a crashed/decommissioned witness (§3.6): start an instance on
+    /// `new_w`, notify the master (which syncs to backups before answering,
+    /// restoring `f` fault tolerance), bump the witness-list version.
+    pub async fn replace_witness(
+        &self,
+        master_id: MasterId,
+        old_w: ServerId,
+        new_w: ServerId,
+    ) -> Result<(), String> {
+        let part = self
+            .st
+            .lock()
+            .config
+            .partition_by_master(master_id)
+            .cloned()
+            .ok_or_else(|| format!("unknown master {master_id:?}"))?;
+        if !part.witnesses.contains(&old_w) {
+            return Err(format!("{old_w} is not a witness of {master_id:?}"));
+        }
+        let rpc = (self.client_for)(part.master);
+        match rpc.call(new_w, Request::WitnessStart { master_id }).await {
+            Ok(Response::WitnessStarted { ok: true }) => {}
+            other => return Err(format!("witness start failed: {other:?}")),
+        }
+        let new_list: Vec<ServerId> = part
+            .witnesses
+            .iter()
+            .map(|&w| if w == old_w { new_w } else { w })
+            .collect();
+        let new_version = part.witness_list_version.next();
+        // The master syncs before acknowledging, so updates recorded only on
+        // the decommissioned witness can no longer complete (§3.6).
+        match rpc
+            .call(
+                part.master,
+                Request::MasterWitnessList { version: new_version, witnesses: new_list.clone() },
+            )
+            .await
+        {
+            Ok(Response::WitnessListInstalled) => {}
+            other => return Err(format!("master rejected witness list: {other:?}")),
+        }
+        // Best effort: tell the old witness to die (it may be unreachable).
+        let _ = rpc.call(old_w, Request::WitnessEnd { master_id }).await;
+
+        let mut st = self.st.lock();
+        if let Some(p) = st.config.partitions.iter_mut().find(|p| p.master_id == master_id) {
+            p.witnesses = new_list;
+            p.witness_list_version = new_version;
+        }
+        st.config.version += 1;
+        Ok(())
+    }
+
+    /// Splits `master_id`'s range at `split_at` and migrates the upper half
+    /// to a new master on `target_srv` (§3.6).
+    #[allow(clippy::too_many_arguments)]
+    pub async fn migrate(
+        &self,
+        master_id: MasterId,
+        split_at: u64,
+        target_srv: ServerId,
+        target_backups: Vec<ServerId>,
+        target_witnesses: Vec<ServerId>,
+    ) -> Result<MasterId, String> {
+        let part = self
+            .st
+            .lock()
+            .config
+            .partition_by_master(master_id)
+            .cloned()
+            .ok_or_else(|| format!("unknown master {master_id:?}"))?;
+        let old_master = self.server(part.master)?.master().ok_or("old master gone")?;
+
+        // Final step of migration: the source syncs + stops serving the
+        // migrated half, and its witness data is ruled out of the protocol.
+        let snap = old_master.migrate_out(split_at).await?;
+        let (_, hi) = part.range.split_at(split_at);
+
+        let new_id = {
+            let mut st = self.st.lock();
+            let id = MasterId(st.next_master);
+            st.next_master += 1;
+            id
+        };
+        let rpc = (self.client_for)(target_srv);
+        for &w in &target_witnesses {
+            match rpc.call(w, Request::WitnessStart { master_id: new_id }).await {
+                Ok(Response::WitnessStarted { ok: true }) => {}
+                other => return Err(format!("witness start failed: {other:?}")),
+            }
+        }
+        // Seed the target backups with the migrated snapshot.
+        let blob = snap.to_blob();
+        for &b in &target_backups {
+            match rpc
+                .call(
+                    b,
+                    Request::BackupInstall {
+                        master_id: new_id,
+                        epoch: curp_proto::types::Epoch(1),
+                        next_seq: 0,
+                        snapshot: blob.clone(),
+                    },
+                )
+                .await
+            {
+                Ok(Response::BackupInstalled) => {}
+                other => return Err(format!("backup install failed: {other:?}")),
+            }
+        }
+        let (store, rifl) = Snapshot::restore(&snap);
+        let master = Master::with_state(
+            MasterSeed {
+                id: new_id,
+                epoch: curp_proto::types::Epoch(1),
+                backups: target_backups.clone(),
+                witnesses: target_witnesses.clone(),
+                wl_version: WitnessListVersion(1),
+                range: hi,
+            },
+            self.master_cfg.clone(),
+            Arc::clone(&rpc),
+            store,
+            rifl,
+            0,
+        );
+        master.spawn_syncer();
+        self.server(target_srv)?.set_master(Arc::clone(&master));
+
+        // Reset the source's witnesses (fresh instances + version bump), so
+        // stray records for migrated keys are ruled out (§3.6).
+        let src_rpc = (self.client_for)(part.master);
+        let new_src_version = part.witness_list_version.next();
+        for &w in &part.witnesses {
+            let _ = src_rpc.call(w, Request::WitnessEnd { master_id }).await;
+            match src_rpc.call(w, Request::WitnessStart { master_id }).await {
+                Ok(Response::WitnessStarted { ok: true }) => {}
+                other => return Err(format!("witness restart failed: {other:?}")),
+            }
+        }
+        match src_rpc
+            .call(
+                part.master,
+                Request::MasterWitnessList {
+                    version: new_src_version,
+                    witnesses: part.witnesses.clone(),
+                },
+            )
+            .await
+        {
+            Ok(Response::WitnessListInstalled) => {}
+            other => return Err(format!("source master rejected list: {other:?}")),
+        }
+
+        let mut st = self.st.lock();
+        if let Some(p) = st.config.partitions.iter_mut().find(|p| p.master_id == master_id) {
+            p.range = HashRange { start: p.range.start, end: split_at };
+            p.witness_list_version = new_src_version;
+        }
+        st.config.partitions.push(PartitionConfig {
+            master_id: new_id,
+            master: target_srv,
+            backups: target_backups,
+            witnesses: target_witnesses,
+            witness_list_version: WitnessListVersion(1),
+            epoch: curp_proto::types::Epoch(1),
+            range: hi,
+        });
+        st.config.version += 1;
+        Ok(new_id)
+    }
+
+    /// Expires overdue client leases, telling every master to sync before
+    /// dropping the clients' completion records (§4.8).
+    pub async fn tick_leases(&self) {
+        let (expired, masters) = {
+            let mut st = self.st.lock();
+            let now = self.now_ms();
+            let expired = st.leases.collect_expired(now);
+            let masters: Vec<ServerId> =
+                st.config.partitions.iter().map(|p| p.master).collect();
+            (expired, masters)
+        };
+        for client in expired {
+            for &m in &masters {
+                let rpc = (self.client_for)(m);
+                let _ = rpc.call(m, Request::MasterClientExpired { client }).await;
+            }
+        }
+    }
+
+    /// Handles coordinator RPCs (config + leases).
+    pub fn handle_request(&self, req: &Request) -> Response {
+        match req {
+            Request::GetConfig => Response::Config { config: self.st.lock().config.clone() },
+            Request::AcquireLease => {
+                let now = self.now_ms();
+                let mut st = self.st.lock();
+                let client = st.leases.issue(now);
+                Response::Lease { client, ttl_ms: st.leases.ttl_ms() }
+            }
+            Request::RenewLease { client } => {
+                let now = self.now_ms();
+                let mut st = self.st.lock();
+                if st.leases.renew(*client, now) {
+                    Response::Lease { client: *client, ttl_ms: st.leases.ttl_ms() }
+                } else {
+                    Response::Retry { reason: "lease expired; reconnect".into() }
+                }
+            }
+            _ => Response::Retry { reason: "not a coordinator request".into() },
+        }
+    }
+
+    /// Whether `client` currently holds a live lease (tests).
+    pub fn lease_live(&self, client: ClientId) -> bool {
+        let now = self.now_ms();
+        self.st.lock().leases.is_live(client, now)
+    }
+}
+
+/// Transport adapter for the coordinator.
+pub struct CoordinatorHandler(pub Arc<Coordinator>);
+
+impl RpcHandler for CoordinatorHandler {
+    fn handle(&self, _from: ServerId, req: Request) -> BoxFuture<'static, Response> {
+        let coord = Arc::clone(&self.0);
+        Box::pin(async move { coord.handle_request(&req) })
+    }
+}

@@ -1,0 +1,832 @@
+//! The CURP master (§3.2.3, §4.3–4.6).
+//!
+//! A master receives, serializes and executes all update RPCs for its
+//! partition. Unlike a traditional primary, it *responds before replicating*
+//! (speculative execution) and keeps the invariant that all unsynced
+//! operations are mutually commutative: an incoming operation that touches
+//! any unsynced object forces a blocking backup sync before its response is
+//! released, tagged `synced` so the client can skip its own sync RPC.
+//!
+//! Backup syncs are batched (§4.4): the background syncer replicates the
+//! pending tail of the log either when `batch_size` operations accumulate,
+//! when the hot-key heuristic predicts a conflict, or on an interval tick.
+//! After each sync the master garbage-collects the synced requests from its
+//! witnesses (§4.5) and handles any suspected-stale requests the witnesses
+//! report back.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use curp_proto::cluster::HashRange;
+use curp_proto::message::{LogEntry, RecordedRequest, Request, Response};
+use curp_proto::op::{Op, OpResult};
+use curp_proto::types::{Epoch, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
+use curp_rifl::{CheckResult, RiflTable};
+use curp_storage::Store;
+use curp_transport::rpc::RpcClient;
+use parking_lot::Mutex;
+use tokio::sync::{watch, Notify};
+
+use crate::snapshot::Snapshot;
+
+/// Tuning knobs for a master.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Sync to backups once this many operations are pending (§4.4: "masters
+    /// batch at most 50 operations before syncs").
+    pub batch_size: usize,
+    /// Background flush interval: an idle master syncs its pending tail at
+    /// this cadence even if the batch never fills.
+    pub sync_interval: Duration,
+    /// Simulated execution cost per operation (zero outside simulations).
+    pub exec_cost: Duration,
+    /// Enables the §4.4 heuristic: sync immediately after updating an object
+    /// that was updated recently, predicting another update soon.
+    pub hotkey_sync: bool,
+    /// "Recently" for the hot-key heuristic, in log entries.
+    pub hotkey_window: u64,
+    /// Attempts before a sync round gives up (entries stay pending).
+    pub sync_retry_limit: u32,
+    /// Delay between sync retry attempts.
+    pub sync_retry_backoff: Duration,
+    /// Synchronous mode: replicate to backups before *every* response — the
+    /// paper's "Original RAMCloud" baseline (no speculation at all).
+    pub sync_every_op: bool,
+    /// Group-commit window: a sync round waits this long before snapshotting
+    /// so that concurrently arriving operations share the round. Models the
+    /// Redis event loop, which serves every ready socket and then fsyncs
+    /// once (§C.2). Zero disables coalescing.
+    pub sync_coalesce: Duration,
+    /// In `sync_every_op` mode, how many worker threads may replicate their
+    /// requests concurrently (RAMCloud workers poll on their own syncs; the
+    /// dispatch thread is the shared bottleneck — §4.4).
+    pub sync_workers: usize,
+    /// In `sync_every_op` mode, whether concurrent requests share replication
+    /// rounds (group commit). `false` reproduces original RAMCloud (each
+    /// write replicates itself: 4 RPCs per request); `true` reproduces
+    /// durable Redis, whose event loop batches one fsync across all ready
+    /// clients (§C.2).
+    pub sync_group_commit: bool,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            batch_size: 50,
+            sync_interval: Duration::from_millis(1),
+            exec_cost: Duration::ZERO,
+            hotkey_sync: true,
+            hotkey_window: 50,
+            sync_retry_limit: 10,
+            sync_retry_backoff: Duration::from_millis(5),
+            sync_every_op: false,
+            sync_coalesce: Duration::ZERO,
+            sync_workers: 4,
+            sync_group_commit: false,
+        }
+    }
+}
+
+/// Observable counters (benchmarks and tests).
+#[derive(Debug, Default)]
+pub struct MasterStats {
+    /// Update RPCs executed (excluding duplicates).
+    pub updates: AtomicU64,
+    /// Updates that required a blocking sync (non-commutative, 2-RTT path).
+    pub conflicts: AtomicU64,
+    /// Sync rounds completed.
+    pub syncs: AtomicU64,
+    /// Log entries replicated.
+    pub entries_synced: AtomicU64,
+    /// Witness gc RPCs sent.
+    pub gcs_sent: AtomicU64,
+    /// Duplicate RPCs filtered by RIFL.
+    pub duplicates: AtomicU64,
+}
+
+struct St {
+    store: Store,
+    rifl: RiflTable,
+    /// Executed but not yet replicated entries, in order.
+    pending: Vec<LogEntry>,
+    /// Next log-entry sequence number.
+    next_seq: u64,
+    /// Extra gc pairs to piggyback on the next sync's gc round (suspected
+    /// uncollected garbage already durable, §4.5).
+    pending_gc: Vec<(KeyHash, RpcId)>,
+    epoch: Epoch,
+    backups: Vec<ServerId>,
+    witnesses: Vec<ServerId>,
+    wl_version: WitnessListVersion,
+    range: HashRange,
+    /// Set when fenced (zombie) or migrated away: reject everything.
+    sealed: bool,
+    /// Last update entry-seq per key hash (hot-key heuristic).
+    recent_updates: HashMap<KeyHash, u64>,
+}
+
+/// The master role for one partition.
+pub struct Master {
+    id: MasterId,
+    cfg: MasterConfig,
+    rpc: Arc<dyn RpcClient>,
+    st: Mutex<St>,
+    /// Serializes sync rounds ("RAMCloud allows only one outstanding sync",
+    /// §C.1).
+    sync_lock: tokio::sync::Mutex<()>,
+    sync_notify: Notify,
+    /// Watermark: every log entry with `seq < *synced_rx.borrow()` is durable
+    /// on all backups. Waiters blocked on a conflicting operation observe
+    /// this to return as soon as *their* entry is durable (group commit),
+    /// instead of taking a turn flushing other clients' entries.
+    synced_tx: watch::Sender<u64>,
+    /// Limits concurrent per-request replications in `sync_every_op` mode.
+    repl_slots: Arc<tokio::sync::Semaphore>,
+    /// Statistics.
+    pub stats: MasterStats,
+}
+
+/// Everything needed to start a fresh master.
+pub struct MasterSeed {
+    /// Role incarnation id.
+    pub id: MasterId,
+    /// Fencing epoch.
+    pub epoch: Epoch,
+    /// Backup servers (`f` of them).
+    pub backups: Vec<ServerId>,
+    /// Witness servers (`f` of them).
+    pub witnesses: Vec<ServerId>,
+    /// Current witness-list version.
+    pub wl_version: WitnessListVersion,
+    /// Owned slice of the hash space.
+    pub range: HashRange,
+}
+
+impl Master {
+    /// Creates a fresh, empty master.
+    pub fn new(seed: MasterSeed, cfg: MasterConfig, rpc: Arc<dyn RpcClient>) -> Arc<Master> {
+        Self::with_state(seed, cfg, rpc, Store::new(), RiflTable::new(), 0)
+    }
+
+    /// Creates a master over restored state (recovery, migration).
+    pub fn with_state(
+        seed: MasterSeed,
+        cfg: MasterConfig,
+        rpc: Arc<dyn RpcClient>,
+        store: Store,
+        rifl: RiflTable,
+        next_seq: u64,
+    ) -> Arc<Master> {
+        let sync_workers = cfg.sync_workers.max(1);
+        Arc::new(Master {
+            id: seed.id,
+            cfg,
+            rpc,
+            st: Mutex::new(St {
+                store,
+                rifl,
+                pending: Vec::new(),
+                next_seq,
+                pending_gc: Vec::new(),
+                epoch: seed.epoch,
+                backups: seed.backups,
+                witnesses: seed.witnesses,
+                wl_version: seed.wl_version,
+                range: seed.range,
+                sealed: false,
+                recent_updates: HashMap::new(),
+            }),
+            sync_lock: tokio::sync::Mutex::new(()),
+            sync_notify: Notify::new(),
+            synced_tx: watch::channel(0u64).0,
+            repl_slots: Arc::new(tokio::sync::Semaphore::new(sync_workers)),
+            stats: MasterStats::default(),
+        })
+    }
+
+    /// This master's role id.
+    pub fn id(&self) -> MasterId {
+        self.id
+    }
+
+    /// Spawns the background syncer. Call once after construction.
+    pub fn spawn_syncer(self: &Arc<Self>) -> tokio::task::JoinHandle<()> {
+        let master = Arc::clone(self);
+        tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    _ = master.sync_notify.notified() => {}
+                    _ = tokio::time::sleep(master.cfg.sync_interval) => {}
+                }
+                if master.is_sealed() {
+                    return;
+                }
+                if master.cfg.sync_every_op && !master.cfg.sync_group_commit {
+                    // Per-request replication mode: every write replicates
+                    // itself; an interval round would race the per-op path.
+                    continue;
+                }
+                let _ = master.sync().await;
+            }
+        })
+    }
+
+    /// Whether this master has been fenced or migrated away.
+    pub fn is_sealed(&self) -> bool {
+        self.st.lock().sealed
+    }
+
+    /// Seals the master: every subsequent request is refused. Used when a
+    /// backup fences us (zombie, §4.7) and by crash simulation.
+    pub fn seal(&self) {
+        self.st.lock().sealed = true;
+    }
+
+    /// Number of pending (speculative) entries — diagnostics.
+    pub fn pending_len(&self) -> usize {
+        self.st.lock().pending.len()
+    }
+
+    /// Current witness list and version (diagnostics).
+    pub fn witness_list(&self) -> (WitnessListVersion, Vec<ServerId>) {
+        let st = self.st.lock();
+        (st.wl_version, st.witnesses.clone())
+    }
+
+    fn owns(range: &HashRange, op: &Op) -> bool {
+        op.key_hashes().iter().all(|&h| range.contains(h))
+    }
+
+    /// Handles a client update RPC. See module docs for the decision tree.
+    pub async fn handle_update(
+        self: &Arc<Self>,
+        rpc_id: RpcId,
+        first_incomplete: u64,
+        wl_version: WitnessListVersion,
+        op: Op,
+    ) -> Response {
+        if op.is_read_only() {
+            return Response::Retry { reason: "read-only op sent as update".into() };
+        }
+        if !self.cfg.exec_cost.is_zero() {
+            tokio::time::sleep(self.cfg.exec_cost).await;
+        }
+        let (result, must_sync) = {
+            let mut st = self.st.lock();
+            if st.sealed {
+                return Response::Retry { reason: "master sealed".into() };
+            }
+            if wl_version != st.wl_version {
+                return Response::StaleWitnessList { current: st.wl_version };
+            }
+            if !Self::owns(&st.range, &op) {
+                return Response::NotOwner;
+            }
+            st.rifl.ack(rpc_id.client, first_incomplete);
+            match st.rifl.check(rpc_id) {
+                CheckResult::Duplicate(result) => {
+                    self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                    let synced = !st.pending.iter().any(|e| e.rpc_id == Some(rpc_id));
+                    return Response::Update { result, synced };
+                }
+                CheckResult::Stale => {
+                    return Response::Retry { reason: "rpc already acknowledged".into() }
+                }
+                CheckResult::New => {}
+            }
+            // §3.2.3: an operation touching any unsynced object must not be
+            // externalized before a sync.
+            let conflict = st.store.touches_unsynced(&op) || self.cfg.sync_every_op;
+            let result = st.store.execute(&op);
+            let mutated = !matches!(
+                result,
+                OpResult::ConditionFailed { .. } | OpResult::WrongType
+            );
+            // Every update gets a log entry — including failed conditionals:
+            // their completion records must become durable too, or a retry
+            // after recovery could re-execute with a different outcome.
+            // Replay on backups is still deterministic (the op fails there
+            // identically, mutating nothing).
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.pending.push(LogEntry {
+                seq,
+                rpc_id: Some(rpc_id),
+                op: op.clone(),
+                result: result.clone(),
+            });
+            st.rifl.record(rpc_id, result.clone());
+            self.stats.updates.fetch_add(1, Ordering::Relaxed);
+
+            // Hot-key heuristic (§4.4): if this key was updated within the
+            // last `hotkey_window` entries, predict another update soon and
+            // sync eagerly (without blocking this response).
+            let mut hot = false;
+            if mutated {
+                for h in op.key_hashes() {
+                    if let Some(&prev) = st.recent_updates.get(&h) {
+                        if self.cfg.hotkey_sync && seq.saturating_sub(prev) <= self.cfg.hotkey_window
+                        {
+                            hot = true;
+                        }
+                    }
+                    st.recent_updates.insert(h, seq);
+                }
+                if st.recent_updates.len() > 8 * self.cfg.hotkey_window as usize + 64 {
+                    let cutoff = seq.saturating_sub(self.cfg.hotkey_window);
+                    st.recent_updates.retain(|_, &mut s| s >= cutoff);
+                }
+            }
+            let batch_full = st.pending.len() >= self.cfg.batch_size;
+            if (hot || batch_full) && !conflict {
+                self.sync_notify.notify_one();
+            }
+            (result, conflict.then_some(seq))
+        };
+        if self.cfg.sync_every_op && !self.cfg.sync_group_commit {
+            // "Original" synchronous mode: this request replicates itself —
+            // one replication RPC per backup per request, exactly the 4-RPCs-
+            // per-write pattern §4.4 describes. No cross-client batching.
+            let entry = {
+                let st = self.st.lock();
+                st.pending.iter().rev().find(|e| e.rpc_id == Some(rpc_id)).cloned()
+            };
+            let synced = match entry {
+                Some(entry) => self.replicate_one(entry).await,
+                None => false,
+            };
+            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+            return Response::Update { result, synced };
+        }
+        if let Some(my_seq) = must_sync {
+            // Blocking sync: returns once this operation's entry is durable
+            // (an in-flight round started by another client may cover it).
+            self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+            let synced = self.sync_up_to(my_seq).await;
+            return Response::Update { result, synced };
+        }
+        Response::Update { result, synced: false }
+    }
+
+    /// Handles a read-only client RPC (§3.2.3, §A.3): a read touching an
+    /// unsynced object blocks on a sync so its result cannot be lost.
+    pub async fn handle_read(self: &Arc<Self>, op: Op) -> Response {
+        if !op.is_read_only() {
+            return Response::Retry { reason: "mutation sent as read".into() };
+        }
+        if !self.cfg.exec_cost.is_zero() {
+            tokio::time::sleep(self.cfg.exec_cost).await;
+        }
+        for _ in 0..100 {
+            {
+                let mut st = self.st.lock();
+                if st.sealed {
+                    return Response::Retry { reason: "master sealed".into() };
+                }
+                if !Self::owns(&st.range, &op) {
+                    return Response::NotOwner;
+                }
+                if !st.store.touches_unsynced(&op) {
+                    let result = st.store.execute(&op);
+                    return Response::Read { result };
+                }
+            }
+            if !self.sync().await {
+                return Response::Retry { reason: "sync failed".into() };
+            }
+        }
+        Response::Retry { reason: "read starved by hot writes".into() }
+    }
+
+    /// Handles an explicit client sync RPC (slow path, §3.2.1).
+    pub async fn handle_sync(self: &Arc<Self>) -> Response {
+        if self.is_sealed() {
+            return Response::Retry { reason: "master sealed".into() };
+        }
+        if self.sync().await {
+            Response::SyncDone
+        } else {
+            Response::Retry { reason: "sync failed".into() }
+        }
+    }
+
+    /// Installs a new witness list (§3.6). The master syncs first so clients
+    /// can never complete an update against only the old witnesses.
+    pub async fn handle_witness_list(
+        self: &Arc<Self>,
+        version: WitnessListVersion,
+        witnesses: Vec<ServerId>,
+    ) -> Response {
+        if !self.sync().await {
+            return Response::Retry { reason: "sync failed".into() };
+        }
+        let mut st = self.st.lock();
+        if version > st.wl_version {
+            st.wl_version = version;
+            st.witnesses = witnesses;
+        }
+        Response::WitnessListInstalled
+    }
+
+    /// Handles a client lease expiry (§4.8): sync, then drop records.
+    pub async fn handle_client_expired(
+        self: &Arc<Self>,
+        client: curp_proto::types::ClientId,
+    ) -> Response {
+        if !self.sync().await {
+            return Response::Retry { reason: "sync failed".into() };
+        }
+        self.st.lock().rifl.expire_client(client);
+        Response::ClientExpiredAck
+    }
+
+    /// Replicates the pending tail to all backups, then garbage-collects the
+    /// replicated requests from all witnesses. Returns `true` on success
+    /// (including the nothing-to-do case).
+    pub async fn sync(self: &Arc<Self>) -> bool {
+        let guard = self.sync_lock.lock().await;
+        self.sync_round(guard).await
+    }
+
+    /// Group commit: waits until the entry with sequence `seq` is durable on
+    /// all backups, flushing if no round is in flight. Returns `false` if
+    /// the master is sealed or replication fails.
+    pub async fn sync_up_to(self: &Arc<Self>, seq: u64) -> bool {
+        let mut rx = self.synced_tx.subscribe();
+        loop {
+            if *rx.borrow_and_update() > seq {
+                return true;
+            }
+            if self.is_sealed() {
+                return false;
+            }
+            tokio::select! {
+                guard = self.sync_lock.lock() => {
+                    if !self.sync_round(guard).await {
+                        return false;
+                    }
+                }
+                changed = rx.changed() => {
+                    if changed.is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Synchronous per-request replication (`sync_every_op` mode): sends
+    /// this entry alone to every backup, bounded by the worker semaphore.
+    /// Backups buffer out-of-order arrivals, so concurrent workers are safe.
+    async fn replicate_one(self: &Arc<Self>, entry: LogEntry) -> bool {
+        let permit = Arc::clone(&self.repl_slots)
+            .acquire_owned()
+            .await
+            .expect("semaphore closed");
+        let (epoch, backups) = {
+            let st = self.st.lock();
+            if st.sealed {
+                return false;
+            }
+            (st.epoch, st.backups.clone())
+        };
+        let seq = entry.seq;
+        let calls = backups.iter().map(|&b| {
+            self.rpc.call(
+                b,
+                Request::BackupSync { master_id: self.id, epoch, entries: vec![entry.clone()] },
+            )
+        });
+        let results = futures_join_all(calls).await;
+        drop(permit);
+        for r in results {
+            match r {
+                Ok(Response::BackupSynced { accepted: true, .. }) => {}
+                Ok(Response::BackupSynced { accepted: false, .. }) => {
+                    self.seal();
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        // Commit: drop the entry from pending and advance the watermark.
+        {
+            let mut st = self.st.lock();
+            st.pending.retain(|e| e.seq != seq);
+            if st.pending.is_empty() {
+                let head = st.store.log_head();
+                if head > st.store.synced_pos() {
+                    st.store.mark_synced(head);
+                }
+            }
+        }
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.entries_synced.fetch_add(1, Ordering::Relaxed);
+        self.synced_tx.send_modify(|f| *f = (*f).max(seq + 1));
+        true
+    }
+
+    /// One replication round; `_guard` serializes rounds.
+    async fn sync_round(
+        self: &Arc<Self>,
+        _guard: tokio::sync::MutexGuard<'_, ()>,
+    ) -> bool {
+        if !self.cfg.sync_coalesce.is_zero() {
+            tokio::time::sleep(self.cfg.sync_coalesce).await;
+        }
+        let (entries, pos_target, epoch, backups) = {
+            let st = self.st.lock();
+            if st.sealed {
+                return false;
+            }
+            if st.pending.is_empty() && st.pending_gc.is_empty() {
+                return true;
+            }
+            (st.pending.clone(), st.store.log_head(), st.epoch, st.backups.clone())
+        };
+
+        if !entries.is_empty() {
+            let mut attempt = 0;
+            loop {
+                let calls = backups.iter().map(|&b| {
+                    self.rpc.call(
+                        b,
+                        Request::BackupSync {
+                            master_id: self.id,
+                            epoch,
+                            entries: entries.clone(),
+                        },
+                    )
+                });
+                let results = futures_join_all(calls).await;
+                let mut all_ok = true;
+                for r in results {
+                    match r {
+                        Ok(Response::BackupSynced { accepted: true, .. }) => {}
+                        Ok(Response::BackupSynced { accepted: false, .. }) => {
+                            // We are fenced: a newer master exists (§4.7).
+                            self.seal();
+                            return false;
+                        }
+                        _ => all_ok = false,
+                    }
+                }
+                if all_ok {
+                    break;
+                }
+                attempt += 1;
+                if attempt >= self.cfg.sync_retry_limit {
+                    return false;
+                }
+                tokio::time::sleep(self.cfg.sync_retry_backoff).await;
+            }
+        }
+
+        // Commit the sync locally and compute the witness gc set. The
+        // frontier is clamped: a concurrent per-request replication
+        // (`sync_every_op` mode) may already have advanced it further.
+        let (gc_pairs, witnesses) = {
+            let mut st = self.st.lock();
+            let target = pos_target.max(st.store.synced_pos());
+            st.store.mark_synced(target);
+            let last_seq = entries.last().map(|e| e.seq);
+            if let Some(last) = last_seq {
+                st.pending.retain(|e| e.seq > last);
+            }
+            let mut pairs: Vec<(KeyHash, RpcId)> = Vec::new();
+            for e in &entries {
+                if let Some(id) = e.rpc_id {
+                    for h in e.op.key_hashes() {
+                        pairs.push((h, id));
+                    }
+                }
+            }
+            pairs.append(&mut st.pending_gc);
+            (pairs, st.witnesses.clone())
+        };
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.entries_synced.fetch_add(entries.len() as u64, Ordering::Relaxed);
+        if let Some(last) = entries.last() {
+            let frontier = last.seq + 1;
+            self.synced_tx.send_modify(|f| *f = (*f).max(frontier));
+        }
+
+        if !gc_pairs.is_empty() && !witnesses.is_empty() {
+            // Gc RPCs are batched, one per witness per sync round (§3.5).
+            let calls = witnesses.iter().map(|&w| {
+                self.rpc.call(
+                    w,
+                    Request::WitnessGc { master_id: self.id, entries: gc_pairs.clone() },
+                )
+            });
+            self.stats.gcs_sent.fetch_add(witnesses.len() as u64, Ordering::Relaxed);
+            let results = futures_join_all(calls).await;
+            for r in results.into_iter().flatten() {
+                if let Response::GcDone { stale } = r {
+                    self.handle_suspected_garbage(stale);
+                }
+            }
+        }
+        true
+    }
+
+    /// §4.5: witnesses report requests that survived several gc rounds. The
+    /// master retries them (RIFL filters re-executions), ensures they are
+    /// synced, and re-gc's them on the next round.
+    fn handle_suspected_garbage(self: &Arc<Self>, stale: Vec<RecordedRequest>) {
+        if stale.is_empty() {
+            return;
+        }
+        let mut st = self.st.lock();
+        let mut need_sync = false;
+        for req in stale {
+            match st.rifl.check(req.rpc_id) {
+                CheckResult::Duplicate(_) | CheckResult::Stale => {
+                    // Already executed. If still pending it will be gc'd with
+                    // its own sync; otherwise schedule an explicit re-gc.
+                    if !st.pending.iter().any(|e| e.rpc_id == Some(req.rpc_id)) {
+                        for h in &req.key_hashes {
+                            st.pending_gc.push((*h, req.rpc_id));
+                        }
+                        need_sync = true;
+                    }
+                }
+                CheckResult::New => {
+                    // The client recorded the request but the master never
+                    // executed it (client crashed mid-operation). Requests on
+                    // partitions we do not own are dropped (§3.6).
+                    if !Self::owns(&st.range, &req.op) {
+                        continue;
+                    }
+                    let result = st.store.execute(&req.op);
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    st.pending.push(LogEntry {
+                        seq,
+                        rpc_id: Some(req.rpc_id),
+                        op: req.op.clone(),
+                        result: result.clone(),
+                    });
+                    st.rifl.record(req.rpc_id, result);
+                    need_sync = true;
+                }
+            }
+        }
+        if need_sync {
+            self.sync_notify.notify_one();
+        }
+    }
+
+    // ---- recovery (§3.3, §4.6) --------------------------------------------
+
+    /// Runs full crash recovery, producing the *new* master for the crashed
+    /// partition: restore from one backup, replay from one witness, then
+    /// install the recovered state on all backups.
+    ///
+    /// The coordinator must already have fenced the old master's epoch on the
+    /// backups and started witness instances for `seed.id` on `seed.witnesses`.
+    #[allow(clippy::too_many_arguments)]
+    pub async fn recover(
+        seed: MasterSeed,
+        cfg: MasterConfig,
+        rpc: Arc<dyn RpcClient>,
+        old_master: MasterId,
+        backup_source: ServerId,
+        witness_source: ServerId,
+    ) -> Result<Arc<Master>, String> {
+        // Step 1: restore from a backup.
+        let rsp = rpc
+            .call(backup_source, Request::BackupFetch { master_id: old_master })
+            .await
+            .map_err(|e| format!("backup fetch failed: {e}"))?;
+        let (next_seq, snapshot) = match rsp {
+            Response::BackupData { next_seq, snapshot } => (next_seq, snapshot),
+            other => return Err(format!("unexpected fetch response: {other:?}")),
+        };
+        let snap = Snapshot::from_blob(&snapshot).map_err(|e| e.to_string())?;
+        let (store, mut rifl) = snap.restore();
+
+        // Step 2: freeze one witness and take its requests.
+        let rsp = rpc
+            .call(witness_source, Request::WitnessGetRecoveryData { master_id: old_master })
+            .await
+            .map_err(|e| format!("witness fetch failed: {e}"))?;
+        let requests = match rsp {
+            Response::RecoveryData { requests } => requests,
+            other => return Err(format!("unexpected recovery response: {other:?}")),
+        };
+
+        // Step 3: replay. Requests in one witness are mutually commutative,
+        // so any order is fine; RIFL filters those already restored from the
+        // backup; ownership filters migrated-away partitions (§3.6).
+        rifl.set_recovery_mode(true);
+        let master = Master::with_state(seed, cfg, rpc, store, rifl, next_seq);
+        {
+            let mut st = master.st.lock();
+            for req in requests {
+                if !Self::owns(&st.range, &req.op) {
+                    continue;
+                }
+                match st.rifl.check(req.rpc_id) {
+                    CheckResult::Duplicate(_) | CheckResult::Stale => continue,
+                    CheckResult::New => {}
+                }
+                let result = st.store.execute(&req.op);
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.pending.push(LogEntry {
+                    seq,
+                    rpc_id: Some(req.rpc_id),
+                    op: req.op.clone(),
+                    result: result.clone(),
+                });
+                st.rifl.record(req.rpc_id, result);
+            }
+            st.rifl.set_recovery_mode(false);
+        }
+
+        // Step 4: make the recovered state durable on all backups under the
+        // new master id, folding in the replayed entries.
+        let (blob, next_seq, epoch, backups) = {
+            let mut st = master.st.lock();
+            let head = st.store.log_head();
+            st.store.mark_synced(head);
+            st.pending.clear();
+            let snap = Snapshot::capture(&st.store, &st.rifl, st.next_seq);
+            (snap.to_blob(), st.next_seq, st.epoch, st.backups.clone())
+        };
+        let calls = backups.iter().map(|&b| {
+            master.rpc.call(
+                b,
+                Request::BackupInstall {
+                    master_id: master.id,
+                    epoch,
+                    next_seq,
+                    snapshot: blob.clone(),
+                },
+            )
+        });
+        for r in futures_join_all(calls).await {
+            match r {
+                Ok(Response::BackupInstalled) => {}
+                other => return Err(format!("backup install failed: {other:?}")),
+            }
+        }
+        Ok(master)
+    }
+
+    // ---- migration (§3.6) ----------------------------------------------------
+
+    /// Extracts the `[split_at, end)` half of this master's range after a
+    /// full sync. The master keeps `[start, split_at)` and afterwards
+    /// rejects requests for the migrated half with `NotOwner`.
+    pub async fn migrate_out(self: &Arc<Self>, split_at: u64) -> Result<Snapshot, String> {
+        if !self.sync().await {
+            return Err("pre-migration sync failed".into());
+        }
+        let mut st = self.st.lock();
+        if !st.pending.is_empty() {
+            return Err("writes raced the migration sync".into());
+        }
+        let (lo, hi) = st.range.split_at(split_at);
+        let (objects, dead) = st.store.split_off(|h| hi.contains(h));
+        st.range = lo;
+        // The migrated partition inherits the full RIFL table: duplicate
+        // detection must keep working for requests that moved with the data.
+        Ok(Snapshot { objects, dead_versions: dead, rifl: st.rifl.export(), next_seq: 0 })
+    }
+
+    /// Dispatches master-directed requests.
+    pub async fn handle_request(self: &Arc<Self>, req: Request) -> Response {
+        match req {
+            Request::ClientUpdate { rpc_id, first_incomplete, witness_list_version, op } => {
+                self.handle_update(rpc_id, first_incomplete, witness_list_version, op).await
+            }
+            Request::ClientRead { op } => self.handle_read(op).await,
+            Request::Sync => self.handle_sync().await,
+            Request::MasterWitnessList { version, witnesses } => {
+                self.handle_witness_list(version, witnesses).await
+            }
+            Request::MasterClientExpired { client } => self.handle_client_expired(client).await,
+            _ => Response::Retry { reason: "not a master request".into() },
+        }
+    }
+}
+
+/// Minimal join_all (avoids a futures-util dependency): polls all futures to
+/// completion and returns their outputs in order.
+pub(crate) async fn futures_join_all<F, T>(futs: impl IntoIterator<Item = F>) -> Vec<T>
+where
+    F: std::future::Future<Output = T> + Send + 'static,
+    T: Send + 'static,
+{
+    let handles: Vec<tokio::task::JoinHandle<T>> =
+        futs.into_iter().map(tokio::spawn).collect();
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await.expect("rpc task panicked"));
+    }
+    out
+}

@@ -1,0 +1,134 @@
+//! A CURP server process: any mix of master, backup and witness roles behind
+//! one transport handler.
+//!
+//! The paper co-hosts witnesses with backups (§3.1, Figure 2); this type
+//! makes role placement a deployment decision. The coordinator also holds
+//! direct (in-process) handles to `CurpServer`s for control-plane actions —
+//! installing and recovering masters — while all data-plane traffic flows
+//! through the transport.
+
+use std::sync::Arc;
+
+use curp_proto::message::{Request, Response};
+use curp_proto::types::ServerId;
+use curp_transport::rpc::{BoxFuture, RpcHandler};
+use curp_witness::cache::CacheConfig;
+use curp_witness::WitnessService;
+use parking_lot::Mutex;
+
+use crate::backup::BackupService;
+use crate::master::Master;
+
+/// One server process.
+pub struct CurpServer {
+    id: ServerId,
+    master: Mutex<Option<Arc<Master>>>,
+    backup: BackupService,
+    witness: WitnessService,
+}
+
+impl CurpServer {
+    /// Creates a server with empty roles.
+    pub fn new(id: ServerId, witness_config: CacheConfig) -> Arc<CurpServer> {
+        Arc::new(CurpServer {
+            id,
+            master: Mutex::new(None),
+            backup: BackupService::new(),
+            witness: WitnessService::new(witness_config),
+        })
+    }
+
+    /// Transport identity of this server.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Installs (or replaces) the master role.
+    pub fn set_master(&self, master: Arc<Master>) {
+        *self.master.lock() = Some(master);
+    }
+
+    /// The hosted master, if any.
+    pub fn master(&self) -> Option<Arc<Master>> {
+        self.master.lock().clone()
+    }
+
+    /// The backup role (always present; empty until first sync).
+    pub fn backup(&self) -> &BackupService {
+        &self.backup
+    }
+
+    /// The witness role (always present; empty until `start`).
+    pub fn witness(&self) -> &WitnessService {
+        &self.witness
+    }
+
+    /// Seals the hosted master (crash simulation / decommission).
+    pub fn seal_master(&self) {
+        if let Some(m) = self.master.lock().as_ref() {
+            m.seal();
+        }
+    }
+
+    async fn dispatch(self: Arc<Self>, req: Request) -> Response {
+        match &req {
+            Request::ClientUpdate { .. }
+            | Request::ClientRead { .. }
+            | Request::Sync
+            | Request::MasterWitnessList { .. }
+            | Request::MasterClientExpired { .. } => {
+                let master = self.master.lock().clone();
+                match master {
+                    Some(m) => m.handle_request(req).await,
+                    None => Response::Retry { reason: "no master on this server".into() },
+                }
+            }
+            Request::BackupSync { .. }
+            | Request::BackupFetch { .. }
+            | Request::BackupRead { .. }
+            | Request::BackupInstall { .. }
+            | Request::BackupSetEpoch { .. } => self.backup.handle_request(&req),
+            Request::WitnessRecord { .. }
+            | Request::WitnessCommuteCheck { .. }
+            | Request::WitnessGc { .. }
+            | Request::WitnessGetRecoveryData { .. }
+            | Request::WitnessStart { .. }
+            | Request::WitnessEnd { .. } => self.witness.handle_request(&req),
+            Request::GetConfig | Request::AcquireLease | Request::RenewLease { .. } => {
+                Response::Retry { reason: "not the coordinator".into() }
+            }
+            Request::Consensus { .. } => {
+                Response::Retry { reason: "not a consensus replica".into() }
+            }
+        }
+    }
+}
+
+/// Transport adapter for a server.
+pub struct ServerHandler(pub Arc<CurpServer>);
+
+impl RpcHandler for ServerHandler {
+    fn handle(&self, _from: ServerId, req: Request) -> BoxFuture<'static, Response> {
+        let server = Arc::clone(&self.0);
+        Box::pin(server.dispatch(req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use curp_proto::types::MasterId;
+
+    #[tokio::test]
+    async fn serverless_roles_answer_sanely() {
+        let s = ServerHandler(CurpServer::new(ServerId(1), CacheConfig::default()));
+        let rsp = s.handle(ServerId(9), Request::Sync).await;
+        assert!(matches!(rsp, Response::Retry { .. }), "no master installed");
+        let rsp = s
+            .handle(ServerId(9), Request::WitnessStart { master_id: MasterId(1) })
+            .await;
+        assert_eq!(rsp, Response::WitnessStarted { ok: true });
+        let rsp = s.handle(ServerId(9), Request::GetConfig).await;
+        assert!(matches!(rsp, Response::Retry { .. }), "not a coordinator");
+    }
+}

@@ -1,0 +1,373 @@
+//! Focused unit tests of the master's decision logic, using a minimal
+//! in-process loopback transport (no coordinator, no client library): every
+//! path of `handle_update`/`handle_read` and the sync/gc machinery.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use curp_core::backup::BackupService;
+use curp_core::master::{Master, MasterConfig, MasterSeed};
+use curp_proto::cluster::HashRange;
+use curp_proto::message::{Request, Response};
+use curp_proto::op::{Op, OpResult};
+use curp_proto::types::{ClientId, Epoch, MasterId, RpcId, ServerId, WitnessListVersion};
+use curp_transport::rpc::{BoxFuture, RpcClient};
+use curp_witness::cache::CacheConfig;
+use curp_witness::WitnessService;
+
+const M: MasterId = MasterId(7);
+const BACKUP: ServerId = ServerId(2);
+const WITNESS: ServerId = ServerId(3);
+const WLV: WitnessListVersion = WitnessListVersion(1);
+
+/// Loopback transport: routes master-originated RPCs straight into local
+/// backup/witness services, counting calls.
+struct Loopback {
+    backup: Arc<BackupService>,
+    witness: Arc<WitnessService>,
+}
+
+impl RpcClient for Loopback {
+    fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, curp_transport::RpcError>> {
+        let backup = Arc::clone(&self.backup);
+        let witness = Arc::clone(&self.witness);
+        Box::pin(async move {
+            Ok(match to {
+                BACKUP => backup.handle_request(&req),
+                WITNESS => witness.handle_request(&req),
+                other => return Err(curp_transport::RpcError::Unreachable { to: other }),
+            })
+        })
+    }
+}
+
+struct Rig {
+    master: Arc<Master>,
+    backup: Arc<BackupService>,
+    witness: Arc<WitnessService>,
+}
+
+fn rig(cfg: MasterConfig) -> Rig {
+    let backup = Arc::new(BackupService::new());
+    let witness = Arc::new(WitnessService::new(CacheConfig::default()));
+    let master = Master::new(
+        MasterSeed {
+            id: M,
+            epoch: Epoch(1),
+            backups: vec![BACKUP],
+            witnesses: vec![WITNESS],
+            wl_version: WLV,
+            range: HashRange::FULL,
+        },
+        cfg,
+        Arc::new(Loopback { backup: Arc::clone(&backup), witness: Arc::clone(&witness) }),
+    );
+    witness.start(M);
+    Rig { master, backup, witness }
+}
+
+fn lazy() -> MasterConfig {
+    MasterConfig {
+        batch_size: 10_000,
+        sync_interval: Duration::from_secs(3600),
+        ..MasterConfig::default()
+    }
+}
+
+fn b(s: &str) -> Bytes {
+    Bytes::from(s.to_owned())
+}
+
+fn rid(c: u64, s: u64) -> RpcId {
+    RpcId::new(ClientId(c), s)
+}
+
+async fn put(r: &Rig, id: RpcId, key: &str, value: &str) -> Response {
+    r.master
+        .handle_update(id, 0, WLV, Op::Put { key: b(key), value: b(value) })
+        .await
+}
+
+#[tokio::test]
+async fn speculative_then_conflicting() {
+    let r = rig(lazy());
+    // First write: speculative.
+    let rsp = put(&r, rid(1, 1), "x", "1").await;
+    assert_eq!(rsp, Response::Update { result: OpResult::Written { version: 1 }, synced: false });
+    assert_eq!(r.master.pending_len(), 1);
+    assert_eq!(r.backup.next_seq(M), None);
+    // Second write, same key: blocking sync, tagged synced.
+    let rsp = put(&r, rid(1, 2), "x", "2").await;
+    assert_eq!(rsp, Response::Update { result: OpResult::Written { version: 2 }, synced: true });
+    assert_eq!(r.master.pending_len(), 0);
+    assert_eq!(r.backup.next_seq(M), Some(2));
+}
+
+#[tokio::test]
+async fn duplicate_answers_from_completion_record() {
+    let r = rig(lazy());
+    let id = rid(1, 1);
+    let first = r.master.handle_update(id, 0, WLV, Op::Incr { key: b("c"), delta: 5 }).await;
+    let second = r.master.handle_update(id, 0, WLV, Op::Incr { key: b("c"), delta: 5 }).await;
+    match (first, second) {
+        (
+            Response::Update { result: a, .. },
+            Response::Update { result: bb, synced },
+        ) => {
+            assert_eq!(a, OpResult::Counter(5));
+            assert_eq!(bb, OpResult::Counter(5), "duplicate must not re-execute");
+            assert!(!synced, "still pending");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Once synced, the duplicate answer reports synced=true.
+    assert!(r.master.sync().await);
+    let third = r.master.handle_update(id, 0, WLV, Op::Incr { key: b("c"), delta: 5 }).await;
+    assert_eq!(third, Response::Update { result: OpResult::Counter(5), synced: true });
+}
+
+#[tokio::test]
+async fn stale_witness_list_version_is_fenced() {
+    let r = rig(lazy());
+    let rsp = r
+        .master
+        .handle_update(rid(1, 1), 0, WitnessListVersion(0), Op::Put { key: b("k"), value: b("v") })
+        .await;
+    assert_eq!(rsp, Response::StaleWitnessList { current: WLV });
+}
+
+#[tokio::test]
+async fn not_owner_outside_range() {
+    let backup = Arc::new(BackupService::new());
+    let witness = Arc::new(WitnessService::new(CacheConfig::default()));
+    let master = Master::new(
+        MasterSeed {
+            id: M,
+            epoch: Epoch(1),
+            backups: vec![BACKUP],
+            witnesses: vec![WITNESS],
+            wl_version: WLV,
+            // Owns nothing but a sliver.
+            range: HashRange { start: 10, end: 11 },
+        },
+        lazy(),
+        Arc::new(Loopback { backup, witness }),
+    );
+    let rsp = master
+        .handle_update(rid(1, 1), 0, WLV, Op::Put { key: b("anything"), value: b("v") })
+        .await;
+    assert_eq!(rsp, Response::NotOwner);
+}
+
+#[tokio::test]
+async fn read_only_op_via_update_is_rejected() {
+    let r = rig(lazy());
+    let rsp = r.master.handle_update(rid(1, 1), 0, WLV, Op::Get { key: b("k") }).await;
+    assert!(matches!(rsp, Response::Retry { .. }));
+    // And mutations via read are rejected too.
+    let rsp = r.master.handle_read(Op::Put { key: b("k"), value: b("v") }).await;
+    assert!(matches!(rsp, Response::Retry { .. }));
+}
+
+#[tokio::test]
+async fn failed_conditional_put_is_durably_recorded() {
+    let r = rig(lazy());
+    put(&r, rid(1, 1), "k", "v").await;
+    let rsp = r
+        .master
+        .handle_update(
+            rid(1, 2),
+            0,
+            WLV,
+            Op::ConditionalPut { key: b("k"), expected_version: 99, value: b("x") },
+        )
+        .await;
+    match rsp {
+        Response::Update { result: OpResult::ConditionFailed { actual_version }, synced } => {
+            assert_eq!(actual_version, 1);
+            assert!(synced, "same key: conflict path");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The failure itself became a durable completion record on the backup.
+    assert_eq!(r.backup.next_seq(M), Some(2));
+    let dup = r
+        .master
+        .handle_update(
+            rid(1, 2),
+            0,
+            WLV,
+            Op::ConditionalPut { key: b("k"), expected_version: 99, value: b("x") },
+        )
+        .await;
+    match dup {
+        Response::Update { result: OpResult::ConditionFailed { actual_version }, .. } => {
+            assert_eq!(actual_version, 1, "duplicate returns the original failure");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[tokio::test]
+async fn sync_gc_drains_witness() {
+    let r = rig(lazy());
+    // Simulate the client-side record (the master does not record; clients do).
+    let op = Op::Put { key: b("k"), value: b("v") };
+    let req = curp_proto::message::RecordedRequest {
+        master_id: M,
+        rpc_id: rid(1, 1),
+        key_hashes: op.key_hashes(),
+        op: op.clone(),
+    };
+    assert!(r.witness.record(req));
+    put(&r, rid(1, 1), "k", "v").await;
+    assert_eq!(r.witness.occupancy(M), 1);
+    assert!(r.master.sync().await);
+    assert_eq!(r.witness.occupancy(M), 0, "sync must gc the witness");
+}
+
+#[tokio::test]
+async fn suspected_garbage_is_retried_and_collected() {
+    let r = rig(lazy());
+    // A client recorded a request but crashed before reaching the master.
+    let op = Op::Put { key: b("orphan"), value: b("v") };
+    let req = curp_proto::message::RecordedRequest {
+        master_id: M,
+        rpc_id: rid(9, 1),
+        key_hashes: op.key_hashes(),
+        op,
+    };
+    assert!(r.witness.record(req));
+    // Several gc rounds pass (other traffic syncing).
+    for i in 0..3 {
+        put(&r, rid(1, i + 1), &format!("other{i}"), "v").await;
+        assert!(r.master.sync().await);
+    }
+    // A new client bumps into the orphan: its record RPC is rejected by the
+    // witness (same key), which flags the aged occupant as suspected garbage.
+    let op2 = Op::Put { key: b("orphan"), value: b("w") };
+    let rejected = curp_proto::message::RecordedRequest {
+        master_id: M,
+        rpc_id: rid(2, 1),
+        key_hashes: op2.key_hashes(),
+        op: op2,
+    };
+    assert!(!r.witness.record(rejected), "conflicting record must be rejected");
+    let rsp = put(&r, rid(2, 1), "orphan", "w").await;
+    // The master executed it (master-side state had no conflict).
+    assert!(matches!(rsp, Response::Update { .. }));
+    // Next sync's gc response carries the suspect; the master re-executes it
+    // (filtered to a fresh execution here since it never ran), syncs it, and
+    // re-gc's. After the following sync the witness is clean.
+    assert!(r.master.sync().await);
+    assert!(r.master.sync().await);
+    assert_eq!(r.witness.occupancy(M), 0, "orphan record must eventually be collected");
+    // The orphan's operation DID execute exactly once.
+    let rsp = r.master.handle_read(Op::Get { key: b("orphan") }).await;
+    match rsp {
+        Response::Read { result: OpResult::Value(Some(v)) } => {
+            // Last writer between the orphan ("v") and client 2 ("w") depends
+            // on arrival order; both are valid linearizations. Just assert a
+            // value exists.
+            assert!(v == b("v") || v == b("w"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[tokio::test]
+async fn client_expiry_syncs_first() {
+    let r = rig(lazy());
+    put(&r, rid(5, 1), "k", "v").await;
+    assert_eq!(r.backup.next_seq(M), None);
+    let rsp = r.master.handle_client_expired(ClientId(5)).await;
+    assert_eq!(rsp, Response::ClientExpiredAck);
+    // §4.8: the data was made durable BEFORE dropping the records.
+    assert_eq!(r.backup.next_seq(M), Some(1));
+    // The client's rpc is now ignored.
+    let rsp = put(&r, rid(5, 1), "k", "v").await;
+    assert!(matches!(rsp, Response::Retry { .. }));
+}
+
+#[tokio::test]
+async fn witness_list_install_requires_newer_version() {
+    let r = rig(lazy());
+    let rsp = r
+        .master
+        .handle_witness_list(WitnessListVersion(2), vec![WITNESS])
+        .await;
+    assert_eq!(rsp, Response::WitnessListInstalled);
+    let (v, _) = r.master.witness_list();
+    assert_eq!(v, WitnessListVersion(2));
+    // An older (replayed) install does not regress the version.
+    r.master.handle_witness_list(WitnessListVersion(1), vec![BACKUP]).await;
+    let (v, list) = r.master.witness_list();
+    assert_eq!(v, WitnessListVersion(2));
+    assert_eq!(list, vec![WITNESS]);
+}
+
+#[tokio::test]
+async fn sealed_master_refuses_everything() {
+    let r = rig(lazy());
+    r.master.seal();
+    assert!(matches!(put(&r, rid(1, 1), "k", "v").await, Response::Retry { .. }));
+    assert!(matches!(
+        r.master.handle_read(Op::Get { key: b("k") }).await,
+        Response::Retry { .. }
+    ));
+    assert!(matches!(r.master.handle_sync().await, Response::Retry { .. }));
+}
+
+#[tokio::test]
+async fn migrate_out_shrinks_ownership() {
+    let r = rig(lazy());
+    // Spray keys across the hash space.
+    for i in 0..32 {
+        put(&r, rid(1, i + 1), &format!("mk{i}"), "v").await;
+    }
+    let snap = r.master.migrate_out(1 << 63).await.expect("migrate");
+    // Everything was synced first.
+    assert_eq!(r.master.pending_len(), 0);
+    // The snapshot holds the upper half; the master refuses those keys now.
+    let migrated = snap.objects.len();
+    assert!(migrated > 0, "expected some keys in the upper half");
+    let mut refused = 0;
+    for i in 0..32 {
+        let rsp = put(&r, rid(2, i + 1), &format!("mk{i}"), "w").await;
+        if rsp == Response::NotOwner {
+            refused += 1;
+        }
+    }
+    assert_eq!(refused, migrated, "refusals must match migrated keys");
+}
+
+#[tokio::test]
+async fn unreachable_backup_fails_sync_but_keeps_pending() {
+    let backup = Arc::new(BackupService::new());
+    let witness = Arc::new(WitnessService::new(CacheConfig::default()));
+    let master = Master::new(
+        MasterSeed {
+            id: M,
+            epoch: Epoch(1),
+            backups: vec![ServerId(99)], // nobody home
+            witnesses: vec![],
+            wl_version: WLV,
+            range: HashRange::FULL,
+        },
+        MasterConfig {
+            sync_retry_limit: 2,
+            sync_retry_backoff: Duration::from_millis(1),
+            ..lazy()
+        },
+        Arc::new(Loopback { backup, witness }),
+    );
+    let rsp = master
+        .handle_update(rid(1, 1), 0, WLV, Op::Put { key: b("k"), value: b("v") })
+        .await;
+    // Speculative response still works...
+    assert!(matches!(rsp, Response::Update { synced: false, .. }));
+    // ...but an explicit sync fails and the entry stays pending for retry.
+    assert!(!master.sync().await);
+    assert_eq!(master.pending_len(), 1);
+}

@@ -1,0 +1,241 @@
+//! Cluster configuration objects served by the coordinator.
+//!
+//! A CURP cluster is partitioned by key hash. Each partition has one master,
+//! `f` backups and `f` witnesses (§3.1); the coordinator owns the
+//! authoritative mapping and hands it to clients, which cache it (§3.6).
+
+use bytes::{Buf, BufMut};
+
+use crate::types::{Epoch, KeyHash, MasterId, ServerId, WitnessListVersion};
+use crate::wire::{decode_seq, encode_seq, seq_encoded_len, Decode, DecodeError, Encode};
+
+/// A half-open, non-wrapping range of the 64-bit key-hash space:
+/// `[start, end)`, with `end == u64::MAX` treated as inclusive of the top
+/// hash so that a single range can cover the whole space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashRange {
+    /// First hash owned (inclusive).
+    pub start: u64,
+    /// First hash *not* owned (exclusive), except that `u64::MAX` also owns
+    /// the maximal hash value.
+    pub end: u64,
+}
+
+impl HashRange {
+    /// The range covering the entire hash space.
+    pub const FULL: HashRange = HashRange { start: 0, end: u64::MAX };
+
+    /// Returns `true` if `h` falls inside this range.
+    pub fn contains(&self, h: KeyHash) -> bool {
+        if self.end == u64::MAX {
+            h.0 >= self.start
+        } else {
+            h.0 >= self.start && h.0 < self.end
+        }
+    }
+
+    /// Splits the range at `mid`, returning `([start, mid), [mid, end))`.
+    ///
+    /// # Panics
+    /// Panics if `mid` is not strictly inside the range.
+    pub fn split_at(&self, mid: u64) -> (HashRange, HashRange) {
+        assert!(mid > self.start && (mid < self.end || self.end == u64::MAX));
+        (HashRange { start: self.start, end: mid }, HashRange { start: mid, end: self.end })
+    }
+}
+
+impl Encode for HashRange {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.start.encode(buf);
+        self.end.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        16
+    }
+}
+
+impl Decode for HashRange {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(HashRange { start: u64::decode(buf)?, end: u64::decode(buf)? })
+    }
+}
+
+/// Configuration of one partition: its master, backups and witnesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// The master role incarnation currently serving this partition.
+    pub master_id: MasterId,
+    /// Transport address of the master.
+    pub master: ServerId,
+    /// Transport addresses of the `f` backups.
+    pub backups: Vec<ServerId>,
+    /// Transport addresses of the `f` witnesses.
+    pub witnesses: Vec<ServerId>,
+    /// Version of the witness list (§3.6); bumped on every witness change.
+    pub witness_list_version: WitnessListVersion,
+    /// Zombie-fencing epoch for this partition (§4.7).
+    pub epoch: Epoch,
+    /// The slice of the key-hash space this partition owns.
+    pub range: HashRange,
+}
+
+impl PartitionConfig {
+    /// Replication/fault-tolerance factor `f` for this partition.
+    pub fn fault_tolerance(&self) -> usize {
+        self.backups.len()
+    }
+}
+
+impl Encode for PartitionConfig {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.master_id.encode(buf);
+        self.master.encode(buf);
+        encode_seq(&self.backups, buf);
+        encode_seq(&self.witnesses, buf);
+        self.witness_list_version.encode(buf);
+        self.epoch.encode(buf);
+        self.range.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.master_id.encoded_len()
+            + self.master.encoded_len()
+            + seq_encoded_len(&self.backups)
+            + seq_encoded_len(&self.witnesses)
+            + self.witness_list_version.encoded_len()
+            + self.epoch.encoded_len()
+            + self.range.encoded_len()
+    }
+}
+
+impl Decode for PartitionConfig {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(PartitionConfig {
+            master_id: MasterId::decode(buf)?,
+            master: ServerId::decode(buf)?,
+            backups: decode_seq(buf)?,
+            witnesses: decode_seq(buf)?,
+            witness_list_version: WitnessListVersion::decode(buf)?,
+            epoch: Epoch::decode(buf)?,
+            range: HashRange::decode(buf)?,
+        })
+    }
+}
+
+/// The full cluster configuration: every partition's layout.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterConfig {
+    /// All partitions, with pairwise-disjoint ranges covering the hash space.
+    pub partitions: Vec<PartitionConfig>,
+    /// Monotonically increasing configuration version.
+    pub version: u64,
+}
+
+impl ClusterConfig {
+    /// Finds the partition owning key hash `h`.
+    pub fn partition_for(&self, h: KeyHash) -> Option<&PartitionConfig> {
+        self.partitions.iter().find(|p| p.range.contains(h))
+    }
+
+    /// Finds the partition served by master `id`.
+    pub fn partition_by_master(&self, id: MasterId) -> Option<&PartitionConfig> {
+        self.partitions.iter().find(|p| p.master_id == id)
+    }
+}
+
+impl Encode for ClusterConfig {
+    fn encode(&self, buf: &mut impl BufMut) {
+        encode_seq(&self.partitions, buf);
+        self.version.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        seq_encoded_len(&self.partitions) + 8
+    }
+}
+
+impl Decode for ClusterConfig {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(ClusterConfig { partitions: decode_seq(buf)?, version: u64::decode(buf)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    fn sample_partition(range: HashRange) -> PartitionConfig {
+        PartitionConfig {
+            master_id: MasterId(1),
+            master: ServerId(10),
+            backups: vec![ServerId(11), ServerId(12), ServerId(13)],
+            witnesses: vec![ServerId(21), ServerId(22), ServerId(23)],
+            witness_list_version: WitnessListVersion(2),
+            epoch: Epoch(1),
+            range,
+        }
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = HashRange { start: 100, end: 200 };
+        assert!(!r.contains(KeyHash(99)));
+        assert!(r.contains(KeyHash(100)));
+        assert!(r.contains(KeyHash(199)));
+        assert!(!r.contains(KeyHash(200)));
+    }
+
+    #[test]
+    fn full_range_covers_extremes() {
+        assert!(HashRange::FULL.contains(KeyHash(0)));
+        assert!(HashRange::FULL.contains(KeyHash(u64::MAX)));
+    }
+
+    #[test]
+    fn split_partitions_cover_exactly_once() {
+        let (lo, hi) = HashRange::FULL.split_at(1 << 63);
+        for h in [0u64, 1, (1 << 63) - 1, 1 << 63, u64::MAX] {
+            let in_lo = lo.contains(KeyHash(h));
+            let in_hi = hi.contains(KeyHash(h));
+            assert!(in_lo ^ in_hi, "hash {h} covered {}x", in_lo as u8 + in_hi as u8);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_outside_range_panics() {
+        let r = HashRange { start: 100, end: 200 };
+        r.split_at(50);
+    }
+
+    #[test]
+    fn config_roundtrips() {
+        let cfg = ClusterConfig {
+            partitions: vec![
+                sample_partition(HashRange { start: 0, end: 1 << 63 }),
+                sample_partition(HashRange { start: 1 << 63, end: u64::MAX }),
+            ],
+            version: 4,
+        };
+        roundtrip(&cfg);
+        roundtrip(&ClusterConfig::default());
+    }
+
+    #[test]
+    fn partition_lookup() {
+        let (lo, hi) = HashRange::FULL.split_at(1 << 63);
+        let mut p1 = sample_partition(lo);
+        p1.master_id = MasterId(1);
+        let mut p2 = sample_partition(hi);
+        p2.master_id = MasterId(2);
+        let cfg = ClusterConfig { partitions: vec![p1, p2], version: 1 };
+        assert_eq!(cfg.partition_for(KeyHash(5)).unwrap().master_id, MasterId(1));
+        assert_eq!(cfg.partition_for(KeyHash(u64::MAX)).unwrap().master_id, MasterId(2));
+        assert!(cfg.partition_by_master(MasterId(2)).is_some());
+        assert!(cfg.partition_by_master(MasterId(9)).is_none());
+    }
+
+    #[test]
+    fn fault_tolerance_is_backup_count() {
+        assert_eq!(sample_partition(HashRange::FULL).fault_tolerance(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! Every frame is a 4-byte little-endian length followed by that many bytes
+//! of payload (an encoded [`RpcEnvelope`](crate::message::RpcEnvelope) in
+//! practice). The decoder is incremental: feed it bytes as they arrive and it
+//! yields complete frames, retaining partial input across calls — the classic
+//! tokio framing pattern, implemented without a codec dependency.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted frame payload (16 MiB). Larger declared lengths are
+/// treated as a protocol error so a corrupt or hostile peer cannot force a
+/// huge allocation.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Error produced when a peer declares an oversized frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The declared payload length.
+    pub declared: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame of {} bytes exceeds maximum {}", self.declared, MAX_FRAME_LEN)
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Appends a length-prefixed frame containing `payload` to `buf`.
+pub fn write_frame(payload: &[u8], buf: &mut BytesMut) {
+    buf.reserve(4 + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+}
+
+/// Incremental frame decoder.
+///
+/// Call [`push`](FrameDecoder::push) with newly received bytes, then drain
+/// complete frames with [`next_frame`](FrameDecoder::next_frame).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds newly received bytes into the decoder.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Returns the next complete frame payload, or `None` if more input is
+    /// needed. Returns an error if the peer declared an oversized frame.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameTooLarge> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameTooLarge { declared: len });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Number of buffered-but-unconsumed bytes (for tests and metrics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_roundtrip() {
+        let mut wire = BytesMut::new();
+        write_frame(b"hello", &mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn empty_frame_is_valid() {
+        let mut wire = BytesMut::new();
+        write_frame(b"", &mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn frames_arriving_byte_by_byte() {
+        let mut wire = BytesMut::new();
+        write_frame(b"abc", &mut wire);
+        write_frame(b"defgh", &mut wire);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in wire.iter() {
+            dec.push(&[*b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, vec![Bytes::from_static(b"abc"), Bytes::from_static(b"defgh")]);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_push() {
+        let mut wire = BytesMut::new();
+        for i in 0..10u8 {
+            write_frame(&[i; 3], &mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire);
+        for i in 0..10u8 {
+            assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), &[i; 3]);
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn max_size_frame_accepted_header() {
+        // A frame of exactly MAX_FRAME_LEN is legal (just incomplete here).
+        let mut dec = FrameDecoder::new();
+        dec.push(&(MAX_FRAME_LEN as u32).to_le_bytes());
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+}

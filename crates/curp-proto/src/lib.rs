@@ -1,0 +1,29 @@
+//! Wire protocol for CURP (Consistent Unordered Replication Protocol).
+//!
+//! This crate defines everything that crosses the network in a CURP cluster:
+//!
+//! * [`types`] — identifiers (clients, servers, RPCs, witness-list versions)
+//!   and the 64-bit [`types::KeyHash`] used for commutativity checks;
+//! * [`op`] — the NoSQL operation set ([`op::Op`]) executed by masters and
+//!   recorded by witnesses, together with its commutativity metadata;
+//! * [`wire`] — a small, dependency-free binary codec (`Encode`/`Decode`);
+//! * [`message`] — every RPC request/response exchanged between clients,
+//!   masters, backups, witnesses and the cluster coordinator;
+//! * [`frame`] — length-prefixed framing for stream transports (TCP).
+//!
+//! The codec is hand-written rather than derived: CURP witnesses sit on the
+//! fast path of every update, and the encoding below is a fixed, documented
+//! layout (little-endian integers, length-prefixed byte strings, one tag byte
+//! per enum variant) that can be parsed with zero copies from a [`bytes::Bytes`].
+
+pub mod cluster;
+pub mod frame;
+pub mod message;
+pub mod op;
+pub mod types;
+pub mod wire;
+
+pub use message::{Request, Response, RpcEnvelope};
+pub use op::{Op, OpResult};
+pub use types::{ClientId, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
+pub use wire::{Decode, DecodeError, Encode};

@@ -1,0 +1,483 @@
+//! The NoSQL operation set executed by CURP masters.
+//!
+//! CURP requires that the commutativity of two operations is decidable from
+//! the operation parameters alone (§3.2.2): witnesses cannot evaluate
+//! state-dependent commutativity. Every [`Op`] therefore exposes the exact
+//! set of primary keys it touches via [`Op::key_hashes`]; two operations
+//! commute iff those sets are disjoint, with the refinement that *read-only*
+//! operations commute with each other even on the same key.
+//!
+//! The operation set covers both halves of the paper's evaluation:
+//!
+//! * RAMCloud-style KV operations (`Get`/`Put`/`Delete`/`ConditionalPut`/
+//!   `MultiPut`), and
+//! * Redis-style typed operations (`HSet`, `Incr`, `ListPush`, `SetAdd`, …)
+//!   used by the Figure 8–10 experiments.
+
+use bytes::{Buf, BufMut, Bytes};
+
+use crate::types::KeyHash;
+use crate::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
+
+/// An operation submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Reads the value of `key`. Read-only.
+    Get {
+        /// Primary key.
+        key: Bytes,
+    },
+    /// Writes `value` to `key`, overwriting any previous value.
+    Put {
+        /// Primary key.
+        key: Bytes,
+        /// New value.
+        value: Bytes,
+    },
+    /// Removes `key`.
+    Delete {
+        /// Primary key.
+        key: Bytes,
+    },
+    /// Writes `value` to `key` only if the object's current version equals
+    /// `expected_version` (0 means "must not exist"). The paper's §A.3
+    /// "conditional write" primitive.
+    ConditionalPut {
+        /// Primary key.
+        key: Bytes,
+        /// Version the object must currently have.
+        expected_version: u64,
+        /// New value.
+        value: Bytes,
+    },
+    /// Atomically writes several objects. Touches every key in `kvs`
+    /// (witnesses record one slot per key, §4.2).
+    MultiPut {
+        /// Key/value pairs to write.
+        kvs: Vec<(Bytes, Bytes)>,
+    },
+    /// Adds `delta` to the 64-bit signed counter stored at `key`
+    /// (Redis `INCR`/`INCRBY`). Missing objects start at zero.
+    Incr {
+        /// Primary key.
+        key: Bytes,
+        /// Amount to add (may be negative).
+        delta: i64,
+    },
+    /// Sets `field` to `value` inside the hash object at `key`
+    /// (Redis `HMSET` with a single member, as in Figure 10).
+    HSet {
+        /// Primary key of the hash object.
+        key: Bytes,
+        /// Field within the hash.
+        field: Bytes,
+        /// New value for the field.
+        value: Bytes,
+    },
+    /// Reads `field` from the hash object at `key`. Read-only.
+    HGet {
+        /// Primary key of the hash object.
+        key: Bytes,
+        /// Field within the hash.
+        field: Bytes,
+    },
+    /// Appends `value` to the list at `key` (Redis `RPUSH`).
+    ListPush {
+        /// Primary key of the list object.
+        key: Bytes,
+        /// Element to append.
+        value: Bytes,
+    },
+    /// Adds `member` to the set at `key` (Redis `SADD`).
+    SetAdd {
+        /// Primary key of the set object.
+        key: Bytes,
+        /// Member to insert.
+        member: Bytes,
+    },
+}
+
+impl Op {
+    /// Returns `true` if the operation does not mutate any object.
+    ///
+    /// Read-only operations are never recorded on witnesses, never create
+    /// RIFL completion records, and commute with each other even on the same
+    /// key. They still participate in the master's commutativity check
+    /// against *unsynced writes* (§3.2.3: "touched — either updated or just
+    /// read").
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Op::Get { .. } | Op::HGet { .. })
+    }
+
+    /// Returns the primary keys this operation touches.
+    pub fn keys(&self) -> Vec<&Bytes> {
+        match self {
+            Op::Get { key }
+            | Op::Put { key, .. }
+            | Op::Delete { key }
+            | Op::ConditionalPut { key, .. }
+            | Op::Incr { key, .. }
+            | Op::HSet { key, .. }
+            | Op::HGet { key, .. }
+            | Op::ListPush { key, .. }
+            | Op::SetAdd { key, .. } => vec![key],
+            Op::MultiPut { kvs } => kvs.iter().map(|(k, _)| k).collect(),
+        }
+    }
+
+    /// Returns the 64-bit key hashes this operation touches, in key order.
+    ///
+    /// This is the commutativity footprint used by both witnesses (§4.2) and
+    /// masters (§4.3): two operations conflict iff their footprints intersect
+    /// and at least one of them is a mutation.
+    pub fn key_hashes(&self) -> Vec<KeyHash> {
+        self.keys().into_iter().map(|k| KeyHash::of(k)).collect()
+    }
+
+    /// Short operation name, used in traces and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Get { .. } => "GET",
+            Op::Put { .. } => "PUT",
+            Op::Delete { .. } => "DELETE",
+            Op::ConditionalPut { .. } => "CPUT",
+            Op::MultiPut { .. } => "MULTIPUT",
+            Op::Incr { .. } => "INCR",
+            Op::HSet { .. } => "HSET",
+            Op::HGet { .. } => "HGET",
+            Op::ListPush { .. } => "RPUSH",
+            Op::SetAdd { .. } => "SADD",
+        }
+    }
+
+    /// Returns `true` if `self` and `other` commute: executing them in either
+    /// order yields the same state and the same results.
+    ///
+    /// Decided purely from operation parameters, as CURP requires. Two
+    /// read-only operations always commute; otherwise the operations commute
+    /// iff their key footprints are disjoint.
+    ///
+    /// Note this is deliberately conservative: `Incr` on the same key
+    /// technically commutes with another `Incr` state-wise, but their
+    /// *results* (the post-increment values) do not, so they are treated as
+    /// conflicting — linearizability is about externalized results.
+    pub fn commutes_with(&self, other: &Op) -> bool {
+        if self.is_read_only() && other.is_read_only() {
+            return true;
+        }
+        let a = self.key_hashes();
+        let b = other.key_hashes();
+        !a.iter().any(|h| b.contains(h))
+    }
+}
+
+const OP_GET: u8 = 0;
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+const OP_CPUT: u8 = 3;
+const OP_MULTIPUT: u8 = 4;
+const OP_INCR: u8 = 5;
+const OP_HSET: u8 = 6;
+const OP_HGET: u8 = 7;
+const OP_RPUSH: u8 = 8;
+const OP_SADD: u8 = 9;
+
+impl Encode for Op {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Op::Get { key } => {
+                buf.put_u8(OP_GET);
+                key.encode(buf);
+            }
+            Op::Put { key, value } => {
+                buf.put_u8(OP_PUT);
+                key.encode(buf);
+                value.encode(buf);
+            }
+            Op::Delete { key } => {
+                buf.put_u8(OP_DELETE);
+                key.encode(buf);
+            }
+            Op::ConditionalPut { key, expected_version, value } => {
+                buf.put_u8(OP_CPUT);
+                key.encode(buf);
+                expected_version.encode(buf);
+                value.encode(buf);
+            }
+            Op::MultiPut { kvs } => {
+                buf.put_u8(OP_MULTIPUT);
+                encode_seq(kvs, buf);
+            }
+            Op::Incr { key, delta } => {
+                buf.put_u8(OP_INCR);
+                key.encode(buf);
+                delta.encode(buf);
+            }
+            Op::HSet { key, field, value } => {
+                buf.put_u8(OP_HSET);
+                key.encode(buf);
+                field.encode(buf);
+                value.encode(buf);
+            }
+            Op::HGet { key, field } => {
+                buf.put_u8(OP_HGET);
+                key.encode(buf);
+                field.encode(buf);
+            }
+            Op::ListPush { key, value } => {
+                buf.put_u8(OP_RPUSH);
+                key.encode(buf);
+                value.encode(buf);
+            }
+            Op::SetAdd { key, member } => {
+                buf.put_u8(OP_SADD);
+                key.encode(buf);
+                member.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Op::Get { key } | Op::Delete { key } => key.encoded_len(),
+            Op::Put { key, value } => key.encoded_len() + value.encoded_len(),
+            Op::ConditionalPut { key, expected_version, value } => {
+                key.encoded_len() + expected_version.encoded_len() + value.encoded_len()
+            }
+            Op::MultiPut { kvs } => seq_encoded_len(kvs),
+            Op::Incr { key, delta } => key.encoded_len() + delta.encoded_len(),
+            Op::HSet { key, field, value } => {
+                key.encoded_len() + field.encoded_len() + value.encoded_len()
+            }
+            Op::HGet { key, field } => key.encoded_len() + field.encoded_len(),
+            Op::ListPush { key, value } => key.encoded_len() + value.encoded_len(),
+            Op::SetAdd { key, member } => key.encoded_len() + member.encoded_len(),
+        }
+    }
+}
+
+impl Decode for Op {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        Ok(match tag {
+            OP_GET => Op::Get { key: Bytes::decode(buf)? },
+            OP_PUT => Op::Put { key: Bytes::decode(buf)?, value: Bytes::decode(buf)? },
+            OP_DELETE => Op::Delete { key: Bytes::decode(buf)? },
+            OP_CPUT => Op::ConditionalPut {
+                key: Bytes::decode(buf)?,
+                expected_version: u64::decode(buf)?,
+                value: Bytes::decode(buf)?,
+            },
+            OP_MULTIPUT => Op::MultiPut { kvs: decode_seq(buf)? },
+            OP_INCR => Op::Incr { key: Bytes::decode(buf)?, delta: i64::decode(buf)? },
+            OP_HSET => Op::HSet {
+                key: Bytes::decode(buf)?,
+                field: Bytes::decode(buf)?,
+                value: Bytes::decode(buf)?,
+            },
+            OP_HGET => Op::HGet { key: Bytes::decode(buf)?, field: Bytes::decode(buf)? },
+            OP_RPUSH => Op::ListPush { key: Bytes::decode(buf)?, value: Bytes::decode(buf)? },
+            OP_SADD => Op::SetAdd { key: Bytes::decode(buf)?, member: Bytes::decode(buf)? },
+            tag => return Err(DecodeError::InvalidTag { ty: "Op", tag }),
+        })
+    }
+}
+
+/// The result of executing an [`Op`] on a master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// Mutation succeeded; `version` is the object's new version number.
+    Written {
+        /// New object version (monotonically increasing per key).
+        version: u64,
+    },
+    /// Read result: `None` if the object (or hash field) does not exist.
+    Value(Option<Bytes>),
+    /// New counter value after an `Incr`.
+    Counter(i64),
+    /// A `ConditionalPut` whose version precondition failed; carries the
+    /// object's actual current version.
+    ConditionFailed {
+        /// The version the object actually had.
+        actual_version: u64,
+    },
+    /// The operation was applied to an object of an incompatible type
+    /// (e.g. `Incr` on a list).
+    WrongType,
+}
+
+const RES_WRITTEN: u8 = 0;
+const RES_VALUE: u8 = 1;
+const RES_COUNTER: u8 = 2;
+const RES_CONDFAIL: u8 = 3;
+const RES_WRONGTYPE: u8 = 4;
+
+impl Encode for OpResult {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            OpResult::Written { version } => {
+                buf.put_u8(RES_WRITTEN);
+                version.encode(buf);
+            }
+            OpResult::Value(v) => {
+                buf.put_u8(RES_VALUE);
+                v.encode(buf);
+            }
+            OpResult::Counter(v) => {
+                buf.put_u8(RES_COUNTER);
+                v.encode(buf);
+            }
+            OpResult::ConditionFailed { actual_version } => {
+                buf.put_u8(RES_CONDFAIL);
+                actual_version.encode(buf);
+            }
+            OpResult::WrongType => buf.put_u8(RES_WRONGTYPE),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            OpResult::Written { version } => version.encoded_len(),
+            OpResult::Value(v) => v.encoded_len(),
+            OpResult::Counter(v) => v.encoded_len(),
+            OpResult::ConditionFailed { actual_version } => actual_version.encoded_len(),
+            OpResult::WrongType => 0,
+        }
+    }
+}
+
+impl Decode for OpResult {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        Ok(match tag {
+            RES_WRITTEN => OpResult::Written { version: u64::decode(buf)? },
+            RES_VALUE => OpResult::Value(Option::<Bytes>::decode(buf)?),
+            RES_COUNTER => OpResult::Counter(i64::decode(buf)?),
+            RES_CONDFAIL => OpResult::ConditionFailed { actual_version: u64::decode(buf)? },
+            RES_WRONGTYPE => OpResult::WrongType,
+            tag => return Err(DecodeError::InvalidTag { ty: "OpResult", tag }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Get { key: b("k1") },
+            Op::Put { key: b("k1"), value: b("v1") },
+            Op::Delete { key: b("k2") },
+            Op::ConditionalPut { key: b("k3"), expected_version: 7, value: b("v3") },
+            Op::MultiPut { kvs: vec![(b("a"), b("1")), (b("b"), b("2"))] },
+            Op::Incr { key: b("ctr"), delta: -3 },
+            Op::HSet { key: b("h"), field: b("f"), value: b("v") },
+            Op::HGet { key: b("h"), field: b("f") },
+            Op::ListPush { key: b("l"), value: b("x") },
+            Op::SetAdd { key: b("s"), member: b("m") },
+        ]
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        for op in sample_ops() {
+            roundtrip(&op);
+        }
+    }
+
+    #[test]
+    fn all_results_roundtrip() {
+        roundtrip(&OpResult::Written { version: 9 });
+        roundtrip(&OpResult::Value(Some(b("v"))));
+        roundtrip(&OpResult::Value(None));
+        roundtrip(&OpResult::Counter(-1));
+        roundtrip(&OpResult::ConditionFailed { actual_version: 3 });
+        roundtrip(&OpResult::WrongType);
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(Op::Get { key: b("k") }.is_read_only());
+        assert!(Op::HGet { key: b("k"), field: b("f") }.is_read_only());
+        for op in sample_ops() {
+            if !matches!(op, Op::Get { .. } | Op::HGet { .. }) {
+                assert!(!op.is_read_only(), "{} misclassified", op.name());
+            }
+        }
+    }
+
+    #[test]
+    fn multiput_touches_all_keys() {
+        let op = Op::MultiPut { kvs: vec![(b("a"), b("1")), (b("b"), b("2")), (b("c"), b("3"))] };
+        assert_eq!(op.key_hashes().len(), 3);
+        assert_eq!(op.key_hashes()[0], KeyHash::of(b"a"));
+    }
+
+    #[test]
+    fn writes_on_same_key_conflict() {
+        let w1 = Op::Put { key: b("x"), value: b("1") };
+        let w2 = Op::Put { key: b("x"), value: b("5") };
+        assert!(!w1.commutes_with(&w2));
+    }
+
+    #[test]
+    fn writes_on_different_keys_commute() {
+        let w1 = Op::Put { key: b("x"), value: b("1") };
+        let w2 = Op::Put { key: b("y"), value: b("5") };
+        assert!(w1.commutes_with(&w2));
+        assert!(w2.commutes_with(&w1));
+    }
+
+    #[test]
+    fn read_write_same_key_conflict() {
+        // §3.2.3: "x <- 2" then "read x" must not both be speculative.
+        let w = Op::Put { key: b("x"), value: b("2") };
+        let r = Op::Get { key: b("x") };
+        assert!(!w.commutes_with(&r));
+        assert!(!r.commutes_with(&w));
+    }
+
+    #[test]
+    fn reads_always_commute() {
+        let r1 = Op::Get { key: b("x") };
+        let r2 = Op::Get { key: b("x") };
+        let r3 = Op::HGet { key: b("x"), field: b("f") };
+        assert!(r1.commutes_with(&r2));
+        assert!(r1.commutes_with(&r3));
+    }
+
+    #[test]
+    fn incr_on_same_key_conflicts() {
+        // Results (post-increment values) are externalized, so INCRs on the
+        // same counter must not be reordered.
+        let i1 = Op::Incr { key: b("c"), delta: 1 };
+        let i2 = Op::Incr { key: b("c"), delta: 2 };
+        assert!(!i1.commutes_with(&i2));
+    }
+
+    #[test]
+    fn multiput_conflicts_if_any_key_overlaps() {
+        let m = Op::MultiPut { kvs: vec![(b("a"), b("1")), (b("b"), b("2"))] };
+        let w = Op::Put { key: b("b"), value: b("9") };
+        assert!(!m.commutes_with(&w));
+        let w2 = Op::Put { key: b("c"), value: b("9") };
+        assert!(m.commutes_with(&w2));
+    }
+
+    #[test]
+    fn hash_ops_conflict_at_key_granularity() {
+        // Witnesses only see key hashes, so two HSETs on different fields of
+        // the same hash object are conservatively treated as conflicting.
+        let h1 = Op::HSet { key: b("h"), field: b("f1"), value: b("v") };
+        let h2 = Op::HSet { key: b("h"), field: b("f2"), value: b("v") };
+        assert!(!h1.commutes_with(&h2));
+    }
+}

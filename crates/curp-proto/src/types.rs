@@ -1,0 +1,231 @@
+//! Core identifier types shared across the CURP protocol.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+use crate::wire::{Decode, DecodeError, Encode};
+
+/// A 64-bit hash of an object's primary key.
+///
+/// CURP witnesses and masters decide commutativity by comparing key hashes
+/// (§4.2 of the paper: "for performance, we compare 64-bit hashes of primary
+/// keys instead of full keys"). Two operations are treated as conflicting iff
+/// they touch an overlapping set of key hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyHash(pub u64);
+
+impl KeyHash {
+    /// Hashes a primary key into a [`KeyHash`] using FxHash-style mixing.
+    ///
+    /// The exact function does not matter for correctness (only that it is
+    /// deterministic and well-distributed); it matters that *all* parties —
+    /// clients, masters and witnesses — use the same function.
+    pub fn of(key: &[u8]) -> Self {
+        // FNV-1a with a 64-bit finalizer (xor-shift mix from SplitMix64).
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // Finalize to break up FNV's weak avalanche in low bits.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        KeyHash(h)
+    }
+}
+
+impl fmt::Display for KeyHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Uniquely identifies a client in the cluster.
+///
+/// Client ids are issued by the cluster coordinator when the client acquires
+/// its RIFL lease; they are embedded in every [`RpcId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+/// Uniquely identifies an RPC for exactly-once (RIFL) semantics.
+///
+/// The pair `(client, seq)` is unique across the lifetime of the cluster:
+/// `client` is the RIFL lease id and `seq` increases monotonically within a
+/// client. Witness garbage collection and duplicate filtering are both keyed
+/// by `RpcId` (§3.5, §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RpcId {
+    /// The issuing client's lease id.
+    pub client: ClientId,
+    /// Client-local monotonically increasing sequence number (starts at 1).
+    pub seq: u64,
+}
+
+impl RpcId {
+    /// Convenience constructor.
+    pub fn new(client: ClientId, seq: u64) -> Self {
+        RpcId { client, seq }
+    }
+}
+
+impl fmt::Display for RpcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.client.0, self.seq)
+    }
+}
+
+/// Identifies a master (primary) instance.
+///
+/// A master id names a *role incarnation*, not a machine: when a crashed
+/// master's partition is recovered onto a new server, the new server gets a
+/// fresh `MasterId`. Witnesses are started for a specific master id and
+/// reject records addressed to any other (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MasterId(pub u64);
+
+/// Identifies a physical server process (master, backup, witness or
+/// coordinator endpoint) in the transport layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServerId(pub u64);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Monotonically increasing version of a master's witness list (§3.6).
+///
+/// Incremented by the coordinator every time the set of witnesses assigned to
+/// a master changes. Clients attach the version they used to every update so
+/// the master can detect records sent to a decommissioned witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct WitnessListVersion(pub u64);
+
+impl WitnessListVersion {
+    /// Returns the next version.
+    pub fn next(self) -> Self {
+        WitnessListVersion(self.0 + 1)
+    }
+}
+
+/// Epoch number used to fence zombie masters (§4.7).
+///
+/// Backups remember the highest epoch they have seen for a partition and
+/// reject sync RPCs from older epochs, which neutralizes a master that was
+/// declared dead but is still running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// Returns the next epoch.
+    pub fn next(self) -> Self {
+        Epoch(self.0 + 1)
+    }
+}
+
+macro_rules! impl_wire_newtype_u64 {
+    ($t:ty, |$v:ident| $ctor:expr) => {
+        impl Encode for $t {
+            fn encode(&self, buf: &mut impl BufMut) {
+                buf.put_u64_le(self.0);
+            }
+            fn encoded_len(&self) -> usize {
+                8
+            }
+        }
+        impl Decode for $t {
+            fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+                let $v = u64::decode(buf)?;
+                Ok($ctor)
+            }
+        }
+    };
+}
+
+impl_wire_newtype_u64!(KeyHash, |v| KeyHash(v));
+impl_wire_newtype_u64!(ClientId, |v| ClientId(v));
+impl_wire_newtype_u64!(MasterId, |v| MasterId(v));
+impl_wire_newtype_u64!(ServerId, |v| ServerId(v));
+impl_wire_newtype_u64!(WitnessListVersion, |v| WitnessListVersion(v));
+impl_wire_newtype_u64!(Epoch, |v| Epoch(v));
+
+impl Encode for RpcId {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.client.encode(buf);
+        buf.put_u64_le(self.seq);
+    }
+    fn encoded_len(&self) -> usize {
+        16
+    }
+}
+
+impl Decode for RpcId {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(RpcId {
+            client: ClientId::decode(buf)?,
+            seq: u64::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    #[test]
+    fn key_hash_is_deterministic() {
+        assert_eq!(KeyHash::of(b"alpha"), KeyHash::of(b"alpha"));
+        assert_ne!(KeyHash::of(b"alpha"), KeyHash::of(b"beta"));
+    }
+
+    #[test]
+    fn key_hash_distributes_sequential_keys() {
+        // Sequential keys (the common YCSB pattern "user0", "user1", ...)
+        // must land in different cache sets; check low bits vary.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..1024u32 {
+            let h = KeyHash::of(format!("user{i}").as_bytes());
+            low_bits.insert(h.0 & 0xff);
+        }
+        // With 1024 samples over 256 buckets we expect nearly all buckets hit.
+        assert!(low_bits.len() > 240, "only {} distinct buckets", low_bits.len());
+    }
+
+    #[test]
+    fn key_hash_empty_key() {
+        // The empty key is a valid key and must hash consistently.
+        assert_eq!(KeyHash::of(b""), KeyHash::of(b""));
+    }
+
+    #[test]
+    fn newtype_roundtrips() {
+        roundtrip(&KeyHash(42));
+        roundtrip(&ClientId(7));
+        roundtrip(&MasterId(u64::MAX));
+        roundtrip(&ServerId(0));
+        roundtrip(&WitnessListVersion(3));
+        roundtrip(&Epoch(9));
+        roundtrip(&RpcId::new(ClientId(1), 99));
+    }
+
+    #[test]
+    fn versions_and_epochs_increment() {
+        assert_eq!(WitnessListVersion(1).next(), WitnessListVersion(2));
+        assert_eq!(Epoch(0).next(), Epoch(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RpcId::new(ClientId(3), 14).to_string(), "3:14");
+        assert_eq!(ServerId(5).to_string(), "s5");
+        assert_eq!(format!("{}", KeyHash(0xabc)).len(), 16);
+    }
+}

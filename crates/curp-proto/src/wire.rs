@@ -1,0 +1,377 @@
+//! A minimal binary codec used for every CURP message.
+//!
+//! Layout rules:
+//!
+//! * integers are little-endian, fixed width;
+//! * byte strings and vectors are prefixed with a `u32` length;
+//! * enum variants are tagged with a single `u8`;
+//! * `Option<T>` is a `u8` presence flag followed by the value.
+//!
+//! Decoding is non-panicking: truncated or malformed input yields a
+//! [`DecodeError`]. All container lengths are validated against the remaining
+//! buffer before allocation, so a hostile length prefix cannot trigger an
+//! out-of-memory.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Error returned when decoding malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value was fully decoded.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// An enum tag byte did not match any known variant.
+    InvalidTag {
+        /// Name of the type being decoded.
+        ty: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length prefix exceeded the remaining buffer.
+    LengthOverrun {
+        /// The declared length.
+        declared: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected eof: needed {needed} bytes, {remaining} remaining")
+            }
+            DecodeError::InvalidTag { ty, tag } => write!(f, "invalid tag {tag} for {ty}"),
+            DecodeError::LengthOverrun { declared, remaining } => {
+                write!(f, "length prefix {declared} exceeds remaining {remaining} bytes")
+            }
+            DecodeError::InvalidBool(b) => write!(f, "invalid boolean byte {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Types that can be serialized into the CURP wire format.
+pub trait Encode {
+    /// Appends the encoded representation of `self` to `buf`.
+    fn encode(&self, buf: &mut impl BufMut);
+
+    /// Returns the exact number of bytes [`encode`](Encode::encode) will write.
+    ///
+    /// Used to pre-size buffers and to compute frame headers without a
+    /// second serialization pass.
+    fn encoded_len(&self) -> usize;
+
+    /// Encodes `self` into a freshly allocated [`Bytes`].
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+}
+
+/// Types that can be deserialized from the CURP wire format.
+pub trait Decode: Sized {
+    /// Decodes a value from the front of `buf`, consuming exactly the bytes
+    /// that [`Encode::encode`] produced.
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError>;
+
+    /// Decodes a value from a byte slice, requiring that the slice is fully
+    /// consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut buf = bytes;
+        let v = Self::decode(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(DecodeError::LengthOverrun {
+                declared: bytes.len(),
+                remaining: buf.remaining(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+/// Checks that at least `n` bytes remain in `buf`.
+pub fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::UnexpectedEof { needed: n, remaining: buf.remaining() })
+    } else {
+        Ok(())
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($t:ty, $put:ident, $get:ident, $len:expr) => {
+        impl Encode for $t {
+            fn encode(&self, buf: &mut impl BufMut) {
+                buf.$put(*self);
+            }
+            fn encoded_len(&self) -> usize {
+                $len
+            }
+        }
+        impl Decode for $t {
+            fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+                need(buf, $len)?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_wire_int!(u8, put_u8, get_u8, 1);
+impl_wire_int!(u16, put_u16_le, get_u16_le, 2);
+impl_wire_int!(u32, put_u32_le, get_u32_le, 4);
+impl_wire_int!(u64, put_u64_le, get_u64_le, 8);
+impl_wire_int!(i64, put_i64_le, get_i64_le, 8);
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::InvalidBool(b)),
+        }
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        let len = u32::decode(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(DecodeError::LengthOverrun { declared: len, remaining: buf.remaining() });
+        }
+        Ok(buf.copy_to_bytes(len))
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        let b = Bytes::decode(buf)?;
+        Ok(b.to_vec())
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        let b = Bytes::decode(buf)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::InvalidTag { ty: "String", tag: 0 })
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, |v| v.encoded_len())
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(DecodeError::InvalidTag { ty: "Option", tag }),
+        }
+    }
+}
+
+// Note: there is deliberately no generic `impl Encode for Vec<T>` — it would
+// conflict with the `Vec<u8>` impl above (no specialization on stable Rust).
+// Sequences of messages use the `encode_seq`/`decode_seq` helpers instead.
+
+/// Encodes a slice of values with a `u32` count prefix.
+pub fn encode_seq<T: Encode>(items: &[T], buf: &mut impl BufMut) {
+    buf.put_u32_le(items.len() as u32);
+    for it in items {
+        it.encode(buf);
+    }
+}
+
+/// Returns the encoded length of a sequence written by [`encode_seq`].
+pub fn seq_encoded_len<T: Encode>(items: &[T]) -> usize {
+    4 + items.iter().map(|i| i.encoded_len()).sum::<usize>()
+}
+
+/// Decodes a sequence written by [`encode_seq`].
+pub fn decode_seq<T: Decode>(buf: &mut impl Buf) -> Result<Vec<T>, DecodeError> {
+    let n = u32::decode(buf)? as usize;
+    // Guard against hostile counts: each element needs at least one byte.
+    if buf.remaining() < n {
+        return Err(DecodeError::LengthOverrun { declared: n, remaining: buf.remaining() });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(buf)?);
+    }
+    Ok(out)
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+/// Test helper: asserts that a value round-trips through the codec and that
+/// `encoded_len` matches the bytes actually produced.
+pub fn roundtrip<T: Encode + Decode + PartialEq + fmt::Debug>(v: &T) {
+    let bytes = v.to_bytes();
+    assert_eq!(bytes.len(), v.encoded_len(), "encoded_len mismatch for {v:?}");
+    let back = T::from_bytes(&bytes).expect("decode failed");
+    assert_eq!(&back, v, "roundtrip mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(&0u8);
+        roundtrip(&u8::MAX);
+        roundtrip(&0xbeefu16);
+        roundtrip(&0xdead_beefu32);
+        roundtrip(&u64::MAX);
+        roundtrip(&(-42i64));
+        roundtrip(&true);
+        roundtrip(&false);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(&Bytes::from_static(b"hello"));
+        roundtrip(&Bytes::new());
+        roundtrip(&b"world".to_vec());
+        roundtrip(&String::from("key-42"));
+        roundtrip(&Some(7u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&(3u32, Bytes::from_static(b"v")));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = 0xdead_beef_u64.to_bytes();
+        for cut in 0..bytes.len() {
+            let err = u64::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, DecodeError::UnexpectedEof { .. }), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // Declares 4 GiB of payload but provides none.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        let err = Bytes::from_bytes(&buf).unwrap_err();
+        assert!(matches!(err, DecodeError::LengthOverrun { .. }), "{err}");
+    }
+
+    #[test]
+    fn hostile_seq_count_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        let mut slice: &[u8] = &buf;
+        let err = decode_seq::<u64>(&mut slice).unwrap_err();
+        assert!(matches!(err, DecodeError::LengthOverrun { .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_by_from_bytes() {
+        let mut bytes = 1u64.to_bytes().to_vec();
+        bytes.push(0);
+        assert!(u64::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), Err(DecodeError::InvalidBool(2)));
+    }
+
+    #[test]
+    fn option_tag_validation() {
+        assert!(matches!(
+            Option::<u64>::from_bytes(&[9]),
+            Err(DecodeError::InvalidTag { ty: "Option", .. })
+        ));
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let items = vec![1u64, 2, 3, u64::MAX];
+        let mut buf = BytesMut::new();
+        encode_seq(&items, &mut buf);
+        assert_eq!(buf.len(), seq_encoded_len(&items));
+        let mut slice: &[u8] = &buf;
+        let back = decode_seq::<u64>(&mut slice).unwrap();
+        assert_eq!(back, items);
+        assert!(slice.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Client-side RPC id assignment and acknowledgement tracking.
+
+use std::collections::BTreeSet;
+
+use curp_proto::types::{ClientId, RpcId};
+
+/// Assigns sequence numbers and computes the piggybacked acknowledgement
+/// watermark (`first_incomplete`) for one client.
+///
+/// The watermark is the smallest sequence number whose result the client has
+/// *not* yet received; everything below it may be garbage-collected by
+/// masters. Because a client can have several RPCs outstanding (e.g. reads
+/// overlapping an update), completion can arrive out of order and the
+/// watermark only advances over a contiguous prefix.
+#[derive(Debug)]
+pub struct RiflSequencer {
+    id: ClientId,
+    next_seq: u64,
+    first_incomplete: u64,
+    /// Completed-but-not-yet-contiguous sequence numbers.
+    done_out_of_order: BTreeSet<u64>,
+}
+
+impl RiflSequencer {
+    /// Creates a sequencer for lease `id`. Sequence numbers start at 1.
+    pub fn new(id: ClientId) -> Self {
+        RiflSequencer { id, next_seq: 1, first_incomplete: 1, done_out_of_order: BTreeSet::new() }
+    }
+
+    /// The lease this sequencer stamps onto RPC ids.
+    pub fn client_id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Allocates the id for a new RPC.
+    pub fn next_rpc_id(&mut self) -> RpcId {
+        let id = RpcId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Current acknowledgement watermark to piggyback on outgoing RPCs.
+    pub fn first_incomplete(&self) -> u64 {
+        self.first_incomplete
+    }
+
+    /// Marks `id`'s result as received by the application, advancing the
+    /// watermark over any newly contiguous prefix.
+    ///
+    /// # Panics
+    /// Panics if `id` belongs to a different client.
+    pub fn complete(&mut self, id: RpcId) {
+        assert_eq!(id.client, self.id, "completion for foreign client");
+        if id.seq < self.first_incomplete {
+            return; // already acknowledged
+        }
+        self.done_out_of_order.insert(id.seq);
+        while self.done_out_of_order.remove(&self.first_incomplete) {
+            self.first_incomplete += 1;
+        }
+    }
+
+    /// Number of RPCs issued but not yet completed (outstanding window).
+    pub fn outstanding(&self) -> u64 {
+        (self.next_seq - self.first_incomplete) - self.done_out_of_order.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_start_at_one_and_increase() {
+        let mut s = RiflSequencer::new(ClientId(7));
+        assert_eq!(s.next_rpc_id(), RpcId::new(ClientId(7), 1));
+        assert_eq!(s.next_rpc_id(), RpcId::new(ClientId(7), 2));
+    }
+
+    #[test]
+    fn watermark_advances_in_order() {
+        let mut s = RiflSequencer::new(ClientId(1));
+        let a = s.next_rpc_id();
+        let b = s.next_rpc_id();
+        assert_eq!(s.first_incomplete(), 1);
+        s.complete(a);
+        assert_eq!(s.first_incomplete(), 2);
+        s.complete(b);
+        assert_eq!(s.first_incomplete(), 3);
+    }
+
+    #[test]
+    fn watermark_waits_for_contiguity() {
+        let mut s = RiflSequencer::new(ClientId(1));
+        let a = s.next_rpc_id();
+        let b = s.next_rpc_id();
+        let c = s.next_rpc_id();
+        s.complete(c);
+        s.complete(b);
+        assert_eq!(s.first_incomplete(), 1, "seq 1 still outstanding");
+        s.complete(a);
+        assert_eq!(s.first_incomplete(), 4, "prefix collapsed at once");
+        assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn duplicate_completion_is_harmless() {
+        let mut s = RiflSequencer::new(ClientId(1));
+        let a = s.next_rpc_id();
+        s.complete(a);
+        s.complete(a);
+        assert_eq!(s.first_incomplete(), 2);
+    }
+
+    #[test]
+    fn outstanding_counts_window() {
+        let mut s = RiflSequencer::new(ClientId(1));
+        let _a = s.next_rpc_id();
+        let b = s.next_rpc_id();
+        assert_eq!(s.outstanding(), 2);
+        s.complete(b);
+        assert_eq!(s.outstanding(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign client")]
+    fn foreign_completion_panics() {
+        let mut s = RiflSequencer::new(ClientId(1));
+        s.complete(RpcId::new(ClientId(2), 1));
+    }
+}

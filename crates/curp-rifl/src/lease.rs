@@ -1,0 +1,122 @@
+//! Coordinator-side client lease management.
+//!
+//! RIFL clients "maintain leases in a central server; if a client's lease
+//! expires, masters can delete all completion records for that client"
+//! (§4.8). The manager is time-source-agnostic: callers pass the current
+//! time in milliseconds, which keeps it usable under both wall clocks and
+//! the simulator's virtual clock.
+
+use std::collections::HashMap;
+
+use curp_proto::types::ClientId;
+
+/// Issues and tracks client leases.
+#[derive(Debug)]
+pub struct LeaseManager {
+    ttl_ms: u64,
+    next_id: u64,
+    /// Lease id → expiry time (ms).
+    leases: HashMap<ClientId, u64>,
+}
+
+impl LeaseManager {
+    /// Creates a manager issuing leases valid for `ttl_ms`.
+    pub fn new(ttl_ms: u64) -> Self {
+        LeaseManager { ttl_ms, next_id: 1, leases: HashMap::new() }
+    }
+
+    /// Lease validity period.
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// Issues a fresh lease at time `now_ms`.
+    pub fn issue(&mut self, now_ms: u64) -> ClientId {
+        let id = ClientId(self.next_id);
+        self.next_id += 1;
+        self.leases.insert(id, now_ms + self.ttl_ms);
+        id
+    }
+
+    /// Renews `id` at time `now_ms`. Returns `false` if the lease is unknown
+    /// or already expired (the client must acquire a new identity — reusing
+    /// an expired id would defeat duplicate filtering).
+    pub fn renew(&mut self, id: ClientId, now_ms: u64) -> bool {
+        match self.leases.get_mut(&id) {
+            Some(expiry) if *expiry > now_ms => {
+                *expiry = now_ms + self.ttl_ms;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if `id` holds an unexpired lease at `now_ms`.
+    pub fn is_live(&self, id: ClientId, now_ms: u64) -> bool {
+        self.leases.get(&id).is_some_and(|&e| e > now_ms)
+    }
+
+    /// Drains and returns all leases expired at `now_ms`. The coordinator
+    /// notifies masters, which must sync to backups *before* discarding the
+    /// expired clients' completion records (§4.8).
+    pub fn collect_expired(&mut self, now_ms: u64) -> Vec<ClientId> {
+        let expired: Vec<ClientId> =
+            self.leases.iter().filter(|(_, &e)| e <= now_ms).map(|(&id, _)| id).collect();
+        for id in &expired {
+            self.leases.remove(id);
+        }
+        expired
+    }
+
+    /// Number of live leases (diagnostics).
+    pub fn live_count(&self) -> usize {
+        self.leases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_unique_ids() {
+        let mut lm = LeaseManager::new(1000);
+        let a = lm.issue(0);
+        let b = lm.issue(0);
+        assert_ne!(a, b);
+        assert_eq!(lm.live_count(), 2);
+    }
+
+    #[test]
+    fn renew_extends() {
+        let mut lm = LeaseManager::new(1000);
+        let a = lm.issue(0);
+        assert!(lm.renew(a, 900));
+        assert!(lm.is_live(a, 1500), "renewed at 900 -> valid until 1900");
+    }
+
+    #[test]
+    fn renew_after_expiry_fails() {
+        let mut lm = LeaseManager::new(1000);
+        let a = lm.issue(0);
+        assert!(!lm.renew(a, 1000), "expiry is inclusive");
+        assert!(!lm.is_live(a, 1000));
+    }
+
+    #[test]
+    fn collect_expired_drains_once() {
+        let mut lm = LeaseManager::new(1000);
+        let a = lm.issue(0);
+        let b = lm.issue(500);
+        let expired = lm.collect_expired(1200);
+        assert_eq!(expired, vec![a]);
+        assert!(lm.collect_expired(1200).is_empty(), "already drained");
+        assert!(lm.is_live(b, 1200));
+    }
+
+    #[test]
+    fn unknown_lease_is_dead() {
+        let lm = LeaseManager::new(1000);
+        assert!(!lm.is_live(ClientId(99), 0));
+    }
+}

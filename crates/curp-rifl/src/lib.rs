@@ -1,0 +1,29 @@
+//! RIFL: Reusable Infrastructure For Linearizability (Lee et al., SOSP '15).
+//!
+//! CURP leans on RIFL for exactly-once semantics (§3.3): when witness
+//! requests are replayed during recovery, operations that were already
+//! replicated to backups would otherwise re-execute and break
+//! linearizability. RIFL assigns every RPC a unique id, durably records each
+//! completed RPC's result alongside the data it mutated, filters duplicate
+//! invocations, and garbage-collects records via piggybacked client
+//! acknowledgements and client leases.
+//!
+//! This crate implements the three RIFL roles:
+//!
+//! * [`table::RiflTable`] — server-side duplicate filter + completion records;
+//! * [`client::RiflSequencer`] — client-side id assignment and ack tracking;
+//! * [`lease::LeaseManager`] — coordinator-side client leases.
+//!
+//! Both CURP-specific modifications from §4.8 are implemented: piggybacked
+//! acks are ignored while a master replays witness data (replays arrive in
+//! arbitrary order), and lease expiry requires a backup sync first (enforced
+//! by `curp-core`, which syncs before calling
+//! [`RiflTable::expire_client`](table::RiflTable::expire_client)).
+
+pub mod client;
+pub mod lease;
+pub mod table;
+
+pub use client::RiflSequencer;
+pub use lease::LeaseManager;
+pub use table::{CheckResult, RiflTable};

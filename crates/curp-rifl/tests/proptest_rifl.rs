@@ -1,0 +1,137 @@
+//! Property tests for RIFL's at-most-once guarantee under arbitrary
+//! interleavings of execution, duplication, reordering and acknowledgement.
+
+use curp_proto::op::OpResult;
+use curp_proto::types::{ClientId, RpcId};
+use curp_rifl::{CheckResult, RiflSequencer, RiflTable};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// A (possibly duplicate) arrival of client `c`'s rpc `seq`.
+    Arrive { c: u8, seq: u8 },
+    /// Client `c` acknowledges everything below `seq`.
+    Ack { c: u8, seq: u8 },
+    /// Toggle recovery mode.
+    Recovery(bool),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0..4u8, 1..24u8).prop_map(|(c, seq)| Action::Arrive { c, seq }),
+        2 => (0..4u8, 1..24u8).prop_map(|(c, seq)| Action::Ack { c, seq }),
+        1 => any::<bool>().prop_map(Action::Recovery),
+    ]
+}
+
+proptest! {
+    /// Each rpc id "executes" at most once no matter how often it arrives,
+    /// and every duplicate that is answered gets the original result.
+    #[test]
+    fn at_most_once_execution(actions in prop::collection::vec(arb_action(), 1..200)) {
+        let mut table = RiflTable::new();
+        let mut executions: std::collections::HashMap<RpcId, u64> = Default::default();
+        let mut counter = 0u64;
+        for action in actions {
+            match action {
+                Action::Arrive { c, seq } => {
+                    let id = RpcId::new(ClientId(c as u64), seq as u64);
+                    match table.check(id) {
+                        CheckResult::New => {
+                            counter += 1;
+                            let prev = executions.insert(id, counter);
+                            prop_assert!(prev.is_none(), "{id} executed twice");
+                            table.record(id, OpResult::Counter(counter as i64));
+                        }
+                        CheckResult::Duplicate(result) => {
+                            let original = executions[&id];
+                            prop_assert_eq!(result, OpResult::Counter(original as i64));
+                        }
+                        CheckResult::Stale => {
+                            // Must have been executed (then acked) OR the ack
+                            // outran the rpc entirely — in both cases a
+                            // re-execution is forbidden, which `Stale` is.
+                        }
+                    }
+                }
+                Action::Ack { c, seq } => {
+                    table.ack(ClientId(c as u64), seq as u64);
+                }
+                Action::Recovery(on) => table.set_recovery_mode(on),
+            }
+        }
+    }
+
+    /// Acks only ever move the stale frontier forward, and never turn a
+    /// recorded result into a *different* result.
+    #[test]
+    fn acks_are_monotone(
+        seqs in prop::collection::vec(1..50u64, 1..40),
+        acks in prop::collection::vec(1..50u64, 1..40),
+    ) {
+        let mut table = RiflTable::new();
+        let client = ClientId(1);
+        for &s in &seqs {
+            let id = RpcId::new(client, s);
+            if matches!(table.check(id), CheckResult::New) {
+                table.record(id, OpResult::Counter(s as i64));
+            }
+        }
+        let mut max_ack = 0;
+        for &a in &acks {
+            table.ack(client, a);
+            max_ack = max_ack.max(a);
+            for &s in &seqs {
+                let id = RpcId::new(client, s);
+                match table.check(id) {
+                    CheckResult::Stale => prop_assert!(s < max_ack),
+                    CheckResult::Duplicate(r) => {
+                        prop_assert!(s >= max_ack);
+                        prop_assert_eq!(r, OpResult::Counter(s as i64));
+                    }
+                    CheckResult::New => prop_assert!(s >= max_ack || !seqs.contains(&s)),
+                }
+            }
+        }
+    }
+
+    /// The sequencer's watermark is always the smallest incomplete sequence
+    /// number, regardless of completion order.
+    #[test]
+    fn sequencer_watermark_is_exact(order in prop::collection::vec(0..20usize, 0..20)) {
+        let mut s = RiflSequencer::new(ClientId(1));
+        let ids: Vec<RpcId> = (0..20).map(|_| s.next_rpc_id()).collect();
+        let mut done = [false; 20];
+        for &i in &order {
+            s.complete(ids[i]);
+            done[i] = true;
+            let expect = done.iter().position(|&d| !d).map(|p| p as u64 + 1).unwrap_or(21);
+            prop_assert_eq!(s.first_incomplete(), expect);
+        }
+    }
+
+    /// Export/import round-trips preserve every check outcome.
+    #[test]
+    fn export_import_identity(
+        records in prop::collection::vec((0..5u64, 1..30u64), 0..50),
+        acks in prop::collection::vec((0..5u64, 1..30u64), 0..10),
+    ) {
+        let mut table = RiflTable::new();
+        for &(c, s) in &records {
+            let id = RpcId::new(ClientId(c), s);
+            if matches!(table.check(id), CheckResult::New) {
+                table.record(id, OpResult::Counter((c * 100 + s) as i64));
+            }
+        }
+        for &(c, s) in &acks {
+            table.ack(ClientId(c), s);
+        }
+        let restored = RiflTable::import(table.export());
+        for c in 0..5u64 {
+            for s in 1..30u64 {
+                let id = RpcId::new(ClientId(c), s);
+                prop_assert_eq!(table.check(id), restored.check(id), "{}", id);
+            }
+        }
+    }
+}

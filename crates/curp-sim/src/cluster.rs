@@ -1,0 +1,345 @@
+//! The RAMCloud-class simulated cluster (Figures 5, 6, 7 and 12).
+//!
+//! Calibration targets come straight from §5.1: small unreplicated writes
+//! ≈ 6.9 µs, CURP (f=3) ≈ 7.3 µs, synchronous 3-way replication ≈ 13.8 µs,
+//! single-server CURP throughput ≈ 4× the synchronous baseline with masters
+//! bottlenecked on a dispatch thread. The model prices four things:
+//!
+//! * one-way network delay — the InfiniBand profile (~2.2 µs, thin tail);
+//! * a per-message *dispatch* cost at every server (the RAMCloud dispatch
+//!   thread), which serializes and therefore bounds throughput;
+//! * a per-message client-side cost (NIC/doorbell handling) — this is what
+//!   makes CURP f=3 slightly slower than unreplicated (more responses to
+//!   process), the paper's 0.4 µs;
+//! * a per-operation execution cost on the master's worker threads
+//!   (parallel, so it adds latency but not a throughput ceiling).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use curp_core::client::{ClientConfig, CurpClient};
+use curp_core::coordinator::{Coordinator, CoordinatorHandler};
+use curp_core::master::MasterConfig;
+use curp_core::server::{CurpServer, ServerHandler};
+use curp_proto::cluster::HashRange;
+use curp_proto::op::Op;
+use curp_proto::types::{MasterId, ServerId};
+use curp_transport::latency::NetProfile;
+use curp_transport::mem::{MemNetwork, ServerSpec};
+use curp_witness::cache::CacheConfig;
+use curp_workload::{LatencyRecorder, Workload, WorkloadOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::{to_virtual_ns, vns, vus, MODEL_SCALE};
+
+/// Which of the paper's four systems to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// CURP: speculative masters + witnesses (the contribution).
+    Curp,
+    /// "Original RAMCloud": synchronous replication before every response.
+    Original,
+    /// Async replication: masters respond before syncing, clients complete
+    /// without witnesses — fast but *not* durable (Figure 6's upper bound).
+    Async,
+    /// No replication at all.
+    Unreplicated,
+}
+
+/// Calibrated model constants (virtual nanoseconds).
+#[derive(Debug, Clone)]
+pub struct RamcloudParams {
+    /// Replication / witness factor `f`.
+    pub f: usize,
+    /// Master dispatch cost per message.
+    pub master_dispatch_ns: u64,
+    /// Backup/witness dispatch cost per message.
+    pub server_dispatch_ns: u64,
+    /// Client per-message cost.
+    pub client_dispatch_ns: u64,
+    /// Master worker execution cost per operation.
+    pub exec_ns: u64,
+    /// Sync batch size (Figure 12 sweeps this).
+    pub batch_size: usize,
+    /// Idle flush interval for the background syncer (virtual ns).
+    pub sync_interval_ns: u64,
+    /// Enable the §4.4 hot-key preemptive sync heuristic.
+    pub hotkey_sync: bool,
+    /// RNG seed for the network latency model.
+    pub seed: u64,
+}
+
+impl RamcloudParams {
+    /// Defaults calibrated against Table 1 / §5.1.
+    pub fn new(f: usize) -> Self {
+        RamcloudParams {
+            f,
+            master_dispatch_ns: 600,
+            server_dispatch_ns: 300,
+            client_dispatch_ns: 55,
+            exec_ns: 900,
+            batch_size: 50,
+            sync_interval_ns: 20_000, // 20 µs idle flush
+            hotkey_sync: true,
+            seed: 0xCB5B_F00D,
+        }
+    }
+}
+
+/// Output of a closed-loop run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-operation latencies (write ops only unless noted).
+    pub writes: LatencyRecorder,
+    /// Read latencies (empty for write-only workloads).
+    pub reads: LatencyRecorder,
+    /// Completed operations per virtual second.
+    pub throughput_ops_per_sec: f64,
+    /// Total operations completed.
+    pub ops: u64,
+}
+
+const COORD: ServerId = ServerId(9_999);
+
+/// A simulated RAMCloud-class cluster.
+pub struct SimCluster {
+    /// The underlying network (exposed for fault injection in tests).
+    pub net: MemNetwork,
+    /// The coordinator (exposed for recovery orchestration in tests).
+    pub coord: Arc<Coordinator>,
+    /// All servers, master first.
+    pub servers: Vec<Arc<CurpServer>>,
+    /// The partition's master id.
+    pub master_id: MasterId,
+    mode: Mode,
+    params: RamcloudParams,
+}
+
+impl SimCluster {
+    /// Builds a one-partition cluster in the given mode.
+    pub async fn build(mode: Mode, params: RamcloudParams) -> SimCluster {
+        let f = match mode {
+            Mode::Unreplicated => 0,
+            _ => params.f,
+        };
+        let net = MemNetwork::new(params.seed);
+        net.set_default_latency(Arc::new(NetProfile::Infiniband.model().scaled(MODEL_SCALE)));
+        net.set_rpc_timeout(vus(5_000));
+
+        let master_cfg = MasterConfig {
+            batch_size: params.batch_size,
+            sync_interval: vns(params.sync_interval_ns),
+            exec_cost: vns(params.exec_ns),
+            hotkey_sync: params.hotkey_sync && mode == Mode::Curp,
+            hotkey_window: params.batch_size as u64,
+            sync_retry_limit: 10,
+            sync_retry_backoff: vus(100),
+            sync_every_op: mode == Mode::Original,
+            sync_coalesce: Duration::ZERO,
+            sync_workers: 4,
+            sync_group_commit: false,
+        };
+        let net_for_factory = net.clone();
+        let coord = Coordinator::new(
+            Box::new(move |id| net_for_factory.client(id)),
+            master_cfg,
+            u64::MAX / 4, // leases effectively never expire inside a run
+        );
+        net.add_simple_server(COORD, Arc::new(CoordinatorHandler(Arc::clone(&coord))));
+
+        // Master on s1 with its dispatch thread; f replica servers hosting
+        // backup + witness (co-hosted, Figure 2); one spare for recovery.
+        let mut servers = Vec::new();
+        for i in 1..=(1 + f + 1) {
+            let s = CurpServer::new(ServerId(i as u64), CacheConfig::default());
+            let dispatch = if i == 1 {
+                vns(params.master_dispatch_ns)
+            } else {
+                vns(params.server_dispatch_ns)
+            };
+            net.add_server(
+                s.id(),
+                Arc::new(ServerHandler(Arc::clone(&s))),
+                ServerSpec { dispatch_cost: dispatch },
+            );
+            coord.register_server(Arc::clone(&s));
+            servers.push(s);
+        }
+        let backups: Vec<ServerId> = (2..2 + f).map(|i| ServerId(i as u64)).collect();
+        let witnesses: Vec<ServerId> =
+            if mode == Mode::Curp { backups.clone() } else { Vec::new() };
+        let master_id = coord
+            .create_partition(ServerId(1), backups, witnesses, HashRange::FULL)
+            .await
+            .expect("create partition");
+        SimCluster { net, coord, servers, master_id, mode, params }
+    }
+
+    /// Creates a client. Client ids start at 100 and each gets its own
+    /// dispatch model (per-message NIC cost).
+    pub async fn client(&self, index: usize) -> Arc<CurpClient> {
+        let id = ServerId(100 + index as u64);
+        // Clients are registered as (handler-less) servers only to give them
+        // a dispatch cost; they never receive requests.
+        self.net.add_server(
+            id,
+            Arc::new(|_from: ServerId, _req| async move {
+                curp_proto::message::Response::Retry { reason: "client".into() }
+            }),
+            ServerSpec { dispatch_cost: vns(self.params.client_dispatch_ns) },
+        );
+        let cfg = ClientConfig {
+            record_witnesses: self.mode == Mode::Curp,
+            max_retries: 50,
+            retry_backoff: vus(50),
+        };
+        Arc::new(
+            CurpClient::connect(self.net.client(id), COORD, cfg)
+                .await
+                .expect("client connect"),
+        )
+    }
+
+    /// Runs `clients` closed-loop clients for `duration` of virtual time,
+    /// each drawing operations from its own copy of `make_workload()`.
+    pub async fn run_closed_loop(
+        &self,
+        clients: usize,
+        duration: Duration,
+        make_workload: impl Fn(usize) -> Workload,
+    ) -> RunResult {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let client = self.client(c).await;
+            let mut workload = make_workload(c);
+            let seed = self.params.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            handles.push(tokio::spawn(async move {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut writes = LatencyRecorder::new();
+                let mut reads = LatencyRecorder::new();
+                let deadline = tokio::time::Instant::now() + duration;
+                let mut ops = 0u64;
+                while tokio::time::Instant::now() < deadline {
+                    let op = workload.next_op(&mut rng);
+                    let t0 = tokio::time::Instant::now();
+                    match op {
+                        WorkloadOp::Update { key, value } => {
+                            client
+                                .update(Op::Put { key, value })
+                                .await
+                                .expect("update failed");
+                            writes.record_ns(to_virtual_ns(t0.elapsed()));
+                        }
+                        WorkloadOp::Read { key } => {
+                            client.read(Op::Get { key }).await.expect("read failed");
+                            reads.record_ns(to_virtual_ns(t0.elapsed()));
+                        }
+                    }
+                    ops += 1;
+                }
+                (writes, reads, ops)
+            }));
+        }
+        let mut writes = LatencyRecorder::new();
+        let mut reads = LatencyRecorder::new();
+        let mut total_ops = 0;
+        for h in handles {
+            let (w, r, ops) = h.await.expect("client task");
+            writes.merge(&w);
+            reads.merge(&r);
+            total_ops += ops;
+        }
+        let secs = to_virtual_ns(duration) as f64 / 1e9;
+        RunResult {
+            writes,
+            reads,
+            throughput_ops_per_sec: total_ops as f64 / secs,
+            ops: total_ops,
+        }
+    }
+
+    /// Measures sequential write latency from a single client (Figure 5):
+    /// `samples` back-to-back 100 B writes to random keys.
+    pub async fn measure_write_latency(&self, samples: usize, keys: u64) -> LatencyRecorder {
+        let client = self.client(0).await;
+        let mut workload = Workload::uniform_writes(keys);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0xFEED);
+        let mut rec = LatencyRecorder::new();
+        for _ in 0..samples {
+            let op = loop {
+                match workload.next_op(&mut rng) {
+                    WorkloadOp::Update { key, value } => break Op::Put { key, value },
+                    WorkloadOp::Read { .. } => continue,
+                }
+            };
+            let t0 = tokio::time::Instant::now();
+            client.update(op).await.expect("write failed");
+            rec.record_ns(to_virtual_ns(t0.elapsed()));
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::run_sim;
+
+    fn median_us(mode: Mode, f: usize) -> f64 {
+        run_sim(async move {
+            let cluster = SimCluster::build(mode, RamcloudParams::new(f)).await;
+            let mut rec = cluster.measure_write_latency(300, 100_000).await;
+            rec.median_us()
+        })
+    }
+
+    #[test]
+    fn unreplicated_latency_matches_paper_scale() {
+        let m = median_us(Mode::Unreplicated, 0);
+        // §5.1: 6.9 µs.
+        assert!((6.0..8.0).contains(&m), "unreplicated median {m:.2} µs");
+    }
+
+    #[test]
+    fn curp_f3_is_close_to_unreplicated() {
+        let unrep = median_us(Mode::Unreplicated, 0);
+        let curp = median_us(Mode::Curp, 3);
+        // §5.1: 7.3 vs 6.9 µs — within ~10%.
+        let overhead = curp - unrep;
+        assert!(
+            (0.0..1.5).contains(&overhead),
+            "CURP {curp:.2} vs unreplicated {unrep:.2}"
+        );
+    }
+
+    #[test]
+    fn original_is_roughly_twice_curp() {
+        let curp = median_us(Mode::Curp, 3);
+        let orig = median_us(Mode::Original, 3);
+        let ratio = orig / curp;
+        // §5.1: "CURP cuts the median write latencies in half" (13.8 / 7.3 ≈ 1.9).
+        assert!((1.5..2.6).contains(&ratio), "orig {orig:.2} / curp {curp:.2} = {ratio:.2}");
+    }
+
+    #[test]
+    fn closed_loop_throughput_ranks_modes_correctly() {
+        // Shape check on a small run: Unreplicated >= Async >= CURP >> Original.
+        let tp = |mode, f| {
+            run_sim(async move {
+                let cluster = SimCluster::build(mode, RamcloudParams::new(f)).await;
+                let r = cluster
+                    .run_closed_loop(10, vus(20_000), |_| Workload::uniform_writes(100_000))
+                    .await;
+                r.throughput_ops_per_sec
+            })
+        };
+        let unrep = tp(Mode::Unreplicated, 0);
+        let asy = tp(Mode::Async, 3);
+        let curp = tp(Mode::Curp, 3);
+        let orig = tp(Mode::Original, 3);
+        assert!(unrep > asy * 0.95, "unrep {unrep:.0} vs async {asy:.0}");
+        assert!(asy > curp * 0.95, "async {asy:.0} vs curp {curp:.0}");
+        assert!(curp > orig * 2.0, "curp {curp:.0} vs orig {orig:.0}");
+    }
+}

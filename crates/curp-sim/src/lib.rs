@@ -1,0 +1,31 @@
+//! Simulation harness for reproducing the paper's evaluation.
+//!
+//! Everything here runs on [`curp_transport::MemNetwork`] under tokio's
+//! *paused* clock, which turns the cluster into a deterministic
+//! discrete-event simulation. Because tokio's timer rounds sleeps up to
+//! 1 ms, simulations use **scaled virtual time**: 1 virtual nanosecond is
+//! represented as 1 tokio millisecond ([`time`]). All latency models,
+//! dispatch costs and measurements in this crate follow that convention, so
+//! a measured "7.3 µs" is 7.3 million tokio-milliseconds of paused time —
+//! which costs nothing in wall-clock terms.
+//!
+//! * [`time`] — the virtual-time helpers and the simulation runtime;
+//! * [`cluster`] — the RAMCloud-class cluster model (Figures 5–7, 12) with
+//!   the four systems compared in the paper: Original (synchronous
+//!   replication), Async (unsafe asynchronous replication), CURP, and
+//!   Unreplicated;
+//! * [`redis`] — the Redis-class model (Figures 8–10, 13): TCP-grade
+//!   latency with syscall costs, an fsync-priced append-only "backup", and
+//!   event-loop fsync batching;
+//! * [`lincheck`] — a Wing–Gong linearizability checker used by the
+//!   property tests to validate histories with injected crashes.
+
+pub mod cluster;
+pub mod lincheck;
+pub mod redis;
+pub mod time;
+
+pub use cluster::{Mode, RamcloudParams, RunResult, SimCluster};
+pub use lincheck::{check_linearizable, HistOp, HistoryEvent};
+pub use redis::{RedisMode, RedisParams, RedisSim};
+pub use time::{run_sim, to_virtual_us, vns, vus};

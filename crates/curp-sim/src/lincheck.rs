@@ -1,0 +1,289 @@
+//! A Wing–Gong linearizability checker for key-value histories.
+//!
+//! Linearizability (§3.4; Herlihy & Wing 1990) demands that every operation
+//! appears to take effect atomically at some point between its invocation
+//! and its response. The checker searches for such a linearization with the
+//! classic Wing–Gong/WGL algorithm, memoized on (linearized-set, state).
+//!
+//! Key-value stores make this tractable: operations on different keys
+//! commute, so a history is linearizable iff its per-key sub-histories are —
+//! the checker partitions by key and searches each independently.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+
+/// An operation in a recorded history (single key; the key itself lives on
+/// the [`HistoryEvent`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistOp {
+    /// Write a value; always succeeds.
+    Put(Bytes),
+    /// Read; carries the value observed (`None` = key absent).
+    Get(Option<Bytes>),
+    /// Increment by delta; carries the post-increment value returned.
+    Incr(i64, i64),
+}
+
+/// One completed (or possibly-effective pending) operation.
+#[derive(Debug, Clone)]
+pub struct HistoryEvent {
+    /// The key operated on.
+    pub key: Bytes,
+    /// Operation + observed result.
+    pub op: HistOp,
+    /// Invocation timestamp (any monotonic unit).
+    pub invoke: u64,
+    /// Response timestamp; `u64::MAX` for pending operations (client crashed
+    /// or never saw the response — the op may or may not have taken effect).
+    pub ret: u64,
+}
+
+impl HistoryEvent {
+    /// Whether the operation never returned to the client.
+    pub fn is_pending(&self) -> bool {
+        self.ret == u64::MAX
+    }
+}
+
+/// Per-key abstract state during the search.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyState {
+    Absent,
+    Value(Bytes),
+    Counter(i64),
+}
+
+fn apply(state: &KeyState, op: &HistOp) -> Option<KeyState> {
+    match op {
+        HistOp::Put(v) => Some(KeyState::Value(v.clone())),
+        HistOp::Get(observed) => {
+            let current = match state {
+                KeyState::Absent => None,
+                KeyState::Value(v) => Some(v.clone()),
+                KeyState::Counter(c) => Some(Bytes::from(c.to_string())),
+            };
+            if &current == observed {
+                Some(state.clone())
+            } else {
+                None
+            }
+        }
+        HistOp::Incr(delta, returned) => {
+            let current = match state {
+                KeyState::Absent => 0,
+                KeyState::Counter(c) => *c,
+                KeyState::Value(_) => return None,
+            };
+            let new = current.wrapping_add(*delta);
+            if new == *returned {
+                Some(KeyState::Counter(new))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Checks a history for linearizability. Pending operations (`ret ==
+/// u64::MAX`) are optional: the search may linearize them or drop them.
+///
+/// Returns `true` if a valid linearization exists. Exponential in the number
+/// of *concurrent* operations per key, which real CURP histories keep small.
+pub fn check_linearizable(history: &[HistoryEvent]) -> bool {
+    failing_keys(history).is_empty()
+}
+
+/// Like [`check_linearizable`], but returns the keys whose sub-histories
+/// admit no linearization (diagnostics for failing tests).
+pub fn failing_keys(history: &[HistoryEvent]) -> Vec<Bytes> {
+    let mut per_key: HashMap<Bytes, Vec<&HistoryEvent>> = HashMap::new();
+    for e in history {
+        per_key.entry(e.key.clone()).or_default().push(e);
+    }
+    let mut bad: Vec<Bytes> = per_key
+        .iter()
+        .filter(|(_, events)| !check_key(events))
+        .map(|(k, _)| k.clone())
+        .collect();
+    bad.sort();
+    bad
+}
+
+fn check_key(events: &[&HistoryEvent]) -> bool {
+    assert!(events.len() <= 63, "per-key history too large for the bitmask search");
+    if events.is_empty() {
+        return true;
+    }
+    let mut memo: HashSet<(u64, KeyState)> = HashSet::new();
+    search(events, 0, &KeyState::Absent, &mut memo)
+}
+
+/// `done` is the bitmask of linearized ops.
+fn search(
+    events: &[&HistoryEvent],
+    done: u64,
+    state: &KeyState,
+    memo: &mut HashSet<(u64, KeyState)>,
+) -> bool {
+    // Success once every *completed* op is linearized; the remaining pending
+    // ops may simply never have happened. (`done == full` is subsumed.)
+    let all_completed_done =
+        events.iter().enumerate().all(|(i, e)| e.is_pending() || done & (1 << i) != 0);
+    if all_completed_done {
+        return true;
+    }
+
+    if !memo.insert((done, state.clone())) {
+        return false;
+    }
+    // An op is a candidate next linearization point iff it is not yet done
+    // and no *other* not-yet-done op returned before it was invoked (the op
+    // with the earliest return must come first among overlapping ops).
+    let min_ret = events
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done & (1 << i) == 0)
+        .map(|(_, e)| e.ret)
+        .min()
+        .unwrap_or(u64::MAX);
+    for (i, e) in events.iter().enumerate() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        if e.invoke > min_ret {
+            continue; // something else must linearize first
+        }
+        if let Some(next) = apply(state, &e.op) {
+            if search(events, done | (1 << i), &next, memo) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn put(key: &str, v: &str, invoke: u64, ret: u64) -> HistoryEvent {
+        HistoryEvent { key: b(key), op: HistOp::Put(b(v)), invoke, ret }
+    }
+
+    fn get(key: &str, v: Option<&str>, invoke: u64, ret: u64) -> HistoryEvent {
+        HistoryEvent { key: b(key), op: HistOp::Get(v.map(b)), invoke, ret }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            put("k", "1", 0, 10),
+            get("k", Some("1"), 20, 30),
+            put("k", "2", 40, 50),
+            get("k", Some("2"), 60, 70),
+        ];
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn stale_read_is_not_linearizable() {
+        let h = vec![
+            put("k", "1", 0, 10),
+            put("k", "2", 20, 30),
+            // Reads "1" strictly after "2" completed: illegal.
+            get("k", Some("1"), 40, 50),
+        ];
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn concurrent_writes_allow_either_order() {
+        let h1 = vec![
+            put("k", "a", 0, 100),
+            put("k", "b", 0, 100),
+            get("k", Some("a"), 200, 210),
+        ];
+        let h2 = vec![
+            put("k", "a", 0, 100),
+            put("k", "b", 0, 100),
+            get("k", Some("b"), 200, 210),
+        ];
+        assert!(check_linearizable(&h1));
+        assert!(check_linearizable(&h2));
+    }
+
+    #[test]
+    fn read_concurrent_with_write_may_see_either_value() {
+        let base = put("k", "old", 0, 10);
+        let write = put("k", "new", 100, 200);
+        for observed in ["old", "new"] {
+            let h = vec![base.clone(), write.clone(), get("k", Some(observed), 150, 160)];
+            assert!(check_linearizable(&h), "observed {observed}");
+        }
+        // But a value that was never written is illegal.
+        let h = vec![base, write, get("k", Some("ghost"), 150, 160)];
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn non_atomic_read_pair_is_rejected() {
+        // Two sequential reads around a completed write must not go
+        // backwards in time.
+        let h = vec![
+            put("k", "1", 0, 10),
+            put("k", "2", 20, 30),
+            get("k", Some("2"), 40, 50),
+            get("k", Some("1"), 60, 70),
+        ];
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn pending_op_may_or_may_not_have_happened() {
+        // Client crashed mid-put: both observations are legal (§3.4: "If the
+        // client crashes before externalizing the result, the RPC may or may
+        // not finish").
+        let pending = HistoryEvent { key: b("k"), op: HistOp::Put(b("x")), invoke: 50, ret: u64::MAX };
+        let h1 = vec![put("k", "1", 0, 10), pending.clone(), get("k", Some("x"), 100, 110)];
+        let h2 = vec![put("k", "1", 0, 10), pending, get("k", Some("1"), 100, 110)];
+        assert!(check_linearizable(&h1));
+        assert!(check_linearizable(&h2));
+    }
+
+    #[test]
+    fn incr_results_must_chain() {
+        let incr = |d, r, i, t| HistoryEvent { key: b("c"), op: HistOp::Incr(d, r), invoke: i, ret: t };
+        let ok = vec![incr(1, 1, 0, 10), incr(2, 3, 20, 30), get("c", Some("3"), 40, 50)];
+        assert!(check_linearizable(&ok));
+        // A lost increment (result repeats) is a linearizability violation.
+        let bad = vec![incr(1, 1, 0, 10), incr(1, 1, 20, 30)];
+        assert!(!check_linearizable(&bad));
+        // A doubly-applied increment is too.
+        let bad2 = vec![incr(1, 1, 0, 10), incr(1, 3, 20, 30)];
+        assert!(!check_linearizable(&bad2));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        // Interleaved ops on different keys never interfere.
+        let h = vec![
+            put("a", "1", 0, 100),
+            put("b", "2", 0, 100),
+            get("a", Some("1"), 150, 160),
+            get("b", Some("2"), 150, 160),
+            get("a", None, 0, 1), // before the put completed? concurrent: ok
+        ];
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn read_of_absent_key_after_put_completes_is_rejected() {
+        let h = vec![put("k", "1", 0, 10), get("k", None, 20, 30)];
+        assert!(!check_linearizable(&h));
+    }
+}

@@ -1,0 +1,20 @@
+//! Storage substrates for CURP.
+//!
+//! Two pieces, mirroring the two systems the paper modified:
+//!
+//! * [`store`] — an in-memory, log-position-tracking object store that plays
+//!   the role of RAMCloud's log-structured memory: every mutation is assigned
+//!   a monotonically increasing log position, and the store can answer the
+//!   question at the heart of the master's commutativity check (§4.3):
+//!   *"has the last update of this object been synced to backups?"* by
+//!   comparing the object's write position against the last synced position.
+//!   Values are typed (string/hash/counter/list/set) so the same store also
+//!   backs the Redis experiments (Figures 8–10).
+//! * [`aof`] — a Redis-style append-only file with configurable fsync
+//!   policy, used to make a cache durable exactly the way §5.4 describes.
+
+pub mod aof;
+pub mod store;
+
+pub use aof::{Aof, FsyncPolicy};
+pub use store::{Object, Store, Value};

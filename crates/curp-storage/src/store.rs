@@ -1,0 +1,702 @@
+//! In-memory, log-position-tracking object store.
+//!
+//! Models RAMCloud's log-structured memory closely enough for CURP: every
+//! mutation is assigned a monotonically increasing log position and the
+//! object's index entry remembers the position of its last update. The
+//! master's commutativity check (§4.3) then reduces to a comparison of that
+//! position against the last synced position: *"If the object values are
+//! stored in a log structure, masters can determine if an object value is
+//! synced or not by comparing its position in the log against the last
+//! synced position."*
+//!
+//! The store is deterministic: executing the same operation sequence on two
+//! stores yields identical state and identical results. Backups and recovery
+//! masters rely on this to rebuild state by replaying the replicated
+//! operation log.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+use curp_proto::op::{Op, OpResult};
+
+/// A stored value. Redis-style typed values share the store with plain
+/// strings; type confusion yields [`OpResult::WrongType`], as in Redis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A byte-string value (`PUT`/`GET`).
+    Str(Bytes),
+    /// A field map (`HSET`/`HGET`).
+    Hash(HashMap<Bytes, Bytes>),
+    /// A 64-bit signed counter (`INCR`).
+    Counter(i64),
+    /// An ordered list (`RPUSH`).
+    List(Vec<Bytes>),
+    /// An unordered set (`SADD`).
+    Set(HashSet<Bytes>),
+}
+
+/// An object plus its replication metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// Current value.
+    pub value: Value,
+    /// Version, monotonically increasing per key. Versions survive deletion
+    /// (RAMCloud semantics), so a `ConditionalPut` cannot be fooled by a
+    /// delete/re-create cycle.
+    pub version: u64,
+    /// Log position of the last mutation of this key.
+    pub write_pos: u64,
+}
+
+/// Exported store state: live `(key, object)` pairs plus `(key, version)`
+/// memory for deleted keys, both sorted by key.
+pub type StoreExport = (Vec<(Bytes, Object)>, Vec<(Bytes, u64)>);
+
+/// The object store. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    objects: HashMap<Bytes, Object>,
+    /// Version memory for deleted keys (see [`Object::version`]).
+    dead_versions: HashMap<Bytes, u64>,
+    /// Log positions of unsynced deletions; entries are pruned once synced
+    /// or when the key is re-created.
+    tombstones: HashMap<Bytes, u64>,
+    /// Next log position to assign (== number of mutations executed).
+    log_head: u64,
+    /// All mutations with `write_pos < synced_pos` are replicated to backups.
+    synced_pos: u64,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Next log position to be assigned; equals the count of mutations
+    /// executed so far.
+    pub fn log_head(&self) -> u64 {
+        self.log_head
+    }
+
+    /// The position up to which mutations are known durable on backups.
+    pub fn synced_pos(&self) -> u64 {
+        self.synced_pos
+    }
+
+    /// Marks every mutation with position `< pos` as synced.
+    ///
+    /// Called by the master after a successful backup sync. `pos` may not
+    /// exceed [`log_head`](Self::log_head) and may not move backwards.
+    pub fn mark_synced(&mut self, pos: u64) {
+        assert!(pos <= self.log_head, "cannot sync beyond the log head");
+        assert!(pos >= self.synced_pos, "synced position cannot move backwards");
+        self.synced_pos = pos;
+        self.tombstones.retain(|_, &mut p| p >= pos);
+    }
+
+    /// Returns `true` if the store has speculative (unsynced) mutations.
+    pub fn has_unsynced(&self) -> bool {
+        self.synced_pos < self.log_head
+    }
+
+    /// Returns `true` if `key`'s last mutation has not been synced.
+    ///
+    /// This is the §4.3 check. Keys that were never written are synced by
+    /// definition; deletion is a mutation, tracked via tombstones.
+    pub fn is_unsynced(&self, key: &[u8]) -> bool {
+        if let Some(obj) = self.objects.get(key) {
+            return obj.write_pos >= self.synced_pos;
+        }
+        self.tombstones.get(key).is_some_and(|&pos| pos >= self.synced_pos)
+    }
+
+    /// Returns `true` if executing `op` would touch (read *or* write, §4.3)
+    /// any unsynced object — i.e. `op` does not commute with the set of
+    /// currently unsynced operations.
+    pub fn touches_unsynced(&self, op: &Op) -> bool {
+        op.keys().iter().any(|k| self.is_unsynced(k))
+    }
+
+    /// Reads an object (test/debug accessor).
+    pub fn get_object(&self, key: &[u8]) -> Option<&Object> {
+        self.objects.get(key)
+    }
+
+    /// Executes `op`, mutating state and returning its result.
+    ///
+    /// Failed operations (wrong type, failed conditional) do not mutate
+    /// state and do not consume a log position, so a log of *executed*
+    /// mutations replays to identical state.
+    pub fn execute(&mut self, op: &Op) -> OpResult {
+        match op {
+            Op::Get { key } => match self.objects.get(key).map(|o| &o.value) {
+                None => OpResult::Value(None),
+                Some(Value::Str(b)) => OpResult::Value(Some(b.clone())),
+                Some(Value::Counter(c)) => OpResult::Value(Some(Bytes::from(c.to_string()))),
+                Some(_) => OpResult::WrongType,
+            },
+            Op::Put { key, value } => {
+                let version = self.write(key, Value::Str(value.clone()));
+                OpResult::Written { version }
+            }
+            Op::Delete { key } => {
+                let pos = self.next_pos();
+                if let Some(obj) = self.objects.remove(key) {
+                    self.dead_versions.insert(key.clone(), obj.version);
+                }
+                self.tombstones.insert(key.clone(), pos);
+                OpResult::Written { version: self.current_version(key) }
+            }
+            Op::ConditionalPut { key, expected_version, value } => {
+                let actual = self.current_version(key);
+                if actual != *expected_version {
+                    return OpResult::ConditionFailed { actual_version: actual };
+                }
+                let version = self.write(key, Value::Str(value.clone()));
+                OpResult::Written { version }
+            }
+            Op::MultiPut { kvs } => {
+                let mut last_version = 0;
+                for (key, value) in kvs {
+                    last_version = self.write(key, Value::Str(value.clone()));
+                }
+                OpResult::Written { version: last_version }
+            }
+            Op::Incr { key, delta } => {
+                let current = match self.objects.get(key).map(|o| &o.value) {
+                    None => 0,
+                    Some(Value::Counter(c)) => *c,
+                    Some(Value::Str(s)) => {
+                        match std::str::from_utf8(s).ok().and_then(|s| s.parse::<i64>().ok()) {
+                            Some(c) => c,
+                            None => return OpResult::WrongType,
+                        }
+                    }
+                    Some(_) => return OpResult::WrongType,
+                };
+                let new = current.wrapping_add(*delta);
+                self.write(key, Value::Counter(new));
+                OpResult::Counter(new)
+            }
+            Op::HSet { key, field, value } => {
+                let mut hash = match self.objects.get(key).map(|o| &o.value) {
+                    None => HashMap::new(),
+                    Some(Value::Hash(h)) => h.clone(),
+                    Some(_) => return OpResult::WrongType,
+                };
+                hash.insert(field.clone(), value.clone());
+                let version = self.write(key, Value::Hash(hash));
+                OpResult::Written { version }
+            }
+            Op::HGet { key, field } => match self.objects.get(key).map(|o| &o.value) {
+                None => OpResult::Value(None),
+                Some(Value::Hash(h)) => OpResult::Value(h.get(field).cloned()),
+                Some(_) => OpResult::WrongType,
+            },
+            Op::ListPush { key, value } => {
+                let mut list = match self.objects.get(key).map(|o| &o.value) {
+                    None => Vec::new(),
+                    Some(Value::List(l)) => l.clone(),
+                    Some(_) => return OpResult::WrongType,
+                };
+                list.push(value.clone());
+                let len = list.len() as i64;
+                self.write(key, Value::List(list));
+                OpResult::Counter(len)
+            }
+            Op::SetAdd { key, member } => {
+                let mut set = match self.objects.get(key).map(|o| &o.value) {
+                    None => HashSet::new(),
+                    Some(Value::Set(s)) => s.clone(),
+                    Some(_) => return OpResult::WrongType,
+                };
+                let added = set.insert(member.clone()) as i64;
+                self.write(key, Value::Set(set));
+                OpResult::Counter(added)
+            }
+        }
+    }
+
+    fn next_pos(&mut self) -> u64 {
+        let pos = self.log_head;
+        self.log_head += 1;
+        pos
+    }
+
+    fn current_version(&self, key: &Bytes) -> u64 {
+        self.objects
+            .get(key)
+            .map(|o| o.version)
+            .or_else(|| self.dead_versions.get(key).copied())
+            .unwrap_or(0)
+    }
+
+    /// Exports the full state for snapshotting: live objects plus version
+    /// memory of deleted keys, both in deterministic (sorted) order.
+    pub fn export(&self) -> StoreExport {
+        let mut objects: Vec<(Bytes, Object)> =
+            self.objects.iter().map(|(k, o)| (k.clone(), o.clone())).collect();
+        objects.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut dead: Vec<(Bytes, u64)> =
+            self.dead_versions.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        dead.sort_by(|a, b| a.0.cmp(&b.0));
+        (objects, dead)
+    }
+
+    /// Rebuilds a store from exported state. The imported state is entirely
+    /// *synced* (it came from a backup): `log_head == synced_pos == 1` and
+    /// every object carries `write_pos == 0`, so nothing reads as unsynced
+    /// until the first new mutation.
+    pub fn import(objects: Vec<(Bytes, Object)>, dead_versions: Vec<(Bytes, u64)>) -> Self {
+        let mut store = Store::new();
+        for (k, mut o) in objects {
+            o.write_pos = 0;
+            store.objects.insert(k, o);
+        }
+        store.dead_versions = dead_versions.into_iter().collect();
+        store.log_head = 1;
+        store.synced_pos = 1;
+        store
+    }
+
+    /// Removes and returns every object (and dead-version entry) whose key
+    /// hash satisfies `belongs`, in sorted order — the data-extraction step
+    /// of a partition migration (§3.6). The caller must have synced first so
+    /// no unsynced state is silently dropped.
+    pub fn split_off(
+        &mut self,
+        belongs: impl Fn(curp_proto::types::KeyHash) -> bool,
+    ) -> StoreExport {
+        use curp_proto::types::KeyHash;
+        assert!(!self.has_unsynced(), "must sync before migrating data out");
+        let keys: Vec<Bytes> = self
+            .objects
+            .keys()
+            .filter(|k| belongs(KeyHash::of(k)))
+            .cloned()
+            .collect();
+        let mut objects: Vec<(Bytes, Object)> = keys
+            .into_iter()
+            .map(|k| {
+                let o = self.objects.remove(&k).expect("key just listed");
+                (k, o)
+            })
+            .collect();
+        objects.sort_by(|a, b| a.0.cmp(&b.0));
+        let dead_keys: Vec<Bytes> = self
+            .dead_versions
+            .keys()
+            .filter(|k| belongs(KeyHash::of(k)))
+            .cloned()
+            .collect();
+        let mut dead: Vec<(Bytes, u64)> = dead_keys
+            .into_iter()
+            .map(|k| {
+                let v = self.dead_versions.remove(&k).expect("key just listed");
+                (k, v)
+            })
+            .collect();
+        dead.sort_by(|a, b| a.0.cmp(&b.0));
+        (objects, dead)
+    }
+
+    /// Writes `value` at `key` with the next version and log position.
+    fn write(&mut self, key: &Bytes, value: Value) -> u64 {
+        let version = self.current_version(key) + 1;
+        self.dead_versions.remove(key);
+        self.tombstones.remove(key);
+        let pos = self.next_pos();
+        self.objects.insert(key.clone(), Object { value, version, write_pos: pos });
+        version
+    }
+}
+
+// ---- wire codec for snapshot transfer --------------------------------------
+//
+// Backups ship their materialized state to recovery masters as an opaque
+// snapshot blob (Response::BackupData); these impls give `Value` and `Object`
+// a deterministic encoding. Hash/set contents are sorted so that equal stores
+// encode to identical bytes.
+
+use bytes::{Buf, BufMut};
+use curp_proto::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
+
+const VAL_STR: u8 = 0;
+const VAL_HASH: u8 = 1;
+const VAL_COUNTER: u8 = 2;
+const VAL_LIST: u8 = 3;
+const VAL_SET: u8 = 4;
+
+impl Encode for Value {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Value::Str(b) => {
+                buf.put_u8(VAL_STR);
+                b.encode(buf);
+            }
+            Value::Hash(h) => {
+                buf.put_u8(VAL_HASH);
+                let mut pairs: Vec<(Bytes, Bytes)> =
+                    h.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                encode_seq(&pairs, buf);
+            }
+            Value::Counter(c) => {
+                buf.put_u8(VAL_COUNTER);
+                c.encode(buf);
+            }
+            Value::List(l) => {
+                buf.put_u8(VAL_LIST);
+                encode_seq(l, buf);
+            }
+            Value::Set(s) => {
+                buf.put_u8(VAL_SET);
+                let mut members: Vec<Bytes> = s.iter().cloned().collect();
+                members.sort();
+                encode_seq(&members, buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Value::Str(b) => b.encoded_len(),
+            Value::Hash(h) => {
+                4 + h.iter().map(|(k, v)| k.encoded_len() + v.encoded_len()).sum::<usize>()
+            }
+            Value::Counter(c) => c.encoded_len(),
+            Value::List(l) => seq_encoded_len(l),
+            Value::Set(s) => 4 + s.iter().map(|m| m.encoded_len()).sum::<usize>(),
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        need(buf, 1)?;
+        let tag = buf.get_u8();
+        Ok(match tag {
+            VAL_STR => Value::Str(Bytes::decode(buf)?),
+            VAL_HASH => {
+                let pairs: Vec<(Bytes, Bytes)> = decode_seq(buf)?;
+                Value::Hash(pairs.into_iter().collect())
+            }
+            VAL_COUNTER => Value::Counter(i64::decode(buf)?),
+            VAL_LIST => Value::List(decode_seq(buf)?),
+            VAL_SET => {
+                let members: Vec<Bytes> = decode_seq(buf)?;
+                Value::Set(members.into_iter().collect())
+            }
+            tag => return Err(DecodeError::InvalidTag { ty: "Value", tag }),
+        })
+    }
+}
+
+impl Encode for Object {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.value.encode(buf);
+        self.version.encode(buf);
+        self.write_pos.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.value.encoded_len() + 16
+    }
+}
+
+impl Decode for Object {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(Object {
+            value: Value::decode(buf)?,
+            version: u64::decode(buf)?,
+            write_pos: u64::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn put(store: &mut Store, k: &str, v: &str) -> OpResult {
+        store.execute(&Op::Put { key: b(k), value: b(v) })
+    }
+
+    fn get(store: &mut Store, k: &str) -> OpResult {
+        store.execute(&Op::Get { key: b(k) })
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = Store::new();
+        assert_eq!(get(&mut s, "k"), OpResult::Value(None));
+        assert_eq!(put(&mut s, "k", "v"), OpResult::Written { version: 1 });
+        assert_eq!(get(&mut s, "k"), OpResult::Value(Some(b("v"))));
+    }
+
+    #[test]
+    fn versions_increase_monotonically() {
+        let mut s = Store::new();
+        assert_eq!(put(&mut s, "k", "a"), OpResult::Written { version: 1 });
+        assert_eq!(put(&mut s, "k", "b"), OpResult::Written { version: 2 });
+        s.execute(&Op::Delete { key: b("k") });
+        // Version memory survives deletion.
+        assert_eq!(put(&mut s, "k", "c"), OpResult::Written { version: 3 });
+    }
+
+    #[test]
+    fn delete_removes_and_reports_missing() {
+        let mut s = Store::new();
+        put(&mut s, "k", "v");
+        s.execute(&Op::Delete { key: b("k") });
+        assert_eq!(get(&mut s, "k"), OpResult::Value(None));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn conditional_put_checks_version() {
+        let mut s = Store::new();
+        assert_eq!(
+            s.execute(&Op::ConditionalPut { key: b("k"), expected_version: 0, value: b("a") }),
+            OpResult::Written { version: 1 }
+        );
+        assert_eq!(
+            s.execute(&Op::ConditionalPut { key: b("k"), expected_version: 0, value: b("x") }),
+            OpResult::ConditionFailed { actual_version: 1 }
+        );
+        assert_eq!(
+            s.execute(&Op::ConditionalPut { key: b("k"), expected_version: 1, value: b("b") }),
+            OpResult::Written { version: 2 }
+        );
+        assert_eq!(get(&mut s, "k"), OpResult::Value(Some(b("b"))));
+    }
+
+    #[test]
+    fn failed_conditional_put_consumes_no_log_position() {
+        let mut s = Store::new();
+        put(&mut s, "k", "a");
+        let head = s.log_head();
+        s.execute(&Op::ConditionalPut { key: b("k"), expected_version: 99, value: b("x") });
+        assert_eq!(s.log_head(), head);
+    }
+
+    #[test]
+    fn multiput_writes_all_keys() {
+        let mut s = Store::new();
+        s.execute(&Op::MultiPut { kvs: vec![(b("a"), b("1")), (b("b"), b("2"))] });
+        assert_eq!(get(&mut s, "a"), OpResult::Value(Some(b("1"))));
+        assert_eq!(get(&mut s, "b"), OpResult::Value(Some(b("2"))));
+    }
+
+    #[test]
+    fn incr_counts_from_zero_and_wraps_strings() {
+        let mut s = Store::new();
+        assert_eq!(s.execute(&Op::Incr { key: b("c"), delta: 5 }), OpResult::Counter(5));
+        assert_eq!(s.execute(&Op::Incr { key: b("c"), delta: -2 }), OpResult::Counter(3));
+        // A numeric string upgrades to a counter, like Redis.
+        put(&mut s, "n", "41");
+        assert_eq!(s.execute(&Op::Incr { key: b("n"), delta: 1 }), OpResult::Counter(42));
+        // GET of a counter renders as its decimal string.
+        assert_eq!(get(&mut s, "n"), OpResult::Value(Some(b("42"))));
+    }
+
+    #[test]
+    fn incr_on_non_numeric_is_wrongtype() {
+        let mut s = Store::new();
+        put(&mut s, "k", "not-a-number");
+        assert_eq!(s.execute(&Op::Incr { key: b("k"), delta: 1 }), OpResult::WrongType);
+    }
+
+    #[test]
+    fn hash_ops() {
+        let mut s = Store::new();
+        assert_eq!(
+            s.execute(&Op::HGet { key: b("h"), field: b("f") }),
+            OpResult::Value(None)
+        );
+        s.execute(&Op::HSet { key: b("h"), field: b("f"), value: b("v") });
+        s.execute(&Op::HSet { key: b("h"), field: b("g"), value: b("w") });
+        assert_eq!(
+            s.execute(&Op::HGet { key: b("h"), field: b("f") }),
+            OpResult::Value(Some(b("v")))
+        );
+        assert_eq!(
+            s.execute(&Op::HGet { key: b("h"), field: b("g") }),
+            OpResult::Value(Some(b("w")))
+        );
+        // GET on a hash is a type error.
+        assert_eq!(get(&mut s, "h"), OpResult::WrongType);
+    }
+
+    #[test]
+    fn list_push_returns_length() {
+        let mut s = Store::new();
+        assert_eq!(s.execute(&Op::ListPush { key: b("l"), value: b("a") }), OpResult::Counter(1));
+        assert_eq!(s.execute(&Op::ListPush { key: b("l"), value: b("b") }), OpResult::Counter(2));
+    }
+
+    #[test]
+    fn set_add_reports_novelty() {
+        let mut s = Store::new();
+        assert_eq!(s.execute(&Op::SetAdd { key: b("s"), member: b("m") }), OpResult::Counter(1));
+        assert_eq!(s.execute(&Op::SetAdd { key: b("s"), member: b("m") }), OpResult::Counter(0));
+    }
+
+    #[test]
+    fn type_confusion_is_rejected_without_mutation() {
+        let mut s = Store::new();
+        s.execute(&Op::ListPush { key: b("l"), value: b("a") });
+        let head = s.log_head();
+        assert_eq!(s.execute(&Op::Incr { key: b("l"), delta: 1 }), OpResult::WrongType);
+        assert_eq!(
+            s.execute(&Op::HSet { key: b("l"), field: b("f"), value: b("v") }),
+            OpResult::WrongType
+        );
+        assert_eq!(s.execute(&Op::SetAdd { key: b("l"), member: b("m") }), OpResult::WrongType);
+        assert_eq!(s.log_head(), head);
+    }
+
+    #[test]
+    fn unsynced_tracking_follows_sync_frontier() {
+        let mut s = Store::new();
+        put(&mut s, "a", "1"); // pos 0
+        put(&mut s, "b", "2"); // pos 1
+        assert!(s.is_unsynced(b"a"));
+        assert!(s.is_unsynced(b"b"));
+        assert!(!s.is_unsynced(b"never-written"));
+        s.mark_synced(1);
+        assert!(!s.is_unsynced(b"a"));
+        assert!(s.is_unsynced(b"b"));
+        s.mark_synced(2);
+        assert!(!s.has_unsynced());
+    }
+
+    #[test]
+    fn rewrite_makes_key_unsynced_again() {
+        let mut s = Store::new();
+        put(&mut s, "a", "1");
+        s.mark_synced(1);
+        assert!(!s.is_unsynced(b"a"));
+        put(&mut s, "a", "2");
+        assert!(s.is_unsynced(b"a"));
+    }
+
+    #[test]
+    fn unsynced_delete_is_tracked_via_tombstone() {
+        let mut s = Store::new();
+        put(&mut s, "a", "1");
+        s.mark_synced(1);
+        s.execute(&Op::Delete { key: b("a") });
+        // The delete itself is an unsynced mutation of "a".
+        assert!(s.is_unsynced(b"a"));
+        s.mark_synced(2);
+        assert!(!s.is_unsynced(b"a"));
+    }
+
+    #[test]
+    fn touches_unsynced_matches_footprint() {
+        let mut s = Store::new();
+        put(&mut s, "hot", "1");
+        assert!(s.touches_unsynced(&Op::Get { key: b("hot") }));
+        assert!(!s.touches_unsynced(&Op::Get { key: b("cold") }));
+        assert!(s.touches_unsynced(&Op::MultiPut { kvs: vec![(b("cold"), b("x")), (b("hot"), b("y"))] }));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the log head")]
+    fn mark_synced_beyond_head_panics() {
+        let mut s = Store::new();
+        s.mark_synced(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn mark_synced_backwards_panics() {
+        let mut s = Store::new();
+        put(&mut s, "a", "1");
+        put(&mut s, "b", "1");
+        s.mark_synced(2);
+        s.mark_synced(1);
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_fully_synced() {
+        let mut s = Store::new();
+        put(&mut s, "a", "1");
+        s.execute(&Op::Incr { key: b("c"), delta: 7 });
+        s.execute(&Op::HSet { key: b("h"), field: b("f"), value: b("v") });
+        s.execute(&Op::Delete { key: b("dead") }); // version memory for "dead"
+        put(&mut s, "dead", "x");
+        s.execute(&Op::Delete { key: b("dead") });
+
+        let (objects, dead) = s.export();
+        let restored = Store::import(objects, dead);
+        assert!(!restored.has_unsynced(), "imported state must be fully synced");
+        assert!(!restored.is_unsynced(b"a"));
+        let mut r = restored.clone();
+        assert_eq!(get(&mut r, "a"), OpResult::Value(Some(b("1"))));
+        assert_eq!(r.execute(&Op::Incr { key: b("c"), delta: 1 }), OpResult::Counter(8));
+        // Deleted-key version memory survives the snapshot: "dead" reached
+        // version 1 before deletion, so its next write is version 2.
+        assert_eq!(put(&mut r, "dead", "y"), OpResult::Written { version: 2 });
+        // New mutations become unsynced again.
+        assert!(r.is_unsynced(b"c"));
+    }
+
+    #[test]
+    fn value_and_object_codec_roundtrip() {
+        use curp_proto::wire::roundtrip;
+        roundtrip(&Value::Str(b("hello")));
+        roundtrip(&Value::Counter(-9));
+        roundtrip(&Value::Hash([(b("f"), b("v")), (b("g"), b("w"))].into_iter().collect()));
+        roundtrip(&Value::List(vec![b("a"), b("b")]));
+        roundtrip(&Value::Set([b("x"), b("y")].into_iter().collect()));
+        roundtrip(&Object { value: Value::Str(b("v")), version: 3, write_pos: 9 });
+    }
+
+    #[test]
+    fn equal_stores_encode_identically() {
+        // Hash maps iterate nondeterministically; the codec must sort.
+        let mut h1 = HashMap::new();
+        let mut h2 = HashMap::new();
+        for i in 0..50 {
+            h1.insert(b(&format!("k{i}")), b("v"));
+        }
+        for i in (0..50).rev() {
+            h2.insert(b(&format!("k{i}")), b("v"));
+        }
+        use curp_proto::wire::Encode;
+        assert_eq!(Value::Hash(h1).to_bytes(), Value::Hash(h2).to_bytes());
+    }
+
+    #[test]
+    fn deterministic_replay_reproduces_state() {
+        let ops = [Op::Put { key: b("a"), value: b("1") },
+            Op::Incr { key: b("c"), delta: 3 },
+            Op::HSet { key: b("h"), field: b("f"), value: b("v") },
+            Op::Delete { key: b("a") },
+            Op::Put { key: b("a"), value: b("2") },
+            Op::ListPush { key: b("l"), value: b("x") },
+            Op::SetAdd { key: b("s"), member: b("m") }];
+        let mut s1 = Store::new();
+        let mut s2 = Store::new();
+        let r1: Vec<_> = ops.iter().map(|op| s1.execute(op)).collect();
+        let r2: Vec<_> = ops.iter().map(|op| s2.execute(op)).collect();
+        assert_eq!(r1, r2);
+        assert_eq!(s1.objects, s2.objects);
+        assert_eq!(s1.log_head(), s2.log_head());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the store's replication-bearing invariants:
+//! determinism, synced-frontier bookkeeping, and snapshot fidelity.
+
+use bytes::Bytes;
+use curp_proto::op::Op;
+use curp_storage::Store;
+use proptest::prelude::*;
+
+fn key(i: u8) -> Bytes {
+    Bytes::from(format!("key-{}", i % 16))
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Op(Op),
+    Sync,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        8 => arb_op().prop_map(Step::Op),
+        1 => Just(Step::Sync),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put {
+            key: key(k),
+            value: Bytes::from(vec![v; 8])
+        }),
+        any::<u8>().prop_map(|k| Op::Delete { key: key(k) }),
+        (any::<u8>(), -4..5i64).prop_map(|(k, d)| Op::Incr { key: key(k), delta: d }),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, f)| Op::HSet {
+            key: key(k),
+            field: Bytes::from(vec![f % 4]),
+            value: Bytes::from_static(b"v"),
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, m)| Op::SetAdd {
+            key: key(k),
+            member: Bytes::from(vec![m % 8]),
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::ListPush {
+            key: key(k),
+            value: Bytes::from(vec![v]),
+        }),
+        any::<u8>().prop_map(|k| Op::Get { key: key(k) }),
+    ]
+}
+
+proptest! {
+    /// Two stores fed the same operations agree on every result — the
+    /// property backups and recovery replay depend on.
+    #[test]
+    fn execution_is_deterministic(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut a = Store::new();
+        let mut b = Store::new();
+        for op in &ops {
+            prop_assert_eq!(a.execute(op), b.execute(op));
+        }
+        prop_assert_eq!(a.log_head(), b.log_head());
+        let (oa, da) = a.export();
+        let (ob, db) = b.export();
+        prop_assert_eq!(oa, ob);
+        prop_assert_eq!(da, db);
+    }
+
+    /// The synced/unsynced partition is exact: after `mark_synced(head)`
+    /// nothing is unsynced; any later mutation makes exactly its keys
+    /// unsynced; reads never change the frontier.
+    #[test]
+    fn unsynced_tracking_is_exact(steps in prop::collection::vec(arb_step(), 1..150)) {
+        let mut store = Store::new();
+        // Model: keys written since the last sync.
+        let mut dirty: std::collections::HashSet<Bytes> = Default::default();
+        for step in &steps {
+            match step {
+                Step::Sync => {
+                    let head = store.log_head();
+                    store.mark_synced(head);
+                    dirty.clear();
+                    prop_assert!(!store.has_unsynced());
+                }
+                Step::Op(op) => {
+                    let before = store.log_head();
+                    let _ = store.execute(op);
+                    let mutated = store.log_head() > before;
+                    if mutated && !op.is_read_only() {
+                        for k in op.keys() {
+                            dirty.insert(k.clone());
+                        }
+                    }
+                }
+            }
+            for i in 0..16u8 {
+                let k = key(i);
+                prop_assert_eq!(
+                    store.is_unsynced(&k),
+                    dirty.contains(&k),
+                    "key {:?} frontier mismatch",
+                    k
+                );
+            }
+        }
+    }
+
+    /// Snapshot round-trips preserve every observable value.
+    #[test]
+    fn export_import_preserves_reads(ops in prop::collection::vec(arb_op(), 1..100)) {
+        let mut store = Store::new();
+        for op in &ops {
+            store.execute(op);
+        }
+        let (objects, dead) = store.export();
+        let restored = Store::import(objects, dead);
+        let mut a = store.clone();
+        let mut b = restored;
+        for i in 0..16u8 {
+            prop_assert_eq!(
+                a.execute(&Op::Get { key: key(i) }),
+                b.execute(&Op::Get { key: key(i) }),
+                "GET {:?} differs after snapshot",
+                key(i)
+            );
+        }
+        // Versions survive the snapshot: the next write continues the chain.
+        for i in 0..16u8 {
+            prop_assert_eq!(
+                a.execute(&Op::Put { key: key(i), value: Bytes::new() }),
+                b.execute(&Op::Put { key: key(i), value: Bytes::new() })
+            );
+        }
+    }
+
+    /// Log positions are consumed iff state changed; failed ops are free.
+    #[test]
+    fn log_positions_track_mutations(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut store = Store::new();
+        for op in &ops {
+            let before = store.log_head();
+            let result = store.execute(op);
+            let consumed = store.log_head() - before;
+            use curp_proto::op::OpResult;
+            match (&result, op) {
+                (OpResult::WrongType | OpResult::ConditionFailed { .. }, _) => {
+                    prop_assert_eq!(consumed, 0, "failed op consumed a position")
+                }
+                (_, Op::Get { .. } | Op::HGet { .. }) => prop_assert_eq!(consumed, 0),
+                (_, Op::MultiPut { kvs }) => prop_assert_eq!(consumed, kvs.len() as u64),
+                _ => prop_assert_eq!(consumed, 1),
+            }
+        }
+    }
+}

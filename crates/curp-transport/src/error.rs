@@ -1,0 +1,79 @@
+//! Transport-level errors.
+
+use std::fmt;
+
+use curp_proto::types::ServerId;
+use curp_proto::wire::DecodeError;
+
+/// Errors surfaced by an RPC call.
+///
+/// These are *transport* failures only. Protocol-level refusals (witness
+/// rejection, stale witness lists, …) travel inside
+/// [`Response`](curp_proto::message::Response) variants, because the caller
+/// must distinguish "the network lost my request" (retry) from "the server
+/// told me no" (take the slow path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No response arrived within the caller's deadline. The request may or
+    /// may not have executed — exactly the ambiguity RIFL exists to resolve.
+    Timeout {
+        /// The unresponsive server.
+        to: ServerId,
+    },
+    /// The destination is not reachable (crashed, partitioned, or never
+    /// registered).
+    Unreachable {
+        /// The unreachable server.
+        to: ServerId,
+    },
+    /// The connection failed mid-call (TCP transport).
+    ConnectionReset {
+        /// The peer whose connection dropped.
+        to: ServerId,
+    },
+    /// The peer sent bytes that did not decode.
+    Malformed(DecodeError),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Timeout { to } => write!(f, "rpc to {to} timed out"),
+            RpcError::Unreachable { to } => write!(f, "server {to} unreachable"),
+            RpcError::ConnectionReset { to } => write!(f, "connection to {to} reset"),
+            RpcError::Malformed(e) => write!(f, "malformed response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for RpcError {
+    fn from(e: DecodeError) -> Self {
+        RpcError::Malformed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_server() {
+        let e = RpcError::Timeout { to: ServerId(7) };
+        assert!(e.to_string().contains("s7"));
+    }
+
+    #[test]
+    fn decode_error_converts() {
+        let e: RpcError = DecodeError::InvalidBool(3).into();
+        assert!(matches!(e, RpcError::Malformed(_)));
+    }
+}

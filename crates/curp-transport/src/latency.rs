@@ -1,0 +1,197 @@
+//! Latency models for the in-memory simulated network.
+//!
+//! The paper's latency results come from two very different fabrics:
+//! kernel-bypass InfiniBand for RAMCloud (Table 1, consistent latency out to
+//! the 99th percentile, §5.4) and kernel TCP for Redis (high tail latency
+//! above the ~80th percentile, §5.4). Both are modeled here as one-way delay
+//! distributions of the form
+//!
+//! ```text
+//! delay = base + Uniform(0, jitter) + Bernoulli(tail_prob) * Exp(tail_scale)
+//! ```
+//!
+//! which captures a tight body plus an exponential tail whose weight and
+//! scale differ per fabric. Samples are drawn from a caller-provided seeded
+//! RNG, so simulations are reproducible.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// A one-way message-delay distribution.
+pub trait LatencyModel: Send + Sync + 'static {
+    /// Draws one one-way delay.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Duration;
+
+    /// The distribution's baseline (used for documentation and sanity tests).
+    fn base(&self) -> Duration;
+}
+
+/// A constant delay — useful for deterministic unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed(pub Duration);
+
+impl LatencyModel for Fixed {
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> Duration {
+        self.0
+    }
+    fn base(&self) -> Duration {
+        self.0
+    }
+}
+
+/// Base + uniform jitter + occasional exponential tail (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct TailMix {
+    /// Deterministic floor of the delay.
+    pub base: Duration,
+    /// Width of the uniform jitter added to every sample.
+    pub jitter: Duration,
+    /// Probability that a sample additionally lands in the tail.
+    pub tail_prob: f64,
+    /// Mean of the exponential tail component.
+    pub tail_scale: Duration,
+}
+
+impl TailMix {
+    /// A delay with jitter but no tail.
+    pub fn jittered(base: Duration, jitter: Duration) -> Self {
+        TailMix { base, jitter, tail_prob: 0.0, tail_scale: Duration::ZERO }
+    }
+}
+
+impl TailMix {
+    /// Multiplies every time constant by `factor`.
+    ///
+    /// Used by the simulator to re-express a physical-time model in scaled
+    /// virtual time (tokio's timer rounds sleeps up to 1 ms, so µs-precision
+    /// simulations run with 1 virtual ns mapped to 1 tokio ms).
+    pub fn scaled(self, factor: u32) -> Self {
+        TailMix {
+            base: self.base * factor,
+            jitter: self.jitter * factor,
+            tail_prob: self.tail_prob,
+            tail_scale: self.tail_scale * factor,
+        }
+    }
+}
+
+impl LatencyModel for TailMix {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> Duration {
+        let mut d = self.base;
+        if !self.jitter.is_zero() {
+            d += Duration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos() as u64));
+        }
+        if self.tail_prob > 0.0 && rng.gen_bool(self.tail_prob) {
+            // Inverse-CDF sample of Exp(1/tail_scale).
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let exp = -u.ln() * self.tail_scale.as_nanos() as f64;
+            d += Duration::from_nanos(exp as u64);
+        }
+        d
+    }
+    fn base(&self) -> Duration {
+        self.base
+    }
+}
+
+/// Named network profiles calibrated against Table 1 of the paper.
+///
+/// The absolute values are a *model*, not a measurement of this machine;
+/// they are chosen so the end-to-end medians match the paper's reported
+/// numbers (e.g. 14 µs synchronous RAMCloud writes, §5.1) and so relative
+/// comparisons (the actual subject of the figures) carry over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetProfile {
+    /// Kernel-bypass InfiniBand (RAMCloud cluster, Table 1): ~2.2 µs one-way,
+    /// tiny jitter, negligible tail — "latency is consistent out to the 99th
+    /// percentile" (§5.4).
+    Infiniband,
+    /// Kernel TCP over 10 GbE (Redis cluster, Table 1): ~7 µs one-way
+    /// including syscall costs (~2.5 µs per send/recv, §5.4), with a heavy
+    /// tail that "degrades rapidly above the 80th percentile".
+    TcpDatacenter,
+}
+
+impl NetProfile {
+    /// Returns the one-way delay model for this profile.
+    pub fn model(self) -> TailMix {
+        match self {
+            NetProfile::Infiniband => TailMix {
+                base: Duration::from_nanos(2_200),
+                jitter: Duration::from_nanos(400),
+                tail_prob: 0.002,
+                tail_scale: Duration::from_nanos(4_000),
+            },
+            NetProfile::TcpDatacenter => TailMix {
+                base: Duration::from_nanos(7_000),
+                jitter: Duration::from_nanos(3_000),
+                tail_prob: 0.18,
+                tail_scale: Duration::from_nanos(25_000),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = Fixed(Duration::from_micros(5));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), Duration::from_micros(5));
+        }
+    }
+
+    #[test]
+    fn tailmix_respects_floor() {
+        let m = NetProfile::Infiniband.model();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            assert!(m.sample(&mut rng) >= m.base);
+        }
+    }
+
+    #[test]
+    fn tailmix_jitter_bounded_without_tail() {
+        let m = TailMix::jittered(Duration::from_micros(2), Duration::from_micros(1));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= Duration::from_micros(2) && d <= Duration::from_micros(3));
+        }
+    }
+
+    #[test]
+    fn tcp_profile_has_heavier_tail_than_infiniband() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p99 = |m: &TailMix, rng: &mut StdRng| {
+            let mut xs: Vec<Duration> = (0..20_000).map(|_| m.sample(rng)).collect();
+            xs.sort();
+            xs[(xs.len() as f64 * 0.99) as usize]
+        };
+        let ib = NetProfile::Infiniband.model();
+        let tcp = NetProfile::TcpDatacenter.model();
+        let ib99 = p99(&ib, &mut rng);
+        let tcp99 = p99(&tcp, &mut rng);
+        // Tail amplification relative to base must be much worse for TCP.
+        let ib_ratio = ib99.as_nanos() as f64 / ib.base.as_nanos() as f64;
+        let tcp_ratio = tcp99.as_nanos() as f64 / tcp.base.as_nanos() as f64;
+        assert!(tcp_ratio > ib_ratio * 2.0, "ib={ib_ratio:.2} tcp={tcp_ratio:.2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = NetProfile::TcpDatacenter.model();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..100).map(|_| m.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,28 @@
+//! Transport layer for CURP.
+//!
+//! CURP makes *no assumptions about the network* (§3.1): it tolerates
+//! arbitrary delay, reordering and loss. This crate provides the two
+//! transports the rest of the workspace runs on, behind one pair of traits:
+//!
+//! * [`mem::MemNetwork`] — an in-process network whose per-link
+//!   latencies are drawn from configurable [`latency`] models and which can
+//!   inject drops, partitions and crashes. Under tokio's *paused* clock it
+//!   behaves as a deterministic discrete-event simulator, which is how the
+//!   paper's latency figures are regenerated on any machine.
+//! * [`tcp`] — a real tokio TCP transport with length-prefixed frames and
+//!   per-connection multiplexing, used by the runnable examples.
+//!
+//! Protocol code (masters, witnesses, clients, …) is written against
+//! [`rpc::RpcClient`]/[`rpc::RpcHandler`] only and is
+//! oblivious to which transport carries its messages.
+
+pub mod error;
+pub mod latency;
+pub mod mem;
+pub mod rpc;
+pub mod tcp;
+
+pub use error::RpcError;
+pub use latency::{LatencyModel, NetProfile};
+pub use mem::MemNetwork;
+pub use rpc::{BoxFuture, RpcClient, RpcHandler};

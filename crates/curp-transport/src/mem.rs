@@ -1,0 +1,460 @@
+//! In-process simulated network.
+//!
+//! [`MemNetwork`] routes [`Request`]s between registered handlers, imposing:
+//!
+//! * per-link one-way delays drawn from a [`LatencyModel`] (global default
+//!   plus per-link overrides, so geo-replication setups can make one witness
+//!   "nearby"),
+//! * optional message loss and bidirectional partitions,
+//! * server crashes (requests to a crashed server vanish, like a dead NIC),
+//! * a per-server *dispatch cost*: every message a server sends or receives
+//!   occupies a FIFO dispatch resource for a fixed virtual duration. This
+//!   models the RAMCloud dispatch thread that §5.1 identifies as the
+//!   throughput bottleneck ("masters are bottlenecked by a dispatch thread"),
+//!   and is what makes the Figure 6/12 throughput curves reproducible.
+//!
+//! All waiting uses `tokio::time`, so running under a *paused* clock
+//! (`tokio::time::pause`, or `start_paused` in tests) turns the network into
+//! a deterministic discrete-event simulation: virtual microseconds elapse
+//! instantly in wall time.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use curp_proto::message::{Request, Response};
+use curp_proto::types::ServerId;
+use curp_proto::wire::Encode;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::RpcError;
+use crate::latency::{Fixed, LatencyModel};
+use crate::rpc::{BoxFuture, RpcClient, SharedHandler};
+
+/// Per-server simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerSpec {
+    /// Virtual time the server's dispatch resource is occupied per message
+    /// sent or received. `Duration::ZERO` disables dispatch modeling.
+    pub dispatch_cost: Duration,
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        ServerSpec { dispatch_cost: Duration::ZERO }
+    }
+}
+
+/// Message counters kept per server (both directions), used by the §5.2
+/// resource-consumption experiment.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests delivered to this server.
+    pub requests_in: AtomicU64,
+    /// Responses produced by this server.
+    pub responses_out: AtomicU64,
+    /// Total encoded bytes received.
+    pub bytes_in: AtomicU64,
+    /// Total encoded bytes sent.
+    pub bytes_out: AtomicU64,
+}
+
+struct ServerEntry {
+    handler: SharedHandler,
+    spec: ServerSpec,
+    dispatch: Arc<tokio::sync::Mutex<()>>,
+    crashed: bool,
+    stats: Arc<ServerStats>,
+}
+
+struct Inner {
+    servers: Mutex<HashMap<ServerId, ServerEntry>>,
+    default_latency: Mutex<Arc<dyn LatencyModel>>,
+    link_latency: Mutex<HashMap<(ServerId, ServerId), Arc<dyn LatencyModel>>>,
+    partitions: Mutex<HashSet<(ServerId, ServerId)>>,
+    drop_rate: Mutex<f64>,
+    rng: Mutex<StdRng>,
+    rpc_timeout: Mutex<Duration>,
+}
+
+/// The simulated network. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct MemNetwork {
+    inner: Arc<Inner>,
+}
+
+impl MemNetwork {
+    /// Creates a network with a fixed 1 µs one-way delay and the given RNG
+    /// seed. Replace the latency model with
+    /// [`set_default_latency`](Self::set_default_latency) as needed.
+    pub fn new(seed: u64) -> Self {
+        MemNetwork {
+            inner: Arc::new(Inner {
+                servers: Mutex::new(HashMap::new()),
+                default_latency: Mutex::new(Arc::new(Fixed(Duration::from_micros(1)))),
+                link_latency: Mutex::new(HashMap::new()),
+                partitions: Mutex::new(HashSet::new()),
+                drop_rate: Mutex::new(0.0),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                rpc_timeout: Mutex::new(Duration::from_millis(200)),
+            }),
+        }
+    }
+
+    /// Registers (or replaces) the handler for `id`.
+    pub fn add_server(&self, id: ServerId, handler: SharedHandler, spec: ServerSpec) {
+        let mut servers = self.inner.servers.lock();
+        let stats =
+            servers.get(&id).map(|e| Arc::clone(&e.stats)).unwrap_or_default();
+        servers.insert(
+            id,
+            ServerEntry {
+                handler,
+                spec,
+                dispatch: Arc::new(tokio::sync::Mutex::new(())),
+                crashed: false,
+                stats,
+            },
+        );
+    }
+
+    /// Registers a handler with default spec (no dispatch modeling).
+    pub fn add_simple_server(&self, id: ServerId, handler: SharedHandler) {
+        self.add_server(id, handler, ServerSpec::default());
+    }
+
+    /// Sets the network-wide default one-way latency model.
+    pub fn set_default_latency(&self, model: Arc<dyn LatencyModel>) {
+        *self.inner.default_latency.lock() = model;
+    }
+
+    /// Overrides the latency of the directed link `from → to`.
+    pub fn set_link_latency(&self, from: ServerId, to: ServerId, model: Arc<dyn LatencyModel>) {
+        self.inner.link_latency.lock().insert((from, to), model);
+    }
+
+    /// Sets the probability that any individual message is silently lost.
+    pub fn set_drop_rate(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        *self.inner.drop_rate.lock() = p;
+    }
+
+    /// Sets how long callers wait before reporting [`RpcError::Timeout`].
+    pub fn set_rpc_timeout(&self, d: Duration) {
+        *self.inner.rpc_timeout.lock() = d;
+    }
+
+    /// Marks `id` as crashed: requests to it are silently dropped (callers
+    /// time out, as with a dead machine) until [`restart`](Self::restart).
+    pub fn crash(&self, id: ServerId) {
+        if let Some(e) = self.inner.servers.lock().get_mut(&id) {
+            e.crashed = true;
+        }
+    }
+
+    /// Clears the crashed flag for `id` (the handler keeps its state; models
+    /// a zombie returning from a network outage rather than a reboot).
+    pub fn restart(&self, id: ServerId) {
+        if let Some(e) = self.inner.servers.lock().get_mut(&id) {
+            e.crashed = false;
+        }
+    }
+
+    /// Returns `true` if `id` is currently marked crashed.
+    pub fn is_crashed(&self, id: ServerId) -> bool {
+        self.inner.servers.lock().get(&id).map(|e| e.crashed).unwrap_or(false)
+    }
+
+    /// Cuts both directions of the link between `a` and `b`.
+    pub fn partition(&self, a: ServerId, b: ServerId) {
+        let mut p = self.inner.partitions.lock();
+        p.insert((a, b));
+        p.insert((b, a));
+    }
+
+    /// Heals a previous [`partition`](Self::partition).
+    pub fn heal(&self, a: ServerId, b: ServerId) {
+        let mut p = self.inner.partitions.lock();
+        p.remove(&(a, b));
+        p.remove(&(b, a));
+    }
+
+    /// Per-server message statistics.
+    pub fn stats(&self, id: ServerId) -> Option<Arc<ServerStats>> {
+        self.inner.servers.lock().get(&id).map(|e| Arc::clone(&e.stats))
+    }
+
+    /// Returns an [`RpcClient`] whose calls originate from `from`.
+    ///
+    /// `from` does not need to be a registered server (clients usually
+    /// aren't); if it is, its dispatch cost is charged for each message.
+    pub fn client(&self, from: ServerId) -> Arc<dyn RpcClient> {
+        Arc::new(MemClient { net: self.clone(), from })
+    }
+
+    fn sample_delay(&self, from: ServerId, to: ServerId) -> Duration {
+        let model = {
+            let links = self.inner.link_latency.lock();
+            links.get(&(from, to)).cloned()
+        };
+        let model = model.unwrap_or_else(|| Arc::clone(&self.inner.default_latency.lock()));
+        let mut rng = self.inner.rng.lock();
+        model.sample(&mut *rng)
+    }
+
+    fn message_lost(&self) -> bool {
+        let p = *self.inner.drop_rate.lock();
+        p > 0.0 && self.inner.rng.lock().gen_bool(p)
+    }
+
+    fn is_partitioned(&self, from: ServerId, to: ServerId) -> bool {
+        self.inner.partitions.lock().contains(&(from, to))
+    }
+
+    fn dispatch_of(&self, id: ServerId) -> Option<(Arc<tokio::sync::Mutex<()>>, Duration)> {
+        self.inner.servers.lock().get(&id).and_then(|e| {
+            if e.spec.dispatch_cost.is_zero() {
+                None
+            } else {
+                Some((Arc::clone(&e.dispatch), e.spec.dispatch_cost))
+            }
+        })
+    }
+
+    /// Occupies `id`'s dispatch resource for one message, if modeled.
+    async fn occupy_dispatch(&self, id: ServerId) {
+        if let Some((lock, cost)) = self.dispatch_of(id) {
+            let _guard = lock.lock().await;
+            tokio::time::sleep(cost).await;
+        }
+    }
+
+    async fn do_call(self, from: ServerId, to: ServerId, req: Request) -> Result<Response, RpcError> {
+        let timeout = *self.inner.rpc_timeout.lock();
+        let fut = async {
+            let req_len = req.encoded_len() as u64;
+            // Outgoing request occupies the sender's dispatch thread.
+            self.occupy_dispatch(from).await;
+            let d_out = self.sample_delay(from, to);
+            tokio::time::sleep(d_out).await;
+            if self.is_partitioned(from, to) || self.message_lost() {
+                std::future::pending::<()>().await;
+            }
+            let (handler, stats) = {
+                let servers = self.inner.servers.lock();
+                match servers.get(&to) {
+                    // A crashed machine neither NACKs nor replies; surface the
+                    // loss as a timeout (after the propagation delay already
+                    // paid, so retry loops still advance virtual time).
+                    Some(e) if e.crashed => return Err(RpcError::Timeout { to }),
+                    Some(e) => (Arc::clone(&e.handler), Arc::clone(&e.stats)),
+                    None => return Err(RpcError::Unreachable { to }),
+                }
+            };
+            stats.requests_in.fetch_add(1, Ordering::Relaxed);
+            stats.bytes_in.fetch_add(req_len, Ordering::Relaxed);
+            // Incoming request occupies the receiver's dispatch thread.
+            self.occupy_dispatch(to).await;
+            let rsp = handler.handle(from, req).await;
+            // If the server crashed while processing, its response is lost.
+            if self.is_crashed(to) {
+                std::future::pending::<()>().await;
+            }
+            stats.responses_out.fetch_add(1, Ordering::Relaxed);
+            stats.bytes_out.fetch_add(rsp.encoded_len() as u64, Ordering::Relaxed);
+            // Outgoing response occupies the receiver's dispatch thread.
+            self.occupy_dispatch(to).await;
+            let d_back = self.sample_delay(to, from);
+            tokio::time::sleep(d_back).await;
+            if self.is_partitioned(to, from) || self.message_lost() {
+                std::future::pending::<()>().await;
+            }
+            // Incoming response occupies the sender's dispatch thread.
+            self.occupy_dispatch(from).await;
+            Ok(rsp)
+        };
+        match tokio::time::timeout(timeout, fut).await {
+            Ok(r) => r,
+            Err(_) => Err(RpcError::Timeout { to }),
+        }
+    }
+}
+
+/// Wait-for-crashed-server behaviour: a crashed destination produces a
+/// timeout, not an instant error, so we surface it through the same path.
+struct MemClient {
+    net: MemNetwork,
+    from: ServerId,
+}
+
+impl RpcClient for MemClient {
+    fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, RpcError>> {
+        let net = self.net.clone();
+        let from = self.from;
+        Box::pin(net.do_call(from, to, req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn echo_handler() -> SharedHandler {
+        Arc::new(|_from: ServerId, req: Request| async move {
+            match req {
+                Request::Sync => Response::SyncDone,
+                _ => Response::Retry { reason: "unexpected".into() },
+            }
+        })
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn basic_call_roundtrips() {
+        let net = MemNetwork::new(1);
+        net.add_simple_server(ServerId(1), echo_handler());
+        let client = net.client(ServerId(100));
+        let rsp = client.call(ServerId(1), Request::Sync).await.unwrap();
+        assert_eq!(rsp, Response::SyncDone);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn unknown_server_is_unreachable() {
+        let net = MemNetwork::new(1);
+        let client = net.client(ServerId(100));
+        let err = client.call(ServerId(9), Request::Sync).await.unwrap_err();
+        assert_eq!(err, RpcError::Unreachable { to: ServerId(9) });
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn crashed_server_times_out() {
+        let net = MemNetwork::new(1);
+        net.add_simple_server(ServerId(1), echo_handler());
+        net.crash(ServerId(1));
+        let client = net.client(ServerId(100));
+        let err = client.call(ServerId(1), Request::Sync).await.unwrap_err();
+        assert_eq!(err, RpcError::Timeout { to: ServerId(1) });
+        net.restart(ServerId(1));
+        assert!(client.call(ServerId(1), Request::Sync).await.is_ok());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn partition_blocks_and_heals() {
+        let net = MemNetwork::new(1);
+        net.add_simple_server(ServerId(1), echo_handler());
+        net.partition(ServerId(100), ServerId(1));
+        let client = net.client(ServerId(100));
+        assert!(client.call(ServerId(1), Request::Sync).await.is_err());
+        net.heal(ServerId(100), ServerId(1));
+        assert!(client.call(ServerId(1), Request::Sync).await.is_ok());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn full_drop_rate_loses_everything() {
+        let net = MemNetwork::new(1);
+        net.add_simple_server(ServerId(1), echo_handler());
+        net.set_drop_rate(1.0);
+        let client = net.client(ServerId(100));
+        assert!(client.call(ServerId(1), Request::Sync).await.is_err());
+    }
+
+    // NOTE on units: tokio's timer has 1 ms resolution (sleeps round up to
+    // the next millisecond, even under a paused clock). Simulations that need
+    // microsecond precision therefore express virtual time at a coarser tokio
+    // scale (see `curp-sim`, which maps 1 virtual ns -> 1 tokio ms). The
+    // transport itself is unit-agnostic; these tests use ms-scale durations.
+
+    #[tokio::test(start_paused = true)]
+    async fn latency_is_imposed_in_virtual_time() {
+        let net = MemNetwork::new(1);
+        net.set_default_latency(Arc::new(Fixed(Duration::from_millis(10))));
+        net.add_simple_server(ServerId(1), echo_handler());
+        let client = net.client(ServerId(100));
+        let t0 = tokio::time::Instant::now();
+        client.call(ServerId(1), Request::Sync).await.unwrap();
+        let rtt = t0.elapsed();
+        assert_eq!(rtt, Duration::from_millis(20), "two one-way hops of 10ms");
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn dispatch_cost_serializes_messages() {
+        // One server with 5 ms dispatch cost per message; 10 concurrent
+        // callers. Each call charges the server 2 messages (in + out), so
+        // total virtual time must be >= 10 * 2 * 5 ms.
+        let net = MemNetwork::new(1);
+        net.set_default_latency(Arc::new(Fixed(Duration::ZERO)));
+        net.set_rpc_timeout(Duration::from_secs(10));
+        net.add_server(
+            ServerId(1),
+            echo_handler(),
+            ServerSpec { dispatch_cost: Duration::from_millis(5) },
+        );
+        let t0 = tokio::time::Instant::now();
+        let mut handles = Vec::new();
+        for i in 0..10 {
+            let client = net.client(ServerId(100 + i));
+            handles.push(tokio::spawn(async move {
+                client.call(ServerId(1), Request::Sync).await.unwrap()
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(100), "elapsed {:?}", t0.elapsed());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn per_link_latency_override() {
+        let net = MemNetwork::new(1);
+        net.set_default_latency(Arc::new(Fixed(Duration::from_millis(10))));
+        net.add_simple_server(ServerId(1), echo_handler());
+        // Make this client's link fast in both directions.
+        net.set_link_latency(ServerId(100), ServerId(1), Arc::new(Fixed(Duration::ZERO)));
+        net.set_link_latency(ServerId(1), ServerId(100), Arc::new(Fixed(Duration::ZERO)));
+        let t0 = tokio::time::Instant::now();
+        net.client(ServerId(100)).call(ServerId(1), Request::Sync).await.unwrap();
+        assert_eq!(t0.elapsed(), Duration::ZERO);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn stats_count_messages_and_bytes() {
+        let net = MemNetwork::new(1);
+        net.add_simple_server(ServerId(1), echo_handler());
+        let client = net.client(ServerId(100));
+        for _ in 0..3 {
+            client.call(ServerId(1), Request::Sync).await.unwrap();
+        }
+        let stats = net.stats(ServerId(1)).unwrap();
+        assert_eq!(stats.requests_in.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.responses_out.load(Ordering::Relaxed), 3);
+        assert!(stats.bytes_in.load(Ordering::Relaxed) > 0);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn concurrent_calls_do_not_interfere() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let net = MemNetwork::new(7);
+        net.add_simple_server(
+            ServerId(1),
+            Arc::new(|_f: ServerId, _r: Request| async {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                tokio::time::sleep(Duration::from_micros(50)).await;
+                Response::SyncDone
+            }),
+        );
+        let mut handles = Vec::new();
+        for i in 0..64 {
+            let client = net.client(ServerId(200 + i));
+            handles.push(tokio::spawn(
+                async move { client.call(ServerId(1), Request::Sync).await },
+            ));
+        }
+        for h in handles {
+            assert!(h.await.unwrap().is_ok());
+        }
+        assert_eq!(HITS.load(Ordering::Relaxed), 64);
+    }
+}

@@ -1,0 +1,73 @@
+//! The transport-agnostic RPC interface.
+//!
+//! The protocol crates depend on these two traits only. Handlers are
+//! `Arc`-shared, object-safe, and return boxed futures so that both the
+//! in-memory simulator and the TCP transport can drive them.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+
+use curp_proto::message::{Request, Response};
+use curp_proto::types::ServerId;
+
+use crate::error::RpcError;
+
+/// A boxed, sendable future — the return type of object-safe async traits.
+pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
+
+/// Client half: issue a request to a server and await its response.
+pub trait RpcClient: Send + Sync + 'static {
+    /// Sends `req` to `to` and resolves with its response.
+    ///
+    /// Implementations must be safe to call concurrently from many tasks;
+    /// CURP clients deliberately issue the master update and all witness
+    /// records in parallel (§3.2.1).
+    fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, RpcError>>;
+}
+
+/// Server half: handle one request.
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Processes `req` from `from` and produces a response.
+    fn handle(&self, from: ServerId, req: Request) -> BoxFuture<'static, Response>;
+}
+
+/// Blanket impl so plain async closures can serve as handlers in tests.
+impl<F, Fut> RpcHandler for F
+where
+    F: Fn(ServerId, Request) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = Response> + Send + 'static,
+{
+    fn handle(&self, from: ServerId, req: Request) -> BoxFuture<'static, Response> {
+        Box::pin(self(from, req))
+    }
+}
+
+/// An [`RpcClient`] that is shared behind an `Arc`.
+pub type SharedClient = Arc<dyn RpcClient>;
+
+/// An [`RpcHandler`] that is shared behind an `Arc`.
+pub type SharedHandler = Arc<dyn RpcHandler>;
+
+impl RpcClient for Arc<dyn RpcClient> {
+    fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, RpcError>> {
+        (**self).call(to, req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn closures_are_handlers() {
+        let h: SharedHandler = Arc::new(|_from: ServerId, req: Request| async move {
+            match req {
+                Request::Sync => Response::SyncDone,
+                _ => Response::NotOwner,
+            }
+        });
+        assert_eq!(h.handle(ServerId(1), Request::Sync).await, Response::SyncDone);
+        assert_eq!(h.handle(ServerId(1), Request::GetConfig).await, Response::NotOwner);
+    }
+}

@@ -1,0 +1,326 @@
+//! The witness server: life cycle and RPC dispatch (§4.1, Figure 4).
+//!
+//! A witness *instance* serves exactly one master and moves through two
+//! modes:
+//!
+//! ```text
+//! start(masterId) ──► Normal ──getRecoveryData──► Recovery ──end──► gone
+//!                     record/gc                   getRecoveryData only
+//! ```
+//!
+//! The recovery transition is irreversible: once any recovering master has
+//! read the witness, accepting further records would let clients complete
+//! updates that will never be replayed (§4.6). A [`WitnessService`] hosts
+//! one instance per master, so a single server process can serve several
+//! partitions (witnesses "can be co-hosted with backups", §3.1).
+
+use std::collections::HashMap;
+
+use curp_proto::message::{RecordedRequest, Request, Response};
+use curp_proto::types::{KeyHash, MasterId, RpcId};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheConfig, RecordOutcome, WitnessCache};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Normal,
+    Recovery,
+}
+
+struct Instance {
+    cache: WitnessCache,
+    mode: Mode,
+}
+
+/// Counters for the §5.2 resource-consumption measurements.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WitnessCounters {
+    /// `record` RPCs accepted.
+    pub accepted: u64,
+    /// `record` RPCs rejected (any reason).
+    pub rejected: u64,
+    /// gc RPCs processed.
+    pub gcs: u64,
+}
+
+/// A witness server hosting one instance per master.
+pub struct WitnessService {
+    config: CacheConfig,
+    instances: Mutex<HashMap<MasterId, Instance>>,
+    counters: Mutex<WitnessCounters>,
+}
+
+impl WitnessService {
+    /// Creates a server whose instances use `config` for their caches.
+    pub fn new(config: CacheConfig) -> Self {
+        WitnessService {
+            config,
+            instances: Mutex::new(HashMap::new()),
+            counters: Mutex::new(WitnessCounters::default()),
+        }
+    }
+
+    /// `start(masterId)`: creates an instance. Fails if one already exists
+    /// for this master (Figure 4: returns FAIL).
+    pub fn start(&self, master: MasterId) -> bool {
+        let mut instances = self.instances.lock();
+        if instances.contains_key(&master) {
+            return false;
+        }
+        instances
+            .insert(master, Instance { cache: WitnessCache::new(self.config), mode: Mode::Normal });
+        true
+    }
+
+    /// `record(...)`: accepts iff the instance exists, is in normal mode,
+    /// was started for `request.master_id`, and the cache accepts.
+    pub fn record(&self, request: RecordedRequest) -> bool {
+        let mut instances = self.instances.lock();
+        let accepted = match instances.get_mut(&request.master_id) {
+            Some(inst) if inst.mode == Mode::Normal => {
+                inst.cache.record(request) == RecordOutcome::Accepted
+            }
+            // Unknown master or recovery mode: reject (§4.1 — "by accepting
+            // only requests for the correct master, CURP prevents clients
+            // from recording to incorrect witnesses").
+            _ => false,
+        };
+        let mut counters = self.counters.lock();
+        if accepted {
+            counters.accepted += 1;
+        } else {
+            counters.rejected += 1;
+        }
+        accepted
+    }
+
+    /// `gc(...)`: frees collected slots, returns suspected stale requests.
+    /// Ignored (empty response) in recovery mode — the data is frozen.
+    pub fn gc(&self, master: MasterId, entries: &[(KeyHash, RpcId)]) -> Vec<RecordedRequest> {
+        self.counters.lock().gcs += 1;
+        let mut instances = self.instances.lock();
+        match instances.get_mut(&master) {
+            Some(inst) if inst.mode == Mode::Normal => inst.cache.gc(entries),
+            _ => Vec::new(),
+        }
+    }
+
+    /// `getRecoveryData()`: irreversibly freezes the instance and returns
+    /// everything it holds. Unknown instances yield an empty list (the
+    /// witness may have been started after the crash).
+    pub fn get_recovery_data(&self, master: MasterId) -> Vec<RecordedRequest> {
+        let mut instances = self.instances.lock();
+        match instances.get_mut(&master) {
+            Some(inst) => {
+                inst.mode = Mode::Recovery;
+                inst.cache.all_requests()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// §A.1 probe: do the given keys commute with everything stored?
+    /// In recovery mode the answer is conservatively `false` (reads must go
+    /// to the master during recovery).
+    pub fn commutes_with_read(&self, master: MasterId, key_hashes: &[KeyHash]) -> bool {
+        let instances = self.instances.lock();
+        match instances.get(&master) {
+            Some(inst) if inst.mode == Mode::Normal => {
+                inst.cache.commutes_with_read(key_hashes)
+            }
+            _ => false,
+        }
+    }
+
+    /// `end()`: destroys the instance, freeing its slots for a new life.
+    pub fn end(&self, master: MasterId) {
+        self.instances.lock().remove(&master);
+    }
+
+    /// Whether an instance exists and is frozen (test/diagnostic accessor).
+    pub fn is_recovering(&self, master: MasterId) -> bool {
+        self.instances.lock().get(&master).map(|i| i.mode == Mode::Recovery).unwrap_or(false)
+    }
+
+    /// Occupied slots for `master`'s instance (diagnostics).
+    pub fn occupancy(&self, master: MasterId) -> usize {
+        self.instances.lock().get(&master).map(|i| i.cache.occupied_slots()).unwrap_or(0)
+    }
+
+    /// Snapshot of the service counters.
+    pub fn counters(&self) -> WitnessCounters {
+        *self.counters.lock()
+    }
+
+    /// Dispatches a witness-directed [`Request`]. Non-witness requests get a
+    /// [`Response::Retry`] (the caller addressed the wrong server).
+    pub fn handle_request(&self, req: &Request) -> Response {
+        match req {
+            Request::WitnessStart { master_id } => {
+                Response::WitnessStarted { ok: self.start(*master_id) }
+            }
+            Request::WitnessRecord { request } => {
+                if self.record(request.clone()) {
+                    Response::RecordAccepted
+                } else {
+                    Response::RecordRejected
+                }
+            }
+            Request::WitnessGc { master_id, entries } => {
+                Response::GcDone { stale: self.gc(*master_id, entries) }
+            }
+            Request::WitnessGetRecoveryData { master_id } => {
+                Response::RecoveryData { requests: self.get_recovery_data(*master_id) }
+            }
+            Request::WitnessCommuteCheck { master_id, key_hashes } => Response::CommuteOk {
+                commutative: self.commutes_with_read(*master_id, key_hashes),
+            },
+            Request::WitnessEnd { master_id } => {
+                self.end(*master_id);
+                Response::WitnessEnded
+            }
+            _ => Response::Retry { reason: "not a witness request".into() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use curp_proto::op::Op;
+    use curp_proto::types::ClientId;
+
+    const M: MasterId = MasterId(1);
+
+    fn req(master: MasterId, key: &str, client: u64, seq: u64) -> RecordedRequest {
+        let op =
+            Op::Put { key: Bytes::copy_from_slice(key.as_bytes()), value: Bytes::from_static(b"v") };
+        RecordedRequest {
+            master_id: master,
+            rpc_id: RpcId::new(ClientId(client), seq),
+            key_hashes: op.key_hashes(),
+            op,
+        }
+    }
+
+    fn service() -> WitnessService {
+        let s = WitnessService::new(CacheConfig::default());
+        assert!(s.start(M));
+        s
+    }
+
+    #[test]
+    fn lifecycle_start_record_recover_end() {
+        let s = service();
+        assert!(s.record(req(M, "x", 1, 1)));
+        let data = s.get_recovery_data(M);
+        assert_eq!(data.len(), 1);
+        assert!(s.is_recovering(M));
+        // Frozen: no new records.
+        assert!(!s.record(req(M, "y", 1, 2)));
+        // getRecoveryData is repeatable (another recovery master may retry).
+        assert_eq!(s.get_recovery_data(M).len(), 1);
+        s.end(M);
+        // After end, a new life can begin.
+        assert!(s.start(M));
+        assert!(s.record(req(M, "y", 1, 3)));
+    }
+
+    #[test]
+    fn double_start_fails() {
+        let s = service();
+        assert!(!s.start(M));
+    }
+
+    #[test]
+    fn records_for_unknown_master_rejected() {
+        let s = service();
+        assert!(!s.record(req(MasterId(99), "x", 1, 1)));
+    }
+
+    #[test]
+    fn instances_are_independent() {
+        let s = service();
+        assert!(s.start(MasterId(2)));
+        assert!(s.record(req(M, "x", 1, 1)));
+        // Same key for a different master's instance: no conflict.
+        assert!(s.record(req(MasterId(2), "x", 2, 1)));
+        // Freezing master 2 leaves master 1 live.
+        s.get_recovery_data(MasterId(2));
+        assert!(s.record(req(M, "y", 1, 2)));
+        assert!(!s.record(req(MasterId(2), "y", 2, 2)));
+    }
+
+    #[test]
+    fn gc_ignored_in_recovery_mode() {
+        let s = service();
+        let r = req(M, "x", 1, 1);
+        let pair = (r.key_hashes[0], r.rpc_id);
+        s.record(r);
+        s.get_recovery_data(M);
+        s.gc(M, &[pair]);
+        assert_eq!(s.occupancy(M), 1, "frozen data must not be mutated");
+    }
+
+    #[test]
+    fn commute_check_conservative_during_recovery() {
+        let s = service();
+        let probe = Op::Get { key: Bytes::from_static(b"nothing") }.key_hashes();
+        assert!(s.commutes_with_read(M, &probe));
+        s.get_recovery_data(M);
+        assert!(!s.commutes_with_read(M, &probe), "recovery mode must fail probes");
+    }
+
+    #[test]
+    fn counters_track_outcomes() {
+        let s = service();
+        s.record(req(M, "x", 1, 1));
+        s.record(req(M, "x", 2, 1)); // conflict
+        s.gc(M, &[]);
+        let c = s.counters();
+        assert_eq!((c.accepted, c.rejected, c.gcs), (1, 1, 1));
+    }
+
+    #[test]
+    fn rpc_dispatch_covers_witness_surface() {
+        let s = WitnessService::new(CacheConfig::default());
+        assert_eq!(
+            s.handle_request(&Request::WitnessStart { master_id: M }),
+            Response::WitnessStarted { ok: true }
+        );
+        let r = req(M, "x", 1, 1);
+        assert_eq!(
+            s.handle_request(&Request::WitnessRecord { request: r.clone() }),
+            Response::RecordAccepted
+        );
+        assert_eq!(
+            s.handle_request(&Request::WitnessRecord { request: req(M, "x", 2, 1) }),
+            Response::RecordRejected
+        );
+        assert_eq!(
+            s.handle_request(&Request::WitnessCommuteCheck {
+                master_id: M,
+                key_hashes: r.key_hashes.clone()
+            }),
+            Response::CommuteOk { commutative: false }
+        );
+        assert_eq!(
+            s.handle_request(&Request::WitnessGc { master_id: M, entries: vec![] }),
+            Response::GcDone { stale: vec![] }
+        );
+        match s.handle_request(&Request::WitnessGetRecoveryData { master_id: M }) {
+            Response::RecoveryData { requests } => assert_eq!(requests.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            s.handle_request(&Request::WitnessEnd { master_id: M }),
+            Response::WitnessEnded
+        );
+        assert!(matches!(
+            s.handle_request(&Request::Sync),
+            Response::Retry { .. }
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! Latency recording and distribution extraction.
+//!
+//! The paper's latency figures plot distributions, not means: Figure 5/7 use
+//! complementary CDFs on log-log axes ("a point (x,y) indicates that y of
+//! the measured writes took at least x µs"), Figure 8 a plain CDF, Figure 10
+//! medians. [`LatencyRecorder`] collects samples (in nanoseconds of
+//! *simulated* time when run under the virtual clock) and produces exactly
+//! those series.
+
+/// Collects latency samples and answers distribution queries.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample, in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+        self.sorted = false;
+    }
+
+    /// Adds one sample given as a duration.
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.record_ns(d.as_nanos() as u64);
+    }
+
+    /// Merges another recorder's samples (per-client recorders → global).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-quantile (0.0 ..= 1.0), in nanoseconds.
+    pub fn quantile_ns(&mut self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p) && !self.is_empty());
+        self.ensure_sorted();
+        let idx = ((self.samples_ns.len() - 1) as f64 * p).round() as usize;
+        self.samples_ns[idx]
+    }
+
+    /// Median in microseconds.
+    pub fn median_us(&mut self) -> f64 {
+        self.quantile_ns(0.5) as f64 / 1_000.0
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&x| x as u128).sum();
+        (sum as f64 / self.samples_ns.len() as f64) / 1_000.0
+    }
+
+    /// Complementary CDF series (Figures 5/7): pairs `(latency_us,
+    /// fraction_at_least)`, log-spaced down to `1/len`.
+    ///
+    /// Returns one point per distinct fraction decade step: the fractions
+    /// 1, 0.5, 0.2, 0.1, 0.05, ..., 1/len.
+    pub fn ccdf_us(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples_ns.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut frac = 1.0f64;
+        while frac >= 1.0 / n as f64 {
+            // Fraction of samples >= x is `frac` when x is the value at
+            // index n*(1-frac).
+            let idx = ((n as f64) * (1.0 - frac)).floor() as usize;
+            let idx = idx.min(n - 1);
+            out.push((self.samples_ns[idx] as f64 / 1_000.0, frac));
+            frac /= 10f64.powf(0.25); // 4 points per decade
+        }
+        out
+    }
+
+    /// CDF series (Figure 8): pairs `(latency_us, fraction_at_most)` at the
+    /// given resolution (number of points).
+    pub fn cdf_us(&mut self, points: usize) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples_ns.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        (0..=points)
+            .map(|i| {
+                let p = i as f64 / points as f64;
+                let idx = (((n - 1) as f64) * p).round() as usize;
+                (self.samples_ns[idx] as f64 / 1_000.0, p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn filled(values_us: &[u64]) -> LatencyRecorder {
+        let mut r = LatencyRecorder::new();
+        for &v in values_us {
+            r.record(Duration::from_micros(v));
+        }
+        r
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut r = filled(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(r.quantile_ns(0.0), 1_000);
+        assert_eq!(r.quantile_ns(1.0), 10_000);
+        assert!((r.median_us() - 5.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn mean() {
+        let r = filled(&[10, 20, 30]);
+        assert!((r.mean_us() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccdf_starts_at_one_and_decreases() {
+        let mut r = filled(&(1..=1000).collect::<Vec<_>>());
+        let series = r.ccdf_us();
+        assert_eq!(series[0].1, 1.0);
+        for w in series.windows(2) {
+            assert!(w[0].1 > w[1].1, "fractions must decrease");
+            assert!(w[0].0 <= w[1].0, "latencies must not decrease");
+        }
+        // Smallest fraction reaches ~1/n.
+        assert!(series.last().unwrap().1 <= 0.002);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut r = filled(&[5, 1, 9, 3, 7]);
+        let series = r.cdf_us(10);
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = filled(&[1, 2]);
+        let b = filled(&[3, 4]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.quantile_ns(1.0), 4_000);
+    }
+}

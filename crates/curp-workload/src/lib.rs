@@ -1,0 +1,17 @@
+//! Workload generation and measurement for the CURP benchmarks.
+//!
+//! * [`zipfian`] — the YCSB Zipfian key-popularity distribution (θ = 0.99
+//!   over 1 M keys is the default for YCSB-A/B, §5.3) plus a uniform
+//!   generator;
+//! * [`ycsb`] — the YCSB-A (50/50 read/update) and YCSB-B (95/5) operation
+//!   mixes over `user<N>` keys with 100-byte values, as used in Figure 7;
+//! * [`latency`] — latency recording with percentile and CCDF/CDF series
+//!   extraction matching the axes of Figures 5, 7, 8 and 13.
+
+pub mod latency;
+pub mod ycsb;
+pub mod zipfian;
+
+pub use latency::LatencyRecorder;
+pub use ycsb::{Workload, WorkloadOp};
+pub use zipfian::{KeyChooser, Uniform, Zipfian};

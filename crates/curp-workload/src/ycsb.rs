@@ -1,0 +1,138 @@
+//! YCSB-style operation mixes (§5.3, Figure 7).
+
+use bytes::Bytes;
+use rand::Rng;
+
+use crate::zipfian::{KeyChooser, Uniform, Zipfian};
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Read `key`.
+    Read {
+        /// Primary key.
+        key: Bytes,
+    },
+    /// Write `value` to `key`.
+    Update {
+        /// Primary key.
+        key: Bytes,
+        /// Value payload.
+        value: Bytes,
+    },
+}
+
+impl WorkloadOp {
+    /// The operation's key.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            WorkloadOp::Read { key } | WorkloadOp::Update { key, .. } => key,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, WorkloadOp::Read { .. })
+    }
+}
+
+/// A YCSB-like workload: a key chooser plus a read fraction and value size.
+pub struct Workload {
+    chooser: Box<dyn KeyChooser>,
+    read_fraction: f64,
+    value_size: usize,
+}
+
+impl Workload {
+    /// YCSB-A: 50% reads / 50% updates, Zipfian(0.99) over `records` keys.
+    pub fn ycsb_a(records: u64) -> Self {
+        Workload {
+            chooser: Box::new(Zipfian::ycsb(records)),
+            read_fraction: 0.5,
+            value_size: 100,
+        }
+    }
+
+    /// YCSB-B: 95% reads / 5% updates, Zipfian(0.99) over `records` keys.
+    pub fn ycsb_b(records: u64) -> Self {
+        Workload {
+            chooser: Box::new(Zipfian::ycsb(records)),
+            read_fraction: 0.95,
+            value_size: 100,
+        }
+    }
+
+    /// Write-only uniform workload with 100 B values (Figures 5/6/12: "100B
+    /// random RAMCloud writes").
+    pub fn uniform_writes(records: u64) -> Self {
+        Workload { chooser: Box::new(Uniform::new(records)), read_fraction: 0.0, value_size: 100 }
+    }
+
+    /// Custom mix.
+    pub fn custom(chooser: Box<dyn KeyChooser>, read_fraction: f64, value_size: usize) -> Self {
+        assert!((0.0..=1.0).contains(&read_fraction));
+        Workload { chooser, read_fraction, value_size }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> u64 {
+        self.chooser.key_count()
+    }
+
+    /// YCSB key naming: `user<N>`.
+    pub fn key_bytes(index: u64) -> Bytes {
+        Bytes::from(format!("user{index}"))
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self, rng: &mut dyn rand::RngCore) -> WorkloadOp {
+        let key = Self::key_bytes(self.chooser.next_key(rng));
+        if self.read_fraction > 0.0 && rng.gen_bool(self.read_fraction) {
+            WorkloadOp::Read { key }
+        } else {
+            let mut value = vec![0u8; self.value_size];
+            rng.fill(&mut value[..]);
+            WorkloadOp::Update { key, value: Bytes::from(value) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ycsb_a_mix_is_half_reads() {
+        let mut w = Workload::ycsb_a(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let reads = (0..10_000).filter(|_| w.next_op(&mut rng).is_read()).count();
+        assert!((4_500..5_500).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn ycsb_b_mix_is_mostly_reads() {
+        let mut w = Workload::ycsb_b(1000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let reads = (0..10_000).filter(|_| w.next_op(&mut rng).is_read()).count();
+        assert!((9_300..9_700).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn uniform_writes_are_all_updates_with_100b_values() {
+        let mut w = Workload::uniform_writes(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            match w.next_op(&mut rng) {
+                WorkloadOp::Update { value, .. } => assert_eq!(value.len(), 100),
+                WorkloadOp::Read { .. } => panic!("write-only workload produced a read"),
+            }
+        }
+    }
+
+    #[test]
+    fn keys_follow_ycsb_naming() {
+        assert_eq!(Workload::key_bytes(42), Bytes::from_static(b"user42"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Key-popularity distributions.
+//!
+//! [`Zipfian`] reproduces the YCSB `ZipfianGenerator` (Gray et al.'s
+//! rejection-free inverse-CDF method) including the *scrambled* variant that
+//! spreads the popular items across the key space. YCSB-A/B use θ = 0.99
+//! over 1 M records (§5.3: "a highly-skewed Zipfian distribution with 1M
+//! objects and a parameter of 0.99").
+
+use rand::Rng;
+
+/// Something that picks a key index in `[0, n)`.
+pub trait KeyChooser: Send {
+    /// Draws the next key index.
+    fn next_key(&mut self, rng: &mut dyn rand::RngCore) -> u64;
+    /// Size of the key space.
+    fn key_count(&self) -> u64;
+}
+
+/// Uniform key choice.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    n: u64,
+}
+
+impl Uniform {
+    /// Uniform over `[0, n)`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0);
+        Uniform { n }
+    }
+}
+
+impl KeyChooser for Uniform {
+    fn next_key(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        rng.gen_range(0..self.n)
+    }
+    fn key_count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// The YCSB Zipfian generator.
+///
+/// Rank 0 is the most popular item; with `scrambled = true` ranks are
+/// FNV-hashed onto the key space so popular keys are scattered (YCSB's
+/// `ScrambledZipfianGenerator`, the default for workloads A/B).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+    scrambled: bool,
+}
+
+impl Zipfian {
+    /// YCSB default: θ = 0.99, scrambled.
+    pub fn ycsb(n: u64) -> Self {
+        Self::new(n, 0.99, true)
+    }
+
+    /// General constructor. `theta` in (0, 1).
+    pub fn new(n: u64, theta: f64, scrambled: bool) -> Self {
+        assert!(n > 0 && theta > 0.0 && theta < 1.0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2theta, scrambled }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to 10M items; the paper's workloads use 1M-2M.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws a popularity *rank* (0 = most popular).
+    pub fn next_rank(&self, rng: &mut dyn rand::RngCore) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    fn scramble(&self, rank: u64) -> u64 {
+        // FNV-1a 64 over the rank bytes, folded into the key space — the
+        // YCSB fnvhash64 trick.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in rank.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h % self.n
+    }
+
+    /// Exposed for tests: the zeta(2, θ) constant.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+impl KeyChooser for Zipfian {
+    fn next_key(&mut self, rng: &mut dyn rand::RngCore) -> u64 {
+        let rank = self.next_rank(rng);
+        if self.scrambled {
+            self.scramble(rank)
+        } else {
+            rank
+        }
+    }
+    fn key_count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut u = Uniform::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let k = u.next_key(&mut rng);
+            assert!(k < 10);
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn zipfian_ranks_in_range() {
+        let z = Zipfian::new(1000, 0.99, false);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.next_rank(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_low_ranks() {
+        let z = Zipfian::new(1_000_000, 0.99, false);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = 100_000;
+        let mut head = 0u64;
+        for _ in 0..samples {
+            if z.next_rank(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With θ=0.99 over 1M items, the top-100 ranks draw a large share
+        // (analytically ≈ 26%); uniform would give 0.01%.
+        let frac = head as f64 / samples as f64;
+        assert!(frac > 0.15, "top-100 fraction {frac}");
+    }
+
+    #[test]
+    fn hottest_key_frequency_matches_theory() {
+        let n = 10_000;
+        let z = Zipfian::new(n, 0.99, false);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples = 200_000;
+        let mut zero = 0u64;
+        for _ in 0..samples {
+            if z.next_rank(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        let expect = 1.0 / Zipfian::zeta(n, 0.99);
+        let got = zero as f64 / samples as f64;
+        assert!((got - expect).abs() / expect < 0.1, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn scrambled_spreads_popular_keys() {
+        let mut z = Zipfian::ycsb(1_000_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(z.next_key(&mut rng)).or_default() += 1;
+        }
+        // The hottest key must NOT be key 0 region necessarily; popularity
+        // is still extremely skewed though.
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 1_000, "scrambling must preserve skew (max={max})");
+        assert!(counts.keys().all(|&k| k < 1_000_000));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut z1 = Zipfian::ycsb(1000);
+        let mut z2 = Zipfian::ycsb(1000);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z1.next_key(&mut r1), z2.next_key(&mut r2));
+        }
+    }
+}

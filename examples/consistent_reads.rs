@@ -1,0 +1,72 @@
+//! Consistent reads from backups (§A.1): 0 wide-area RTTs in geo-replication.
+//!
+//! Reading a backup naively can violate linearizability because CURP updates
+//! complete before reaching the backups. The fix: probe a *witness* first —
+//! if the key commutes with everything the witness holds, the backup is
+//! guaranteed fresh for that key; otherwise fall back to the master.
+//!
+//! This demo builds a "geo" topology where the client is far from the master
+//! but near one backup + witness pair, and shows both outcomes.
+//!
+//! ```sh
+//! cargo run --example consistent_reads
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use curp::proto::op::{Op, OpResult};
+use curp::proto::types::ServerId;
+use curp::sim::{run_sim, to_virtual_us, Mode, RamcloudParams, SimCluster};
+use curp::transport::latency::Fixed;
+
+fn b(s: &str) -> Bytes {
+    Bytes::from(s.to_owned())
+}
+
+fn main() {
+    run_sim(async {
+        let mut params = RamcloudParams::new(3);
+        params.batch_size = 10_000;
+        params.sync_interval_ns = 300_000; // 300 µs background flush
+        let cluster = SimCluster::build(Mode::Curp, params).await;
+
+        // Make backup/witness server 2 "nearby" for client 0 (same region):
+        // fast link in both directions, while the master stays far away.
+        let client_id = ServerId(100);
+        let near = ServerId(2);
+        let fast = Arc::new(Fixed(Duration::from_millis(200))); // 0.2 virtual µs
+        cluster.net.set_link_latency(client_id, near, fast.clone());
+        cluster.net.set_link_latency(near, client_id, fast);
+
+        let client = cluster.client(0).await;
+        client.update(Op::Put { key: b("profile"), value: b("v1") }).await.unwrap();
+
+        // Immediately after the 1-RTT update the backup is stale; the
+        // witness probe detects the pending write and the client reads the
+        // master instead (which syncs first), staying linearizable.
+        let t0 = tokio::time::Instant::now();
+        let r = client.read_nearby(Op::Get { key: b("profile") }, 0).await.unwrap();
+        println!(
+            "read #1 (update still pending) -> {:?} in {:.1} virtual µs (went to the master)",
+            r,
+            to_virtual_us(t0.elapsed())
+        );
+        assert_eq!(r, OpResult::Value(Some(b("v1"))));
+
+        // Wait for the background sync + witness gc, then read again: the
+        // probe passes and the nearby backup serves it — much faster.
+        tokio::time::sleep(Duration::from_secs(1_000)).await; // 1 virtual ms
+        let t0 = tokio::time::Instant::now();
+        let r = client.read_nearby(Op::Get { key: b("profile") }, 0).await.unwrap();
+        println!(
+            "read #2 (synced + gc'd)        -> {:?} in {:.1} virtual µs (nearby witness + backup)",
+            r,
+            to_virtual_us(t0.elapsed())
+        );
+        assert_eq!(r, OpResult::Value(Some(b("v1"))));
+
+        println!("\nboth reads linearizable; the second avoided the wide-area master entirely.");
+    });
+}

@@ -1,0 +1,101 @@
+//! Making a Redis-style cache durable with CURP (§5.4) — with a *real*
+//! append-only file on disk.
+//!
+//! Plain Redis is either fast (no fsync — data lost on crash) or durable
+//! (fsync per write — 10-100× slower). CURP gets both: operations are
+//! recorded on witnesses (fast, in parallel with execution) while the AOF is
+//! written and fsynced in the background.
+//!
+//! This example exercises the [`Aof`](curp::storage::Aof) substrate
+//! directly: writes go to a store + AOF with a manual fsync policy, a
+//! "crash" tears the last record in half, and the reload recovers every
+//! synced entry while the torn tail is discarded — exactly Redis'
+//! `aof-load-truncated` behaviour.
+//!
+//! ```sh
+//! cargo run --example redis_durable
+//! ```
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use curp::proto::message::LogEntry;
+use curp::proto::op::{Op, OpResult};
+use curp::proto::types::{ClientId, RpcId};
+use curp::storage::{Aof, FsyncPolicy, Store};
+
+fn entry(seq: u64, op: Op, result: OpResult) -> LogEntry {
+    LogEntry { seq, rpc_id: Some(RpcId::new(ClientId(1), seq + 1)), op, result }
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("curp-redis-durable-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("appendonly.aof");
+    let _ = std::fs::remove_file(&path);
+
+    // --- compare fsync policies --------------------------------------------
+    let n = 2_000u64;
+    for (policy, label) in [
+        (FsyncPolicy::Always, "fsync always  (durable Redis)"),
+        (FsyncPolicy::Manual, "batched fsync (CURP-style)  "),
+    ] {
+        let p = dir.join(format!("bench-{label:.5}.aof"));
+        let _ = std::fs::remove_file(&p);
+        let mut store = Store::new();
+        let mut aof = Aof::open(&p, policy)?;
+        let t0 = Instant::now();
+        for i in 0..n {
+            let op = Op::Put {
+                key: Bytes::from(format!("key-{i}")),
+                value: Bytes::from(vec![b'x'; 100]),
+            };
+            let result = store.execute(&op);
+            aof.append(&entry(i, op, result))?;
+            if policy == FsyncPolicy::Manual && i % 50 == 49 {
+                aof.sync()?; // batch of 50, like the master's sync batching
+            }
+        }
+        aof.sync()?;
+        let per_op = t0.elapsed() / n as u32;
+        println!("{label}: {per_op:?} per write ({n} writes)");
+        std::fs::remove_file(&p)?;
+    }
+
+    // --- crash recovery with a torn tail ------------------------------------
+    println!("\nwriting 100 entries, then simulating a crash mid-append...");
+    let mut store = Store::new();
+    {
+        let mut aof = Aof::open(&path, FsyncPolicy::Always)?;
+        for i in 0..100 {
+            let op = Op::Incr { key: Bytes::from("counter"), delta: 1 };
+            let result = store.execute(&op);
+            aof.append(&entry(i, op, result))?;
+        }
+    }
+    // Tear the last record (crash mid-write).
+    let len = std::fs::metadata(&path)?.len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+    f.set_len(len - 11)?;
+    drop(f);
+
+    // Reload: replay every complete entry into a fresh store.
+    let entries = Aof::load(&path)?;
+    let mut recovered = Store::new();
+    for e in &entries {
+        let r = recovered.execute(&e.op);
+        assert_eq!(r, e.result, "deterministic replay");
+    }
+    let r = recovered.execute(&Op::Get { key: Bytes::from("counter") });
+    println!(
+        "recovered {} of 100 entries; counter = {:?} (torn 100th entry dropped)",
+        entries.len(),
+        r
+    );
+    assert_eq!(r, OpResult::Value(Some(Bytes::from("99"))));
+
+    println!("\nwith CURP, that torn entry would still be safe: its record lives");
+    println!("on the witnesses and is replayed during recovery (see crash_recovery).");
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

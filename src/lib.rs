@@ -1,0 +1,54 @@
+//! # CURP — Consistent Unordered Replication Protocol
+//!
+//! A Rust implementation of *"Exploiting Commutativity For Practical Fast
+//! Replication"* (Seo Jin Park and John Ousterhout, NSDI 2019): linearizable
+//! update operations in **1 RTT** by separating durability from ordering.
+//!
+//! Clients record each update on `f` *witnesses* in parallel with sending it
+//! to the master; the master executes speculatively and replies before
+//! replicating to backups. Witnesses and masters independently enforce that
+//! all speculative state is *commutative*, so crash recovery can replay
+//! witness contents in any order. See `DESIGN.md` for the architecture and
+//! `EXPERIMENTS.md` for the reproduction of every figure in the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use curp::sim::{run_sim, SimCluster, Mode, RamcloudParams};
+//! use curp::proto::op::{Op, OpResult};
+//! use bytes::Bytes;
+//!
+//! let written = run_sim(async {
+//!     let cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+//!     let client = cluster.client(0).await;
+//!     client
+//!         .update(Op::Put { key: Bytes::from("hello"), value: Bytes::from("world") })
+//!         .await
+//!         .unwrap()
+//! });
+//! assert_eq!(written, OpResult::Written { version: 1 });
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`proto`] | wire format, operations, RPC messages |
+//! | [`transport`] | `RpcClient`/`RpcHandler`, simulated + TCP transports |
+//! | [`storage`] | log-position-tracking object store, append-only file |
+//! | [`rifl`] | exactly-once RPC semantics (leases, completion records) |
+//! | [`witness`] | the set-associative witness cache and server |
+//! | [`core`] | master, backup, client, coordinator, recovery |
+//! | [`consensus`] | the §A.2 consensus extension (Raft-style + witnesses) |
+//! | [`sim`] | calibrated cluster models and the linearizability checker |
+//! | [`workload`] | YCSB/Zipfian generators and latency recorders |
+
+pub use curp_consensus as consensus;
+pub use curp_core as core;
+pub use curp_proto as proto;
+pub use curp_rifl as rifl;
+pub use curp_sim as sim;
+pub use curp_storage as storage;
+pub use curp_transport as transport;
+pub use curp_witness as witness;
+pub use curp_workload as workload;

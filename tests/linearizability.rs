@@ -1,0 +1,184 @@
+//! The crown-jewel property test: histories of concurrent clients running
+//! against a CURP cluster — with a master crash and recovery injected
+//! mid-run — are linearizable (§3.4).
+//!
+//! Clients issue random Put/Get/Incr operations over a small keyspace (small
+//! so conflicts are frequent and the speculative machinery is stressed).
+//! Every operation's invocation/response is timestamped with the virtual
+//! clock; operations that fail after retries are recorded as *pending* (they
+//! may or may not have taken effect — the checker explores both). The
+//! Wing–Gong checker then searches for a valid linearization.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use curp::core::client::CurpClient;
+use curp::proto::op::{Op, OpResult};
+use curp::proto::types::ServerId;
+use curp::sim::lincheck::{check_linearizable, failing_keys, HistOp, HistoryEvent};
+use curp::sim::{run_sim, Mode, RamcloudParams, SimCluster};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEYS: &[&str] = &["alpha", "beta", "gamma", "delta"];
+
+async fn client_task(
+    client: Arc<CurpClient>,
+    history: Arc<Mutex<Vec<HistoryEvent>>>,
+    seed: u64,
+    ops: usize,
+    epoch: tokio::time::Instant,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        let key = Bytes::from(KEYS[rng.gen_range(0..KEYS.len())].to_owned());
+        let kind = rng.gen_range(0..3);
+        let invoke = epoch.elapsed().as_millis() as u64;
+        let (op_for_history, outcome) = match kind {
+            0 => {
+                let value = Bytes::from(format!("v{}", rng.gen::<u32>()));
+                let r = client
+                    .update(Op::Put { key: key.clone(), value: value.clone() })
+                    .await;
+                (HistOp::Put(value), r.map(|_| ()))
+            }
+            1 => {
+                let delta = rng.gen_range(1..5i64);
+                match client.update(Op::Incr { key: key.clone(), delta }).await {
+                    Ok(OpResult::Counter(v)) => (HistOp::Incr(delta, v), Ok(())),
+                    Ok(OpResult::WrongType) => continue, // typed conflict: not modeled
+                    Ok(other) => panic!("unexpected incr result {other:?}"),
+                    Err(e) => (HistOp::Incr(delta, 0), Err(e)),
+                }
+            }
+            _ => match client.read(Op::Get { key: key.clone() }).await {
+                Ok(OpResult::Value(v)) => (HistOp::Get(v), Ok(())),
+                Ok(OpResult::WrongType) => continue,
+                Ok(other) => panic!("unexpected get result {other:?}"),
+                Err(e) => (HistOp::Get(None), Err(e)),
+            },
+        };
+        let ret = epoch.elapsed().as_millis() as u64;
+        let event = match outcome {
+            Ok(()) => HistoryEvent { key, op: op_for_history, invoke, ret },
+            // Failed (or unknown-outcome) operations: only *mutations* may
+            // still take effect; a failed read observed nothing.
+            Err(_) => match op_for_history {
+                HistOp::Get(_) => continue,
+                op => HistoryEvent { key, op, invoke, ret: u64::MAX },
+            },
+        };
+        history.lock().push(event);
+    }
+}
+
+fn run_case(seed: u64, crash: bool) {
+    run_sim(async move {
+        let mut params = RamcloudParams::new(3);
+        params.seed = seed;
+        params.batch_size = 5; // frequent syncs interleave with speculation
+        params.sync_interval_ns = 30_000;
+        let cluster = SimCluster::build(Mode::Curp, params).await;
+        let history = Arc::new(Mutex::new(Vec::new()));
+
+        // One shared epoch: all invocation/response timestamps must be on
+        // the same clock or cross-client ordering is meaningless.
+        let epoch = tokio::time::Instant::now();
+        let mut tasks = Vec::new();
+        for c in 0..4 {
+            let client = cluster.client(c).await;
+            let history = Arc::clone(&history);
+            tasks.push(tokio::spawn(client_task(
+                client,
+                history,
+                seed ^ (c as u64 + 1),
+                12,
+                epoch,
+            )));
+        }
+
+        if crash {
+            // Let some operations land, then kill the master mid-run.
+            tokio::time::sleep(Duration::from_secs(200)).await; // 200 virtual µs
+            cluster.net.crash(ServerId(1));
+            cluster.servers[0].seal_master();
+            let spare = cluster.servers.last().unwrap().id();
+            cluster
+                .coord
+                .recover_master(cluster.master_id, spare)
+                .await
+                .expect("recovery failed");
+        }
+
+        for t in tasks {
+            t.await.expect("client task panicked");
+        }
+        let history = history.lock();
+        assert!(
+            history.len() >= 20,
+            "history too small to be meaningful: {}",
+            history.len()
+        );
+        let bad = failing_keys(&history);
+        assert!(
+            bad.is_empty(),
+            "NON-LINEARIZABLE keys {:?} (seed {seed}, crash {crash}): {:#?}",
+            bad,
+            history
+                .iter()
+                .filter(|e| bad.contains(&e.key))
+                .collect::<Vec<_>>()
+        );
+    });
+}
+
+#[test]
+fn histories_without_crashes_are_linearizable() {
+    for seed in 0..6 {
+        run_case(seed * 7 + 1, false);
+    }
+}
+
+#[test]
+fn histories_with_master_crash_are_linearizable() {
+    for seed in 0..6 {
+        run_case(seed * 13 + 3, true);
+    }
+}
+
+#[test]
+fn histories_with_message_loss_are_linearizable() {
+    for seed in 0..4 {
+        run_sim(async move {
+            let mut params = RamcloudParams::new(3);
+            params.seed = seed;
+            params.batch_size = 5;
+            let cluster = SimCluster::build(Mode::Curp, params).await;
+            let history = Arc::new(Mutex::new(Vec::new()));
+            let epoch = tokio::time::Instant::now();
+            let mut tasks = Vec::new();
+            for c in 0..3 {
+                let client = cluster.client(c).await;
+                let history = Arc::clone(&history);
+                tasks.push(tokio::spawn(client_task(
+                    client,
+                    history,
+                    seed ^ (c as u64 + 1),
+                    10,
+                    epoch,
+                )));
+            }
+            cluster.net.set_drop_rate(0.02);
+            for t in tasks {
+                t.await.expect("client task panicked");
+            }
+            let history = history.lock();
+            assert!(
+                check_linearizable(&history),
+                "NON-LINEARIZABLE lossy history (seed {seed}): {history:#?}"
+            );
+        });
+    }
+}
