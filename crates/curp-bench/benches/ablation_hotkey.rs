@@ -18,9 +18,7 @@ fn run(hotkey: bool) -> (f64, f64, f64) {
         let mut params = RamcloudParams::new(3);
         params.hotkey_sync = hotkey;
         let cluster = SimCluster::build(Mode::Curp, params).await;
-        let result = cluster
-            .run_closed_loop(1, vus(DURATION_US), |_| Workload::ycsb_a(KEYS))
-            .await;
+        let result = cluster.run_closed_loop(1, vus(DURATION_US), |_| Workload::ycsb_a(KEYS)).await;
         let master = cluster.servers[0].master().unwrap();
         let conflicts = master.stats.conflicts.load(std::sync::atomic::Ordering::Relaxed);
         let updates = master.stats.updates.load(std::sync::atomic::Ordering::Relaxed);

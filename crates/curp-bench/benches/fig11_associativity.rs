@@ -20,11 +20,8 @@ const TRIALS: usize = 2_000; // paper: 10_000
 const SLOT_COUNTS: &[usize] = &[512, 1024, 1536, 2048, 2560, 3072, 3584, 4096, 4608];
 
 fn records_until_collision(total_slots: usize, associativity: usize, rng: &mut StdRng) -> usize {
-    let mut cache = WitnessCache::new(CacheConfig {
-        total_slots,
-        associativity,
-        gc_suspicion_rounds: 3,
-    });
+    let mut cache =
+        WitnessCache::new(CacheConfig { total_slots, associativity, gc_suspicion_rounds: 3 });
     let mut n = 0;
     loop {
         let key: u64 = rng.gen();

@@ -37,8 +37,7 @@ fn main() {
         ("durable", RedisMode::Durable),
     ];
     for (name, mode) in configs {
-        let points: Vec<(f64, f64)> =
-            CLIENT_COUNTS.iter().map(|&c| point(mode, c)).collect();
+        let points: Vec<(f64, f64)> = CLIENT_COUNTS.iter().map(|&c| point(mode, c)).collect();
         print_series(name, &points);
     }
 }

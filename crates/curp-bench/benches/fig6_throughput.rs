@@ -43,10 +43,8 @@ fn main() {
         ("original_f3", Mode::Original, 3),
     ];
     for (name, mode, f) in configs {
-        let points: Vec<(f64, f64)> = CLIENT_COUNTS
-            .iter()
-            .map(|&c| (c as f64, throughput(mode, f, c)))
-            .collect();
+        let points: Vec<(f64, f64)> =
+            CLIENT_COUNTS.iter().map(|&c| (c as f64, throughput(mode, f, c))).collect();
         print_series(name, &points);
     }
 }

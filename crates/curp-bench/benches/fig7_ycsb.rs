@@ -47,11 +47,7 @@ fn main() {
             if result.writes.is_empty() {
                 continue;
             }
-            print_scalar(
-                &format!("{name}_write_median_us"),
-                result.writes.median_us(),
-                "us",
-            );
+            print_scalar(&format!("{name}_write_median_us"), result.writes.median_us(), "us");
             print_series(name, &result.writes.ccdf_us());
         }
     }

@@ -89,7 +89,10 @@ fn main() {
         let cluster = build(Mode::Curp).await;
         let client = cluster.client(0).await;
         client
-            .update(Op::Put { key: Bytes::from_static(b"geo-key"), value: Bytes::from_static(b"v") })
+            .update(Op::Put {
+                key: Bytes::from_static(b"geo-key"),
+                value: Bytes::from_static(b"v"),
+            })
             .await
             .unwrap();
         // Wait for the background sync + witness gc to complete.
@@ -98,10 +101,7 @@ fn main() {
         client.read(Op::Get { key: Bytes::from_static(b"geo-key") }).await.unwrap();
         let master_read = to_virtual_us(t0.elapsed()) / 1_000.0;
         let t0 = tokio::time::Instant::now();
-        client
-            .read_nearby(Op::Get { key: Bytes::from_static(b"geo-key") }, 0)
-            .await
-            .unwrap();
+        client.read_nearby(Op::Get { key: Bytes::from_static(b"geo-key") }, 0).await.unwrap();
         let nearby_read = to_virtual_us(t0.elapsed()) / 1_000.0;
         (master_read, nearby_read)
     });

@@ -94,9 +94,7 @@ fn bench_codec(c: &mut Criterion) {
     };
     c.bench_function("codec_encode_update", |b| b.iter(|| req.to_bytes()));
     let bytes = req.to_bytes();
-    c.bench_function("codec_decode_update", |b| {
-        b.iter(|| Request::from_bytes(&bytes).unwrap())
-    });
+    c.bench_function("codec_decode_update", |b| b.iter(|| Request::from_bytes(&bytes).unwrap()));
     c.bench_function("keyhash_30b", |b| {
         let key = b"012345678901234567890123456789";
         b.iter(|| KeyHash::of(key));

@@ -87,8 +87,7 @@ impl ConsensusClient {
         }
         for &r in &self.replicas {
             if let Ok(rsp) = self.rpc.call(r, wrap_rpc(&ConsensusRpc::WhoLeads)).await {
-                if let Some(ConsensusReply::Leader { term, leader: Some(l) }) = unwrap_reply(&rsp)
-                {
+                if let Some(ConsensusReply::Leader { term, leader: Some(l) }) = unwrap_reply(&rsp) {
                     let found = (term, l);
                     *self.leader_cache.lock() = Some(found);
                     return Some(found);
@@ -115,9 +114,8 @@ impl ConsensusClient {
                 continue;
             };
             // Leader command + witness records to ALL replicas, in parallel.
-            let cmd_fut = self
-                .rpc
-                .call(leader, wrap_rpc(&ConsensusRpc::Command { rpc_id, op: op.clone() }));
+            let cmd_fut =
+                self.rpc.call(leader, wrap_rpc(&ConsensusRpc::Command { rpc_id, op: op.clone() }));
             let record = RecordedRequest {
                 master_id: MasterId(0), // single group; unused in consensus mode
                 rpc_id,
@@ -128,11 +126,10 @@ impl ConsensusClient {
                 .replicas
                 .iter()
                 .map(|&r| {
-                    self.rpc
-                        .call(r, wrap_rpc(&ConsensusRpc::WitnessRecord {
-                            term,
-                            request: record.clone(),
-                        }))
+                    self.rpc.call(
+                        r,
+                        wrap_rpc(&ConsensusRpc::WitnessRecord { term, request: record.clone() }),
+                    )
                 })
                 .collect();
             let (cmd_rsp, rec_rsps) = tokio::join!(cmd_fut, join_all(record_futs));

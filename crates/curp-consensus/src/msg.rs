@@ -5,7 +5,9 @@ use bytes::{Buf, BufMut};
 use curp_proto::message::RecordedRequest;
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{RpcId, ServerId};
-use curp_proto::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
+use curp_proto::wire::{
+    decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode,
+};
 
 /// One replicated log entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,7 +195,14 @@ impl Encode for ConsensusRpc {
                 last_log_index.encode(buf);
                 last_log_term.encode(buf);
             }
-            ConsensusRpc::AppendEntries { term, leader, prev_index, prev_term, entries, commit } => {
+            ConsensusRpc::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => {
                 buf.put_u8(RPC_APPEND);
                 term.encode(buf);
                 leader.encode(buf);
@@ -354,7 +363,9 @@ impl Decode for ConsensusReply {
         need(buf, 1)?;
         let tag = buf.get_u8();
         Ok(match tag {
-            RPL_VOTE => ConsensusReply::Vote { term: u64::decode(buf)?, granted: bool::decode(buf)? },
+            RPL_VOTE => {
+                ConsensusReply::Vote { term: u64::decode(buf)?, granted: bool::decode(buf)? }
+            }
             RPL_APPENDED => ConsensusReply::Appended {
                 term: u64::decode(buf)?,
                 ok: bool::decode(buf)?,
@@ -364,9 +375,7 @@ impl Decode for ConsensusReply {
             RPL_COMMITTED => ConsensusReply::Committed { result: OpResult::decode(buf)? },
             RPL_READ => ConsensusReply::ReadResult { result: OpResult::decode(buf)? },
             RPL_SYNC_DONE => ConsensusReply::SyncDone,
-            RPL_NOT_LEADER => {
-                ConsensusReply::NotLeader { hint: Option::<ServerId>::decode(buf)? }
-            }
+            RPL_NOT_LEADER => ConsensusReply::NotLeader { hint: Option::<ServerId>::decode(buf)? },
             RPL_REC_OK => ConsensusReply::RecordAccepted,
             RPL_REC_NO => ConsensusReply::RecordRejected,
             RPL_W_DATA => ConsensusReply::WitnessData { requests: decode_seq(buf)? },

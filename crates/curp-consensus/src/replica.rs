@@ -291,8 +291,7 @@ impl Replica {
             if sets.len() > f {
                 break;
             }
-            let Ok(rsp) = self.rpc.call(peer, wrap_rpc(&ConsensusRpc::WitnessCollect)).await
-            else {
+            let Ok(rsp) = self.rpc.call(peer, wrap_rpc(&ConsensusRpc::WitnessCollect)).await else {
                 continue;
             };
             if let Some(ConsensusReply::WitnessData { requests }) = unwrap_reply(&rsp) {
@@ -399,11 +398,7 @@ impl Replica {
             }
             let next = st.next_index.get(&peer).copied().unwrap_or(1);
             let prev_index = next - 1;
-            let prev_term = if prev_index == 0 {
-                0
-            } else {
-                st.log[prev_index as usize - 1].term
-            };
+            let prev_term = if prev_index == 0 { 0 } else { st.log[prev_index as usize - 1].term };
             let entries: Vec<RaftEntry> = st.log[prev_index as usize..].to_vec();
             (st.term, prev_index, prev_term, entries, st.commit)
         };
@@ -446,8 +441,11 @@ impl Replica {
         while n > st.commit {
             // Current-term commit rule.
             if st.log[n as usize - 1].term == st.term {
-                let count =
-                    1 + self.peers.iter().filter(|p| st.match_index.get(p).copied().unwrap_or(0) >= n).count();
+                let count = 1 + self
+                    .peers
+                    .iter()
+                    .filter(|p| st.match_index.get(p).copied().unwrap_or(0) >= n)
+                    .count();
                 if count >= majority {
                     break;
                 }
@@ -524,8 +522,8 @@ impl Replica {
                     let llt = st.log.last().map(|e| e.term).unwrap_or(0);
                     (lli, llt)
                 };
-                let up_to_date = last_log_term > my_llt
-                    || (last_log_term == my_llt && last_log_index >= my_lli);
+                let up_to_date =
+                    last_log_term > my_llt || (last_log_term == my_llt && last_log_index >= my_lli);
                 let granted = term == st.term
                     && up_to_date
                     && (st.voted_for.is_none() || st.voted_for == Some(candidate));
@@ -536,7 +534,14 @@ impl Replica {
                 }
                 ConsensusReply::Vote { term: st.term, granted }
             }
-            ConsensusRpc::AppendEntries { term, leader, prev_index, prev_term, entries, commit } => {
+            ConsensusRpc::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => {
                 let mut st = self.st.lock();
                 if term < st.term {
                     return ConsensusReply::Appended {
@@ -569,10 +574,7 @@ impl Replica {
                         if st.log[idx - 1].term == e.term {
                             continue; // already have it
                         }
-                        assert!(
-                            st.commit < e.index,
-                            "attempt to truncate a committed entry"
-                        );
+                        assert!(st.commit < e.index, "attempt to truncate a committed entry");
                         st.log.truncate(idx - 1);
                         // Discard any speculative execution beyond the log.
                         if st.applied > st.log.len() as u64 {
@@ -642,30 +644,28 @@ impl Replica {
                 }
                 reply_now
             }
-            ConsensusRpc::Read { op } => {
-                loop {
-                    let wait_index = {
-                        let mut st = self.st.lock();
-                        if st.role != Role::Leader {
-                            return ConsensusReply::NotLeader { hint: st.leader_hint };
-                        }
-                        if !st.recovered {
-                            return ConsensusReply::Busy { reason: "leader recovering".into() };
-                        }
-                        if st.store.touches_unsynced(&op) {
-                            Some(st.log.len() as u64)
-                        } else {
-                            let result = st.store.execute(&op);
-                            return ConsensusReply::ReadResult { result };
-                        }
-                    };
-                    if let Some(index) = wait_index {
-                        if !self.wait_commit(index).await {
-                            return ConsensusReply::Busy { reason: "commit stalled".into() };
-                        }
+            ConsensusRpc::Read { op } => loop {
+                let wait_index = {
+                    let mut st = self.st.lock();
+                    if st.role != Role::Leader {
+                        return ConsensusReply::NotLeader { hint: st.leader_hint };
+                    }
+                    if !st.recovered {
+                        return ConsensusReply::Busy { reason: "leader recovering".into() };
+                    }
+                    if st.store.touches_unsynced(&op) {
+                        Some(st.log.len() as u64)
+                    } else {
+                        let result = st.store.execute(&op);
+                        return ConsensusReply::ReadResult { result };
+                    }
+                };
+                if let Some(index) = wait_index {
+                    if !self.wait_commit(index).await {
+                        return ConsensusReply::Busy { reason: "commit stalled".into() };
                     }
                 }
-            }
+            },
             ConsensusRpc::Sync => {
                 let index = {
                     let st = self.st.lock();

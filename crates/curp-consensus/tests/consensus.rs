@@ -103,10 +103,7 @@ async fn commutative_commands_take_the_fast_path() {
     group.await_leader().await;
     let client = group.client(1);
     for i in 0..10 {
-        client
-            .update(Op::Put { key: b(&format!("k{i}")), value: b("v") })
-            .await
-            .unwrap();
+        client.update(Op::Put { key: b(&format!("k{i}")), value: b("v") }).await.unwrap();
     }
     let fast = client.stats.fast_path.load(std::sync::atomic::Ordering::Relaxed);
     assert!(fast >= 8, "expected mostly 1-RTT completions, got {fast}/10");
@@ -121,10 +118,7 @@ async fn conflicting_commands_commit_before_responding() {
     // Immediate second write to x conflicts with the (possibly uncommitted)
     // first; the leader must commit before answering.
     client.update(Op::Put { key: b("x"), value: b("2") }).await.unwrap();
-    assert_eq!(
-        client.read(Op::Get { key: b("x") }).await.unwrap(),
-        OpResult::Value(Some(b("2")))
-    );
+    assert_eq!(client.read(Op::Get { key: b("x") }).await.unwrap(), OpResult::Value(Some(b("2"))));
 }
 
 #[tokio::test(start_paused = true)]
@@ -182,10 +176,8 @@ async fn stale_term_records_are_rejected() {
         .unwrap();
     assert_eq!(unwrap_reply(&rsp), Some(ConsensusReply::RecordRejected));
     // The current term is accepted.
-    let rsp = raw
-        .call(leader, wrap_rpc(&ConsensusRpc::WitnessRecord { term, request }))
-        .await
-        .unwrap();
+    let rsp =
+        raw.call(leader, wrap_rpc(&ConsensusRpc::WitnessRecord { term, request })).await.unwrap();
     assert_eq!(unwrap_reply(&rsp), Some(ConsensusReply::RecordAccepted));
 }
 
@@ -220,10 +212,7 @@ async fn deposed_leader_discards_speculative_state() {
     let old = group.replicas.iter().find(|r| r.id() == leader_id).unwrap();
     let (_, is_leader, _) = old.status();
     assert!(!is_leader, "deposed leader must have stepped down");
-    assert_eq!(
-        client2.read(Op::Get { key: b("a") }).await.unwrap(),
-        OpResult::Value(Some(b("2")))
-    );
+    assert_eq!(client2.read(Op::Get { key: b("a") }).await.unwrap(), OpResult::Value(Some(b("2"))));
 }
 
 #[tokio::test(start_paused = true)]
@@ -244,10 +233,7 @@ async fn group_makes_progress_with_f_failures() {
     let r = client.update(Op::Put { key: b("k"), value: b("v") }).await.unwrap();
     assert_eq!(r, OpResult::Written { version: 1 });
     assert_eq!(client.stats.fast_path.load(std::sync::atomic::Ordering::Relaxed), 0);
-    assert_eq!(
-        client.read(Op::Get { key: b("k") }).await.unwrap(),
-        OpResult::Value(Some(b("v")))
-    );
+    assert_eq!(client.read(Op::Get { key: b("k") }).await.unwrap(), OpResult::Value(Some(b("v"))));
 }
 
 /// A follower that missed several appends is repaired by the leader's
@@ -269,7 +255,7 @@ async fn lagging_follower_log_is_repaired() {
         client.update(Op::Put { key: b(&format!("rep-{i}")), value: b("v") }).await.unwrap();
     }
     client.update(Op::Put { key: b("rep-0"), value: b("v2") }).await.unwrap(); // forces commit
-    // Heal: heartbeats discover the gap and walk nextIndex back.
+                                                                               // Heal: heartbeats discover the gap and walk nextIndex back.
     group.net.restart(laggard);
     for &other in &group.ids {
         if other != laggard {
@@ -295,10 +281,7 @@ async fn witness_slots_are_gced_on_commit() {
     group.await_leader().await;
     let client = group.client(1);
     for i in 0..200 {
-        client
-            .update(Op::Put { key: b(&format!("gc-{i}")), value: b("v") })
-            .await
-            .unwrap();
+        client.update(Op::Put { key: b(&format!("gc-{i}")), value: b("v") }).await.unwrap();
     }
     // Force everything to commit, then give heartbeats a moment to spread
     // the commit index.
@@ -314,9 +297,6 @@ async fn witness_slots_are_gced_on_commit() {
         assert!(r.commit_index() >= 200, "commit stalled at {}", r.commit_index());
     }
     for i in 200..400 {
-        client
-            .update(Op::Put { key: b(&format!("gc-{i}")), value: b("v") })
-            .await
-            .unwrap();
+        client.update(Op::Put { key: b(&format!("gc-{i}")), value: b("v") }).await.unwrap();
     }
 }

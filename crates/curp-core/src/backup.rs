@@ -216,10 +216,7 @@ mod tests {
         let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "2", 1)]);
         assert!(ok);
         assert_eq!(next, 2);
-        assert_eq!(
-            bs.read(M, &Op::Get { key: b("a") }),
-            Some(OpResult::Value(Some(b("1"))))
-        );
+        assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(Some(b("1")))));
     }
 
     #[test]
@@ -230,10 +227,7 @@ mod tests {
         let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "a", "2", 2)]);
         assert!(ok);
         assert_eq!(next, 2);
-        assert_eq!(
-            bs.read(M, &Op::Get { key: b("a") }),
-            Some(OpResult::Value(Some(b("2"))))
-        );
+        assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(Some(b("2")))));
     }
 
     #[test]
@@ -345,9 +339,6 @@ mod tests {
             bs.handle_request(&Request::BackupSetEpoch { master_id: M, epoch: Epoch(9) }),
             Response::EpochSet
         );
-        assert!(matches!(
-            bs.handle_request(&Request::GetConfig),
-            Response::Retry { .. }
-        ));
+        assert!(matches!(bs.handle_request(&Request::GetConfig), Response::Retry { .. }));
     }
 }

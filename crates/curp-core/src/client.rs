@@ -220,8 +220,7 @@ impl CurpClient {
             .map(|&w| self.rpc.call(w, Request::WitnessRecord { request: record.clone() }))
             .collect();
 
-        let (master_rsp, witness_rsps) =
-            tokio::join!(update_fut, futures_join_all(record_futs));
+        let (master_rsp, witness_rsps) = tokio::join!(update_fut, futures_join_all(record_futs));
 
         let (result, synced) = match master_rsp {
             Ok(Response::Update { result, synced }) => (result, synced),

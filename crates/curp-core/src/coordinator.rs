@@ -53,7 +53,11 @@ pub struct Coordinator {
 impl Coordinator {
     /// Creates a coordinator. `client_for` builds per-server RPC clients;
     /// `master_cfg` is the template for every master it creates.
-    pub fn new(client_for: ClientFactory, master_cfg: MasterConfig, lease_ttl_ms: u64) -> Arc<Self> {
+    pub fn new(
+        client_for: ClientFactory,
+        master_cfg: MasterConfig,
+        lease_ttl_ms: u64,
+    ) -> Arc<Self> {
         Arc::new(Coordinator {
             client_for,
             master_cfg,
@@ -103,9 +107,8 @@ impl Coordinator {
         let wl_version = WitnessListVersion(1);
         // Start witness instances before the master serves anything.
         for &w in &witnesses {
-            let rsp = (self.client_for)(master_srv)
-                .call(w, Request::WitnessStart { master_id })
-                .await;
+            let rsp =
+                (self.client_for)(master_srv).call(w, Request::WitnessStart { master_id }).await;
             match rsp {
                 Ok(Response::WitnessStarted { ok: true }) => {}
                 other => return Err(format!("witness start on {w} failed: {other:?}")),
@@ -163,7 +166,9 @@ impl Coordinator {
         // Step 0: fence the zombie (§4.7). Every backup must be fenced
         // before we read state, or a zombie sync could slip in afterwards.
         for &b in &part.backups {
-            match rpc.call(b, Request::BackupSetEpoch { master_id: crashed, epoch: new_epoch }).await
+            match rpc
+                .call(b, Request::BackupSetEpoch { master_id: crashed, epoch: new_epoch })
+                .await
             {
                 Ok(Response::EpochSet) => {}
                 other => return Err(format!("fencing backup {b} failed: {other:?}")),
@@ -223,10 +228,8 @@ impl Coordinator {
         self.server(new_srv)?.set_master(Arc::clone(&master));
 
         // Decommission the old witness instances; they are now useless.
-        let ends = part
-            .witnesses
-            .iter()
-            .map(|&w| rpc.call(w, Request::WitnessEnd { master_id: crashed }));
+        let ends =
+            part.witnesses.iter().map(|&w| rpc.call(w, Request::WitnessEnd { master_id: crashed }));
         let _ = futures_join_all(ends).await;
 
         let mut st = self.st.lock();
@@ -264,11 +267,8 @@ impl Coordinator {
             Ok(Response::WitnessStarted { ok: true }) => {}
             other => return Err(format!("witness start failed: {other:?}")),
         }
-        let new_list: Vec<ServerId> = part
-            .witnesses
-            .iter()
-            .map(|&w| if w == old_w { new_w } else { w })
-            .collect();
+        let new_list: Vec<ServerId> =
+            part.witnesses.iter().map(|&w| if w == old_w { new_w } else { w }).collect();
         let new_version = part.witness_list_version.next();
         // The master syncs before acknowledging, so updates recorded only on
         // the decommissioned witness can no longer complete (§3.6).
@@ -420,8 +420,7 @@ impl Coordinator {
             let mut st = self.st.lock();
             let now = self.now_ms();
             let expired = st.leases.collect_expired(now);
-            let masters: Vec<ServerId> =
-                st.config.partitions.iter().map(|p| p.master).collect();
+            let masters: Vec<ServerId> = st.config.partitions.iter().map(|p| p.master).collect();
             (expired, masters)
         };
         for client in expired {

@@ -300,10 +300,7 @@ impl Master {
             // externalized before a sync.
             let conflict = st.store.touches_unsynced(&op) || self.cfg.sync_every_op;
             let result = st.store.execute(&op);
-            let mutated = !matches!(
-                result,
-                OpResult::ConditionFailed { .. } | OpResult::WrongType
-            );
+            let mutated = !matches!(result, OpResult::ConditionFailed { .. } | OpResult::WrongType);
             // Every update gets a log entry — including failed conditionals:
             // their completion records must become durable too, or a retry
             // after recovery could re-execute with a different outcome.
@@ -327,7 +324,8 @@ impl Master {
             if mutated {
                 for h in op.key_hashes() {
                     if let Some(&prev) = st.recent_updates.get(&h) {
-                        if self.cfg.hotkey_sync && seq.saturating_sub(prev) <= self.cfg.hotkey_window
+                        if self.cfg.hotkey_sync
+                            && seq.saturating_sub(prev) <= self.cfg.hotkey_window
                         {
                             hot = true;
                         }
@@ -481,10 +479,7 @@ impl Master {
     /// this entry alone to every backup, bounded by the worker semaphore.
     /// Backups buffer out-of-order arrivals, so concurrent workers are safe.
     async fn replicate_one(self: &Arc<Self>, entry: LogEntry) -> bool {
-        let permit = Arc::clone(&self.repl_slots)
-            .acquire_owned()
-            .await
-            .expect("semaphore closed");
+        let permit = Arc::clone(&self.repl_slots).acquire_owned().await.expect("semaphore closed");
         let (epoch, backups) = {
             let st = self.st.lock();
             if st.sealed {
@@ -529,10 +524,7 @@ impl Master {
     }
 
     /// One replication round; `_guard` serializes rounds.
-    async fn sync_round(
-        self: &Arc<Self>,
-        _guard: tokio::sync::MutexGuard<'_, ()>,
-    ) -> bool {
+    async fn sync_round(self: &Arc<Self>, _guard: tokio::sync::MutexGuard<'_, ()>) -> bool {
         if !self.cfg.sync_coalesce.is_zero() {
             tokio::time::sleep(self.cfg.sync_coalesce).await;
         }
@@ -553,11 +545,7 @@ impl Master {
                 let calls = backups.iter().map(|&b| {
                     self.rpc.call(
                         b,
-                        Request::BackupSync {
-                            master_id: self.id,
-                            epoch,
-                            entries: entries.clone(),
-                        },
+                        Request::BackupSync { master_id: self.id, epoch, entries: entries.clone() },
                     )
                 });
                 let results = futures_join_all(calls).await;
@@ -616,10 +604,8 @@ impl Master {
         if !gc_pairs.is_empty() && !witnesses.is_empty() {
             // Gc RPCs are batched, one per witness per sync round (§3.5).
             let calls = witnesses.iter().map(|&w| {
-                self.rpc.call(
-                    w,
-                    Request::WitnessGc { master_id: self.id, entries: gc_pairs.clone() },
-                )
+                self.rpc
+                    .call(w, Request::WitnessGc { master_id: self.id, entries: gc_pairs.clone() })
             });
             self.stats.gcs_sent.fetch_add(witnesses.len() as u64, Ordering::Relaxed);
             let results = futures_join_all(calls).await;
@@ -822,8 +808,7 @@ where
     F: std::future::Future<Output = T> + Send + 'static,
     T: Send + 'static,
 {
-    let handles: Vec<tokio::task::JoinHandle<T>> =
-        futs.into_iter().map(tokio::spawn).collect();
+    let handles: Vec<tokio::task::JoinHandle<T>> = futs.into_iter().map(tokio::spawn).collect();
     let mut out = Vec::with_capacity(handles.len());
     for h in handles {
         out.push(h.await.expect("rpc task panicked"));

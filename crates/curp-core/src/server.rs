@@ -124,9 +124,7 @@ mod tests {
         let s = ServerHandler(CurpServer::new(ServerId(1), CacheConfig::default()));
         let rsp = s.handle(ServerId(9), Request::Sync).await;
         assert!(matches!(rsp, Response::Retry { .. }), "no master installed");
-        let rsp = s
-            .handle(ServerId(9), Request::WitnessStart { master_id: MasterId(1) })
-            .await;
+        let rsp = s.handle(ServerId(9), Request::WitnessStart { master_id: MasterId(1) }).await;
         assert_eq!(rsp, Response::WitnessStarted { ok: true });
         let rsp = s.handle(ServerId(9), Request::GetConfig).await;
         assert!(matches!(rsp, Response::Retry { .. }), "not a coordinator");

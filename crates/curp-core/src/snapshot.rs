@@ -86,7 +86,8 @@ impl Encode for Snapshot {
     fn encoded_len(&self) -> usize {
         seq_encoded_len(&self.objects)
             + seq_encoded_len(&self.dead_versions)
-            + 4 + self
+            + 4
+            + self
                 .rifl
                 .iter()
                 .map(|(c, _, r)| c.encoded_len() + 8 + seq_encoded_len(r))

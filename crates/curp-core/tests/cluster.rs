@@ -6,8 +6,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use curp_core::coordinator::Coordinator;
 use curp_core::client::{ClientConfig, CurpClient};
+use curp_core::coordinator::Coordinator;
 use curp_core::master::MasterConfig;
 use curp_core::server::{CurpServer, ServerHandler};
 use curp_proto::cluster::HashRange;
@@ -37,11 +37,8 @@ impl TestCluster {
         let net = MemNetwork::new(42);
         net.set_rpc_timeout(Duration::from_millis(100));
         let net_for_factory = net.clone();
-        let coord = Coordinator::new(
-            Box::new(move |id| net_for_factory.client(id)),
-            master_cfg,
-            ttl_ms,
-        );
+        let coord =
+            Coordinator::new(Box::new(move |id| net_for_factory.client(id)), master_cfg, ttl_ms);
         net.add_simple_server(
             COORD,
             Arc::new(curp_core::coordinator::CoordinatorHandler(Arc::clone(&coord))),

@@ -29,7 +29,11 @@ struct Loopback {
 }
 
 impl RpcClient for Loopback {
-    fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, curp_transport::RpcError>> {
+    fn call(
+        &self,
+        to: ServerId,
+        req: Request,
+    ) -> BoxFuture<'static, Result<Response, curp_transport::RpcError>> {
         let backup = Arc::clone(&self.backup);
         let witness = Arc::clone(&self.witness);
         Box::pin(async move {
@@ -84,9 +88,7 @@ fn rid(c: u64, s: u64) -> RpcId {
 }
 
 async fn put(r: &Rig, id: RpcId, key: &str, value: &str) -> Response {
-    r.master
-        .handle_update(id, 0, WLV, Op::Put { key: b(key), value: b(value) })
-        .await
+    r.master.handle_update(id, 0, WLV, Op::Put { key: b(key), value: b(value) }).await
 }
 
 #[tokio::test]
@@ -111,10 +113,7 @@ async fn duplicate_answers_from_completion_record() {
     let first = r.master.handle_update(id, 0, WLV, Op::Incr { key: b("c"), delta: 5 }).await;
     let second = r.master.handle_update(id, 0, WLV, Op::Incr { key: b("c"), delta: 5 }).await;
     match (first, second) {
-        (
-            Response::Update { result: a, .. },
-            Response::Update { result: bb, synced },
-        ) => {
+        (Response::Update { result: a, .. }, Response::Update { result: bb, synced }) => {
             assert_eq!(a, OpResult::Counter(5));
             assert_eq!(bb, OpResult::Counter(5), "duplicate must not re-execute");
             assert!(!synced, "still pending");
@@ -293,10 +292,7 @@ async fn client_expiry_syncs_first() {
 #[tokio::test]
 async fn witness_list_install_requires_newer_version() {
     let r = rig(lazy());
-    let rsp = r
-        .master
-        .handle_witness_list(WitnessListVersion(2), vec![WITNESS])
-        .await;
+    let rsp = r.master.handle_witness_list(WitnessListVersion(2), vec![WITNESS]).await;
     assert_eq!(rsp, Response::WitnessListInstalled);
     let (v, _) = r.master.witness_list();
     assert_eq!(v, WitnessListVersion(2));
@@ -312,10 +308,7 @@ async fn sealed_master_refuses_everything() {
     let r = rig(lazy());
     r.master.seal();
     assert!(matches!(put(&r, rid(1, 1), "k", "v").await, Response::Retry { .. }));
-    assert!(matches!(
-        r.master.handle_read(Op::Get { key: b("k") }).await,
-        Response::Retry { .. }
-    ));
+    assert!(matches!(r.master.handle_read(Op::Get { key: b("k") }).await, Response::Retry { .. }));
     assert!(matches!(r.master.handle_sync().await, Response::Retry { .. }));
 }
 
@@ -362,9 +355,7 @@ async fn unreachable_backup_fails_sync_but_keeps_pending() {
         },
         Arc::new(Loopback { backup, witness }),
     );
-    let rsp = master
-        .handle_update(rid(1, 1), 0, WLV, Op::Put { key: b("k"), value: b("v") })
-        .await;
+    let rsp = master.handle_update(rid(1, 1), 0, WLV, Op::Put { key: b("k"), value: b("v") }).await;
     // Speculative response still works...
     assert!(matches!(rsp, Response::Update { synced: false, .. }));
     // ...but an explicit sync fails and the entry stays pending for retry.

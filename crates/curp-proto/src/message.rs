@@ -547,13 +547,10 @@ impl Decode for Request {
                 master_id: MasterId::decode(buf)?,
                 key_hashes: decode_seq(buf)?,
             },
-            REQ_W_GC => Request::WitnessGc {
-                master_id: MasterId::decode(buf)?,
-                entries: decode_seq(buf)?,
-            },
-            REQ_W_RECOVERY => {
-                Request::WitnessGetRecoveryData { master_id: MasterId::decode(buf)? }
+            REQ_W_GC => {
+                Request::WitnessGc { master_id: MasterId::decode(buf)?, entries: decode_seq(buf)? }
             }
+            REQ_W_RECOVERY => Request::WitnessGetRecoveryData { master_id: MasterId::decode(buf)? },
             REQ_W_START => Request::WitnessStart { master_id: MasterId::decode(buf)? },
             REQ_W_END => Request::WitnessEnd { master_id: MasterId::decode(buf)? },
             REQ_B_SYNC => Request::BackupSync {
@@ -744,14 +741,12 @@ impl Decode for Response {
             RSP_RECOVERY => Response::RecoveryData { requests: decode_seq(buf)? },
             RSP_W_STARTED => Response::WitnessStarted { ok: bool::decode(buf)? },
             RSP_W_ENDED => Response::WitnessEnded,
-            RSP_B_SYNCED => Response::BackupSynced {
-                accepted: bool::decode(buf)?,
-                next_seq: u64::decode(buf)?,
-            },
-            RSP_B_DATA => Response::BackupData {
-                next_seq: u64::decode(buf)?,
-                snapshot: Bytes::decode(buf)?,
-            },
+            RSP_B_SYNCED => {
+                Response::BackupSynced { accepted: bool::decode(buf)?, next_seq: u64::decode(buf)? }
+            }
+            RSP_B_DATA => {
+                Response::BackupData { next_seq: u64::decode(buf)?, snapshot: Bytes::decode(buf)? }
+            }
             RSP_B_INSTALLED => Response::BackupInstalled,
             RSP_B_VALUE => Response::BackupValue { result: OpResult::decode(buf)? },
             RSP_EPOCH_SET => Response::EpochSet,
@@ -930,8 +925,7 @@ mod tests {
     #[test]
     fn envelope_roundtrips() {
         let req = Request::Sync;
-        let env =
-            RpcEnvelope { corr_id: 42, is_response: false, payload: req.to_bytes() };
+        let env = RpcEnvelope { corr_id: 42, is_response: false, payload: req.to_bytes() };
         roundtrip(&env);
         let back = Request::from_bytes(&env.payload).unwrap();
         assert_eq!(back, req);

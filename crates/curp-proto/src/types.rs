@@ -168,10 +168,7 @@ impl Encode for RpcId {
 
 impl Decode for RpcId {
     fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
-        Ok(RpcId {
-            client: ClientId::decode(buf)?,
-            seq: u64::decode(buf)?,
-        })
+        Ok(RpcId { client: ClientId::decode(buf)?, seq: u64::decode(buf)? })
     }
 }
 

@@ -23,17 +23,17 @@ fn arb_op() -> impl Strategy<Value = Op> {
         arb_bytes().prop_map(|key| Op::Get { key }),
         (arb_bytes(), arb_bytes()).prop_map(|(key, value)| Op::Put { key, value }),
         arb_bytes().prop_map(|key| Op::Delete { key }),
-        (arb_bytes(), any::<u64>(), arb_bytes())
-            .prop_map(|(key, expected_version, value)| Op::ConditionalPut {
-                key,
-                expected_version,
-                value
-            }),
+        (arb_bytes(), any::<u64>(), arb_bytes()).prop_map(|(key, expected_version, value)| {
+            Op::ConditionalPut { key, expected_version, value }
+        }),
         prop::collection::vec((arb_bytes(), arb_bytes()), 0..8)
             .prop_map(|kvs| Op::MultiPut { kvs }),
         (arb_bytes(), any::<i64>()).prop_map(|(key, delta)| Op::Incr { key, delta }),
-        (arb_bytes(), arb_bytes(), arb_bytes())
-            .prop_map(|(key, field, value)| Op::HSet { key, field, value }),
+        (arb_bytes(), arb_bytes(), arb_bytes()).prop_map(|(key, field, value)| Op::HSet {
+            key,
+            field,
+            value
+        }),
         (arb_bytes(), arb_bytes()).prop_map(|(key, field)| Op::HGet { key, field }),
         (arb_bytes(), arb_bytes()).prop_map(|(key, value)| Op::ListPush { key, value }),
         (arb_bytes(), arb_bytes()).prop_map(|(key, member)| Op::SetAdd { key, member }),
@@ -146,8 +146,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             .prop_map(|(result, synced)| Response::Update { result, synced }),
         arb_result().prop_map(|result| Response::Read { result }),
         Just(Response::SyncDone),
-        any::<u64>()
-            .prop_map(|v| Response::StaleWitnessList { current: WitnessListVersion(v) }),
+        any::<u64>().prop_map(|v| Response::StaleWitnessList { current: WitnessListVersion(v) }),
         Just(Response::NotOwner),
         Just(Response::RecordAccepted),
         Just(Response::RecordRejected),

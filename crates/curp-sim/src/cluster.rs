@@ -195,9 +195,7 @@ impl SimCluster {
             retry_backoff: vus(50),
         };
         Arc::new(
-            CurpClient::connect(self.net.client(id), COORD, cfg)
-                .await
-                .expect("client connect"),
+            CurpClient::connect(self.net.client(id), COORD, cfg).await.expect("client connect"),
         )
     }
 
@@ -225,10 +223,7 @@ impl SimCluster {
                     let t0 = tokio::time::Instant::now();
                     match op {
                         WorkloadOp::Update { key, value } => {
-                            client
-                                .update(Op::Put { key, value })
-                                .await
-                                .expect("update failed");
+                            client.update(Op::Put { key, value }).await.expect("update failed");
                             writes.record_ns(to_virtual_ns(t0.elapsed()));
                         }
                         WorkloadOp::Read { key } => {
@@ -251,12 +246,7 @@ impl SimCluster {
             total_ops += ops;
         }
         let secs = to_virtual_ns(duration) as f64 / 1e9;
-        RunResult {
-            writes,
-            reads,
-            throughput_ops_per_sec: total_ops as f64 / secs,
-            ops: total_ops,
-        }
+        RunResult { writes, reads, throughput_ops_per_sec: total_ops as f64 / secs, ops: total_ops }
     }
 
     /// Measures sequential write latency from a single client (Figure 5):
@@ -307,10 +297,7 @@ mod tests {
         let curp = median_us(Mode::Curp, 3);
         // §5.1: 7.3 vs 6.9 µs — within ~10%.
         let overhead = curp - unrep;
-        assert!(
-            (0.0..1.5).contains(&overhead),
-            "CURP {curp:.2} vs unreplicated {unrep:.2}"
-        );
+        assert!((0.0..1.5).contains(&overhead), "CURP {curp:.2} vs unreplicated {unrep:.2}");
     }
 
     #[test]

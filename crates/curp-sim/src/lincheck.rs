@@ -101,11 +101,8 @@ pub fn failing_keys(history: &[HistoryEvent]) -> Vec<Bytes> {
     for e in history {
         per_key.entry(e.key.clone()).or_default().push(e);
     }
-    let mut bad: Vec<Bytes> = per_key
-        .iter()
-        .filter(|(_, events)| !check_key(events))
-        .map(|(k, _)| k.clone())
-        .collect();
+    let mut bad: Vec<Bytes> =
+        per_key.iter().filter(|(_, events)| !check_key(events)).map(|(k, _)| k.clone()).collect();
     bad.sort();
     bad
 }
@@ -203,16 +200,8 @@ mod tests {
 
     #[test]
     fn concurrent_writes_allow_either_order() {
-        let h1 = vec![
-            put("k", "a", 0, 100),
-            put("k", "b", 0, 100),
-            get("k", Some("a"), 200, 210),
-        ];
-        let h2 = vec![
-            put("k", "a", 0, 100),
-            put("k", "b", 0, 100),
-            get("k", Some("b"), 200, 210),
-        ];
+        let h1 = vec![put("k", "a", 0, 100), put("k", "b", 0, 100), get("k", Some("a"), 200, 210)];
+        let h2 = vec![put("k", "a", 0, 100), put("k", "b", 0, 100), get("k", Some("b"), 200, 210)];
         assert!(check_linearizable(&h1));
         assert!(check_linearizable(&h2));
     }
@@ -248,7 +237,8 @@ mod tests {
         // Client crashed mid-put: both observations are legal (§3.4: "If the
         // client crashes before externalizing the result, the RPC may or may
         // not finish").
-        let pending = HistoryEvent { key: b("k"), op: HistOp::Put(b("x")), invoke: 50, ret: u64::MAX };
+        let pending =
+            HistoryEvent { key: b("k"), op: HistOp::Put(b("x")), invoke: 50, ret: u64::MAX };
         let h1 = vec![put("k", "1", 0, 10), pending.clone(), get("k", Some("x"), 100, 110)];
         let h2 = vec![put("k", "1", 0, 10), pending, get("k", Some("1"), 100, 110)];
         assert!(check_linearizable(&h1));
@@ -257,7 +247,8 @@ mod tests {
 
     #[test]
     fn incr_results_must_chain() {
-        let incr = |d, r, i, t| HistoryEvent { key: b("c"), op: HistOp::Incr(d, r), invoke: i, ret: t };
+        let incr =
+            |d, r, i, t| HistoryEvent { key: b("c"), op: HistOp::Incr(d, r), invoke: i, ret: t };
         let ok = vec![incr(1, 1, 0, 10), incr(2, 3, 20, 30), get("c", Some("3"), 40, 50)];
         assert!(check_linearizable(&ok));
         // A lost increment (result repeats) is a linearizability violation.

@@ -338,7 +338,11 @@ fn random_op(
         RedisCommand::Hmset => {
             let mut value = vec![0u8; value_size];
             rng.fill(&mut value[..]);
-            Op::HSet { key, field: bytes::Bytes::from_static(b"f"), value: bytes::Bytes::from(value) }
+            Op::HSet {
+                key,
+                field: bytes::Bytes::from_static(b"f"),
+                value: bytes::Bytes::from(value),
+            }
         }
         RedisCommand::Incr => Op::Incr { key, delta: 1 },
     }
@@ -372,10 +376,7 @@ mod tests {
         let c1 = median_set_us(RedisMode::Curp { witnesses: 1 });
         // Figure 8: +~3 µs (12%) median for one witness — durability for ~free.
         let overhead = c1 - nd;
-        assert!(
-            (0.0..12.0).contains(&overhead),
-            "curp-1w {c1:.1} vs non-durable {nd:.1}"
-        );
+        assert!((0.0..12.0).contains(&overhead), "curp-1w {c1:.1} vs non-durable {nd:.1}");
     }
 
     #[test]
@@ -402,10 +403,7 @@ mod tests {
         let nd = tp(RedisMode::NonDurable, 50);
         let d_few = tp(RedisMode::Durable, 4);
         let d_many = tp(RedisMode::Durable, 50);
-        assert!(
-            d_many > nd * 0.5,
-            "durable@50 {d_many:.0} should approach non-durable {nd:.0}"
-        );
+        assert!(d_many > nd * 0.5, "durable@50 {d_many:.0} should approach non-durable {nd:.0}");
         // And the gap must be wide at low client counts (the fsync shows).
         assert!(
             d_few < nd * 0.35,

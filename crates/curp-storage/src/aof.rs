@@ -130,10 +130,7 @@ mod tests {
         LogEntry {
             seq,
             rpc_id: Some(RpcId::new(ClientId(1), seq)),
-            op: Op::Put {
-                key: Bytes::from(format!("k{seq}")),
-                value: Bytes::from(vec![0u8; 100]),
-            },
+            op: Op::Put { key: Bytes::from(format!("k{seq}")), value: Bytes::from(vec![0u8; 100]) },
             result: OpResult::Written { version: seq + 1 },
         }
     }

@@ -280,12 +280,8 @@ impl Store {
     ) -> StoreExport {
         use curp_proto::types::KeyHash;
         assert!(!self.has_unsynced(), "must sync before migrating data out");
-        let keys: Vec<Bytes> = self
-            .objects
-            .keys()
-            .filter(|k| belongs(KeyHash::of(k)))
-            .cloned()
-            .collect();
+        let keys: Vec<Bytes> =
+            self.objects.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
         let mut objects: Vec<(Bytes, Object)> = keys
             .into_iter()
             .map(|k| {
@@ -294,12 +290,8 @@ impl Store {
             })
             .collect();
         objects.sort_by(|a, b| a.0.cmp(&b.0));
-        let dead_keys: Vec<Bytes> = self
-            .dead_versions
-            .keys()
-            .filter(|k| belongs(KeyHash::of(k)))
-            .cloned()
-            .collect();
+        let dead_keys: Vec<Bytes> =
+            self.dead_versions.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
         let mut dead: Vec<(Bytes, u64)> = dead_keys
             .into_iter()
             .map(|k| {
@@ -330,7 +322,9 @@ impl Store {
 // encode to identical bytes.
 
 use bytes::{Buf, BufMut};
-use curp_proto::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
+use curp_proto::wire::{
+    decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode,
+};
 
 const VAL_STR: u8 = 0;
 const VAL_HASH: u8 = 1;
@@ -523,10 +517,7 @@ mod tests {
     #[test]
     fn hash_ops() {
         let mut s = Store::new();
-        assert_eq!(
-            s.execute(&Op::HGet { key: b("h"), field: b("f") }),
-            OpResult::Value(None)
-        );
+        assert_eq!(s.execute(&Op::HGet { key: b("h"), field: b("f") }), OpResult::Value(None));
         s.execute(&Op::HSet { key: b("h"), field: b("f"), value: b("v") });
         s.execute(&Op::HSet { key: b("h"), field: b("g"), value: b("w") });
         assert_eq!(
@@ -612,7 +603,9 @@ mod tests {
         put(&mut s, "hot", "1");
         assert!(s.touches_unsynced(&Op::Get { key: b("hot") }));
         assert!(!s.touches_unsynced(&Op::Get { key: b("cold") }));
-        assert!(s.touches_unsynced(&Op::MultiPut { kvs: vec![(b("cold"), b("x")), (b("hot"), b("y"))] }));
+        assert!(s.touches_unsynced(&Op::MultiPut {
+            kvs: vec![(b("cold"), b("x")), (b("hot"), b("y"))]
+        }));
     }
 
     #[test]
@@ -684,13 +677,15 @@ mod tests {
 
     #[test]
     fn deterministic_replay_reproduces_state() {
-        let ops = [Op::Put { key: b("a"), value: b("1") },
+        let ops = [
+            Op::Put { key: b("a"), value: b("1") },
             Op::Incr { key: b("c"), delta: 3 },
             Op::HSet { key: b("h"), field: b("f"), value: b("v") },
             Op::Delete { key: b("a") },
             Op::Put { key: b("a"), value: b("2") },
             Op::ListPush { key: b("l"), value: b("x") },
-            Op::SetAdd { key: b("s"), member: b("m") }];
+            Op::SetAdd { key: b("s"), member: b("m") },
+        ];
         let mut s1 = Store::new();
         let mut s2 = Store::new();
         let r1: Vec<_> = ops.iter().map(|op| s1.execute(op)).collect();

@@ -25,10 +25,8 @@ fn arb_step() -> impl Strategy<Value = Step> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put {
-            key: key(k),
-            value: Bytes::from(vec![v; 8])
-        }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(k, v)| Op::Put { key: key(k), value: Bytes::from(vec![v; 8]) }),
         any::<u8>().prop_map(|k| Op::Delete { key: key(k) }),
         (any::<u8>(), -4..5i64).prop_map(|(k, d)| Op::Incr { key: key(k), delta: d }),
         (any::<u8>(), any::<u8>()).prop_map(|(k, f)| Op::HSet {
@@ -36,14 +34,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
             field: Bytes::from(vec![f % 4]),
             value: Bytes::from_static(b"v"),
         }),
-        (any::<u8>(), any::<u8>()).prop_map(|(k, m)| Op::SetAdd {
-            key: key(k),
-            member: Bytes::from(vec![m % 8]),
-        }),
-        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::ListPush {
-            key: key(k),
-            value: Bytes::from(vec![v]),
-        }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(k, m)| Op::SetAdd { key: key(k), member: Bytes::from(vec![m % 8]) }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(k, v)| Op::ListPush { key: key(k), value: Bytes::from(vec![v]) }),
         any::<u8>().prop_map(|k| Op::Get { key: key(k) }),
     ]
 }

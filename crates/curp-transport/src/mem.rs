@@ -107,8 +107,7 @@ impl MemNetwork {
     /// Registers (or replaces) the handler for `id`.
     pub fn add_server(&self, id: ServerId, handler: SharedHandler, spec: ServerSpec) {
         let mut servers = self.inner.servers.lock();
-        let stats =
-            servers.get(&id).map(|e| Arc::clone(&e.stats)).unwrap_or_default();
+        let stats = servers.get(&id).map(|e| Arc::clone(&e.stats)).unwrap_or_default();
         servers.insert(
             id,
             ServerEntry {
@@ -232,7 +231,12 @@ impl MemNetwork {
         }
     }
 
-    async fn do_call(self, from: ServerId, to: ServerId, req: Request) -> Result<Response, RpcError> {
+    async fn do_call(
+        self,
+        from: ServerId,
+        to: ServerId,
+        req: Request,
+    ) -> Result<Response, RpcError> {
         let timeout = *self.inner.rpc_timeout.lock();
         let fut = async {
             let req_len = req.encoded_len() as u64;
@@ -448,9 +452,8 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..64 {
             let client = net.client(ServerId(200 + i));
-            handles.push(tokio::spawn(
-                async move { client.call(ServerId(1), Request::Sync).await },
-            ));
+            handles
+                .push(tokio::spawn(async move { client.call(ServerId(1), Request::Sync).await }));
         }
         for h in handles {
             assert!(h.await.unwrap().is_ok());

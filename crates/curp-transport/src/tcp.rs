@@ -50,10 +50,7 @@ impl TcpServer {
     /// responses; the handler receives the peer's claimed id from the
     /// envelope-carrying connection (first frame of each connection is a
     /// hello frame carrying the peer's [`ServerId`]).
-    pub async fn bind(
-        addr: SocketAddr,
-        handler: SharedHandler,
-    ) -> std::io::Result<TcpServer> {
+    pub async fn bind(addr: SocketAddr, handler: SharedHandler) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr).await?;
         let local_addr = listener.local_addr()?;
         let (tx, mut rx) = oneshot::channel();
@@ -193,15 +190,9 @@ impl TcpRouter {
             }
             conns.remove(&to);
         }
-        let addr = self
-            .inner
-            .routes
-            .lock()
-            .get(&to)
-            .copied()
-            .ok_or(RpcError::Unreachable { to })?;
-        let stream =
-            TcpStream::connect(addr).await.map_err(|_| RpcError::Unreachable { to })?;
+        let addr =
+            self.inner.routes.lock().get(&to).copied().ok_or(RpcError::Unreachable { to })?;
+        let stream = TcpStream::connect(addr).await.map_err(|_| RpcError::Unreachable { to })?;
         stream.set_nodelay(true).ok();
         let (mut rd, mut wr) = stream.into_split();
         let pending: Pending = Arc::new(Mutex::new(HashMap::new()));

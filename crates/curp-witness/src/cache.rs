@@ -202,9 +202,7 @@ impl WitnessCache {
         let still_pending: Vec<Arc<RecordedRequest>> = self
             .suspects
             .drain(..)
-            .filter(|s| {
-                !entries.iter().any(|&(_, rid)| rid == s.rpc_id)
-            })
+            .filter(|s| !entries.iter().any(|&(_, rid)| rid == s.rpc_id))
             .collect();
         still_pending.iter().map(|s| (**s).clone()).collect()
     }
@@ -418,7 +416,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of associativity")]
     fn bad_geometry_panics() {
-        WitnessCache::new(CacheConfig { total_slots: 10, associativity: 4, gc_suspicion_rounds: 3 });
+        WitnessCache::new(CacheConfig {
+            total_slots: 10,
+            associativity: 4,
+            gc_suspicion_rounds: 3,
+        });
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! A torn tail (power loss mid-append) is discarded, like the AOF loader.
 //!
 //! The journal is an *optional* layer: the in-memory
-//! [`WitnessService`](crate::service::WitnessService) stays pure, and
+//! [`WitnessService`] stays pure, and
 //! [`JournaledWitness`] wraps it, persisting every accepted mutation before
 //! acknowledging — the write-ahead discipline that makes the paper's
 //! durability claim honest on disk-backed hardware.
@@ -23,7 +23,9 @@ use bytes::{Buf, BufMut, BytesMut};
 use curp_proto::frame::{write_frame, FrameDecoder};
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::types::{KeyHash, MasterId, RpcId};
-use curp_proto::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
+use curp_proto::wire::{
+    decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode,
+};
 use parking_lot::Mutex;
 
 use crate::cache::CacheConfig;
@@ -34,10 +36,7 @@ use crate::service::WitnessService;
 enum JournalOp {
     Start(MasterId),
     Record(RecordedRequest),
-    Gc {
-        master: MasterId,
-        pairs: Vec<(KeyHash, RpcId)>,
-    },
+    Gc { master: MasterId, pairs: Vec<(KeyHash, RpcId)> },
     Freeze(MasterId),
     End(MasterId),
 }

@@ -126,9 +126,7 @@ impl WitnessService {
     pub fn commutes_with_read(&self, master: MasterId, key_hashes: &[KeyHash]) -> bool {
         let instances = self.instances.lock();
         match instances.get(&master) {
-            Some(inst) if inst.mode == Mode::Normal => {
-                inst.cache.commutes_with_read(key_hashes)
-            }
+            Some(inst) if inst.mode == Mode::Normal => inst.cache.commutes_with_read(key_hashes),
             _ => false,
         }
     }
@@ -173,9 +171,9 @@ impl WitnessService {
             Request::WitnessGetRecoveryData { master_id } => {
                 Response::RecoveryData { requests: self.get_recovery_data(*master_id) }
             }
-            Request::WitnessCommuteCheck { master_id, key_hashes } => Response::CommuteOk {
-                commutative: self.commutes_with_read(*master_id, key_hashes),
-            },
+            Request::WitnessCommuteCheck { master_id, key_hashes } => {
+                Response::CommuteOk { commutative: self.commutes_with_read(*master_id, key_hashes) }
+            }
             Request::WitnessEnd { master_id } => {
                 self.end(*master_id);
                 Response::WitnessEnded
@@ -195,8 +193,10 @@ mod tests {
     const M: MasterId = MasterId(1);
 
     fn req(master: MasterId, key: &str, client: u64, seq: u64) -> RecordedRequest {
-        let op =
-            Op::Put { key: Bytes::copy_from_slice(key.as_bytes()), value: Bytes::from_static(b"v") };
+        let op = Op::Put {
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            value: Bytes::from_static(b"v"),
+        };
         RecordedRequest {
             master_id: master,
             rpc_id: RpcId::new(ClientId(client), seq),
@@ -314,13 +314,7 @@ mod tests {
             Response::RecoveryData { requests } => assert_eq!(requests.len(), 1),
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(
-            s.handle_request(&Request::WitnessEnd { master_id: M }),
-            Response::WitnessEnded
-        );
-        assert!(matches!(
-            s.handle_request(&Request::Sync),
-            Response::Retry { .. }
-        ));
+        assert_eq!(s.handle_request(&Request::WitnessEnd { master_id: M }), Response::WitnessEnded);
+        assert!(matches!(s.handle_request(&Request::Sync), Response::Retry { .. }));
     }
 }

@@ -46,20 +46,12 @@ pub struct Workload {
 impl Workload {
     /// YCSB-A: 50% reads / 50% updates, Zipfian(0.99) over `records` keys.
     pub fn ycsb_a(records: u64) -> Self {
-        Workload {
-            chooser: Box::new(Zipfian::ycsb(records)),
-            read_fraction: 0.5,
-            value_size: 100,
-        }
+        Workload { chooser: Box::new(Zipfian::ycsb(records)), read_fraction: 0.5, value_size: 100 }
     }
 
     /// YCSB-B: 95% reads / 5% updates, Zipfian(0.99) over `records` keys.
     pub fn ycsb_b(records: u64) -> Self {
-        Workload {
-            chooser: Box::new(Zipfian::ycsb(records)),
-            read_fraction: 0.95,
-            value_size: 100,
-        }
+        Workload { chooser: Box::new(Zipfian::ycsb(records)), read_fraction: 0.95, value_size: 100 }
     }
 
     /// Write-only uniform workload with 100 B values (Figures 5/6/12: "100B

@@ -37,8 +37,7 @@ fn main() {
         let mut replicas = Vec::new();
         for &id in &ids {
             let peers: Vec<ServerId> = ids.iter().copied().filter(|&p| p != id).collect();
-            let replica =
-                Replica::spawn(id, peers, ReplicaConfig::default(), net.client(id));
+            let replica = Replica::spawn(id, peers, ReplicaConfig::default(), net.client(id));
             net.add_simple_server(id, Arc::new(ReplicaHandler(Arc::clone(&replica))));
             replicas.push(replica);
         }

@@ -44,11 +44,8 @@ fn main() {
         // Coordinator-driven recovery: fence the epoch, restore from a
         // backup, replay from a witness, reinstall on all backups.
         let spare = cluster.servers.last().unwrap().id();
-        let new_master = cluster
-            .coord
-            .recover_master(cluster.master_id, spare)
-            .await
-            .expect("recovery failed");
+        let new_master =
+            cluster.coord.recover_master(cluster.master_id, spare).await.expect("recovery failed");
         println!("recovered partition onto {spare} as {new_master:?}");
 
         // The client transparently refreshes its config and reads the value

@@ -15,8 +15,8 @@ use std::time::Instant;
 use bytes::Bytes;
 use curp::core::client::{ClientConfig, CurpClient};
 use curp::core::coordinator::{Coordinator, CoordinatorHandler};
-use curp::core::server::{CurpServer, ServerHandler};
 use curp::core::master::MasterConfig;
+use curp::core::server::{CurpServer, ServerHandler};
 use curp::proto::cluster::HashRange;
 use curp::proto::op::Op;
 use curp::proto::types::ServerId;
@@ -62,11 +62,9 @@ async fn main() -> Result<(), Box<dyn std::error::Error>> {
     for s in &servers {
         coord.register_server(Arc::clone(s));
     }
-    let coord_tcp = TcpServer::bind(
-        "127.0.0.1:0".parse()?,
-        Arc::new(CoordinatorHandler(Arc::clone(&coord))),
-    )
-    .await?;
+    let coord_tcp =
+        TcpServer::bind("127.0.0.1:0".parse()?, Arc::new(CoordinatorHandler(Arc::clone(&coord))))
+            .await?;
     println!("coordinator listening on {}", coord_tcp.local_addr());
 
     // Partition: master on server 1, backups+witnesses on 2..4.

@@ -1,0 +1,202 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! API subset this workspace uses. It runs each benchmark closure for the
+//! configured measurement time and reports mean ns/iter on stdout — no
+//! statistics, plots, or baselines, but the same source-level API, so the
+//! benches compile and produce usable numbers offline. See the workspace
+//! README's "Dependency policy" section.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver: times closures handed to [`Criterion::bench_function`].
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints the mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(r) => {
+                let ns = r.total.as_nanos() as f64 / r.iters.max(1) as f64;
+                println!("bench\t{id}\t{ns:.1} ns/iter\t({} iters)", r.iters);
+            }
+            None => println!("bench\t{id}\t<no measurement>"),
+        }
+        self
+    }
+}
+
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() as u64 / warm_iters.max(1);
+        let budget_iters = (self.measurement_time.as_nanos() as u64 / per_iter.max(1))
+            .clamp(self.sample_size as u64, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..budget_iters {
+            black_box(routine());
+        }
+        self.result = Some(Measurement { total: start.elapsed(), iters: budget_iters });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() as u64 / warm_iters.max(1);
+        let budget_iters = (self.measurement_time.as_nanos() as u64 / per_iter.max(1))
+            .clamp(self.sample_size as u64, 10_000_000);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..budget_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some(Measurement { total, iters: budget_iters });
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn1, fn2)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow the harness args Cargo passes (`--bench`, filters).
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut x = 0u64;
+        c.bench_function("noop", |b| b.iter(|| x = x.wrapping_add(1)));
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,507 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest) API
+//! subset this workspace uses: the `proptest!` macro, `Strategy` combinators
+//! (`prop_map`, tuples, `prop_oneof!`, `Just`, `prop::collection::vec`,
+//! `prop::option::of`, `any::<T>()`), and `prop_assert*`. Cases are generated
+//! from a deterministic seeded RNG; there is **no shrinking** — a failing
+//! case reports its seed and iteration instead. See the workspace README's
+//! "Dependency policy" section.
+
+use rand::rngs::StdRng;
+
+/// Number of cases per property when no [`ProptestConfig`] is given.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Test-runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: DEFAULT_CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error raised by `prop_assert*`; carries the failure message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Result type threaded through property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `f` (retries, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row");
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9);
+
+/// String literals are regex strategies in proptest; this shim understands
+/// the `[class]{min,max}` shape (e.g. `"[a-z ]{0,32}"`) with `a-z` ranges
+/// and literal characters in the class. Any other pattern generates itself
+/// verbatim.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        use rand::Rng;
+        let parsed = (|| {
+            let rest = self.strip_prefix('[')?;
+            let (class, rest) = rest.split_once(']')?;
+            let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+            let (min, max) = counts.split_once(',')?;
+            let (min, max) = (min.parse::<usize>().ok()?, max.parse::<usize>().ok()?);
+            let mut alphabet = Vec::new();
+            let chars: Vec<char> = class.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    for c in chars[i]..=chars[i + 2] {
+                        alphabet.push(c);
+                    }
+                    i += 3;
+                } else {
+                    alphabet.push(chars[i]);
+                    i += 1;
+                }
+            }
+            Some((alphabet, min, max))
+        })();
+        match parsed {
+            Some((alphabet, min, max)) if !alphabet.is_empty() => {
+                let n = rng.gen_range(min..=max);
+                (0..n).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+            }
+            _ => (*self).to_string(),
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                <$t as rand::Standard>::sample(rng)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_via_standard!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64, f32
+);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Ranges are strategies for their element type (uniform sampling).
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Weighted choice among boxed variants (backs `prop_oneof!`).
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a weighted union; panics if `variants` is empty or all
+    /// weights are zero.
+    pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        let total_weight: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        Union { variants, total_weight }
+    }
+
+    /// Builds a uniform union; panics if `variants` is empty.
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        Union::new_weighted(variants.into_iter().map(|s| (1, s)).collect())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, strat) in &self.variants {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weights sum to total_weight")
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n =
+                if self.len.is_empty() { self.len.start } else { rng.gen_range(self.len.clone()) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{StdRng, Strategy};
+
+    /// Strategy for `Option`s (75% `Some`, matching proptest's default).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some(inner)` 75% of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test module needs.
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+pub mod prop {
+    //! Namespace mirror: `prop::collection`, `prop::option`.
+    pub use super::collection;
+    pub use super::option;
+}
+
+// `prop::...` paths also appear unqualified through the prelude.
+pub use prop as prop_ns;
+
+#[doc(hidden)]
+pub mod runner {
+    //! Drives property bodies from the `proptest!` macro expansion.
+
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Runs `body` for `config.cases` deterministic cases.
+    pub fn run(
+        test_name: &str,
+        config: &ProptestConfig,
+        mut body: impl FnMut(&mut StdRng) -> TestCaseResult,
+    ) {
+        // Deterministic per-test seed: stable across runs, different between
+        // tests; PROPTEST_SEED overrides for reproduction.
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse::<u64>().expect("PROPTEST_SEED must be a u64"),
+            Err(_) => test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            }),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for case in 0..config.cases {
+            if let Err(TestCaseError(msg)) = body(&mut rng) {
+                panic!(
+                    "property '{test_name}' failed at case {case}/{} (seed {seed}): {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    // Leading `#![proptest_config(...)]` applies to every test in the block.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::runner::run(stringify!($name), &config, |__rng| {
+                    $(let $pat = $crate::Strategy::generate(&$strat, __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Choice among strategies producing the same value type; arms are either
+/// all `strategy` (uniform) or all `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tuples_and_maps(v in prop::collection::vec(any::<u8>(), 0..16),
+                           (a, b) in (any::<u64>(), any::<bool>())) {
+            prop_assert!(v.len() < 16);
+            let doubled = (a, b);
+            prop_assert_eq!(doubled.0, a);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn oneof_covers_variants(x in prop_oneof![Just(1usize), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_seed() {
+        proptest::runner::run("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(proptest::TestCaseError("boom".into()))
+        });
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline shim for tokio's attribute macros, written against the bare
+//! `proc_macro` API (no syn/quote available offline). The transformation is
+//! purely structural: strip `async` from the annotated function, then wrap
+//! its body in a fresh shim runtime's `block_on`.
+//!
+//! Recognized arguments: `start_paused = true` (paused virtual clock);
+//! `flavor = "..."` and `worker_threads = N` are accepted and ignored (the
+//! shim runtime is always single-threaded).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// `#[tokio::test]`: an async test run to completion on a shim runtime.
+#[proc_macro_attribute]
+pub fn test(attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(attr, item, true)
+}
+
+/// `#[tokio::main]`: an async entry point run on a shim runtime.
+#[proc_macro_attribute]
+pub fn main(attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(attr, item, false)
+}
+
+fn rewrite(attr: TokenStream, item: TokenStream, is_test: bool) -> TokenStream {
+    let start_paused = attr.to_string().replace(' ', "").contains("start_paused=true");
+
+    // The item is `<attrs/vis> async fn name(args) <-> ret> { body }`: the
+    // final token tree is the body block; everything before it is the
+    // signature, from which we drop the `async` keyword.
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let (body, signature) = match tokens.split_last() {
+        Some((TokenTree::Group(body), sig)) => (body.to_string(), sig),
+        _ => panic!("#[tokio::test]/#[tokio::main] expects a function with a body"),
+    };
+    // Re-collect into a TokenStream so `to_string` renders joint punctuation
+    // (`->`, `::`) without inner spaces.
+    let signature: TokenStream = signature
+        .iter()
+        .filter(|t| !matches!(t, TokenTree::Ident(i) if i.to_string() == "async"))
+        .cloned()
+        .collect();
+    let signature = signature.to_string();
+
+    let test_attr = if is_test { "#[::core::prelude::v1::test]" } else { "" };
+    format!(
+        "{test_attr}\n{signature} {{\n\
+             let __rt = tokio::runtime::Builder::new_current_thread()\n\
+                 .enable_time()\n\
+                 .start_paused({start_paused})\n\
+                 .build()\n\
+                 .expect(\"build tokio shim runtime\");\n\
+             __rt.block_on(async move {body})\n\
+         }}"
+    )
+    .parse()
+    .expect("tokio attribute shim produced invalid Rust")
+}

@@ -1,0 +1,163 @@
+//! Support functions and macro definitions for `select!` and `join!`.
+
+use std::future::Future;
+use std::pin::pin;
+use std::task::Poll;
+
+/// Outcome of a two-way select.
+pub enum Either2<A, B> {
+    /// First branch completed.
+    A(A),
+    /// Second branch completed.
+    B(B),
+}
+
+/// Outcome of a three-way select.
+pub enum Either3<A, B, C> {
+    /// First branch completed.
+    A(A),
+    /// Second branch completed.
+    B(B),
+    /// Third branch completed.
+    C(C),
+}
+
+/// Polls both futures, returning the first to complete (left-biased).
+pub async fn select2<FA: Future, FB: Future>(fa: FA, fb: FB) -> Either2<FA::Output, FB::Output> {
+    let mut fa = pin!(fa);
+    let mut fb = pin!(fb);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fa.as_mut().poll(cx) {
+            return Poll::Ready(Either2::A(v));
+        }
+        if let Poll::Ready(v) = fb.as_mut().poll(cx) {
+            return Poll::Ready(Either2::B(v));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// Polls three futures, returning the first to complete (left-biased).
+pub async fn select3<FA: Future, FB: Future, FC: Future>(
+    fa: FA,
+    fb: FB,
+    fc: FC,
+) -> Either3<FA::Output, FB::Output, FC::Output> {
+    let mut fa = pin!(fa);
+    let mut fb = pin!(fb);
+    let mut fc = pin!(fc);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fa.as_mut().poll(cx) {
+            return Poll::Ready(Either3::A(v));
+        }
+        if let Poll::Ready(v) = fb.as_mut().poll(cx) {
+            return Poll::Ready(Either3::B(v));
+        }
+        if let Poll::Ready(v) = fc.as_mut().poll(cx) {
+            return Poll::Ready(Either3::C(v));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// Awaits both futures concurrently.
+pub async fn join2<FA: Future, FB: Future>(fa: FA, fb: FB) -> (FA::Output, FB::Output) {
+    let mut fa = pin!(fa);
+    let mut fb = pin!(fb);
+    let mut ra = None;
+    let mut rb = None;
+    std::future::poll_fn(move |cx| {
+        if ra.is_none() {
+            if let Poll::Ready(v) = fa.as_mut().poll(cx) {
+                ra = Some(v);
+            }
+        }
+        if rb.is_none() {
+            if let Poll::Ready(v) = fb.as_mut().poll(cx) {
+                rb = Some(v);
+            }
+        }
+        if ra.is_some() && rb.is_some() {
+            Poll::Ready((ra.take().unwrap(), rb.take().unwrap()))
+        } else {
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+/// Awaits three futures concurrently.
+pub async fn join3<FA: Future, FB: Future, FC: Future>(
+    fa: FA,
+    fb: FB,
+    fc: FC,
+) -> (FA::Output, FB::Output, FC::Output) {
+    let ((a, b), c) = join2(join2(fa, fb), fc).await;
+    (a, b, c)
+}
+
+/// Waits on multiple branches, running the body of whichever completes
+/// first (left-biased poll order; losing branches are dropped).
+///
+/// Like tokio's, each arm is `pattern = future => body` where a block body
+/// needs no trailing comma; two- and three-branch forms are supported.
+#[macro_export]
+macro_rules! select {
+    // Two branches: each body either a `{...}` block (no comma) or an
+    // expression followed by a comma (optional after the last arm).
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block) => {
+        $crate::__select2!($p1 = $f1 => $b1, $p2 = $f2 => $b2)
+    };
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        $crate::__select2!($p1 = $f1 => $b1, $p2 = $f2 => $b2)
+    };
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:block) => {
+        $crate::__select2!($p1 = $f1 => $b1, $p2 = $f2 => $b2)
+    };
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        $crate::__select2!($p1 = $f1 => $b1, $p2 = $f2 => $b2)
+    };
+    // Three branches: block bodies or comma-separated expression bodies.
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block $p3:pat = $f3:expr => $b3:block) => {
+        $crate::__select3!($p1 = $f1 => $b1, $p2 = $f2 => $b2, $p3 = $f3 => $b3)
+    };
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr, $p3:pat = $f3:expr => $b3:expr $(,)?) => {
+        $crate::__select3!($p1 = $f1 => $b1, $p2 = $f2 => $b2, $p3 = $f3 => $b3)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select2 {
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr) => {
+        match $crate::macros::select2($f1, $f2).await {
+            $crate::macros::Either2::A($p1) => $b1,
+            $crate::macros::Either2::B($p2) => $b2,
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select3 {
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr, $p3:pat = $f3:expr => $b3:expr) => {
+        match $crate::macros::select3($f1, $f2, $f3).await {
+            $crate::macros::Either3::A($p1) => $b1,
+            $crate::macros::Either3::B($p2) => $b2,
+            $crate::macros::Either3::C($p3) => $b3,
+        }
+    };
+}
+
+/// Awaits all branches concurrently, yielding a tuple of outputs.
+#[macro_export]
+macro_rules! join {
+    ($f1:expr, $f2:expr $(,)?) => {
+        $crate::macros::join2($f1, $f2).await
+    };
+    ($f1:expr, $f2:expr, $f3:expr $(,)?) => {
+        $crate::macros::join3($f1, $f2, $f3).await
+    };
+}

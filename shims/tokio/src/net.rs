@@ -1,0 +1,188 @@
+//! Async TCP on top of nonblocking `std::net` sockets.
+//!
+//! Readiness model: a future that hits `WouldBlock` parks its waker in a
+//! process-global list; a lazily started ticker thread wakes all parked
+//! wakers every 500 µs, prompting a re-poll. Crude next to epoll, but
+//! dependency-free and plenty for localhost test clusters.
+
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+
+struct IoReactor {
+    wakers: Mutex<Vec<Waker>>,
+    /// Signals the ticker that the waker list became non-empty.
+    nonempty: std::sync::Condvar,
+}
+
+fn io_reactor() -> &'static IoReactor {
+    static REACTOR: OnceLock<IoReactor> = OnceLock::new();
+    static TICKER: OnceLock<()> = OnceLock::new();
+    let reactor = REACTOR
+        .get_or_init(|| IoReactor { wakers: Mutex::new(Vec::new()), nonempty: Default::default() });
+    TICKER.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("tokio-shim-io-ticker".into())
+            .spawn(|| {
+                let r = io_reactor();
+                loop {
+                    // Park (no CPU) until some future registers a waker.
+                    let mut guard = r.wakers.lock().unwrap();
+                    while guard.is_empty() {
+                        guard = r.nonempty.wait(guard).unwrap();
+                    }
+                    drop(guard);
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                    let drained: Vec<Waker> = r.wakers.lock().unwrap().drain(..).collect();
+                    for w in drained {
+                        w.wake();
+                    }
+                }
+            })
+            .expect("spawn io ticker");
+    });
+    reactor
+}
+
+fn park_on_would_block(cx: &mut Context<'_>) {
+    let r = io_reactor();
+    r.wakers.lock().unwrap().push(cx.waker().clone());
+    r.nonempty.notify_one();
+}
+
+/// A TCP listener accepting connections asynchronously.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds `addr` (nonblocking).
+    pub async fn bind(addr: impl std::net::ToSocketAddrs) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts the next inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        std::future::poll_fn(|cx| match self.inner.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nonblocking(true)?;
+                Poll::Ready(Ok((TcpStream { inner: Arc::new(stream) }, peer)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                park_on_would_block(cx);
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+/// A TCP connection.
+pub struct TcpStream {
+    inner: Arc<std::net::TcpStream>,
+}
+
+impl TcpStream {
+    /// Connects to `addr`.
+    ///
+    /// The handshake itself is performed blocking (localhost connects
+    /// resolve in microseconds); the resulting stream is nonblocking.
+    pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        Ok(TcpStream { inner: Arc::new(stream) })
+    }
+
+    /// Disables (or enables) Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Splits into independently owned read and write halves sharing the
+    /// underlying socket.
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        (OwnedReadHalf { inner: Arc::clone(&self.inner) }, OwnedWriteHalf { inner: self.inner })
+    }
+}
+
+/// Owned read half of a [`TcpStream`].
+pub struct OwnedReadHalf {
+    pub(crate) inner: Arc<std::net::TcpStream>,
+}
+
+/// Owned write half of a [`TcpStream`].
+pub struct OwnedWriteHalf {
+    pub(crate) inner: Arc<std::net::TcpStream>,
+}
+
+impl Drop for OwnedWriteHalf {
+    fn drop(&mut self) {
+        // Match tokio: dropping the write half sends FIN.
+        let _ = self.inner.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+pub(crate) fn poll_read(
+    stream: &std::net::TcpStream,
+    cx: &mut Context<'_>,
+    buf: &mut [u8],
+) -> Poll<io::Result<usize>> {
+    loop {
+        match stream.read_nonblocking(buf) {
+            Ok(n) => return Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                park_on_would_block(cx);
+                return Poll::Pending;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Poll::Ready(Err(e)),
+        }
+    }
+}
+
+pub(crate) fn poll_write(
+    stream: &std::net::TcpStream,
+    cx: &mut Context<'_>,
+    buf: &[u8],
+) -> Poll<io::Result<usize>> {
+    loop {
+        match stream.write_nonblocking(buf) {
+            Ok(n) => return Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                park_on_would_block(cx);
+                return Poll::Pending;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// `Read`/`Write` by shared reference (std supports this for `TcpStream`).
+trait NonblockingSocket {
+    fn read_nonblocking(&self, buf: &mut [u8]) -> io::Result<usize>;
+    fn write_nonblocking(&self, buf: &[u8]) -> io::Result<usize>;
+}
+
+impl NonblockingSocket for std::net::TcpStream {
+    fn read_nonblocking(&self, buf: &mut [u8]) -> io::Result<usize> {
+        (&mut &*self).read(buf)
+    }
+    fn write_nonblocking(&self, buf: &[u8]) -> io::Result<usize> {
+        (&mut &*self).write(buf)
+    }
+}

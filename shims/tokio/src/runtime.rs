@@ -1,0 +1,74 @@
+//! Runtime construction. Both flavors execute on the calling thread; the
+//! "multi thread" flavor differs only in name (cooperative scheduling is
+//! enough for every workload in this repository, and it keeps the paused
+//! virtual clock deterministic).
+
+use crate::rt::Core;
+use std::future::Future;
+use std::sync::Arc;
+
+/// Builds a [`Runtime`].
+pub struct Builder {
+    start_paused: bool,
+}
+
+impl Builder {
+    /// A runtime driving tasks on the current thread.
+    pub fn new_current_thread() -> Builder {
+        Builder { start_paused: false }
+    }
+
+    /// Accepted for API compatibility; behaves like `new_current_thread`.
+    pub fn new_multi_thread() -> Builder {
+        Builder { start_paused: false }
+    }
+
+    /// Enables the timer (always on in this shim).
+    pub fn enable_time(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Enables IO (always on in this shim).
+    pub fn enable_io(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Enables everything (always on in this shim).
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim is single-threaded.
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Starts the runtime with its clock paused at zero; timers auto-advance
+    /// virtual time when the runtime is otherwise idle.
+    pub fn start_paused(&mut self, paused: bool) -> &mut Self {
+        self.start_paused = paused;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Ok(Runtime { core: Core::new(self.start_paused) })
+    }
+}
+
+/// A handle to an executor instance.
+pub struct Runtime {
+    core: Arc<Core>,
+}
+
+impl Runtime {
+    /// A default (real-clock) runtime.
+    pub fn new() -> std::io::Result<Runtime> {
+        Builder::new_current_thread().build()
+    }
+
+    /// Runs `fut` to completion, driving spawned tasks and timers.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        self.core.block_on(fut)
+    }
+}

@@ -1,0 +1,13 @@
+//! Synchronization primitives mirroring `tokio::sync`.
+
+pub mod mpsc;
+pub mod oneshot;
+pub mod watch;
+
+mod mutex;
+mod notify;
+mod semaphore;
+
+pub use mutex::{Mutex, MutexGuard, TryLockError};
+pub use notify::Notify;
+pub use semaphore::{AcquireError, OwnedSemaphorePermit, Semaphore};

@@ -1,0 +1,136 @@
+//! Multi-producer single-consumer channels (unbounded flavor).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::task::{Poll, Waker};
+
+struct Shared<T> {
+    queue: VecDeque<T>,
+    rx_waker: Option<Waker>,
+    tx_count: usize,
+    rx_alive: bool,
+}
+
+impl<T> Shared<T> {
+    fn wake_rx(&mut self) {
+        if let Some(w) = self.rx_waker.take() {
+            w.wake();
+        }
+    }
+}
+
+/// Error: the receiver was dropped.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("channel closed")
+    }
+}
+
+/// Sending half of an unbounded channel.
+pub struct UnboundedSender<T> {
+    shared: Arc<Mutex<Shared<T>>>,
+}
+
+impl<T> Clone for UnboundedSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().unwrap().tx_count += 1;
+        UnboundedSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> UnboundedSender<T> {
+    /// Queues `value`; fails only if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut sh = self.shared.lock().unwrap();
+        if !sh.rx_alive {
+            return Err(SendError(value));
+        }
+        sh.queue.push_back(value);
+        sh.wake_rx();
+        Ok(())
+    }
+
+    /// Whether the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.shared.lock().unwrap().rx_alive
+    }
+}
+
+impl<T> Drop for UnboundedSender<T> {
+    fn drop(&mut self) {
+        let mut sh = self.shared.lock().unwrap();
+        sh.tx_count -= 1;
+        if sh.tx_count == 0 {
+            sh.wake_rx();
+        }
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct UnboundedReceiver<T> {
+    shared: Arc<Mutex<Shared<T>>>,
+}
+
+impl<T> UnboundedReceiver<T> {
+    /// Awaits the next value; `None` once all senders are gone and the
+    /// queue is drained.
+    pub async fn recv(&mut self) -> Option<T> {
+        std::future::poll_fn(|cx| {
+            let mut sh = self.shared.lock().unwrap();
+            if let Some(v) = sh.queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            if sh.tx_count == 0 {
+                return Poll::Ready(None);
+            }
+            sh.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        })
+        .await
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        let mut sh = self.shared.lock().unwrap();
+        match sh.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if sh.tx_count == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Drop for UnboundedReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().unwrap().rx_alive = false;
+    }
+}
+
+/// Error returned by [`UnboundedReceiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Queue is currently empty.
+    Empty,
+    /// All senders dropped and the queue is drained.
+    Disconnected,
+}
+
+/// Creates an unbounded sender/receiver pair.
+pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+    let shared = Arc::new(Mutex::new(Shared {
+        queue: VecDeque::new(),
+        rx_waker: None,
+        tx_count: 1,
+        rx_alive: true,
+    }));
+    (UnboundedSender { shared: Arc::clone(&shared) }, UnboundedReceiver { shared })
+}

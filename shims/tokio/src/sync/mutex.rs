@@ -1,0 +1,137 @@
+//! Asynchronous mutex whose guard can be held across await points.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::future::Future;
+use std::ops::{Deref, DerefMut};
+use std::pin::Pin;
+use std::sync::Mutex as StdMutex;
+use std::task::{Context, Poll, Waker};
+
+struct LockState {
+    locked: bool,
+    waiters: Vec<Waker>,
+}
+
+/// An async mutex: `lock().await` suspends instead of blocking.
+pub struct Mutex<T: ?Sized> {
+    state: StdMutex<LockState>,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: access to `cell` is serialized by `state.locked`.
+unsafe impl<T: Send + ?Sized> Send for Mutex<T> {}
+unsafe impl<T: Send + ?Sized> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates an unlocked mutex protecting `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            state: StdMutex::new(LockState { locked: false, waiters: Vec::new() }),
+            cell: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.cell.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, suspending the task until it is available.
+    pub fn lock(&self) -> LockFuture<'_, T> {
+        LockFuture { mutex: self }
+    }
+
+    /// Attempts to acquire the lock immediately.
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError> {
+        let mut st = self.state.lock().unwrap();
+        if st.locked {
+            Err(TryLockError(()))
+        } else {
+            st.locked = true;
+            Ok(MutexGuard { mutex: self })
+        }
+    }
+
+    fn unlock(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.locked = false;
+        // Wake everyone; losers re-queue. Fine at this scale, and immune to
+        // the lost-wakeup hazard of waking a cancelled waiter.
+        for w in st.waiters.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Mutex { .. }")
+    }
+}
+
+/// Error returned by [`Mutex::try_lock`].
+#[derive(Debug)]
+pub struct TryLockError(());
+
+impl fmt::Display for TryLockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("mutex would block")
+    }
+}
+
+impl std::error::Error for TryLockError {}
+
+/// Future returned by [`Mutex::lock`].
+pub struct LockFuture<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<'a, T: ?Sized> Future for LockFuture<'a, T> {
+    type Output = MutexGuard<'a, T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.mutex.state.lock().unwrap();
+        if !st.locked {
+            st.locked = true;
+            Poll::Ready(MutexGuard { mutex: self.mutex })
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// RAII guard; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive access.
+        unsafe { &*self.mutex.cell.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard proves exclusive access.
+        unsafe { &mut *self.mutex.cell.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}

@@ -1,0 +1,128 @@
+//! Edge-triggered task notification.
+
+use std::collections::HashSet;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Mutex;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Default)]
+struct State {
+    /// One stored notification (notify_one with no waiter).
+    permit: bool,
+    next_id: u64,
+    /// Registered waiters, FIFO. Each `Notified` future holds one entry at
+    /// most and removes it on drop, so this cannot accumulate stale wakers.
+    waiters: Vec<(u64, Waker)>,
+    /// Waiters that have been handed a notification but not yet polled it.
+    notified: HashSet<u64>,
+}
+
+/// Notifies one or all waiting tasks; stores at most one pending permit.
+#[derive(Default)]
+pub struct Notify {
+    state: Mutex<State>,
+}
+
+impl Notify {
+    /// Creates a notifier with no stored permit.
+    pub fn new() -> Notify {
+        Notify::default()
+    }
+
+    /// Completes when notified; consumes a stored permit if present.
+    pub fn notified(&self) -> Notified<'_> {
+        Notified { notify: self, id: None }
+    }
+
+    /// Wakes the longest-waiting task, or stores a permit for the next
+    /// `notified()`. Consecutive unconsumed notifications coalesce into a
+    /// single permit, like tokio.
+    pub fn notify_one(&self) {
+        let mut st = self.state.lock().unwrap();
+        if st.waiters.is_empty() {
+            st.permit = true;
+        } else {
+            let (id, waker) = st.waiters.remove(0);
+            st.notified.insert(id);
+            drop(st);
+            waker.wake();
+        }
+    }
+
+    /// Completes every currently waiting `notified()` without storing a
+    /// permit for future ones.
+    pub fn notify_waiters(&self) {
+        let mut st = self.state.lock().unwrap();
+        let drained: Vec<_> = st.waiters.drain(..).collect();
+        for (id, _) in &drained {
+            st.notified.insert(*id);
+        }
+        drop(st);
+        for (_, waker) in drained {
+            waker.wake();
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified<'a> {
+    notify: &'a Notify,
+    /// Waiter id once registered.
+    id: Option<u64>,
+}
+
+impl Future for Notified<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.notify.state.lock().unwrap();
+        match self.id {
+            Some(id) => {
+                if st.notified.remove(&id) {
+                    self.id = None;
+                    Poll::Ready(())
+                } else {
+                    // Refresh the stored waker in place (no growth).
+                    if let Some(entry) = st.waiters.iter_mut().find(|(wid, _)| *wid == id) {
+                        entry.1 = cx.waker().clone();
+                    }
+                    Poll::Pending
+                }
+            }
+            None => {
+                if st.permit {
+                    st.permit = false;
+                    Poll::Ready(())
+                } else {
+                    let id = st.next_id;
+                    st.next_id += 1;
+                    st.waiters.push((id, cx.waker().clone()));
+                    self.id = Some(id);
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Notified<'_> {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        let mut st = self.notify.state.lock().unwrap();
+        if let Some(pos) = st.waiters.iter().position(|(wid, _)| *wid == id) {
+            st.waiters.remove(pos);
+        } else if st.notified.remove(&id) {
+            // We were handed a notification but never consumed it: pass it
+            // to the next waiter (or bank it), like tokio.
+            if st.waiters.is_empty() {
+                st.permit = true;
+            } else {
+                let (nid, waker) = st.waiters.remove(0);
+                st.notified.insert(nid);
+                drop(st);
+                waker.wake();
+            }
+        }
+    }
+}

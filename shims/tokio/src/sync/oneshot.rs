@@ -1,0 +1,125 @@
+//! One-shot value channel.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    value: Option<T>,
+    tx_dropped: bool,
+    rx_dropped: bool,
+    waker: Option<Waker>,
+}
+
+/// Sends the single value.
+pub struct Sender<T> {
+    shared: Arc<Mutex<Shared<T>>>,
+}
+
+/// Receives the single value; a future in its own right.
+pub struct Receiver<T> {
+    shared: Arc<Mutex<Shared<T>>>,
+}
+
+/// Error: the sender was dropped without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError(());
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("oneshot sender dropped")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+pub mod error {
+    //! Error types.
+    pub use super::RecvError;
+
+    /// Error returned by `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No value yet.
+        Empty,
+        /// Sender dropped without sending.
+        Closed,
+    }
+}
+
+/// Creates a sender/receiver pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Mutex::new(Shared {
+        value: None,
+        tx_dropped: false,
+        rx_dropped: false,
+        waker: None,
+    }));
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`; returns it back if the receiver is gone.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut sh = self.shared.lock().unwrap();
+        if sh.rx_dropped {
+            return Err(value);
+        }
+        sh.value = Some(value);
+        if let Some(w) = sh.waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Whether the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().unwrap().rx_dropped
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut sh = self.shared.lock().unwrap();
+        sh.tx_dropped = true;
+        if let Some(w) = sh.waker.take() {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking poll for the value.
+    pub fn try_recv(&mut self) -> Result<T, error::TryRecvError> {
+        let mut sh = self.shared.lock().unwrap();
+        match sh.value.take() {
+            Some(v) => Ok(v),
+            None if sh.tx_dropped => Err(error::TryRecvError::Closed),
+            None => Err(error::TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut sh = self.shared.lock().unwrap();
+        if let Some(v) = sh.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if sh.tx_dropped {
+            return Poll::Ready(Err(RecvError(())));
+        }
+        sh.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().unwrap().rx_dropped = true;
+    }
+}

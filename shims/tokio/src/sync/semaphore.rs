@@ -1,0 +1,87 @@
+//! Counting semaphore with owned permits.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct State {
+    permits: usize,
+    waiters: Vec<Waker>,
+}
+
+/// A counting semaphore.
+pub struct Semaphore {
+    state: Mutex<State>,
+}
+
+/// Error: the semaphore was closed (never happens in this shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireError(());
+
+impl fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("semaphore closed")
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` available permits.
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore { state: Mutex::new(State { permits, waiters: Vec::new() }) }
+    }
+
+    /// Number of currently available permits.
+    pub fn available_permits(&self) -> usize {
+        self.state.lock().unwrap().permits
+    }
+
+    /// Adds `n` permits, waking waiters.
+    pub fn add_permits(&self, n: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.permits += n;
+        for w in st.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Acquires one permit tied to the `Arc`, suspending until available.
+    pub fn acquire_owned(self: Arc<Self>) -> AcquireOwned {
+        AcquireOwned { sem: self }
+    }
+}
+
+/// Future returned by [`Semaphore::acquire_owned`].
+pub struct AcquireOwned {
+    sem: Arc<Semaphore>,
+}
+
+impl Future for AcquireOwned {
+    type Output = Result<OwnedSemaphorePermit, AcquireError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.sem.state.lock().unwrap();
+        if st.permits > 0 {
+            st.permits -= 1;
+            drop(st);
+            Poll::Ready(Ok(OwnedSemaphorePermit { sem: Arc::clone(&self.sem) }))
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// RAII permit; returns itself to the semaphore on drop.
+pub struct OwnedSemaphorePermit {
+    sem: Arc<Semaphore>,
+}
+
+impl Drop for OwnedSemaphorePermit {
+    fn drop(&mut self) {
+        self.sem.add_permits(1);
+    }
+}

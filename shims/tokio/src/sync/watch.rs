@@ -1,0 +1,163 @@
+//! Watch channel: single value, many observers, change notification.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::task::{Poll, Waker};
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+}
+
+struct State<T> {
+    value: T,
+    version: u64,
+    tx_count: usize,
+    waiters: Vec<Waker>,
+}
+
+impl<T> Shared<T> {
+    fn wake_all(state: &mut State<T>) {
+        for w in state.waiters.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Error: all receivers gone (send) or all senders gone (changed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("watch channel closed")
+    }
+}
+
+/// Error: every sender was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError(());
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("watch senders dropped")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Sending half.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+    seen: u64,
+}
+
+/// Borrowed view of the current value.
+pub struct Ref<'a, T> {
+    guard: MutexGuard<'a, State<T>>,
+}
+
+impl<T> Deref for Ref<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard.value
+    }
+}
+
+/// Creates a watch channel holding `initial`.
+pub fn channel<T>(initial: T) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { value: initial, version: 0, tx_count: 1, waiters: Vec::new() }),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared, seen: 0 })
+}
+
+impl<T> Sender<T> {
+    /// Replaces the value and notifies all receivers.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        st.value = value;
+        st.version += 1;
+        Shared::wake_all(&mut st);
+        Ok(())
+    }
+
+    /// Mutates the value in place and notifies all receivers.
+    pub fn send_modify<F: FnOnce(&mut T)>(&self, modify: F) {
+        let mut st = self.shared.state.lock().unwrap();
+        modify(&mut st.value);
+        st.version += 1;
+        Shared::wake_all(&mut st);
+    }
+
+    /// A new receiver observing the current value as already seen.
+    pub fn subscribe(&self) -> Receiver<T> {
+        let st = self.shared.state.lock().unwrap();
+        Receiver { shared: Arc::clone(&self.shared), seen: st.version }
+    }
+
+    /// Borrows the current value.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        Ref { guard: self.shared.state.lock().unwrap() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.tx_count -= 1;
+        if st.tx_count == 0 {
+            Shared::wake_all(&mut st);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().tx_count += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { shared: Arc::clone(&self.shared), seen: self.seen }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Borrows the current value without marking it seen.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        Ref { guard: self.shared.state.lock().unwrap() }
+    }
+
+    /// Borrows the current value and marks it seen.
+    pub fn borrow_and_update(&mut self) -> Ref<'_, T> {
+        let guard = self.shared.state.lock().unwrap();
+        self.seen = guard.version;
+        Ref { guard }
+    }
+
+    /// Completes when the value changes relative to the last seen version;
+    /// `Err` once every sender is gone.
+    pub async fn changed(&mut self) -> Result<(), RecvError> {
+        std::future::poll_fn(|cx| {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.version != self.seen {
+                self.seen = st.version;
+                return Poll::Ready(Ok(()));
+            }
+            if st.tx_count == 0 {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        })
+        .await
+    }
+}

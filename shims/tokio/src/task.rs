@@ -1,0 +1,141 @@
+//! Task spawning and join handles.
+
+use std::fmt;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Error returned when a spawned task panicked.
+pub struct JoinError {
+    msg: String,
+}
+
+impl JoinError {
+    /// Whether the task failed via panic (always true in this shim).
+    pub fn is_panic(&self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinError::Panic({:?})", self.msg)
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+enum JoinState<T> {
+    Running(Option<Waker>),
+    Done(Result<T, JoinError>),
+    Taken,
+}
+
+/// An owned permission to await a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has completed.
+    pub fn is_finished(&self) -> bool {
+        !matches!(*self.state.lock().unwrap(), JoinState::Running(_))
+    }
+
+    /// Cancellation is not supported by the shim; the task runs on.
+    pub fn abort(&self) {}
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.lock().unwrap();
+        match std::mem::replace(&mut *st, JoinState::Taken) {
+            JoinState::Running(_) => {
+                *st = JoinState::Running(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+            JoinState::Done(result) => Poll::Ready(result),
+            JoinState::Taken => panic!("JoinHandle polled after completion"),
+        }
+    }
+}
+
+/// Spawns a future onto the current runtime, returning a [`JoinHandle`].
+///
+/// Panics inside the task are caught and surfaced through the handle, like
+/// real tokio.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState::Running(None)));
+    let state2 = Arc::clone(&state);
+    let wrapped = async move {
+        let result = CatchUnwind { fut: AssertUnwindSafe(fut) }.await;
+        let result = result.map_err(|p| JoinError { msg: panic_message(&p) });
+        let mut st = state2.lock().unwrap();
+        if let JoinState::Running(Some(w)) = std::mem::replace(&mut *st, JoinState::Done(result)) {
+            w.wake();
+        }
+    };
+    crate::rt::spawn_on_current(Box::pin(wrapped));
+    JoinHandle { state }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Adapter: catches panics from each `poll` of the inner future.
+struct CatchUnwind<F> {
+    fut: AssertUnwindSafe<F>,
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, Box<dyn std::any::Any + Send>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of the only field.
+        let fut = unsafe { self.map_unchecked_mut(|s| &mut s.fut.0) };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| fut.poll(cx))) {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Err(panic) => Poll::Ready(Err(panic)),
+        }
+    }
+}
+
+/// Yields execution back to the scheduler once.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow(false).await
+}

@@ -1,0 +1,169 @@
+//! Timers on the runtime clock: real time normally, virtual time under
+//! `start_paused` (where the executor jumps the clock to the next deadline
+//! whenever it goes idle — microsecond-scale simulations run instantly).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+pub use std::time::Duration;
+
+/// A measurement of the runtime's clock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Instant {
+    /// Offset from the owning runtime's epoch.
+    offset: Duration,
+}
+
+impl Instant {
+    /// The current reading of the runtime clock (virtual under
+    /// `start_paused`).
+    pub fn now() -> Instant {
+        Instant { offset: crate::rt::current().now() }
+    }
+
+    /// Time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().offset.saturating_sub(self.offset)
+    }
+
+    /// Saturating difference between instants.
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.offset.saturating_sub(earlier.offset)
+    }
+
+    /// Checked difference between instants.
+    pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+        self.offset.checked_sub(earlier.offset)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, dur: Duration) -> Option<Instant> {
+        self.offset.checked_add(dur).map(|offset| Instant { offset })
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant { offset: self.offset + rhs }
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.offset += rhs;
+    }
+}
+
+impl std::ops::Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant { offset: self.offset.saturating_sub(rhs) }
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.offset.saturating_sub(rhs.offset)
+    }
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    deadline: Instant,
+    /// The waker the timer heap currently holds for us; re-registering on
+    /// every poll would flood the heap with duplicates.
+    registered: Option<std::task::Waker>,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let core = crate::rt::current();
+        if core.now() >= this.deadline.offset {
+            Poll::Ready(())
+        } else {
+            // Register at most one heap entry per (deadline, waker); only a
+            // waker change (the future moved to another task) re-registers.
+            match &this.registered {
+                Some(w) if w.will_wake(cx.waker()) => {}
+                _ => {
+                    core.register_timer(this.deadline.offset, cx.waker().clone());
+                    this.registered = Some(cx.waker().clone());
+                }
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Completes `dur` from now on the runtime clock.
+pub fn sleep(dur: Duration) -> Sleep {
+    Sleep { deadline: Instant::now() + dur, registered: None }
+}
+
+/// Completes at `deadline` on the runtime clock.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline, registered: None }
+}
+
+/// Error returned by [`timeout`] when the deadline fires first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    fut: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of `fut`; `sleep` is Unpin.
+        let this = unsafe { self.get_unchecked_mut() };
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        if let Poll::Ready(v) = fut.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match Pin::new(&mut this.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Awaits `fut` for at most `dur`; `Err(Elapsed)` if the timer wins.
+pub fn timeout<F: Future>(dur: Duration, fut: F) -> Timeout<F> {
+    Timeout { fut, sleep: sleep(dur) }
+}
+
+/// Pauses the runtime clock at its current reading (idempotent).
+pub fn pause() {
+    crate::rt::current().pause();
+}
+
+/// Advances the paused clock by `dur`, firing timers along the way.
+pub fn advance(dur: Duration) {
+    crate::rt::current().advance(dur);
+}

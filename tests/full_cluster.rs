@@ -73,15 +73,12 @@ async fn tcp_cluster_end_to_end() {
         router.add_route(ServerId(i as u64 + 1), addr);
     }
     router.add_route(COORD, coord_tcp.local_addr());
-    let client = CurpClient::connect(router.client(), COORD, ClientConfig::default())
-        .await
-        .unwrap();
+    let client =
+        CurpClient::connect(router.client(), COORD, ClientConfig::default()).await.unwrap();
 
     for i in 0..50 {
-        let r = client
-            .update(Op::Put { key: b(&format!("tcp-{i}")), value: b("v") })
-            .await
-            .unwrap();
+        let r =
+            client.update(Op::Put { key: b(&format!("tcp-{i}")), value: b("v") }).await.unwrap();
         assert_eq!(r, OpResult::Written { version: 1 });
     }
     assert_eq!(
@@ -118,10 +115,7 @@ fn multi_partition_routing() {
         let client = cluster.client(0).await;
         // Write enough keys to hit both halves with overwhelming probability.
         for i in 0..64 {
-            client
-                .update(Op::Put { key: b(&format!("route-{i}")), value: b("v") })
-                .await
-                .unwrap();
+            client.update(Op::Put { key: b(&format!("route-{i}")), value: b("v") }).await.unwrap();
         }
         for i in 0..64 {
             assert_eq!(

@@ -39,9 +39,7 @@ async fn client_task(
         let (op_for_history, outcome) = match kind {
             0 => {
                 let value = Bytes::from(format!("v{}", rng.gen::<u32>()));
-                let r = client
-                    .update(Op::Put { key: key.clone(), value: value.clone() })
-                    .await;
+                let r = client.update(Op::Put { key: key.clone(), value: value.clone() }).await;
                 (HistOp::Put(value), r.map(|_| ()))
             }
             1 => {
@@ -105,31 +103,20 @@ fn run_case(seed: u64, crash: bool) {
             cluster.net.crash(ServerId(1));
             cluster.servers[0].seal_master();
             let spare = cluster.servers.last().unwrap().id();
-            cluster
-                .coord
-                .recover_master(cluster.master_id, spare)
-                .await
-                .expect("recovery failed");
+            cluster.coord.recover_master(cluster.master_id, spare).await.expect("recovery failed");
         }
 
         for t in tasks {
             t.await.expect("client task panicked");
         }
         let history = history.lock();
-        assert!(
-            history.len() >= 20,
-            "history too small to be meaningful: {}",
-            history.len()
-        );
+        assert!(history.len() >= 20, "history too small to be meaningful: {}", history.len());
         let bad = failing_keys(&history);
         assert!(
             bad.is_empty(),
             "NON-LINEARIZABLE keys {:?} (seed {seed}, crash {crash}): {:#?}",
             bad,
-            history
-                .iter()
-                .filter(|e| bad.contains(&e.key))
-                .collect::<Vec<_>>()
+            history.iter().filter(|e| bad.contains(&e.key)).collect::<Vec<_>>()
         );
     });
 }
