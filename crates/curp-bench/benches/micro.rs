@@ -1,6 +1,20 @@
 //! Criterion micro-benchmarks of the protocol's fast-path components:
 //! witness record/gc, commutativity checks, store execution, and the wire
 //! codec. These are real wall-clock numbers (no simulation).
+//!
+//! Several benches pin the allocation-free fast path (see EXPERIMENTS.md,
+//! "Perf trajectory"): the `store_*_1k_*` collection benches assert-by-
+//! trajectory that typed mutations stay O(1) amortized (the
+//! `*_clone_baseline` twin measures the clone-per-mutation alternative),
+//! `witness_record_reject_alloc_free` pins the no-allocation reject path,
+//! and `codec_decode_update` measures the zero-copy (`from_bytes_shared`)
+//! decode the transports use (`codec_decode_update_copy` keeps the copying
+//! slice path for comparison).
+//!
+//! Run `--smoke` for a seconds-long CI pass, `--json=BENCH_micro.json` to
+//! emit the machine-readable trajectory file.
+
+use std::collections::HashMap;
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -53,6 +67,16 @@ fn bench_witness(c: &mut Criterion) {
         let probe = [KeyHash::of(b"some-other-key")];
         b.iter(|| cache.commutes_with_read(&probe));
     });
+    c.bench_function("witness_record_reject_alloc_free", |b| {
+        // Pins the validate-before-allocate reject path: a conflicting
+        // record must be turned away without touching the heap. The
+        // recorded request is cloned per iteration, which is allocation-free
+        // itself (`Bytes` is refcounted, the footprint is inline).
+        let mut cache = WitnessCache::new(CacheConfig::default());
+        cache.record(request(1, 7));
+        let conflicting = request(2, 7);
+        b.iter(|| cache.record(conflicting.clone()));
+    });
 }
 
 fn bench_store(c: &mut Criterion) {
@@ -67,6 +91,72 @@ fn bench_store(c: &mut Criterion) {
                 value: value.clone(),
             })
         });
+    });
+    // Typed-collection mutations on a 1 000-element object: the in-place
+    // execute path must stay O(1) amortized regardless of collection size.
+    // The `_clone_baseline` twin prices the clone-per-mutation alternative
+    // (what `execute` used to do); the acceptance bar is a >= 10x gap.
+    let fields: Vec<Bytes> = (0..1000u32).map(|i| Bytes::from(format!("field-{i}"))).collect();
+    let value = Bytes::from(vec![0u8; 32]);
+    c.bench_function("store_hset_1k_fields", |b| {
+        let mut store = Store::new();
+        let key = Bytes::from_static(b"hash-object");
+        for f in &fields {
+            store.execute(&Op::HSet { key: key.clone(), field: f.clone(), value: value.clone() });
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            store.execute(&Op::HSet {
+                key: key.clone(),
+                field: fields[i % fields.len()].clone(),
+                value: value.clone(),
+            })
+        });
+    });
+    c.bench_function("store_hset_1k_fields_clone_baseline", |b| {
+        let mut baseline: HashMap<Bytes, Bytes> =
+            fields.iter().map(|f| (f.clone(), value.clone())).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            // Clone-modify-replace, as the pre-refactor execute did.
+            let mut h = baseline.clone();
+            h.insert(fields[i % fields.len()].clone(), value.clone());
+            baseline = h;
+            baseline.len()
+        });
+    });
+    c.bench_function("store_list_push_1k", |b| {
+        // The list is reset to 1 000 elements every 1 000 pushes so the
+        // measured size stays bounded (1k–2k) no matter how many iterations
+        // the harness runs; the amortized reset cost is a few ns/iter.
+        let mut base = Store::new();
+        let key = Bytes::from_static(b"list-object");
+        for _ in 0..1000 {
+            base.execute(&Op::ListPush { key: key.clone(), value: value.clone() });
+        }
+        let mut store = base.clone();
+        let mut pushes = 0u32;
+        b.iter(|| {
+            if pushes == 1000 {
+                store = base.clone();
+                pushes = 0;
+            }
+            pushes += 1;
+            store.execute(&Op::ListPush { key: key.clone(), value: value.clone() })
+        });
+    });
+    c.bench_function("store_set_add_1k_members", |b| {
+        let mut store = Store::new();
+        let key = Bytes::from_static(b"set-object");
+        for f in &fields {
+            store.execute(&Op::SetAdd { key: key.clone(), member: f.clone() });
+        }
+        // Re-adding an existing member keeps the set at 1 000 members, so
+        // every iteration measures the same-size O(1) path.
+        let member = fields[500].clone();
+        b.iter(|| store.execute(&Op::SetAdd { key: key.clone(), member: member.clone() }));
     });
     c.bench_function("store_unsynced_check", |b| {
         let mut store = Store::new();
@@ -94,7 +184,14 @@ fn bench_codec(c: &mut Criterion) {
     };
     c.bench_function("codec_encode_update", |b| b.iter(|| req.to_bytes()));
     let bytes = req.to_bytes();
-    c.bench_function("codec_decode_update", |b| b.iter(|| Request::from_bytes(&bytes).unwrap()));
+    // The transports decode with `from_bytes_shared`: keys and values
+    // window into the frame buffer (the clone is an O(1) refcount bump).
+    c.bench_function("codec_decode_update", |b| {
+        b.iter(|| Request::from_bytes_shared(bytes.clone()).unwrap())
+    });
+    c.bench_function("codec_decode_update_copy", |b| {
+        b.iter(|| Request::from_bytes(&bytes).unwrap())
+    });
     c.bench_function("keyhash_30b", |b| {
         let key = b"012345678901234567890123456789";
         b.iter(|| KeyHash::of(key));

@@ -104,6 +104,8 @@ impl ConsensusClient {
     /// Executes a mutation. Durable in the consensus group when it returns.
     pub async fn update(&self, op: Op) -> Result<OpResult, ConsensusError> {
         let rpc_id = self.rifl.lock().next_rpc_id();
+        // Once per RPC, reused across retries (DESIGN.md invariant 1).
+        let footprint = op.key_hashes();
         let mut last_err = String::new();
         for attempt in 0..self.max_retries {
             if attempt > 0 {
@@ -119,7 +121,7 @@ impl ConsensusClient {
             let record = RecordedRequest {
                 master_id: MasterId(0), // single group; unused in consensus mode
                 rpc_id,
-                key_hashes: op.key_hashes(),
+                key_hashes: footprint.clone(),
                 op: op.clone(),
             };
             let record_futs: Vec<_> = self

@@ -456,7 +456,7 @@ mod tests {
                 request: RecordedRequest {
                     master_id: MasterId(0),
                     rpc_id: RpcId::new(ClientId(2), 8),
-                    key_hashes: vec![curp_proto::types::KeyHash(5)],
+                    key_hashes: vec![curp_proto::types::KeyHash(5)].into(),
                     op: Op::Put { key: b("k"), value: b("v") },
                 },
             },

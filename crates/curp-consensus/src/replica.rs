@@ -326,6 +326,12 @@ impl Replica {
             if !matches!(st.rifl.check(req.rpc_id), CheckResult::New) {
                 continue; // already in the log
             }
+            // Replay trust boundary (DESIGN.md invariant 1): drop requests
+            // whose cached footprint lies about the op, as the curp-core
+            // master does.
+            if !req.footprint_matches_op() {
+                continue;
+            }
             Self::append_and_apply(&mut st, term, Some(req.rpc_id), req.op.clone());
         }
         // Leadership no-op: commits everything above under the current-term
@@ -483,7 +489,7 @@ impl Replica {
         let mut pairs = Vec::new();
         for e in st.log.iter().take(st.commit as usize) {
             if let Some(id) = e.rpc_id {
-                for h in e.op.key_hashes() {
+                for h in e.op.key_hashes_iter() {
                     pairs.push((h, id));
                 }
             }
@@ -719,7 +725,7 @@ impl RpcHandler for ReplicaHandler {
             let Request::Consensus { payload } = req else {
                 return Response::Retry { reason: "not a consensus message".into() };
             };
-            let Ok(rpc) = ConsensusRpc::from_bytes(&payload) else {
+            let Ok(rpc) = ConsensusRpc::from_bytes_shared(payload) else {
                 return Response::Retry { reason: "bad consensus payload".into() };
             };
             wrap_reply(&replica.handle(rpc).await)

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use curp_proto::cluster::{ClusterConfig, PartitionConfig};
+use curp_proto::footprint::Footprint;
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{RpcId, ServerId};
@@ -151,12 +152,13 @@ impl CurpClient {
         }
     }
 
-    fn route(&self, op: &Op) -> Result<PartitionConfig, ClientError> {
-        let hashes = op.key_hashes();
+    /// Routes an operation by its (precomputed) footprint — the same
+    /// hashes later recorded on witnesses, computed once per RPC.
+    fn route(&self, footprint: &Footprint) -> Result<PartitionConfig, ClientError> {
         let st = self.state.lock();
-        let first = *hashes.first().ok_or(ClientError::NoPartition)?;
+        let first = *footprint.first().ok_or(ClientError::NoPartition)?;
         let part = st.config.partition_for(first).ok_or(ClientError::NoPartition)?.clone();
-        if !hashes.iter().all(|&h| part.range.contains(h)) {
+        if !footprint.iter().all(|&h| part.range.contains(h)) {
             return Err(ClientError::MultiPartition);
         }
         Ok(part)
@@ -166,13 +168,14 @@ impl CurpClient {
     /// is durable (f-fault-tolerant) when this returns.
     pub async fn update(&self, op: Op) -> Result<OpResult, ClientError> {
         let rpc_id = self.state.lock().rifl.next_rpc_id();
+        let footprint = op.key_hashes();
         let mut last_err = String::new();
         for attempt in 0..self.cfg.max_retries {
             if attempt > 0 {
                 self.stats.restarts.fetch_add(1, Ordering::Relaxed);
                 tokio::time::sleep(self.cfg.retry_backoff).await;
             }
-            let part = match self.route(&op) {
+            let part = match self.route(&footprint) {
                 Ok(p) => p,
                 Err(ClientError::NoPartition) => {
                     self.refresh_config().await.ok();
@@ -181,7 +184,7 @@ impl CurpClient {
                 }
                 Err(e) => return Err(e),
             };
-            match self.try_once(&part, rpc_id, &op).await {
+            match self.try_once(&part, rpc_id, &op, &footprint).await {
                 TryOutcome::Done(result) => {
                     self.state.lock().rifl.complete(rpc_id);
                     return Ok(result);
@@ -195,7 +198,13 @@ impl CurpClient {
         Err(ClientError::Exhausted(last_err))
     }
 
-    async fn try_once(&self, part: &PartitionConfig, rpc_id: RpcId, op: &Op) -> TryOutcome {
+    async fn try_once(
+        &self,
+        part: &PartitionConfig,
+        rpc_id: RpcId,
+        op: &Op,
+        footprint: &Footprint,
+    ) -> TryOutcome {
         let first_incomplete = self.state.lock().rifl.first_incomplete();
         let update_fut = self.rpc.call(
             part.master,
@@ -206,13 +215,14 @@ impl CurpClient {
                 op: op.clone(),
             },
         );
-        // Record RPCs go out in parallel with the update (§3.2.1).
+        // Record RPCs go out in parallel with the update (§3.2.1). The
+        // record carries the footprint computed once in `update`.
         let witnesses: Vec<ServerId> =
             if self.cfg.record_witnesses { part.witnesses.clone() } else { Vec::new() };
         let record = RecordedRequest {
             master_id: part.master_id,
             rpc_id,
-            key_hashes: op.key_hashes(),
+            key_hashes: footprint.clone(),
             op: op.clone(),
         };
         let record_futs: Vec<_> = witnesses
@@ -265,12 +275,13 @@ impl CurpClient {
     /// Executes a read-only operation at the partition master (1 RTT).
     pub async fn read(&self, op: Op) -> Result<OpResult, ClientError> {
         assert!(op.is_read_only(), "use update() for mutations");
+        let footprint = op.key_hashes();
         let mut last_err = String::new();
         for attempt in 0..self.cfg.max_retries {
             if attempt > 0 {
                 tokio::time::sleep(self.cfg.retry_backoff).await;
             }
-            let part = match self.route(&op) {
+            let part = match self.route(&footprint) {
                 Ok(p) => p,
                 Err(e) => return Err(e),
             };
@@ -301,7 +312,8 @@ impl CurpClient {
     /// (e.g. the one in the local region).
     pub async fn read_nearby(&self, op: Op, replica: usize) -> Result<OpResult, ClientError> {
         assert!(op.is_read_only(), "use update() for mutations");
-        let part = self.route(&op)?;
+        let footprint = op.key_hashes();
+        let part = self.route(&footprint)?;
         if part.witnesses.is_empty() || part.backups.is_empty() {
             return self.read(op).await;
         }
@@ -311,10 +323,7 @@ impl CurpClient {
             .rpc
             .call(
                 witness,
-                Request::WitnessCommuteCheck {
-                    master_id: part.master_id,
-                    key_hashes: op.key_hashes(),
-                },
+                Request::WitnessCommuteCheck { master_id: part.master_id, key_hashes: footprint },
             )
             .await;
         match probe {

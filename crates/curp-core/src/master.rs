@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use curp_proto::cluster::HashRange;
+use curp_proto::footprint::Footprint;
 use curp_proto::message::{LogEntry, RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{Epoch, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
@@ -255,8 +256,10 @@ impl Master {
         (st.wl_version, st.witnesses.clone())
     }
 
-    fn owns(range: &HashRange, op: &Op) -> bool {
-        op.key_hashes().iter().all(|&h| range.contains(h))
+    /// Ownership check over a precomputed footprint (computed once per RPC;
+    /// recomputing per check would re-hash every key).
+    fn owns(range: &HashRange, footprint: &Footprint) -> bool {
+        footprint.iter().all(|&h| range.contains(h))
     }
 
     /// Handles a client update RPC. See module docs for the decision tree.
@@ -273,6 +276,10 @@ impl Master {
         if !self.cfg.exec_cost.is_zero() {
             tokio::time::sleep(self.cfg.exec_cost).await;
         }
+        // One footprint per RPC: the ownership check and the hot-key scan
+        // below share it instead of re-hashing the keys (and it is computed
+        // outside the state lock).
+        let footprint = op.key_hashes();
         let (result, must_sync) = {
             let mut st = self.st.lock();
             if st.sealed {
@@ -281,7 +288,7 @@ impl Master {
             if wl_version != st.wl_version {
                 return Response::StaleWitnessList { current: st.wl_version };
             }
-            if !Self::owns(&st.range, &op) {
+            if !Self::owns(&st.range, &footprint) {
                 return Response::NotOwner;
             }
             st.rifl.ack(rpc_id.client, first_incomplete);
@@ -322,7 +329,7 @@ impl Master {
             // sync eagerly (without blocking this response).
             let mut hot = false;
             if mutated {
-                for h in op.key_hashes() {
+                for &h in &footprint {
                     if let Some(&prev) = st.recent_updates.get(&h) {
                         if self.cfg.hotkey_sync
                             && seq.saturating_sub(prev) <= self.cfg.hotkey_window
@@ -377,13 +384,14 @@ impl Master {
         if !self.cfg.exec_cost.is_zero() {
             tokio::time::sleep(self.cfg.exec_cost).await;
         }
+        let footprint = op.key_hashes();
         for _ in 0..100 {
             {
                 let mut st = self.st.lock();
                 if st.sealed {
                     return Response::Retry { reason: "master sealed".into() };
                 }
-                if !Self::owns(&st.range, &op) {
+                if !Self::owns(&st.range, &footprint) {
                     return Response::NotOwner;
                 }
                 if !st.store.touches_unsynced(&op) {
@@ -586,7 +594,7 @@ impl Master {
             let mut pairs: Vec<(KeyHash, RpcId)> = Vec::new();
             for e in &entries {
                 if let Some(id) = e.rpc_id {
-                    for h in e.op.key_hashes() {
+                    for h in e.op.key_hashes_iter() {
                         pairs.push((h, id));
                     }
                 }
@@ -642,8 +650,10 @@ impl Master {
                 CheckResult::New => {
                     // The client recorded the request but the master never
                     // executed it (client crashed mid-operation). Requests on
-                    // partitions we do not own are dropped (§3.6).
-                    if !Self::owns(&st.range, &req.op) {
+                    // partitions we do not own are dropped (§3.6). Ownership
+                    // is decided on the footprint the witness stored — after
+                    // checking it matches the op (invariant 1).
+                    if !req.footprint_matches_op() || !Self::owns(&st.range, &req.key_hashes) {
                         continue;
                     }
                     let result = st.store.execute(&req.op);
@@ -712,7 +722,7 @@ impl Master {
         {
             let mut st = master.st.lock();
             for req in requests {
-                if !Self::owns(&st.range, &req.op) {
+                if !req.footprint_matches_op() || !Self::owns(&st.range, &req.key_hashes) {
                     continue;
                 }
                 match st.rifl.check(req.rpc_id) {

@@ -49,6 +49,13 @@ impl Snapshot {
     }
 
     /// Decodes from the opaque wire blob.
+    ///
+    /// Deliberately uses the *copying* decode, not `from_bytes_shared`:
+    /// restored objects are long-lived, and zero-copy windows would keep
+    /// the entire transfer blob's allocation pinned for as long as any one
+    /// restored value survives. Snapshot restore is a cold path; paying one
+    /// copy here bounds memory at live-data size. (RPC decoding stays
+    /// zero-copy — request payloads are short-lived.)
     pub fn from_blob(blob: &[u8]) -> Result<Self, DecodeError> {
         Self::from_bytes(blob)
     }

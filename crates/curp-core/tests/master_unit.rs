@@ -362,3 +362,42 @@ async fn unreachable_backup_fails_sync_but_keeps_pending() {
     assert!(!master.sync().await);
     assert_eq!(master.pending_len(), 1);
 }
+
+#[tokio::test]
+async fn dishonest_footprint_is_dropped_on_replay() {
+    let r = rig(lazy());
+    // A buggy client cached a footprint that does not match its op: the
+    // witness files it under "fake" while the op would write "real".
+    let lying = curp_proto::message::RecordedRequest {
+        master_id: M,
+        rpc_id: rid(9, 1),
+        key_hashes: Op::Put { key: b("fake"), value: b("v") }.key_hashes(),
+        op: Op::Put { key: b("real"), value: b("v") },
+    };
+    assert!(r.witness.record(lying));
+    // Several gc rounds age the record into suspicion territory.
+    for i in 0..3 {
+        put(&r, rid(1, i + 1), &format!("other{i}"), "v").await;
+        assert!(r.master.sync().await);
+    }
+    // An honest record on "fake" collides with the lying one, flagging it as
+    // suspected garbage for the next gc response.
+    let honest = Op::Put { key: b("fake"), value: b("w") };
+    let rejected = curp_proto::message::RecordedRequest {
+        master_id: M,
+        rpc_id: rid(2, 1),
+        key_hashes: honest.key_hashes(),
+        op: honest,
+    };
+    assert!(!r.witness.record(rejected), "conflicting record must be rejected");
+    put(&r, rid(2, 1), "fake", "w").await;
+    // The gc response delivers the lying request to the master, which must
+    // drop it (DESIGN.md invariant 1) rather than execute it.
+    assert!(r.master.sync().await);
+    assert!(r.master.sync().await);
+    let got = r.master.handle_read(Op::Get { key: b("real") }).await;
+    assert!(
+        matches!(got, Response::Read { result: OpResult::Value(None) }),
+        "a request with a mismatching cached footprint must never execute"
+    );
+}

@@ -1,0 +1,272 @@
+//! Inline-capacity commutativity footprints.
+//!
+//! Every conflict decision in CURP — witness record admission (§4.2), the
+//! master's unsynced check (§4.3), client routing — consumes the set of key
+//! hashes an operation touches. That set is almost always a single hash
+//! (every op except `MultiPut`), so materializing it as a heap `Vec` on each
+//! check put an allocation on the fast path of every request. [`Footprint`]
+//! stores up to [`INLINE_KEYS`] hashes inline (small-vec style, implemented
+//! in-repo per the workspace's no-external-deps policy) and only spills to
+//! the heap for wide `MultiPut`s.
+//!
+//! The type is also the *cached* footprint carried by
+//! [`RecordedRequest`](crate::message::RecordedRequest): computed once per
+//! RPC at the client, validated/consumed everywhere else. Its wire encoding
+//! is identical to the `encode_seq` layout previously used for
+//! `Vec<KeyHash>` (a `u32` count followed by the hashes), so the protocol
+//! bytes are unchanged.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+use crate::types::KeyHash;
+use crate::wire::{encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
+
+/// Number of elements an [`InlineVec`] (and thus a [`Footprint`]) stores
+/// without touching the heap. Covers every single-key operation and
+/// `MultiPut`s of up to four keys.
+pub const INLINE_KEYS: usize = 4;
+
+/// A tiny vector of `Copy` elements with inline capacity `N`.
+///
+/// Grows past `N` by spilling the whole contents to a heap `Vec` (after
+/// which it behaves exactly like one). Used for [`Footprint`] and for the
+/// witness cache's per-record slot bookkeeping.
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    repr: Repr<T, N>,
+}
+
+#[derive(Clone)]
+enum Repr<T: Copy + Default, const N: usize> {
+    Inline { buf: [T; N], len: usize },
+    Spill(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no allocation).
+    pub fn new() -> Self {
+        InlineVec { repr: Repr::Inline { buf: [T::default(); N], len: 0 } }
+    }
+
+    /// Appends `value`, spilling to the heap when the inline buffer is full.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut spill = Vec::with_capacity(N * 2);
+                    spill.extend_from_slice(&buf[..]);
+                    spill.push(value);
+                    self.repr = Repr::Spill(spill);
+                }
+            }
+            Repr::Spill(v) => v.push(value),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Inline { buf, len } => &buf[..*len],
+            Repr::Spill(v) => v,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Spill(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the contents currently live in the inline buffer (tests).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    /// Content equality: an inline and a spilled vector holding the same
+    /// elements compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// Owning iterator over an [`InlineVec`] (elements are `Copy`).
+pub struct IntoIter<T: Copy + Default, const N: usize> {
+    vec: InlineVec<T, N>,
+    next: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        let item = self.vec.as_slice().get(self.next).copied();
+        self.next += item.is_some() as usize;
+        item
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { vec: self, next: 0 }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// The commutativity footprint of an operation: the key hashes it touches,
+/// in key order, stored inline for up to [`INLINE_KEYS`] keys.
+///
+/// Intersection checks (conflict detection) go through
+/// [`Op::commutes_with`](crate::op::Op::commutes_with), which streams one
+/// side's hashes against the other's footprint — footprints are tiny (one
+/// hash in the common case), so a nested scan beats building a hash set.
+pub type Footprint = InlineVec<KeyHash, INLINE_KEYS>;
+
+// Wire layout: delegates to `encode_seq` — a `u32` count followed by the
+// hashes — so messages carrying a cached footprint are byte-compatible with
+// the previous `Vec<KeyHash>` encoding. Only `decode` is hand-rolled, to
+// fill the inline buffer without an intermediate `Vec`.
+
+impl Encode for Footprint {
+    fn encode(&self, buf: &mut impl BufMut) {
+        encode_seq(self.as_slice(), buf);
+    }
+    fn encoded_len(&self) -> usize {
+        seq_encoded_len(self.as_slice())
+    }
+}
+
+impl Decode for Footprint {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        let n = u32::decode(buf)? as usize;
+        // Hostile-count guard, as in `decode_seq`: every hash needs 8 bytes.
+        need(buf, n.saturating_mul(8))?;
+        let mut fp = Footprint::new();
+        for _ in 0..n {
+            fp.push(KeyHash::decode(buf)?);
+        }
+        Ok(fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        assert!(v.is_empty() && v.is_inline());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        v.push(4);
+        assert!(!v.is_inline(), "fifth element must spill");
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline: InlineVec<u64, 4> = (0..3).collect();
+        let mut spilled: InlineVec<u64, 4> = (0..6).collect();
+        assert!(!spilled.is_inline());
+        // Rebuild a spilled vec with the same 3 elements via From<Vec>.
+        spilled = InlineVec::from((0..6).collect::<Vec<_>>());
+        assert_ne!(inline, spilled);
+        let same: InlineVec<u64, 4> = InlineVec::from(vec![0, 1, 2]);
+        assert_eq!(inline, same);
+    }
+
+    #[test]
+    fn iteration_owned_and_borrowed() {
+        let v: InlineVec<u64, 2> = (10..15).collect();
+        assert_eq!(v.clone().into_iter().collect::<Vec<_>>(), vec![10, 11, 12, 13, 14]);
+        assert_eq!((&v).into_iter().copied().sum::<u64>(), 60);
+        assert_eq!(v.into_iter().len(), 5);
+    }
+
+    #[test]
+    fn footprint_codec_matches_seq_layout() {
+        let fp: Footprint = (0..7).map(KeyHash).collect();
+        roundtrip(&fp);
+        // Byte-compatible with the old Vec<KeyHash> encoding.
+        let mut seq = bytes::BytesMut::new();
+        crate::wire::encode_seq(&(0..7).map(KeyHash).collect::<Vec<_>>(), &mut seq);
+        assert_eq!(fp.to_bytes(), seq.freeze());
+    }
+
+    #[test]
+    fn footprint_decode_rejects_hostile_count() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(Footprint::from_bytes(&buf).is_err());
+    }
+}

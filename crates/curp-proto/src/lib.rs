@@ -6,6 +6,9 @@
 //!   and the 64-bit [`types::KeyHash`] used for commutativity checks;
 //! * [`op`] — the NoSQL operation set ([`op::Op`]) executed by masters and
 //!   recorded by witnesses, together with its commutativity metadata;
+//! * [`footprint`] — the inline-capacity [`footprint::Footprint`] of key
+//!   hashes that every conflict check consumes, heap-free for the common
+//!   single-key case;
 //! * [`wire`] — a small, dependency-free binary codec (`Encode`/`Decode`);
 //! * [`message`] — every RPC request/response exchanged between clients,
 //!   masters, backups, witnesses and the cluster coordinator;
@@ -17,12 +20,14 @@
 //! per enum variant) that can be parsed with zero copies from a [`bytes::Bytes`].
 
 pub mod cluster;
+pub mod footprint;
 pub mod frame;
 pub mod message;
 pub mod op;
 pub mod types;
 pub mod wire;
 
+pub use footprint::{Footprint, InlineVec};
 pub use message::{Request, Response, RpcEnvelope};
 pub use op::{Op, OpResult};
 pub use types::{ClientId, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};

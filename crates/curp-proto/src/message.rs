@@ -9,6 +9,7 @@
 use bytes::{Buf, BufMut, Bytes};
 
 use crate::cluster::ClusterConfig;
+use crate::footprint::Footprint;
 use crate::op::{Op, OpResult};
 use crate::types::{ClientId, Epoch, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
 use crate::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
@@ -24,23 +25,38 @@ pub struct RecordedRequest {
     pub master_id: MasterId,
     /// RIFL id of the client RPC.
     pub rpc_id: RpcId,
-    /// Key hashes the operation touches (the commutativity footprint).
-    pub key_hashes: Vec<KeyHash>,
+    /// Key hashes the operation touches — the commutativity footprint,
+    /// computed once per RPC at the client and cached here. Must equal
+    /// `op.key_hashes()` recomputed (DESIGN.md, invariant 1).
+    pub key_hashes: Footprint,
     /// The operation itself.
     pub op: Op,
+}
+
+impl RecordedRequest {
+    /// Checks the cached footprint against the op (DESIGN.md invariant 1).
+    ///
+    /// The single definition of footprint honesty: every replay trust
+    /// boundary (a master or consensus leader about to re-execute a
+    /// witness-recorded request) must drop requests failing this check —
+    /// their footprint claims keys the op does not touch, so the witness's
+    /// mutual-commutativity guarantee does not cover them.
+    pub fn footprint_matches_op(&self) -> bool {
+        self.key_hashes == self.op.key_hashes()
+    }
 }
 
 impl Encode for RecordedRequest {
     fn encode(&self, buf: &mut impl BufMut) {
         self.master_id.encode(buf);
         self.rpc_id.encode(buf);
-        encode_seq(&self.key_hashes, buf);
+        self.key_hashes.encode(buf);
         self.op.encode(buf);
     }
     fn encoded_len(&self) -> usize {
         self.master_id.encoded_len()
             + self.rpc_id.encoded_len()
-            + seq_encoded_len(&self.key_hashes)
+            + self.key_hashes.encoded_len()
             + self.op.encoded_len()
     }
 }
@@ -50,7 +66,7 @@ impl Decode for RecordedRequest {
         Ok(RecordedRequest {
             master_id: MasterId::decode(buf)?,
             rpc_id: RpcId::decode(buf)?,
-            key_hashes: decode_seq(buf)?,
+            key_hashes: Footprint::decode(buf)?,
             op: Op::decode(buf)?,
         })
     }
@@ -137,8 +153,8 @@ pub enum Request {
     WitnessCommuteCheck {
         /// The master whose witness instance is addressed.
         master_id: MasterId,
-        /// Key hashes the reader wants to read.
-        key_hashes: Vec<KeyHash>,
+        /// Key hashes the reader wants to read (cached footprint).
+        key_hashes: Footprint,
     },
 
     // ---- master -> witness (Figure 4) ---------------------------------------
@@ -417,7 +433,7 @@ impl Encode for Request {
             Request::WitnessCommuteCheck { master_id, key_hashes } => {
                 buf.put_u8(REQ_W_COMMUTE);
                 master_id.encode(buf);
-                encode_seq(key_hashes, buf);
+                key_hashes.encode(buf);
             }
             Request::WitnessGc { master_id, entries } => {
                 buf.put_u8(REQ_W_GC);
@@ -498,7 +514,7 @@ impl Encode for Request {
             Request::WitnessEnd { master_id } => master_id.encoded_len(),
             Request::WitnessRecord { request } => request.encoded_len(),
             Request::WitnessCommuteCheck { master_id, key_hashes } => {
-                master_id.encoded_len() + seq_encoded_len(key_hashes)
+                master_id.encoded_len() + key_hashes.encoded_len()
             }
             Request::WitnessGc { master_id, entries } => {
                 master_id.encoded_len() + seq_encoded_len(entries)
@@ -545,7 +561,7 @@ impl Decode for Request {
             REQ_W_RECORD => Request::WitnessRecord { request: RecordedRequest::decode(buf)? },
             REQ_W_COMMUTE => Request::WitnessCommuteCheck {
                 master_id: MasterId::decode(buf)?,
-                key_hashes: decode_seq(buf)?,
+                key_hashes: Footprint::decode(buf)?,
             },
             REQ_W_GC => {
                 Request::WitnessGc { master_id: MasterId::decode(buf)?, entries: decode_seq(buf)? }
@@ -815,7 +831,7 @@ mod tests {
         RecordedRequest {
             master_id: MasterId(3),
             rpc_id: rid(1, 5),
-            key_hashes: vec![KeyHash(11), KeyHash(22)],
+            key_hashes: vec![KeyHash(11), KeyHash(22)].into(),
             op: Op::Put { key: b("k"), value: b("v") },
         }
     }
@@ -831,7 +847,10 @@ mod tests {
             Request::ClientRead { op: Op::Get { key: b("k") } },
             Request::Sync,
             Request::WitnessRecord { request: recorded() },
-            Request::WitnessCommuteCheck { master_id: MasterId(3), key_hashes: vec![KeyHash(9)] },
+            Request::WitnessCommuteCheck {
+                master_id: MasterId(3),
+                key_hashes: vec![KeyHash(9)].into(),
+            },
             Request::WitnessGc { master_id: MasterId(3), entries: vec![(KeyHash(1), rid(2, 3))] },
             Request::WitnessGetRecoveryData { master_id: MasterId(3) },
             Request::WitnessStart { master_id: MasterId(3) },

@@ -16,6 +16,7 @@
 
 use bytes::{Buf, BufMut, Bytes};
 
+use crate::footprint::Footprint;
 use crate::types::KeyHash;
 use crate::wire::{decode_seq, encode_seq, need, seq_encoded_len, Decode, DecodeError, Encode};
 
@@ -109,8 +110,9 @@ impl Op {
         matches!(self, Op::Get { .. } | Op::HGet { .. })
     }
 
-    /// Returns the primary keys this operation touches.
-    pub fn keys(&self) -> Vec<&Bytes> {
+    /// Iterates over the primary keys this operation touches, in key order.
+    /// Allocation-free (the common single-key case never touches the heap).
+    pub fn keys(&self) -> Keys<'_> {
         match self {
             Op::Get { key }
             | Op::Put { key, .. }
@@ -120,18 +122,28 @@ impl Op {
             | Op::HSet { key, .. }
             | Op::HGet { key, .. }
             | Op::ListPush { key, .. }
-            | Op::SetAdd { key, .. } => vec![key],
-            Op::MultiPut { kvs } => kvs.iter().map(|(k, _)| k).collect(),
+            | Op::SetAdd { key, .. } => Keys::One(Some(key)),
+            Op::MultiPut { kvs } => Keys::Many(kvs.iter()),
         }
+    }
+
+    /// Iterates over the 64-bit key hashes this operation touches, in key
+    /// order, hashing on the fly without materializing a footprint.
+    pub fn key_hashes_iter(&self) -> impl Iterator<Item = KeyHash> + '_ {
+        self.keys().map(|k| KeyHash::of(k))
     }
 
     /// Returns the 64-bit key hashes this operation touches, in key order.
     ///
     /// This is the commutativity footprint used by both witnesses (§4.2) and
     /// masters (§4.3): two operations conflict iff their footprints intersect
-    /// and at least one of them is a mutation.
-    pub fn key_hashes(&self) -> Vec<KeyHash> {
-        self.keys().into_iter().map(|k| KeyHash::of(k)).collect()
+    /// and at least one of them is a mutation. The returned [`Footprint`]
+    /// stores single-key (and up to four-key) footprints inline, so the fast
+    /// path allocates nothing. Anything that caches a footprint (e.g.
+    /// [`RecordedRequest`](crate::message::RecordedRequest)) must keep it
+    /// equal to what this method recomputes — see DESIGN.md, invariant 1.
+    pub fn key_hashes(&self) -> Footprint {
+        self.key_hashes_iter().collect()
     }
 
     /// Short operation name, used in traces and error messages.
@@ -165,11 +177,42 @@ impl Op {
         if self.is_read_only() && other.is_read_only() {
             return true;
         }
-        let a = self.key_hashes();
+        // Hash `other` once into an (inline, allocation-free) footprint and
+        // stream `self`'s hashes against it — no `Vec` per comparison.
         let b = other.key_hashes();
-        !a.iter().any(|h| b.contains(h))
+        !self.key_hashes_iter().any(|h| b.contains(&h))
     }
 }
+
+/// Iterator over the primary keys of an [`Op`] (see [`Op::keys`]).
+#[derive(Debug, Clone)]
+pub enum Keys<'a> {
+    /// A single-key operation (everything except `MultiPut`).
+    One(Option<&'a Bytes>),
+    /// A `MultiPut`: one key per written pair.
+    Many(std::slice::Iter<'a, (Bytes, Bytes)>),
+}
+
+impl<'a> Iterator for Keys<'a> {
+    type Item = &'a Bytes;
+    fn next(&mut self) -> Option<&'a Bytes> {
+        match self {
+            Keys::One(key) => key.take(),
+            Keys::Many(kvs) => kvs.next().map(|(k, _)| k),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Keys::One(key) => {
+                let n = key.is_some() as usize;
+                (n, Some(n))
+            }
+            Keys::Many(kvs) => kvs.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for Keys<'_> {}
 
 const OP_GET: u8 = 0;
 const OP_PUT: u8 = 1;

@@ -12,7 +12,7 @@ use crate::wire::{Decode, DecodeError, Encode};
 /// (§4.2 of the paper: "for performance, we compare 64-bit hashes of primary
 /// keys instead of full keys"). Two operations are treated as conflicting iff
 /// they touch an overlapping set of key hashes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct KeyHash(pub u64);
 
 impl KeyHash {

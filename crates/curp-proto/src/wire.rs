@@ -87,7 +87,9 @@ pub trait Decode: Sized {
     fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError>;
 
     /// Decodes a value from a byte slice, requiring that the slice is fully
-    /// consumed.
+    /// consumed. Every embedded `Bytes` field is *copied* out of the slice;
+    /// prefer [`from_bytes_shared`](Decode::from_bytes_shared) when the
+    /// source is already a [`Bytes`].
     fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         let mut buf = bytes;
         let v = Self::decode(&mut buf)?;
@@ -96,6 +98,24 @@ pub trait Decode: Sized {
                 declared: bytes.len(),
                 remaining: buf.remaining(),
             });
+        }
+        Ok(v)
+    }
+
+    /// Decodes a value from an owned [`Bytes`] buffer, requiring that the
+    /// buffer is fully consumed.
+    ///
+    /// Zero-copy: every embedded `Bytes` field (keys, values, payloads,
+    /// snapshots) becomes an O(1) slice of the source buffer instead of a
+    /// fresh allocation, because `Bytes::copy_to_bytes` is a window split.
+    /// This is the decode path the transports use — a received frame is
+    /// already a `Bytes`, so a decoded request borrows the frame's
+    /// allocation all the way into the store.
+    fn from_bytes_shared(mut bytes: Bytes) -> Result<Self, DecodeError> {
+        let total = bytes.len();
+        let v = Self::decode(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(DecodeError::LengthOverrun { declared: total, remaining: bytes.len() });
         }
         Ok(v)
     }
@@ -233,6 +253,15 @@ impl<T: Decode> Decode for Option<T> {
     }
 }
 
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, buf: &mut impl BufMut) {
+        (**self).encode(buf)
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+}
+
 // Note: there is deliberately no generic `impl Encode for Vec<T>` — it would
 // conflict with the `Vec<u8>` impl above (no specialization on stable Rust).
 // Sequences of messages use the `encode_seq`/`decode_seq` helpers instead.
@@ -361,6 +390,33 @@ mod tests {
             Option::<u64>::from_bytes(&[9]),
             Err(DecodeError::InvalidTag { ty: "Option", .. })
         ));
+    }
+
+    #[test]
+    fn from_bytes_shared_is_zero_copy() {
+        // A (length, payload, trailer) sandwich: the decoded payload must be
+        // a window into the source buffer, not a fresh allocation.
+        let payload = Bytes::from(vec![7u8; 64]);
+        let src = (payload.clone(), 9u64).to_bytes();
+        let (back, tail) = <(Bytes, u64)>::from_bytes_shared(src.clone()).unwrap();
+        assert_eq!((&back, tail), (&payload, 9));
+        let src_range = src.as_ptr() as usize..src.as_ptr() as usize + src.len();
+        assert!(src_range.contains(&(back.as_ptr() as usize)), "payload was copied, not sliced");
+    }
+
+    #[test]
+    fn from_bytes_shared_rejects_trailing_bytes() {
+        let mut raw = 1u64.to_bytes().to_vec();
+        raw.push(0);
+        assert!(u64::from_bytes_shared(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn reference_encode_forwards() {
+        let v = Bytes::from_static(b"ref");
+        let r: &Bytes = &v;
+        assert_eq!(Encode::encoded_len(&r), v.encoded_len());
+        assert_eq!(Encode::to_bytes(&r), v.to_bytes());
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Aof {
         decoder.push(&raw);
         let mut entries = Vec::new();
         while let Ok(Some(frame)) = decoder.next_frame() {
-            match LogEntry::from_bytes(&frame) {
+            match LogEntry::from_bytes_shared(frame) {
                 Ok(e) => entries.push(e),
                 Err(_) => break,
             }

@@ -125,7 +125,7 @@ impl Store {
     /// any unsynced object — i.e. `op` does not commute with the set of
     /// currently unsynced operations.
     pub fn touches_unsynced(&self, op: &Op) -> bool {
-        op.keys().iter().any(|k| self.is_unsynced(k))
+        op.keys().any(|k| self.is_unsynced(k))
     }
 
     /// Reads an object (test/debug accessor).
@@ -138,6 +138,14 @@ impl Store {
     /// Failed operations (wrong type, failed conditional) do not mutate
     /// state and do not consume a log position, so a log of *executed*
     /// mutations replays to identical state.
+    ///
+    /// Typed mutations (`HSet`/`ListPush`/`SetAdd`/`Incr`) update the stored
+    /// collection *in place* — O(1) amortized per mutation, like Redis —
+    /// rather than clone-modify-reinsert (which made every hash/list/set
+    /// update O(n) in the collection size). The live-key invariant makes
+    /// this safe: a key present in `objects` never appears in
+    /// `dead_versions` or `tombstones` (writes purge both; deletes remove
+    /// the object first), so the in-place path can skip those purges.
     pub fn execute(&mut self, op: &Op) -> OpResult {
         match op {
             Op::Get { key } => match self.objects.get(key).map(|o| &o.value) {
@@ -173,59 +181,89 @@ impl Store {
                 }
                 OpResult::Written { version: last_version }
             }
-            Op::Incr { key, delta } => {
-                let current = match self.objects.get(key).map(|o| &o.value) {
-                    None => 0,
-                    Some(Value::Counter(c)) => *c,
-                    Some(Value::Str(s)) => {
-                        match std::str::from_utf8(s).ok().and_then(|s| s.parse::<i64>().ok()) {
-                            Some(c) => c,
-                            None => return OpResult::WrongType,
+            Op::Incr { key, delta } => match self.objects.get_mut(key) {
+                Some(obj) => {
+                    let new = match &obj.value {
+                        Value::Counter(c) => c.wrapping_add(*delta),
+                        Value::Str(s) => {
+                            match std::str::from_utf8(s).ok().and_then(|s| s.parse::<i64>().ok()) {
+                                Some(c) => c.wrapping_add(*delta),
+                                None => return OpResult::WrongType,
+                            }
                         }
+                        _ => return OpResult::WrongType,
+                    };
+                    obj.value = Value::Counter(new);
+                    Self::touch_in_place(obj, &mut self.log_head);
+                    OpResult::Counter(new)
+                }
+                None => {
+                    self.write(key, Value::Counter(*delta));
+                    OpResult::Counter(*delta)
+                }
+            },
+            Op::HSet { key, field, value } => match self.objects.get_mut(key) {
+                Some(obj) => match &mut obj.value {
+                    Value::Hash(h) => {
+                        h.insert(field.clone(), value.clone());
+                        let version = Self::touch_in_place(obj, &mut self.log_head);
+                        OpResult::Written { version }
                     }
-                    Some(_) => return OpResult::WrongType,
-                };
-                let new = current.wrapping_add(*delta);
-                self.write(key, Value::Counter(new));
-                OpResult::Counter(new)
-            }
-            Op::HSet { key, field, value } => {
-                let mut hash = match self.objects.get(key).map(|o| &o.value) {
-                    None => HashMap::new(),
-                    Some(Value::Hash(h)) => h.clone(),
-                    Some(_) => return OpResult::WrongType,
-                };
-                hash.insert(field.clone(), value.clone());
-                let version = self.write(key, Value::Hash(hash));
-                OpResult::Written { version }
-            }
+                    _ => OpResult::WrongType,
+                },
+                None => {
+                    let hash = HashMap::from([(field.clone(), value.clone())]);
+                    let version = self.write(key, Value::Hash(hash));
+                    OpResult::Written { version }
+                }
+            },
             Op::HGet { key, field } => match self.objects.get(key).map(|o| &o.value) {
                 None => OpResult::Value(None),
                 Some(Value::Hash(h)) => OpResult::Value(h.get(field).cloned()),
                 Some(_) => OpResult::WrongType,
             },
-            Op::ListPush { key, value } => {
-                let mut list = match self.objects.get(key).map(|o| &o.value) {
-                    None => Vec::new(),
-                    Some(Value::List(l)) => l.clone(),
-                    Some(_) => return OpResult::WrongType,
-                };
-                list.push(value.clone());
-                let len = list.len() as i64;
-                self.write(key, Value::List(list));
-                OpResult::Counter(len)
-            }
-            Op::SetAdd { key, member } => {
-                let mut set = match self.objects.get(key).map(|o| &o.value) {
-                    None => HashSet::new(),
-                    Some(Value::Set(s)) => s.clone(),
-                    Some(_) => return OpResult::WrongType,
-                };
-                let added = set.insert(member.clone()) as i64;
-                self.write(key, Value::Set(set));
-                OpResult::Counter(added)
-            }
+            Op::ListPush { key, value } => match self.objects.get_mut(key) {
+                Some(obj) => match &mut obj.value {
+                    Value::List(l) => {
+                        l.push(value.clone());
+                        let len = l.len() as i64;
+                        Self::touch_in_place(obj, &mut self.log_head);
+                        OpResult::Counter(len)
+                    }
+                    _ => OpResult::WrongType,
+                },
+                None => {
+                    self.write(key, Value::List(vec![value.clone()]));
+                    OpResult::Counter(1)
+                }
+            },
+            Op::SetAdd { key, member } => match self.objects.get_mut(key) {
+                Some(obj) => match &mut obj.value {
+                    Value::Set(s) => {
+                        let added = s.insert(member.clone()) as i64;
+                        Self::touch_in_place(obj, &mut self.log_head);
+                        OpResult::Counter(added)
+                    }
+                    _ => OpResult::WrongType,
+                },
+                None => {
+                    self.write(key, Value::Set(HashSet::from([member.clone()])));
+                    OpResult::Counter(1)
+                }
+            },
         }
+    }
+
+    /// Commits an in-place mutation of a live object: assigns the next log
+    /// position, bumps the version, and returns it. Associated fn (not
+    /// `&mut self`) so callers can hold the `objects` entry borrow while the
+    /// log frontier advances. Call only after the mutation succeeded —
+    /// failed ops must not consume a log position.
+    fn touch_in_place(obj: &mut Object, log_head: &mut u64) -> u64 {
+        obj.write_pos = *log_head;
+        *log_head += 1;
+        obj.version += 1;
+        obj.version
     }
 
     fn next_pos(&mut self) -> u64 {
@@ -304,13 +342,25 @@ impl Store {
     }
 
     /// Writes `value` at `key` with the next version and log position.
+    ///
+    /// Overwrites mutate the existing entry in place — no key re-clone, no
+    /// hash-map re-insert; only first writes of a key clone it into the map.
     fn write(&mut self, key: &Bytes, value: Value) -> u64 {
-        let version = self.current_version(key) + 1;
-        self.dead_versions.remove(key);
-        self.tombstones.remove(key);
         let pos = self.next_pos();
-        self.objects.insert(key.clone(), Object { value, version, write_pos: pos });
-        version
+        match self.objects.get_mut(key) {
+            Some(obj) => {
+                obj.value = value;
+                obj.version += 1;
+                obj.write_pos = pos;
+                obj.version
+            }
+            None => {
+                let version = self.dead_versions.remove(key).unwrap_or(0) + 1;
+                self.tombstones.remove(key);
+                self.objects.insert(key.clone(), Object { value, version, write_pos: pos });
+                version
+            }
+        }
     }
 }
 
@@ -341,9 +391,10 @@ impl Encode for Value {
             }
             Value::Hash(h) => {
                 buf.put_u8(VAL_HASH);
-                let mut pairs: Vec<(Bytes, Bytes)> =
-                    h.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                // Sort references, not cloned pairs: determinism costs a
+                // pointer sort, never a deep copy of the collection.
+                let mut pairs: Vec<(&Bytes, &Bytes)> = h.iter().collect();
+                pairs.sort_by(|a, b| a.0.cmp(b.0));
                 encode_seq(&pairs, buf);
             }
             Value::Counter(c) => {
@@ -356,7 +407,7 @@ impl Encode for Value {
             }
             Value::Set(s) => {
                 buf.put_u8(VAL_SET);
-                let mut members: Vec<Bytes> = s.iter().cloned().collect();
+                let mut members: Vec<&Bytes> = s.iter().collect();
                 members.sort();
                 encode_seq(&members, buf);
             }

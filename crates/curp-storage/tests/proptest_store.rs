@@ -1,8 +1,12 @@
 //! Property tests for the store's replication-bearing invariants:
-//! determinism, synced-frontier bookkeeping, and snapshot fidelity.
+//! determinism, synced-frontier bookkeeping, snapshot fidelity, and
+//! equivalence of the in-place execute path with a naive reference
+//! implementation.
+
+use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
-use curp_proto::op::Op;
+use curp_proto::op::{Op, OpResult};
 use curp_storage::Store;
 use proptest::prelude::*;
 
@@ -14,6 +18,158 @@ fn key(i: u8) -> Bytes {
 enum Step {
     Op(Op),
     Sync,
+}
+
+/// A deliberately naive store with the same observable semantics as
+/// [`Store`]: every mutation clones the current value, modifies the clone,
+/// and replaces the whole object. This is the behavior `Store::execute` had
+/// before the in-place rewrite; keeping it as the executable specification
+/// pins the determinism contract backups and recovery replay rely on
+/// (results, versions, and log positions must match op-for-op).
+#[derive(Default)]
+struct NaiveStore {
+    objects: HashMap<Bytes, (NaiveValue, u64, u64)>, // value, version, write_pos
+    dead_versions: HashMap<Bytes, u64>,
+    log_head: u64,
+}
+
+#[derive(Clone, PartialEq)]
+enum NaiveValue {
+    Str(Bytes),
+    Hash(HashMap<Bytes, Bytes>),
+    Counter(i64),
+    List(Vec<Bytes>),
+    Set(HashSet<Bytes>),
+}
+
+impl NaiveStore {
+    fn current_version(&self, key: &Bytes) -> u64 {
+        self.objects
+            .get(key)
+            .map(|(_, v, _)| *v)
+            .or_else(|| self.dead_versions.get(key).copied())
+            .unwrap_or(0)
+    }
+
+    fn write(&mut self, key: &Bytes, value: NaiveValue) -> u64 {
+        let version = self.current_version(key) + 1;
+        self.dead_versions.remove(key);
+        let pos = self.log_head;
+        self.log_head += 1;
+        self.objects.insert(key.clone(), (value, version, pos));
+        version
+    }
+
+    fn execute(&mut self, op: &Op) -> OpResult {
+        match op {
+            Op::Get { key } => match self.objects.get(key).map(|(v, _, _)| v) {
+                None => OpResult::Value(None),
+                Some(NaiveValue::Str(b)) => OpResult::Value(Some(b.clone())),
+                Some(NaiveValue::Counter(c)) => OpResult::Value(Some(Bytes::from(c.to_string()))),
+                Some(_) => OpResult::WrongType,
+            },
+            Op::Put { key, value } => {
+                let version = self.write(key, NaiveValue::Str(value.clone()));
+                OpResult::Written { version }
+            }
+            Op::Delete { key } => {
+                self.log_head += 1;
+                if let Some((_, version, _)) = self.objects.remove(key) {
+                    self.dead_versions.insert(key.clone(), version);
+                }
+                OpResult::Written { version: self.current_version(key) }
+            }
+            Op::ConditionalPut { key, expected_version, value } => {
+                let actual = self.current_version(key);
+                if actual != *expected_version {
+                    return OpResult::ConditionFailed { actual_version: actual };
+                }
+                let version = self.write(key, NaiveValue::Str(value.clone()));
+                OpResult::Written { version }
+            }
+            Op::MultiPut { kvs } => {
+                let mut last = 0;
+                for (key, value) in kvs {
+                    last = self.write(key, NaiveValue::Str(value.clone()));
+                }
+                OpResult::Written { version: last }
+            }
+            Op::Incr { key, delta } => {
+                let current = match self.objects.get(key).map(|(v, _, _)| v) {
+                    None => 0,
+                    Some(NaiveValue::Counter(c)) => *c,
+                    Some(NaiveValue::Str(s)) => {
+                        match std::str::from_utf8(s).ok().and_then(|s| s.parse::<i64>().ok()) {
+                            Some(c) => c,
+                            None => return OpResult::WrongType,
+                        }
+                    }
+                    Some(_) => return OpResult::WrongType,
+                };
+                let new = current.wrapping_add(*delta);
+                self.write(key, NaiveValue::Counter(new));
+                OpResult::Counter(new)
+            }
+            Op::HSet { key, field, value } => {
+                let mut hash = match self.objects.get(key).map(|(v, _, _)| v) {
+                    None => HashMap::new(),
+                    Some(NaiveValue::Hash(h)) => h.clone(),
+                    Some(_) => return OpResult::WrongType,
+                };
+                hash.insert(field.clone(), value.clone());
+                let version = self.write(key, NaiveValue::Hash(hash));
+                OpResult::Written { version }
+            }
+            Op::HGet { key, field } => match self.objects.get(key).map(|(v, _, _)| v) {
+                None => OpResult::Value(None),
+                Some(NaiveValue::Hash(h)) => OpResult::Value(h.get(field).cloned()),
+                Some(_) => OpResult::WrongType,
+            },
+            Op::ListPush { key, value } => {
+                let mut list = match self.objects.get(key).map(|(v, _, _)| v) {
+                    None => Vec::new(),
+                    Some(NaiveValue::List(l)) => l.clone(),
+                    Some(_) => return OpResult::WrongType,
+                };
+                list.push(value.clone());
+                let len = list.len() as i64;
+                self.write(key, NaiveValue::List(list));
+                OpResult::Counter(len)
+            }
+            Op::SetAdd { key, member } => {
+                let mut set = match self.objects.get(key).map(|(v, _, _)| v) {
+                    None => HashSet::new(),
+                    Some(NaiveValue::Set(s)) => s.clone(),
+                    Some(_) => return OpResult::WrongType,
+                };
+                let added = set.insert(member.clone()) as i64;
+                self.write(key, NaiveValue::Set(set));
+                OpResult::Counter(added)
+            }
+        }
+    }
+
+    /// The real store's value for `key` must equal ours structurally.
+    fn value_matches(&self, key: &Bytes, store: &Store) -> bool {
+        use curp_storage::Value;
+        match (self.objects.get(key), store.get_object(key)) {
+            (None, None) => true,
+            (Some((value, version, pos)), Some(obj)) => {
+                if obj.version != *version || obj.write_pos != *pos {
+                    return false;
+                }
+                match (value, &obj.value) {
+                    (NaiveValue::Str(a), Value::Str(b)) => a == b,
+                    (NaiveValue::Hash(a), Value::Hash(b)) => a == b,
+                    (NaiveValue::Counter(a), Value::Counter(b)) => a == b,
+                    (NaiveValue::List(a), Value::List(b)) => a == b,
+                    (NaiveValue::Set(a), Value::Set(b)) => a == b,
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
@@ -42,7 +198,53 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// The full op surface (including the ops `arb_op` leaves out) for the
+/// reference-equivalence property.
+fn arb_any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_op(),
+        1 => (any::<u8>(), 0..4u64, any::<u8>()).prop_map(|(k, ev, v)| Op::ConditionalPut {
+            key: key(k),
+            expected_version: ev,
+            value: Bytes::from(vec![v; 4]),
+        }),
+        1 => prop::collection::vec((any::<u8>(), any::<u8>()), 1..4).prop_map(|kvs| {
+            Op::MultiPut {
+                kvs: kvs.into_iter().map(|(k, v)| (key(k), Bytes::from(vec![v; 4]))).collect(),
+            }
+        }),
+        1 => (any::<u8>(), any::<u8>())
+            .prop_map(|(k, f)| Op::HGet { key: key(k), field: Bytes::from(vec![f % 4]) }),
+    ]
+}
+
 proptest! {
+    /// The in-place `Store::execute` matches the naive clone-per-mutation
+    /// reference implementation op-for-op: same results (and therefore
+    /// versions), same log positions, same per-key state. This is the
+    /// determinism contract backups and recovery replay depend on.
+    #[test]
+    fn execute_matches_naive_reference(ops in prop::collection::vec(arb_any_op(), 1..150)) {
+        let mut store = Store::new();
+        let mut reference = NaiveStore::default();
+        for op in &ops {
+            let got = store.execute(op);
+            let want = reference.execute(op);
+            prop_assert_eq!(&got, &want, "result diverged on {:?}", op);
+            prop_assert_eq!(
+                store.log_head(),
+                reference.log_head,
+                "log position diverged on {:?}",
+                op
+            );
+        }
+        for i in 0..16u8 {
+            let k = key(i);
+            prop_assert!(reference.value_matches(&k, &store), "state diverged at key {:?}", k);
+        }
+        prop_assert_eq!(store.len(), reference.objects.len());
+    }
+
     /// Two stores fed the same operations agree on every result — the
     /// property backups and recovery replay depend on.
     #[test]

@@ -109,13 +109,17 @@ async fn serve_connection(stream: TcpStream, handler: SharedHandler) -> std::io:
                 peer_id = Some(id);
                 continue;
             };
-            let env = RpcEnvelope::from_bytes(&frame)
+            // Zero-copy decode chain: the envelope's payload windows into
+            // the frame, and the request's keys/values window into the
+            // payload — one allocation (the read buffer) per frame.
+            let env = RpcEnvelope::from_bytes_shared(frame)
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
             if env.is_response {
                 // Servers only receive requests on inbound connections.
                 continue;
             }
-            let req = match Request::from_bytes(&env.payload) {
+            let corr_id = env.corr_id;
+            let req = match Request::from_bytes_shared(env.payload) {
                 Ok(r) => r,
                 Err(_) => continue,
             };
@@ -123,11 +127,7 @@ async fn serve_connection(stream: TcpStream, handler: SharedHandler) -> std::io:
             let wr = Arc::clone(&wr);
             tokio::spawn(async move {
                 let rsp = handler.handle(from, req).await;
-                let reply = RpcEnvelope {
-                    corr_id: env.corr_id,
-                    is_response: true,
-                    payload: rsp.to_bytes(),
-                };
+                let reply = RpcEnvelope { corr_id, is_response: true, payload: rsp.to_bytes() };
                 let mut out = BytesMut::new();
                 write_frame(&reply.to_bytes(), &mut out);
                 let mut wr = wr.lock().await;
@@ -227,11 +227,11 @@ impl TcpRouter {
                         Ok(None) => break,
                         Err(_) => return,
                     };
-                    let Ok(env) = RpcEnvelope::from_bytes(&frame) else { continue };
+                    let Ok(env) = RpcEnvelope::from_bytes_shared(frame) else { continue };
                     if !env.is_response {
                         continue;
                     }
-                    let Ok(rsp) = Response::from_bytes(&env.payload) else { continue };
+                    let Ok(rsp) = Response::from_bytes_shared(env.payload) else { continue };
                     if let Some(waiter) = pending_rd.lock().remove(&env.corr_id) {
                         let _ = waiter.send(rsp);
                     }

@@ -12,8 +12,10 @@
 //! that far out. Figure 11 regenerates that simulation using this exact
 //! implementation.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
+use curp_proto::footprint::InlineVec;
 use curp_proto::message::RecordedRequest;
 use curp_proto::types::{KeyHash, RpcId};
 
@@ -69,8 +71,12 @@ pub struct WitnessCache {
     /// Monotonic count of gc RPCs processed (the "rounds" of §4.5).
     gc_round: u64,
     /// Requests suspected to be uncollected garbage, drained by the next gc
-    /// response (§4.5). Keyed by rpc id to avoid duplicates.
+    /// response (§4.5), in first-suspected order.
     suspects: Vec<Arc<RecordedRequest>>,
+    /// Rpc ids present in `suspects` — O(1) duplicate suppression (a hot
+    /// conflicting key can re-suspect the same stuck record on every
+    /// rejection between two gc rounds).
+    suspect_ids: HashSet<RpcId>,
     occupied: usize,
 }
 
@@ -93,6 +99,7 @@ impl WitnessCache {
             slots: vec![None; config.total_slots],
             gc_round: 0,
             suspects: Vec::new(),
+            suspect_ids: HashSet::new(),
             occupied: 0,
         }
     }
@@ -120,53 +127,85 @@ impl WitnessCache {
         start..start + self.config.associativity
     }
 
+    /// Scans `kh`'s set for the §4.2 admission check. Returns the free slot
+    /// to claim, or the rejection outcome. `taken` holds slots already
+    /// claimed by earlier keys of the same multi-key request, so two keys
+    /// mapping to one set each get their own slot.
+    ///
+    /// A conflict with a record that has lingered through several gc rounds
+    /// reports it as suspected uncollected garbage (§4.5).
+    fn find_free_slot(&mut self, kh: KeyHash, taken: &[usize]) -> Result<usize, RecordOutcome> {
+        let mut free = None;
+        for idx in self.set_range(kh) {
+            match &self.slots[idx] {
+                Some(slot) if slot.key_hash == kh => {
+                    let suspect = (self.gc_round.saturating_sub(slot.recorded_round)
+                        >= self.config.gc_suspicion_rounds)
+                        .then(|| Arc::clone(&slot.request));
+                    if let Some(req) = suspect {
+                        self.add_suspect(req);
+                    }
+                    return Err(RecordOutcome::ConflictingKey);
+                }
+                Some(_) => {}
+                None if free.is_none() && !taken.contains(&idx) => free = Some(idx),
+                None => {}
+            }
+        }
+        free.ok_or(RecordOutcome::SetFull)
+    }
+
+    fn add_suspect(&mut self, req: Arc<RecordedRequest>) {
+        if self.suspect_ids.insert(req.rpc_id) {
+            self.suspects.push(req);
+        }
+    }
+
+    fn commit_slot(&mut self, idx: usize, kh: KeyHash, request: &Arc<RecordedRequest>) {
+        self.slots[idx] = Some(Slot {
+            key_hash: kh,
+            rpc_id: request.rpc_id,
+            request: Arc::clone(request),
+            recorded_round: self.gc_round,
+        });
+        self.occupied += 1;
+    }
+
     /// Attempts to record `request`. All-or-nothing: either every touched
     /// key gets a slot or nothing is written.
+    ///
+    /// Validation runs *before* the shared [`Arc`] is allocated, so a
+    /// rejection — the answer the witness gives for every conflicting or
+    /// false-conflicting record — performs no heap allocation at all.
+    /// Single-key requests (everything but `MultiPut`) also skip the
+    /// claimed-slot bookkeeping entirely.
     pub fn record(&mut self, request: RecordedRequest) -> RecordOutcome {
-        let request = Arc::new(request);
-        // Pass 1: validate every key (commutativity + capacity).
-        // Track per-set demand so two keys mapping to one set each get a slot.
-        let mut chosen: Vec<usize> = Vec::with_capacity(request.key_hashes.len());
-        for &kh in &request.key_hashes {
-            let range = self.set_range(kh);
-            let mut free = None;
-            for idx in range {
-                match &self.slots[idx] {
-                    Some(slot) if slot.key_hash == kh => {
-                        // Non-commutative with a stored request. If that
-                        // request has lingered through several gc rounds it
-                        // is probably uncollected garbage — report it (§4.5).
-                        if self.gc_round.saturating_sub(slot.recorded_round)
-                            >= self.config.gc_suspicion_rounds
-                        {
-                            let req = Arc::clone(&slot.request);
-                            if !self.suspects.iter().any(|s| s.rpc_id == req.rpc_id) {
-                                self.suspects.push(req);
-                            }
-                        }
-                        return RecordOutcome::ConflictingKey;
-                    }
-                    Some(_) => {}
-                    None if free.is_none() && !chosen.contains(&idx) => free = Some(idx),
-                    None => {}
+        if let [kh] = *request.key_hashes.as_slice() {
+            // Single-key fast path: one set probe, then commit.
+            match self.find_free_slot(kh, &[]) {
+                Ok(idx) => {
+                    let request = Arc::new(request);
+                    self.commit_slot(idx, kh, &request);
+                    RecordOutcome::Accepted
+                }
+                Err(outcome) => outcome,
+            }
+        } else {
+            // Multi-key: claim a slot per key (inline bookkeeping for up to
+            // four keys), then commit all-or-nothing.
+            let mut chosen: InlineVec<usize, 4> = InlineVec::new();
+            for &kh in &request.key_hashes {
+                match self.find_free_slot(kh, &chosen) {
+                    Ok(idx) => chosen.push(idx),
+                    Err(outcome) => return outcome,
                 }
             }
-            match free {
-                Some(idx) => chosen.push(idx),
-                None => return RecordOutcome::SetFull,
+            let request = Arc::new(request);
+            for (&kh, &idx) in request.key_hashes.iter().zip(chosen.iter()) {
+                self.commit_slot(idx, kh, &request);
             }
+            RecordOutcome::Accepted
         }
-        // Pass 2: commit.
-        for (&kh, idx) in request.key_hashes.iter().zip(chosen) {
-            self.slots[idx] = Some(Slot {
-                key_hash: kh,
-                rpc_id: request.rpc_id,
-                request: Arc::clone(&request),
-                recorded_round: self.gc_round,
-            });
-            self.occupied += 1;
-        }
-        RecordOutcome::Accepted
     }
 
     /// Returns `true` if a read of `key_hashes` commutes with every stored
@@ -198,7 +237,9 @@ impl WitnessCache {
                 }
             }
         }
-        // Drop suspects that the gc we just applied actually collected.
+        // Drop suspects that the gc we just applied actually collected. The
+        // suspect list empties on every gc round, so the id set does too.
+        self.suspect_ids.clear();
         let still_pending: Vec<Arc<RecordedRequest>> = self
             .suspects
             .drain(..)
@@ -226,6 +267,7 @@ impl WitnessCache {
         self.slots.iter_mut().for_each(|s| *s = None);
         self.occupied = 0;
         self.suspects.clear();
+        self.suspect_ids.clear();
     }
 }
 
@@ -393,6 +435,27 @@ mod tests {
         let cleared = c.gc(&[(kh, stuck.rpc_id)]);
         assert!(cleared.is_empty());
         assert_eq!(c.occupied_slots(), 0);
+    }
+
+    #[test]
+    fn repeated_rejections_suspect_once() {
+        // A hot conflicting key re-suspects the same stuck record on every
+        // rejection; the id set must collapse them to one report.
+        let mut c = cache();
+        let stuck = req("x", 1, 1);
+        c.record(stuck.clone());
+        for _ in 0..3 {
+            assert!(c.gc(&[]).is_empty());
+        }
+        for seq in 10..20 {
+            assert_eq!(c.record(req("x", 2, seq)), RecordOutcome::ConflictingKey);
+        }
+        let suspects = c.gc(&[]);
+        assert_eq!(suspects.len(), 1);
+        assert_eq!(suspects[0].rpc_id, stuck.rpc_id);
+        // The drain cleared the id set: a fresh rejection re-reports.
+        assert_eq!(c.record(req("x", 2, 99)), RecordOutcome::ConflictingKey);
+        assert_eq!(c.gc(&[]).len(), 1);
     }
 
     #[test]

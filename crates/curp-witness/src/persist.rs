@@ -114,7 +114,7 @@ impl JournaledWitness {
             let mut decoder = FrameDecoder::new();
             decoder.push(&raw);
             while let Ok(Some(frame)) = decoder.next_frame() {
-                let Ok(op) = JournalOp::from_bytes(&frame) else { break };
+                let Ok(op) = JournalOp::from_bytes_shared(frame) else { break };
                 match op {
                     JournalOp::Start(m) => {
                         inner.start(m);

@@ -463,6 +463,12 @@ impl<B: Buf + ?Sized> Buf for &mut B {
     fn advance(&mut self, cnt: usize) {
         (**self).advance(cnt)
     }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        // Must forward rather than use the default copying body: nested
+        // decoders reborrow (`&mut &mut Bytes`), and only forwarding
+        // preserves `Bytes`' O(1) window-split specialization.
+        (**self).copy_to_bytes(len)
+    }
 }
 
 /// Write cursor appending to a growable byte sink.

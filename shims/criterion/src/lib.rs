@@ -4,10 +4,97 @@
 //! statistics, plots, or baselines, but the same source-level API, so the
 //! benches compile and produce usable numbers offline. See the workspace
 //! README's "Dependency policy" section.
+//!
+//! Two harness extensions support the repo's per-PR perf trajectory
+//! (EXPERIMENTS.md, "Perf trajectory"):
+//!
+//! * **`--smoke`** (or env `BENCH_SMOKE=1`): clamps warm-up/measurement
+//!   times to a few milliseconds per benchmark so a full run finishes in
+//!   CI-friendly seconds. Numbers are noisier but the same code paths run.
+//! * **`--json=PATH`** (or env `BENCH_JSON=PATH`): after all groups run,
+//!   `criterion_main!` writes every measurement to `PATH` as a small JSON
+//!   document (`BENCH_micro.json` in CI), making the perf trajectory
+//!   machine-diffable across PRs.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Harness-level options parsed once from argv / environment.
+struct HarnessOpts {
+    smoke: bool,
+    json: Option<String>,
+}
+
+fn harness_opts() -> &'static HarnessOpts {
+    static OPTS: OnceLock<HarnessOpts> = OnceLock::new();
+    OPTS.get_or_init(|| {
+        let mut smoke = std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0");
+        let mut json = std::env::var("BENCH_JSON").ok().filter(|p| !p.is_empty());
+        for arg in std::env::args() {
+            if arg == "--smoke" {
+                smoke = true;
+            } else if let Some(path) = arg.strip_prefix("--json=") {
+                json = Some(path.to_string());
+            }
+        }
+        HarnessOpts { smoke, json }
+    })
+}
+
+/// One finished measurement, collected for the JSON report.
+struct BenchRecord {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+fn records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the collected measurements to the `--json=PATH` / `BENCH_JSON`
+/// target, if one was given. Called by [`criterion_main!`] after every
+/// group has run; calling it with no JSON target is a no-op.
+pub fn write_json_report() {
+    let Some(path) = &harness_opts().json else { return };
+    let records = records().lock().expect("bench record lock poisoned");
+    let mut doc = String::from("{\n  \"harness\": \"criterion-shim\",\n");
+    doc.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"results\": [\n",
+        if harness_opts().smoke { "smoke" } else { "full" }
+    ));
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        doc.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{sep}\n",
+            json_escape(&r.id),
+            r.ns_per_iter,
+            r.iters
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("bench: failed to write {path}: {e}");
+    } else {
+        println!("bench\treport\t{path}");
+    }
+}
 
 /// How `iter_batched` amortizes setup cost (accepted, not acted on).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,14 +145,26 @@ impl Criterion {
     }
 
     /// Runs `f` with a [`Bencher`] and prints the mean iteration time.
+    ///
+    /// In `--smoke` mode the configured times are clamped to a few
+    /// milliseconds so the whole suite completes in seconds.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let smoke = harness_opts().smoke;
         let mut b = Bencher {
-            warm_up_time: self.warm_up_time,
-            measurement_time: self.measurement_time,
-            sample_size: self.sample_size,
+            warm_up_time: if smoke {
+                self.warm_up_time.min(Duration::from_millis(5))
+            } else {
+                self.warm_up_time
+            },
+            measurement_time: if smoke {
+                self.measurement_time.min(Duration::from_millis(20))
+            } else {
+                self.measurement_time
+            },
+            sample_size: if smoke { self.sample_size.min(10) } else { self.sample_size },
             result: None,
         };
         f(&mut b);
@@ -73,6 +172,11 @@ impl Criterion {
             Some(r) => {
                 let ns = r.total.as_nanos() as f64 / r.iters.max(1) as f64;
                 println!("bench\t{id}\t{ns:.1} ns/iter\t({} iters)", r.iters);
+                records().lock().expect("bench record lock poisoned").push(BenchRecord {
+                    id: id.to_string(),
+                    ns_per_iter: ns,
+                    iters: r.iters,
+                });
             }
             None => println!("bench\t{id}\t<no measurement>"),
         }
@@ -162,14 +266,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point running the listed groups.
+/// Declares the bench entry point running the listed groups, then emits the
+/// JSON report if `--json=PATH` / `BENCH_JSON` was given.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // Swallow the harness args Cargo passes (`--bench`, filters).
-            let _ = std::env::args();
+            // Harness args Cargo passes (`--bench`, filters) are parsed by
+            // the shim itself (`--smoke`, `--json=PATH`) or ignored.
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -187,6 +293,20 @@ mod tests {
         let mut x = 0u64;
         c.bench_function("noop", |b| b.iter(|| x = x.wrapping_add(1)));
         assert!(x > 0);
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("plain_id"), "plain_id");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn json_report_without_target_is_noop() {
+        // No --json / BENCH_JSON in the test environment: must not panic
+        // or create files.
+        write_json_report();
     }
 
     #[test]
