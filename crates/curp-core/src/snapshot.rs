@@ -36,6 +36,18 @@ impl Snapshot {
         Snapshot { objects, dead_versions, rifl: rifl.export(), next_seq }
     }
 
+    /// Assembles a snapshot from an already-exported store state (the
+    /// sharded engine exports under its own shard locks) plus an exported
+    /// RIFL table.
+    pub fn from_parts(
+        export: curp_storage::store::StoreExport,
+        rifl: curp_rifl::table::RiflExport,
+        next_seq: u64,
+    ) -> Self {
+        let (objects, dead_versions) = export;
+        Snapshot { objects, dead_versions, rifl, next_seq }
+    }
+
     /// Materializes the snapshot into a fresh store and RIFL table.
     pub fn restore(&self) -> (Store, RiflTable) {
         let store = Store::import(self.objects.clone(), self.dead_versions.clone());

@@ -401,3 +401,42 @@ async fn dishonest_footprint_is_dropped_on_replay() {
         "a request with a mismatching cached footprint must never execute"
     );
 }
+
+#[tokio::test]
+async fn sync_merges_per_shard_tails_into_contiguous_log() {
+    // Many keys spread across every shard of the execution engine, then one
+    // sync round: the backup applies entries strictly in seq order, so its
+    // next_seq only reaches the full count if the merged per-shard pending
+    // tails form a contiguous prefix of the global log. A merge bug would
+    // strand entries in the backup's reorder buffer.
+    let r = rig(lazy());
+    for i in 0..40u64 {
+        let rsp = put(&r, rid(1, i + 1), &format!("key-{i}"), "v").await;
+        assert!(matches!(rsp, Response::Update { synced: false, .. }), "commuting write {i}");
+    }
+    assert_eq!(r.master.pending_len(), 40);
+    assert!(r.master.sync().await);
+    assert_eq!(r.master.pending_len(), 0);
+    assert_eq!(r.backup.next_seq(M), Some(40), "backup must have applied every entry in order");
+}
+
+#[tokio::test]
+async fn multikey_update_spans_shards_atomically() {
+    // A MultiPut whose keys land on different shards: executes atomically,
+    // conflicts with later single-key writes on any of its keys, and syncs
+    // as one log entry.
+    let r = rig(lazy());
+    let kvs: Vec<(Bytes, Bytes)> = (0..6).map(|i| (b(&format!("mk{i}")), b("v"))).collect();
+    let rsp = r.master.handle_update(rid(1, 1), 0, WLV, Op::MultiPut { kvs }).await;
+    assert!(matches!(rsp, Response::Update { result: OpResult::Written { .. }, synced: false }));
+    assert_eq!(r.master.pending_len(), 1);
+    // Touching any of its keys is a conflict: the response comes back synced.
+    let rsp = put(&r, rid(1, 2), "mk3", "w").await;
+    assert!(matches!(rsp, Response::Update { synced: true, .. }));
+    assert_eq!(r.backup.next_seq(M), Some(2));
+    // Both survive on the backup replica.
+    let got = r.backup.read(M, &Op::Get { key: b("mk0") });
+    assert_eq!(got, Some(OpResult::Value(Some(b("v")))));
+    let got = r.backup.read(M, &Op::Get { key: b("mk3") });
+    assert_eq!(got, Some(OpResult::Value(Some(b("w")))));
+}

@@ -68,6 +68,30 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         }
     }
 
+    /// Inserts `value` at `index`, shifting later elements right (spilling
+    /// to the heap when the inline buffer is full).
+    ///
+    /// # Panics
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        let len = self.len();
+        assert!(index <= len, "insert index {index} out of bounds (len {len})");
+        match &mut self.repr {
+            Repr::Inline { buf, len } if *len < N => {
+                buf.copy_within(index..*len, index + 1);
+                buf[index] = value;
+                *len += 1;
+            }
+            Repr::Inline { buf, len } => {
+                let mut spill = Vec::with_capacity(N * 2);
+                spill.extend_from_slice(&buf[..*len]);
+                spill.insert(index, value);
+                self.repr = Repr::Spill(spill);
+            }
+            Repr::Spill(v) => v.insert(index, value),
+        }
+    }
+
     /// The elements as a slice.
     pub fn as_slice(&self) -> &[T] {
         match &self.repr {
@@ -186,6 +210,35 @@ impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N>
 /// hash in the common case), so a nested scan beats building a hash set.
 pub type Footprint = InlineVec<KeyHash, INLINE_KEYS>;
 
+/// The set of execution-engine shards a footprint touches: ascending,
+/// deduplicated shard indices (see [`KeyHash::shard`]). Stored inline like
+/// the footprint itself, so routing a fast-path operation to its shard
+/// allocates nothing.
+pub type ShardSet = InlineVec<usize, INLINE_KEYS>;
+
+impl Footprint {
+    /// Returns the ascending, deduplicated set of shard indices these hashes
+    /// map to under a `num_shards`-way split.
+    ///
+    /// Ascending order is load-bearing: every multi-shard caller acquires
+    /// its shard locks in exactly this order, which is what makes multi-key
+    /// operations deadlock-free (see DESIGN.md, "Sharded execution engine").
+    pub fn shard_set(&self, num_shards: usize) -> ShardSet {
+        let mut shards = ShardSet::new();
+        for &h in self {
+            let s = h.shard(num_shards);
+            // Insertion sort with dedup: footprints are tiny (one element in
+            // the common case), so a linear scan beats any cleverness.
+            match shards.iter().position(|&existing| existing >= s) {
+                Some(i) if shards[i] == s => {}
+                Some(i) => shards.insert(i, s),
+                None => shards.push(s),
+            }
+        }
+        shards
+    }
+}
+
 // Wire layout: delegates to `encode_seq` — a `u32` count followed by the
 // hashes — so messages carrying a cached footprint are byte-compatible with
 // the previous `Vec<KeyHash>` encoding. Only `decode` is hand-rolled, to
@@ -261,6 +314,59 @@ mod tests {
         let mut seq = bytes::BytesMut::new();
         crate::wire::encode_seq(&(0..7).map(KeyHash).collect::<Vec<_>>(), &mut seq);
         assert_eq!(fp.to_bytes(), seq.freeze());
+    }
+
+    #[test]
+    fn insert_shifts_and_spills() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        v.push(1);
+        v.push(3);
+        v.insert(1, 2);
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        v.insert(0, 0);
+        assert!(v.is_inline());
+        // Fifth element via insert must spill, preserving order.
+        v.insert(2, 9);
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 9, 2, 3]);
+        v.insert(5, 7);
+        assert_eq!(v.as_slice(), &[0, 1, 9, 2, 3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_past_end_panics() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        v.insert(1, 0);
+    }
+
+    #[test]
+    fn shard_set_is_ascending_and_deduped() {
+        use crate::types::KeyHash;
+        // Construct hashes with controlled high bits.
+        let h = |top: u64| KeyHash(top << 32);
+        let fp: Footprint = [h(5), h(1), h(5), h(3)].into_iter().collect();
+        let shards = fp.shard_set(8);
+        assert_eq!(shards.as_slice(), &[1, 3, 5]);
+        assert!(shards.is_inline());
+        // A single-key footprint routes to exactly one shard, allocation-free.
+        let one: Footprint = [h(6)].into_iter().collect();
+        assert_eq!(one.shard_set(4).as_slice(), &[6 % 4]);
+        // Empty footprint -> empty shard set.
+        assert!(Footprint::new().shard_set(4).is_empty());
+    }
+
+    #[test]
+    fn shard_uses_high_bits() {
+        use crate::types::KeyHash;
+        // Two hashes sharing low 32 bits but differing in the high bits must
+        // land on different shards (for any shard count > 1 dividing the
+        // difference pattern); sharing high bits must land on the same one.
+        let a = KeyHash(0x0000_0001_0000_abcd);
+        let b = KeyHash(0x0000_0002_0000_abcd);
+        assert_ne!(a.shard(8), b.shard(8));
+        let c = KeyHash(0x0000_0001_ffff_0000);
+        assert_eq!(a.shard(8), c.shard(8));
     }
 
     #[test]

@@ -35,6 +35,19 @@ pub fn write_frame(payload: &[u8], buf: &mut BytesMut) {
     buf.put_slice(payload);
 }
 
+/// Appends a length-prefixed frame containing `msg`'s encoding to `buf`,
+/// encoding directly into place — no intermediate payload allocation, so a
+/// long-lived connection can reuse one encode buffer for every outbound
+/// frame.
+pub fn write_frame_encoded(msg: &impl crate::wire::Encode, buf: &mut BytesMut) {
+    let len = msg.encoded_len();
+    buf.reserve(4 + len);
+    buf.put_u32_le(len as u32);
+    let before = buf.len();
+    msg.encode(buf);
+    debug_assert_eq!(buf.len() - before, len, "encoded_len must match the actual encoding");
+}
+
 /// Incremental frame decoder.
 ///
 /// Call [`push`](FrameDecoder::push) with newly received bytes, then drain

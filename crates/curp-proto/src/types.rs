@@ -38,6 +38,21 @@ impl KeyHash {
         h ^= h >> 31;
         KeyHash(h)
     }
+
+    /// Maps this hash onto one of `num_shards` execution-engine shards.
+    ///
+    /// Deliberately derived from the *high* bits: the witness cache picks its
+    /// set from the low bits (`hash % num_sets`), so sharding must not reuse
+    /// them — otherwise every key of one shard would collapse onto a fraction
+    /// of the cache sets. All parties that shard by key (master store,
+    /// witness cache) route through this one function.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    pub fn shard(self, num_shards: usize) -> usize {
+        assert!(num_shards > 0, "num_shards must be positive");
+        ((self.0 >> 32) as usize) % num_shards
+    }
 }
 
 impl fmt::Display for KeyHash {

@@ -139,6 +139,7 @@ impl SimCluster {
             sync_coalesce: Duration::ZERO,
             sync_workers: 4,
             sync_group_commit: false,
+            ..MasterConfig::default()
         };
         let net_for_factory = net.clone();
         let coord = Coordinator::new(

@@ -150,6 +150,9 @@ impl RedisSim {
             sync_coalesce: if mode == RedisMode::Durable { vus(25) } else { Duration::ZERO },
             sync_workers: 1, // Redis is single-threaded
             sync_group_commit: true,
+            // Redis is single-threaded: one shard reproduces its serialized
+            // command loop faithfully in the model.
+            store_shards: 1,
         };
         let net_for_factory = net.clone();
         let coord = Coordinator::new(

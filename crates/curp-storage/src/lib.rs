@@ -10,11 +10,16 @@
 //!   comparing the object's write position against the last synced position.
 //!   Values are typed (string/hash/counter/list/set) so the same store also
 //!   backs the Redis experiments (Figures 8–10).
+//! * [`sharded`] — the same store split `N` ways by key hash, one lock per
+//!   shard and global atomic log counters, so commuting operations (CURP's
+//!   fast-path case) execute without contending on a single global lock.
 //! * [`aof`] — a Redis-style append-only file with configurable fsync
 //!   policy, used to make a cache durable exactly the way §5.4 describes.
 
 pub mod aof;
+pub mod sharded;
 pub mod store;
 
 pub use aof::{Aof, FsyncPolicy};
+pub use sharded::{ShardGuards, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::{Object, Store, Value};

@@ -52,19 +52,242 @@ pub struct Object {
 /// memory for deleted keys, both sorted by key.
 pub type StoreExport = (Vec<(Bytes, Object)>, Vec<(Bytes, u64)>);
 
+/// One key space: the per-key state of a store *without* the log counters.
+///
+/// [`Store`] owns exactly one key space plus a local position counter; the
+/// sharded engine ([`ShardedStore`](crate::sharded::ShardedStore)) owns one
+/// key space per shard behind its own lock, all sharing a global atomic
+/// position counter. Every mutation path is written once, here, against an
+/// injected position allocator, so the two engines cannot drift.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct KeySpace {
+    pub(crate) objects: HashMap<Bytes, Object>,
+    /// Version memory for deleted keys (see [`Object::version`]).
+    pub(crate) dead_versions: HashMap<Bytes, u64>,
+    /// Log positions of unsynced deletions; entries are pruned once synced
+    /// or when the key is re-created.
+    pub(crate) tombstones: HashMap<Bytes, u64>,
+}
+
+impl KeySpace {
+    /// Executes `op` against this key space, drawing log positions from
+    /// `next_pos` only for successful mutations (see [`Store::execute`] for
+    /// the contract). `MultiPut` writes every pair into *this* space — the
+    /// sharded engine routes each pair itself and never sends a multi-key op
+    /// here.
+    pub(crate) fn execute(&mut self, op: &Op, next_pos: &mut impl FnMut() -> u64) -> OpResult {
+        match op {
+            Op::Get { key } => match self.objects.get(key).map(|o| &o.value) {
+                None => OpResult::Value(None),
+                Some(Value::Str(b)) => OpResult::Value(Some(b.clone())),
+                Some(Value::Counter(c)) => OpResult::Value(Some(Bytes::from(c.to_string()))),
+                Some(_) => OpResult::WrongType,
+            },
+            Op::Put { key, value } => {
+                let version = self.write(key, Value::Str(value.clone()), next_pos);
+                OpResult::Written { version }
+            }
+            Op::Delete { key } => OpResult::Written { version: self.delete(key, next_pos()) },
+            Op::ConditionalPut { key, expected_version, value } => {
+                let actual = self.current_version(key);
+                if actual != *expected_version {
+                    return OpResult::ConditionFailed { actual_version: actual };
+                }
+                let version = self.write(key, Value::Str(value.clone()), next_pos);
+                OpResult::Written { version }
+            }
+            Op::MultiPut { kvs } => {
+                let mut last_version = 0;
+                for (key, value) in kvs {
+                    last_version = self.write(key, Value::Str(value.clone()), next_pos);
+                }
+                OpResult::Written { version: last_version }
+            }
+            Op::Incr { key, delta } => match self.objects.get_mut(key) {
+                Some(obj) => {
+                    let new = match &obj.value {
+                        Value::Counter(c) => c.wrapping_add(*delta),
+                        Value::Str(s) => {
+                            match std::str::from_utf8(s).ok().and_then(|s| s.parse::<i64>().ok()) {
+                                Some(c) => c.wrapping_add(*delta),
+                                None => return OpResult::WrongType,
+                            }
+                        }
+                        _ => return OpResult::WrongType,
+                    };
+                    obj.value = Value::Counter(new);
+                    Self::touch_in_place(obj, next_pos());
+                    OpResult::Counter(new)
+                }
+                None => {
+                    self.write(key, Value::Counter(*delta), next_pos);
+                    OpResult::Counter(*delta)
+                }
+            },
+            Op::HSet { key, field, value } => match self.objects.get_mut(key) {
+                Some(obj) => match &mut obj.value {
+                    Value::Hash(h) => {
+                        h.insert(field.clone(), value.clone());
+                        let version = Self::touch_in_place(obj, next_pos());
+                        OpResult::Written { version }
+                    }
+                    _ => OpResult::WrongType,
+                },
+                None => {
+                    let hash = HashMap::from([(field.clone(), value.clone())]);
+                    let version = self.write(key, Value::Hash(hash), next_pos);
+                    OpResult::Written { version }
+                }
+            },
+            Op::HGet { key, field } => match self.objects.get(key).map(|o| &o.value) {
+                None => OpResult::Value(None),
+                Some(Value::Hash(h)) => OpResult::Value(h.get(field).cloned()),
+                Some(_) => OpResult::WrongType,
+            },
+            Op::ListPush { key, value } => match self.objects.get_mut(key) {
+                Some(obj) => match &mut obj.value {
+                    Value::List(l) => {
+                        l.push(value.clone());
+                        let len = l.len() as i64;
+                        Self::touch_in_place(obj, next_pos());
+                        OpResult::Counter(len)
+                    }
+                    _ => OpResult::WrongType,
+                },
+                None => {
+                    self.write(key, Value::List(vec![value.clone()]), next_pos);
+                    OpResult::Counter(1)
+                }
+            },
+            Op::SetAdd { key, member } => match self.objects.get_mut(key) {
+                Some(obj) => match &mut obj.value {
+                    Value::Set(s) => {
+                        let added = s.insert(member.clone()) as i64;
+                        Self::touch_in_place(obj, next_pos());
+                        OpResult::Counter(added)
+                    }
+                    _ => OpResult::WrongType,
+                },
+                None => {
+                    self.write(key, Value::Set(HashSet::from([member.clone()])), next_pos);
+                    OpResult::Counter(1)
+                }
+            },
+        }
+    }
+
+    /// Commits an in-place mutation of a live object at log position `pos`:
+    /// bumps the version and returns it. Call only after the mutation
+    /// succeeded — failed ops must not consume a log position.
+    fn touch_in_place(obj: &mut Object, pos: u64) -> u64 {
+        obj.write_pos = pos;
+        obj.version += 1;
+        obj.version
+    }
+
+    /// Removes `key` at log position `pos`, remembering its version, and
+    /// returns the (surviving) current version.
+    pub(crate) fn delete(&mut self, key: &Bytes, pos: u64) -> u64 {
+        if let Some(obj) = self.objects.remove(key) {
+            self.dead_versions.insert(key.clone(), obj.version);
+        }
+        self.tombstones.insert(key.clone(), pos);
+        self.current_version(key)
+    }
+
+    pub(crate) fn current_version(&self, key: &Bytes) -> u64 {
+        self.objects
+            .get(key)
+            .map(|o| o.version)
+            .or_else(|| self.dead_versions.get(key).copied())
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if `key`'s last mutation sits at or past `synced_pos`.
+    pub(crate) fn is_unsynced(&self, key: &[u8], synced_pos: u64) -> bool {
+        if let Some(obj) = self.objects.get(key) {
+            return obj.write_pos >= synced_pos;
+        }
+        self.tombstones.get(key).is_some_and(|&pos| pos >= synced_pos)
+    }
+
+    /// Drops tombstones whose deletion is now synced (position `< pos`).
+    pub(crate) fn prune_tombstones(&mut self, pos: u64) {
+        self.tombstones.retain(|_, &mut p| p >= pos);
+    }
+
+    /// Appends this space's live objects and dead versions to the caller's
+    /// export vectors (unsorted; the caller sorts the merged result).
+    pub(crate) fn export_into(
+        &self,
+        objects: &mut Vec<(Bytes, Object)>,
+        dead: &mut Vec<(Bytes, u64)>,
+    ) {
+        objects.extend(self.objects.iter().map(|(k, o)| (k.clone(), o.clone())));
+        dead.extend(self.dead_versions.iter().map(|(k, &v)| (k.clone(), v)));
+    }
+
+    /// Moves every entry whose key hash satisfies `belongs` into the
+    /// caller's export vectors (unsorted) — the extraction step of a
+    /// partition migration.
+    pub(crate) fn split_off_into(
+        &mut self,
+        belongs: &dyn Fn(curp_proto::types::KeyHash) -> bool,
+        objects: &mut Vec<(Bytes, Object)>,
+        dead: &mut Vec<(Bytes, u64)>,
+    ) {
+        use curp_proto::types::KeyHash;
+        let keys: Vec<Bytes> =
+            self.objects.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
+        for k in keys {
+            let o = self.objects.remove(&k).expect("key just listed");
+            objects.push((k, o));
+        }
+        let dead_keys: Vec<Bytes> =
+            self.dead_versions.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
+        for k in dead_keys {
+            let v = self.dead_versions.remove(&k).expect("key just listed");
+            dead.push((k, v));
+        }
+    }
+
+    /// Writes `value` at `key` with the next version, drawing the log
+    /// position from `next_pos`.
+    ///
+    /// Overwrites mutate the existing entry in place — no key re-clone, no
+    /// hash-map re-insert; only first writes of a key clone it into the map.
+    pub(crate) fn write(
+        &mut self,
+        key: &Bytes,
+        value: Value,
+        next_pos: &mut impl FnMut() -> u64,
+    ) -> u64 {
+        let pos = next_pos();
+        match self.objects.get_mut(key) {
+            Some(obj) => {
+                obj.value = value;
+                obj.version += 1;
+                obj.write_pos = pos;
+                obj.version
+            }
+            None => {
+                let version = self.dead_versions.remove(key).unwrap_or(0) + 1;
+                self.tombstones.remove(key);
+                self.objects.insert(key.clone(), Object { value, version, write_pos: pos });
+                version
+            }
+        }
+    }
+}
+
 /// The object store. See the module docs.
 #[derive(Debug, Default, Clone)]
 pub struct Store {
-    objects: HashMap<Bytes, Object>,
-    /// Version memory for deleted keys (see [`Object::version`]).
-    dead_versions: HashMap<Bytes, u64>,
-    /// Log positions of unsynced deletions; entries are pruned once synced
-    /// or when the key is re-created.
-    tombstones: HashMap<Bytes, u64>,
+    pub(crate) space: KeySpace,
     /// Next log position to assign (== number of mutations executed).
-    log_head: u64,
+    pub(crate) log_head: u64,
     /// All mutations with `write_pos < synced_pos` are replicated to backups.
-    synced_pos: u64,
+    pub(crate) synced_pos: u64,
 }
 
 impl Store {
@@ -75,12 +298,12 @@ impl Store {
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.space.objects.len()
     }
 
     /// Whether the store holds no live objects.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.space.objects.is_empty()
     }
 
     /// Next log position to be assigned; equals the count of mutations
@@ -102,7 +325,7 @@ impl Store {
         assert!(pos <= self.log_head, "cannot sync beyond the log head");
         assert!(pos >= self.synced_pos, "synced position cannot move backwards");
         self.synced_pos = pos;
-        self.tombstones.retain(|_, &mut p| p >= pos);
+        self.space.prune_tombstones(pos);
     }
 
     /// Returns `true` if the store has speculative (unsynced) mutations.
@@ -115,10 +338,7 @@ impl Store {
     /// This is the §4.3 check. Keys that were never written are synced by
     /// definition; deletion is a mutation, tracked via tombstones.
     pub fn is_unsynced(&self, key: &[u8]) -> bool {
-        if let Some(obj) = self.objects.get(key) {
-            return obj.write_pos >= self.synced_pos;
-        }
-        self.tombstones.get(key).is_some_and(|&pos| pos >= self.synced_pos)
+        self.space.is_unsynced(key, self.synced_pos)
     }
 
     /// Returns `true` if executing `op` would touch (read *or* write, §4.3)
@@ -130,7 +350,7 @@ impl Store {
 
     /// Reads an object (test/debug accessor).
     pub fn get_object(&self, key: &[u8]) -> Option<&Object> {
-        self.objects.get(key)
+        self.space.objects.get(key)
     }
 
     /// Executes `op`, mutating state and returning its result.
@@ -147,147 +367,24 @@ impl Store {
     /// `dead_versions` or `tombstones` (writes purge both; deletes remove
     /// the object first), so the in-place path can skip those purges.
     pub fn execute(&mut self, op: &Op) -> OpResult {
-        match op {
-            Op::Get { key } => match self.objects.get(key).map(|o| &o.value) {
-                None => OpResult::Value(None),
-                Some(Value::Str(b)) => OpResult::Value(Some(b.clone())),
-                Some(Value::Counter(c)) => OpResult::Value(Some(Bytes::from(c.to_string()))),
-                Some(_) => OpResult::WrongType,
-            },
-            Op::Put { key, value } => {
-                let version = self.write(key, Value::Str(value.clone()));
-                OpResult::Written { version }
-            }
-            Op::Delete { key } => {
-                let pos = self.next_pos();
-                if let Some(obj) = self.objects.remove(key) {
-                    self.dead_versions.insert(key.clone(), obj.version);
-                }
-                self.tombstones.insert(key.clone(), pos);
-                OpResult::Written { version: self.current_version(key) }
-            }
-            Op::ConditionalPut { key, expected_version, value } => {
-                let actual = self.current_version(key);
-                if actual != *expected_version {
-                    return OpResult::ConditionFailed { actual_version: actual };
-                }
-                let version = self.write(key, Value::Str(value.clone()));
-                OpResult::Written { version }
-            }
-            Op::MultiPut { kvs } => {
-                let mut last_version = 0;
-                for (key, value) in kvs {
-                    last_version = self.write(key, Value::Str(value.clone()));
-                }
-                OpResult::Written { version: last_version }
-            }
-            Op::Incr { key, delta } => match self.objects.get_mut(key) {
-                Some(obj) => {
-                    let new = match &obj.value {
-                        Value::Counter(c) => c.wrapping_add(*delta),
-                        Value::Str(s) => {
-                            match std::str::from_utf8(s).ok().and_then(|s| s.parse::<i64>().ok()) {
-                                Some(c) => c.wrapping_add(*delta),
-                                None => return OpResult::WrongType,
-                            }
-                        }
-                        _ => return OpResult::WrongType,
-                    };
-                    obj.value = Value::Counter(new);
-                    Self::touch_in_place(obj, &mut self.log_head);
-                    OpResult::Counter(new)
-                }
-                None => {
-                    self.write(key, Value::Counter(*delta));
-                    OpResult::Counter(*delta)
-                }
-            },
-            Op::HSet { key, field, value } => match self.objects.get_mut(key) {
-                Some(obj) => match &mut obj.value {
-                    Value::Hash(h) => {
-                        h.insert(field.clone(), value.clone());
-                        let version = Self::touch_in_place(obj, &mut self.log_head);
-                        OpResult::Written { version }
-                    }
-                    _ => OpResult::WrongType,
-                },
-                None => {
-                    let hash = HashMap::from([(field.clone(), value.clone())]);
-                    let version = self.write(key, Value::Hash(hash));
-                    OpResult::Written { version }
-                }
-            },
-            Op::HGet { key, field } => match self.objects.get(key).map(|o| &o.value) {
-                None => OpResult::Value(None),
-                Some(Value::Hash(h)) => OpResult::Value(h.get(field).cloned()),
-                Some(_) => OpResult::WrongType,
-            },
-            Op::ListPush { key, value } => match self.objects.get_mut(key) {
-                Some(obj) => match &mut obj.value {
-                    Value::List(l) => {
-                        l.push(value.clone());
-                        let len = l.len() as i64;
-                        Self::touch_in_place(obj, &mut self.log_head);
-                        OpResult::Counter(len)
-                    }
-                    _ => OpResult::WrongType,
-                },
-                None => {
-                    self.write(key, Value::List(vec![value.clone()]));
-                    OpResult::Counter(1)
-                }
-            },
-            Op::SetAdd { key, member } => match self.objects.get_mut(key) {
-                Some(obj) => match &mut obj.value {
-                    Value::Set(s) => {
-                        let added = s.insert(member.clone()) as i64;
-                        Self::touch_in_place(obj, &mut self.log_head);
-                        OpResult::Counter(added)
-                    }
-                    _ => OpResult::WrongType,
-                },
-                None => {
-                    self.write(key, Value::Set(HashSet::from([member.clone()])));
-                    OpResult::Counter(1)
-                }
-            },
-        }
-    }
-
-    /// Commits an in-place mutation of a live object: assigns the next log
-    /// position, bumps the version, and returns it. Associated fn (not
-    /// `&mut self`) so callers can hold the `objects` entry borrow while the
-    /// log frontier advances. Call only after the mutation succeeded —
-    /// failed ops must not consume a log position.
-    fn touch_in_place(obj: &mut Object, log_head: &mut u64) -> u64 {
-        obj.write_pos = *log_head;
-        *log_head += 1;
-        obj.version += 1;
-        obj.version
-    }
-
-    fn next_pos(&mut self) -> u64 {
-        let pos = self.log_head;
-        self.log_head += 1;
-        pos
-    }
-
-    fn current_version(&self, key: &Bytes) -> u64 {
-        self.objects
-            .get(key)
-            .map(|o| o.version)
-            .or_else(|| self.dead_versions.get(key).copied())
-            .unwrap_or(0)
+        let mut head = self.log_head;
+        let mut next_pos = || {
+            let pos = head;
+            head += 1;
+            pos
+        };
+        let result = self.space.execute(op, &mut next_pos);
+        self.log_head = head;
+        result
     }
 
     /// Exports the full state for snapshotting: live objects plus version
     /// memory of deleted keys, both in deterministic (sorted) order.
     pub fn export(&self) -> StoreExport {
-        let mut objects: Vec<(Bytes, Object)> =
-            self.objects.iter().map(|(k, o)| (k.clone(), o.clone())).collect();
+        let mut objects = Vec::with_capacity(self.space.objects.len());
+        let mut dead = Vec::with_capacity(self.space.dead_versions.len());
+        self.space.export_into(&mut objects, &mut dead);
         objects.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut dead: Vec<(Bytes, u64)> =
-            self.dead_versions.iter().map(|(k, &v)| (k.clone(), v)).collect();
         dead.sort_by(|a, b| a.0.cmp(&b.0));
         (objects, dead)
     }
@@ -300,9 +397,9 @@ impl Store {
         let mut store = Store::new();
         for (k, mut o) in objects {
             o.write_pos = 0;
-            store.objects.insert(k, o);
+            store.space.objects.insert(k, o);
         }
-        store.dead_versions = dead_versions.into_iter().collect();
+        store.space.dead_versions = dead_versions.into_iter().collect();
         store.log_head = 1;
         store.synced_pos = 1;
         store
@@ -316,51 +413,13 @@ impl Store {
         &mut self,
         belongs: impl Fn(curp_proto::types::KeyHash) -> bool,
     ) -> StoreExport {
-        use curp_proto::types::KeyHash;
         assert!(!self.has_unsynced(), "must sync before migrating data out");
-        let keys: Vec<Bytes> =
-            self.objects.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
-        let mut objects: Vec<(Bytes, Object)> = keys
-            .into_iter()
-            .map(|k| {
-                let o = self.objects.remove(&k).expect("key just listed");
-                (k, o)
-            })
-            .collect();
+        let mut objects = Vec::new();
+        let mut dead = Vec::new();
+        self.space.split_off_into(&belongs, &mut objects, &mut dead);
         objects.sort_by(|a, b| a.0.cmp(&b.0));
-        let dead_keys: Vec<Bytes> =
-            self.dead_versions.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
-        let mut dead: Vec<(Bytes, u64)> = dead_keys
-            .into_iter()
-            .map(|k| {
-                let v = self.dead_versions.remove(&k).expect("key just listed");
-                (k, v)
-            })
-            .collect();
         dead.sort_by(|a, b| a.0.cmp(&b.0));
         (objects, dead)
-    }
-
-    /// Writes `value` at `key` with the next version and log position.
-    ///
-    /// Overwrites mutate the existing entry in place — no key re-clone, no
-    /// hash-map re-insert; only first writes of a key clone it into the map.
-    fn write(&mut self, key: &Bytes, value: Value) -> u64 {
-        let pos = self.next_pos();
-        match self.objects.get_mut(key) {
-            Some(obj) => {
-                obj.value = value;
-                obj.version += 1;
-                obj.write_pos = pos;
-                obj.version
-            }
-            None => {
-                let version = self.dead_versions.remove(key).unwrap_or(0) + 1;
-                self.tombstones.remove(key);
-                self.objects.insert(key.clone(), Object { value, version, write_pos: pos });
-                version
-            }
-        }
     }
 }
 
@@ -742,7 +801,7 @@ mod tests {
         let r1: Vec<_> = ops.iter().map(|op| s1.execute(op)).collect();
         let r2: Vec<_> = ops.iter().map(|op| s2.execute(op)).collect();
         assert_eq!(r1, r2);
-        assert_eq!(s1.objects, s2.objects);
+        assert_eq!(s1.space.objects, s2.space.objects);
         assert_eq!(s1.log_head(), s2.log_head());
     }
 }

@@ -7,7 +7,8 @@ use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
 use curp_proto::op::{Op, OpResult};
-use curp_storage::Store;
+use curp_proto::wire::encode_seq;
+use curp_storage::{ShardedStore, Store};
 use proptest::prelude::*;
 
 fn key(i: u8) -> Bytes {
@@ -218,7 +219,75 @@ fn arb_any_op() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// A step for the sharded-vs-single equivalence property: the full op
+/// surface plus sync-frontier advances.
+fn arb_any_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        8 => arb_any_op().prop_map(Step::Op),
+        1 => Just(Step::Sync),
+    ]
+}
+
+/// Deterministic byte encoding of an exported store state — the payload a
+/// snapshot would carry. Byte-identical iff the exports are identical.
+fn export_bytes(export: &curp_storage::store::StoreExport) -> Bytes {
+    let mut buf = bytes::BytesMut::new();
+    encode_seq(&export.0, &mut buf);
+    encode_seq(&export.1, &mut buf);
+    buf.freeze()
+}
+
 proptest! {
+    /// The 4-way sharded engine is observationally identical to the
+    /// single-space store when fed the same sequential op/sync stream:
+    /// same results (and therefore versions), same log positions, same
+    /// unsynced frontier at every step, and byte-identical snapshot
+    /// exports at the end — the equivalence the master's sharding refactor
+    /// rests on.
+    #[test]
+    fn sharded_store_matches_single_shard_reference(
+        steps in prop::collection::vec(arb_any_step(), 1..150)
+    ) {
+        let sharded: ShardedStore = ShardedStore::new(4);
+        let mut single = Store::new();
+        for step in &steps {
+            match step {
+                Step::Sync => {
+                    single.mark_synced(single.log_head());
+                    sharded.mark_synced(sharded.log_head());
+                }
+                Step::Op(op) => {
+                    prop_assert_eq!(
+                        sharded.execute(op),
+                        single.execute(op),
+                        "result diverged on {:?}",
+                        op
+                    );
+                    prop_assert_eq!(sharded.log_head(), single.log_head());
+                }
+            }
+            prop_assert_eq!(sharded.synced_pos(), single.synced_pos());
+            for i in 0..16u8 {
+                let k = key(i);
+                prop_assert_eq!(
+                    sharded.is_unsynced(&k),
+                    single.is_unsynced(&k),
+                    "unsynced frontier diverged at {:?}",
+                    k
+                );
+            }
+        }
+        prop_assert_eq!(sharded.len(), single.len());
+        let (se, ss) = (sharded.export(), single.export());
+        prop_assert_eq!(&se, &ss, "exports diverged");
+        prop_assert_eq!(export_bytes(&se), export_bytes(&ss), "snapshot bytes diverged");
+        // Import round-trips agree too (both land fully synced).
+        let resharded: ShardedStore = ShardedStore::import(4, se.0.clone(), se.1.clone());
+        let resingle = Store::import(ss.0, ss.1);
+        prop_assert_eq!(resharded.export(), resingle.export());
+        prop_assert_eq!(resharded.has_unsynced(), resingle.has_unsynced());
+    }
+
     /// The in-place `Store::execute` matches the naive clone-per-mutation
     /// reference implementation op-for-op: same results (and therefore
     /// versions), same log positions, same per-key state. This is the

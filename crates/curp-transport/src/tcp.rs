@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::BytesMut;
-use curp_proto::frame::{write_frame, FrameDecoder};
+use curp_proto::frame::{write_frame, write_frame_encoded, FrameDecoder};
 use curp_proto::message::{Request, Response, RpcEnvelope};
 use curp_proto::types::ServerId;
 use curp_proto::wire::{Decode, Encode};
@@ -88,7 +88,11 @@ impl TcpServer {
 async fn serve_connection(stream: TcpStream, handler: SharedHandler) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     let (mut rd, wr) = stream.into_split();
-    let wr = Arc::new(tokio::sync::Mutex::new(wr));
+    // The write half shares one persistent encode buffer: every response
+    // frame is encoded into it under the write lock and the buffer's
+    // capacity is reused across the connection's lifetime (no fresh
+    // `BytesMut` per outbound frame).
+    let wr = Arc::new(tokio::sync::Mutex::new((wr, BytesMut::new())));
     let mut decoder = FrameDecoder::new();
     let mut read_buf = vec![0u8; 64 * 1024];
     // First frame identifies the peer.
@@ -128,10 +132,16 @@ async fn serve_connection(stream: TcpStream, handler: SharedHandler) -> std::io:
             tokio::spawn(async move {
                 let rsp = handler.handle(from, req).await;
                 let reply = RpcEnvelope { corr_id, is_response: true, payload: rsp.to_bytes() };
-                let mut out = BytesMut::new();
-                write_frame(&reply.to_bytes(), &mut out);
-                let mut wr = wr.lock().await;
-                let _ = wr.write_all(&out).await;
+                let mut guard = wr.lock().await;
+                let (wr, buf) = &mut *guard;
+                buf.clear();
+                write_frame_encoded(&reply, buf);
+                let _ = wr.write_all(buf).await;
+                // One oversized response (snapshot transfer) must not pin
+                // its capacity for the connection's lifetime.
+                if buf.capacity() > 1024 * 1024 {
+                    *buf = BytesMut::new();
+                }
             });
         }
     }
@@ -140,7 +150,7 @@ async fn serve_connection(stream: TcpStream, handler: SharedHandler) -> std::io:
 type Pending = Arc<Mutex<HashMap<u64, oneshot::Sender<Response>>>>;
 
 struct Connection {
-    tx: mpsc::UnboundedSender<BytesMut>,
+    tx: mpsc::UnboundedSender<RpcEnvelope>,
     pending: Pending,
 }
 
@@ -197,16 +207,36 @@ impl TcpRouter {
         let (mut rd, mut wr) = stream.into_split();
         let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
 
-        // Writer task: serialize outbound frames.
-        let (tx, mut rx) = mpsc::unbounded_channel::<BytesMut>();
-        // Hello frame first.
-        let mut hello = BytesMut::new();
-        write_frame(&self.inner.self_id.to_bytes(), &mut hello);
-        let _ = tx.send(hello);
+        // Writer task: owns one persistent encode buffer for the life of
+        // the connection — envelopes are framed into it in place (no fresh
+        // `BytesMut` per outbound frame) and queued envelopes coalesce into
+        // a single write. The hello frame identifying this peer is staged
+        // in the buffer up front and rides out with the first payload
+        // write: one packet instead of two under TCP_NODELAY.
+        let (tx, mut rx) = mpsc::unbounded_channel::<RpcEnvelope>();
+        let self_id = self.inner.self_id;
         tokio::spawn(async move {
-            while let Some(buf) = rx.recv().await {
+            // Cap how much backlog one write coalesces (a slow peer can
+            // queue arbitrarily much), and release capacity after a burst
+            // so one multi-megabyte sync doesn't pin its high-water
+            // allocation for the connection's lifetime.
+            const COALESCE_LIMIT: usize = 256 * 1024;
+            const RETAIN_LIMIT: usize = 1024 * 1024;
+            let mut buf = BytesMut::new();
+            write_frame(&self_id.to_bytes(), &mut buf);
+            while let Some(env) = rx.recv().await {
+                write_frame_encoded(&env, &mut buf);
+                // Coalesce whatever else is already queued, up to the cap.
+                while buf.len() < COALESCE_LIMIT {
+                    let Ok(next) = rx.try_recv() else { break };
+                    write_frame_encoded(&next, &mut buf);
+                }
                 if wr.write_all(&buf).await.is_err() {
                     break;
+                }
+                buf.clear();
+                if buf.capacity() > RETAIN_LIMIT {
+                    buf = BytesMut::new();
                 }
             }
         });
@@ -252,9 +282,7 @@ impl TcpRouter {
         let (tx, rx) = oneshot::channel();
         conn.pending.lock().insert(corr_id, tx);
         let env = RpcEnvelope { corr_id, is_response: false, payload: req.to_bytes() };
-        let mut out = BytesMut::new();
-        write_frame(&env.to_bytes(), &mut out);
-        if conn.tx.send(out).is_err() {
+        if conn.tx.send(env).is_err() {
             conn.pending.lock().remove(&corr_id);
             return Err(RpcError::ConnectionReset { to });
         }

@@ -134,7 +134,11 @@ impl WitnessCache {
     ///
     /// A conflict with a record that has lingered through several gc rounds
     /// reports it as suspected uncollected garbage (§4.5).
-    fn find_free_slot(&mut self, kh: KeyHash, taken: &[usize]) -> Result<usize, RecordOutcome> {
+    pub(crate) fn find_free_slot(
+        &mut self,
+        kh: KeyHash,
+        taken: &[usize],
+    ) -> Result<usize, RecordOutcome> {
         let mut free = None;
         for idx in self.set_range(kh) {
             match &self.slots[idx] {
@@ -161,7 +165,7 @@ impl WitnessCache {
         }
     }
 
-    fn commit_slot(&mut self, idx: usize, kh: KeyHash, request: &Arc<RecordedRequest>) {
+    pub(crate) fn commit_slot(&mut self, idx: usize, kh: KeyHash, request: &Arc<RecordedRequest>) {
         self.slots[idx] = Some(Slot {
             key_hash: kh,
             rpc_id: request.rpc_id,
@@ -239,13 +243,18 @@ impl WitnessCache {
         }
         // Drop suspects that the gc we just applied actually collected. The
         // suspect list empties on every gc round, so the id set does too.
+        // Collected ids are deduped into a set first: the filter was
+        // O(suspects × entries), which a big sync batch turned quadratic.
         self.suspect_ids.clear();
-        let still_pending: Vec<Arc<RecordedRequest>> = self
-            .suspects
+        if self.suspects.is_empty() {
+            return Vec::new();
+        }
+        let collected: HashSet<RpcId> = entries.iter().map(|&(_, rid)| rid).collect();
+        self.suspects
             .drain(..)
-            .filter(|s| !entries.iter().any(|&(_, rid)| rid == s.rpc_id))
-            .collect();
-        still_pending.iter().map(|s| (**s).clone()).collect()
+            .filter(|s| !collected.contains(&s.rpc_id))
+            .map(|s| (*s).clone())
+            .collect()
     }
 
     /// All distinct requests currently stored (recovery data, §4.6).

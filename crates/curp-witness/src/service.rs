@@ -15,12 +15,15 @@
 //! partitions (witnesses "can be co-hosted with backups", §3.1).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::types::{KeyHash, MasterId, RpcId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use crate::cache::{CacheConfig, RecordOutcome, WitnessCache};
+use crate::cache::{CacheConfig, RecordOutcome};
+use crate::sharded::ShardedWitnessCache;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -28,9 +31,17 @@ enum Mode {
     Recovery,
 }
 
+/// One master's witness instance. Shared (`Arc`) so the instance map lock
+/// is held only for the lookup: record/gc traffic for one master never
+/// blocks another master's instance, and records on disjoint keys within
+/// one instance only contend on their cache shard.
+///
+/// The mode is behind a read-write lock: records and gcs hold it shared,
+/// the irreversible freeze (`getRecoveryData`) takes it exclusively — so a
+/// freeze waits out in-flight records and nothing can record after it.
 struct Instance {
-    cache: WitnessCache,
-    mode: Mode,
+    cache: ShardedWitnessCache,
+    mode: RwLock<Mode>,
 }
 
 /// Counters for the §5.2 resource-consumption measurements.
@@ -47,18 +58,29 @@ pub struct WitnessCounters {
 /// A witness server hosting one instance per master.
 pub struct WitnessService {
     config: CacheConfig,
-    instances: Mutex<HashMap<MasterId, Instance>>,
-    counters: Mutex<WitnessCounters>,
+    cache_shards: usize,
+    instances: Mutex<HashMap<MasterId, Arc<Instance>>>,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    gcs: AtomicU64,
 }
 
 impl WitnessService {
-    /// Creates a server whose instances use `config` for their caches.
+    /// Creates a server whose instances use `config` for their caches,
+    /// sharded per [`ShardedWitnessCache::shards_for`].
     pub fn new(config: CacheConfig) -> Self {
         WitnessService {
             config,
+            cache_shards: ShardedWitnessCache::shards_for(&config),
             instances: Mutex::new(HashMap::new()),
-            counters: Mutex::new(WitnessCounters::default()),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            gcs: AtomicU64::new(0),
         }
+    }
+
+    fn instance(&self, master: MasterId) -> Option<Arc<Instance>> {
+        self.instances.lock().get(&master).cloned()
     }
 
     /// `start(masterId)`: creates an instance. Fails if one already exists
@@ -68,29 +90,33 @@ impl WitnessService {
         if instances.contains_key(&master) {
             return false;
         }
-        instances
-            .insert(master, Instance { cache: WitnessCache::new(self.config), mode: Mode::Normal });
+        instances.insert(
+            master,
+            Arc::new(Instance {
+                cache: ShardedWitnessCache::new(self.config, self.cache_shards),
+                mode: RwLock::new(Mode::Normal),
+            }),
+        );
         true
     }
 
     /// `record(...)`: accepts iff the instance exists, is in normal mode,
     /// was started for `request.master_id`, and the cache accepts.
     pub fn record(&self, request: RecordedRequest) -> bool {
-        let mut instances = self.instances.lock();
-        let accepted = match instances.get_mut(&request.master_id) {
-            Some(inst) if inst.mode == Mode::Normal => {
-                inst.cache.record(request) == RecordOutcome::Accepted
+        let accepted = match self.instance(request.master_id) {
+            Some(inst) => {
+                let mode = inst.mode.read();
+                *mode == Mode::Normal && inst.cache.record(request) == RecordOutcome::Accepted
             }
-            // Unknown master or recovery mode: reject (§4.1 — "by accepting
-            // only requests for the correct master, CURP prevents clients
-            // from recording to incorrect witnesses").
-            _ => false,
+            // Unknown master: reject (§4.1 — "by accepting only requests
+            // for the correct master, CURP prevents clients from recording
+            // to incorrect witnesses").
+            None => false,
         };
-        let mut counters = self.counters.lock();
         if accepted {
-            counters.accepted += 1;
+            self.accepted.fetch_add(1, Ordering::Relaxed);
         } else {
-            counters.rejected += 1;
+            self.rejected.fetch_add(1, Ordering::Relaxed);
         }
         accepted
     }
@@ -98,22 +124,29 @@ impl WitnessService {
     /// `gc(...)`: frees collected slots, returns suspected stale requests.
     /// Ignored (empty response) in recovery mode — the data is frozen.
     pub fn gc(&self, master: MasterId, entries: &[(KeyHash, RpcId)]) -> Vec<RecordedRequest> {
-        self.counters.lock().gcs += 1;
-        let mut instances = self.instances.lock();
-        match instances.get_mut(&master) {
-            Some(inst) if inst.mode == Mode::Normal => inst.cache.gc(entries),
-            _ => Vec::new(),
+        self.gcs.fetch_add(1, Ordering::Relaxed);
+        match self.instance(master) {
+            Some(inst) => {
+                let mode = inst.mode.read();
+                if *mode == Mode::Normal {
+                    inst.cache.gc(entries)
+                } else {
+                    Vec::new()
+                }
+            }
+            None => Vec::new(),
         }
     }
 
     /// `getRecoveryData()`: irreversibly freezes the instance and returns
     /// everything it holds. Unknown instances yield an empty list (the
-    /// witness may have been started after the crash).
+    /// witness may have been started after the crash). The exclusive mode
+    /// lock waits out in-flight records, so the returned data is final.
     pub fn get_recovery_data(&self, master: MasterId) -> Vec<RecordedRequest> {
-        let mut instances = self.instances.lock();
-        match instances.get_mut(&master) {
+        match self.instance(master) {
             Some(inst) => {
-                inst.mode = Mode::Recovery;
+                let mut mode = inst.mode.write();
+                *mode = Mode::Recovery;
                 inst.cache.all_requests()
             }
             None => Vec::new(),
@@ -124,31 +157,45 @@ impl WitnessService {
     /// In recovery mode the answer is conservatively `false` (reads must go
     /// to the master during recovery).
     pub fn commutes_with_read(&self, master: MasterId, key_hashes: &[KeyHash]) -> bool {
-        let instances = self.instances.lock();
-        match instances.get(&master) {
-            Some(inst) if inst.mode == Mode::Normal => inst.cache.commutes_with_read(key_hashes),
-            _ => false,
+        match self.instance(master) {
+            Some(inst) => {
+                let mode = inst.mode.read();
+                *mode == Mode::Normal && inst.cache.commutes_with_read(key_hashes)
+            }
+            None => false,
         }
     }
 
     /// `end()`: destroys the instance, freeing its slots for a new life.
+    /// A straggler still holding the instance handle sees it frozen, so no
+    /// record can slip in after the destruction is observable.
     pub fn end(&self, master: MasterId) {
-        self.instances.lock().remove(&master);
+        // Drop the map lock before freezing: the mode write-lock waits out
+        // in-flight records/gcs for *this* master, and holding the map lock
+        // through that wait would stall every other master's traffic.
+        let removed = self.instances.lock().remove(&master);
+        if let Some(inst) = removed {
+            *inst.mode.write() = Mode::Recovery;
+        }
     }
 
     /// Whether an instance exists and is frozen (test/diagnostic accessor).
     pub fn is_recovering(&self, master: MasterId) -> bool {
-        self.instances.lock().get(&master).map(|i| i.mode == Mode::Recovery).unwrap_or(false)
+        self.instance(master).map(|i| *i.mode.read() == Mode::Recovery).unwrap_or(false)
     }
 
     /// Occupied slots for `master`'s instance (diagnostics).
     pub fn occupancy(&self, master: MasterId) -> usize {
-        self.instances.lock().get(&master).map(|i| i.cache.occupied_slots()).unwrap_or(0)
+        self.instance(master).map(|i| i.cache.occupied_slots()).unwrap_or(0)
     }
 
     /// Snapshot of the service counters.
     pub fn counters(&self) -> WitnessCounters {
-        *self.counters.lock()
+        WitnessCounters {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            gcs: self.gcs.load(Ordering::Relaxed),
+        }
     }
 
     /// Dispatches a witness-directed [`Request`]. Non-witness requests get a

@@ -1,0 +1,391 @@
+//! A key-hash-sharded, thread-safe witness cache.
+//!
+//! The sequential [`WitnessCache`] is the §4.2 set-associative cache behind
+//! a single owner. [`ShardedWitnessCache`] splits the same slot array into
+//! `S` shards by the *high* bits of the key hash (the inner caches pick
+//! their set from the low bits, so the two choices stay independent) and
+//! puts each shard behind its own lock: records for commuting requests —
+//! different keys, the only records a witness accepts anyway — land on
+//! different shards and proceed without contending.
+//!
+//! The locking discipline mirrors the sharded store: a multi-key record
+//! acquires its shard set in ascending index order (deadlock-free), probes
+//! every key first, and commits all-or-nothing — the same admission
+//! semantics as [`WitnessCache::record`], just split across shards. Each
+//! shard keeps its own gc round counter and suspect list; a service-level
+//! gc visits every shard (so suspicion rounds keep counting on all of
+//! them) and merges the reports, deduplicating multi-key requests that two
+//! shards suspected independently.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use curp_proto::footprint::InlineVec;
+use curp_proto::message::RecordedRequest;
+use curp_proto::types::{KeyHash, RpcId};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheConfig, RecordOutcome, WitnessCache};
+
+/// Default shard count for a witness cache; must divide the slot count per
+/// set (`total_slots / associativity`). The paper's 4096×4-way geometry
+/// splits into 8 shards of 128 sets each.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// A sharded [`WitnessCache`]: same admission semantics, per-shard locking.
+pub struct ShardedWitnessCache {
+    shards: Vec<Mutex<WitnessCache>>,
+    config: CacheConfig,
+}
+
+impl ShardedWitnessCache {
+    /// Creates an empty cache with `config`'s *total* geometry split across
+    /// `num_shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero, or if the geometry does not divide
+    /// evenly (`total_slots` must be a multiple of
+    /// `associativity * num_shards`).
+    pub fn new(config: CacheConfig, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "num_shards must be positive");
+        assert_eq!(
+            config.total_slots % (config.associativity * num_shards),
+            0,
+            "total_slots must split evenly across shards and sets"
+        );
+        let inner = CacheConfig { total_slots: config.total_slots / num_shards, ..config };
+        ShardedWitnessCache {
+            shards: (0..num_shards).map(|_| Mutex::new(WitnessCache::new(inner))).collect(),
+            config,
+        }
+    }
+
+    /// Picks the largest shard count `<=` [`DEFAULT_CACHE_SHARDS`] that
+    /// divides `config`'s geometry evenly (always at least 1).
+    pub fn shards_for(config: &CacheConfig) -> usize {
+        (1..=DEFAULT_CACHE_SHARDS)
+            .rev()
+            .find(|s| config.total_slots.is_multiple_of(config.associativity * s))
+            .unwrap_or(1)
+    }
+
+    /// The overall sizing this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, kh: KeyHash) -> usize {
+        kh.shard(self.shards.len())
+    }
+
+    /// Number of occupied slots across all shards.
+    pub fn occupied_slots(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().occupied_slots()).sum()
+    }
+
+    /// Approximate memory footprint (see [`WitnessCache::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().memory_bytes()).sum()
+    }
+
+    /// Attempts to record `request` — all-or-nothing across every touched
+    /// key, like [`WitnessCache::record`].
+    ///
+    /// Single-shard requests (all single-key requests, and multi-key
+    /// requests whose keys happen to co-shard) delegate to the inner cache
+    /// under one lock; only cross-shard `MultiPut`s take the multi-lock
+    /// path.
+    pub fn record(&self, request: RecordedRequest) -> RecordOutcome {
+        let first_shard = match request.key_hashes.as_slice() {
+            [] => return RecordOutcome::Accepted, // nothing to store
+            [kh, ..] => self.shard_of(*kh),
+        };
+        if request.key_hashes.iter().all(|&kh| self.shard_of(kh) == first_shard) {
+            return self.shards[first_shard].lock().record(request);
+        }
+
+        // Cross-shard multi-key record: lock the shard set in ascending
+        // order, probe every key (tracking claimed slots per shard so two
+        // keys sharing a set each get their own slot), then commit.
+        let shard_set = request.key_hashes.shard_set(self.shards.len());
+        let mut guards: Vec<(usize, parking_lot::MutexGuard<'_, WitnessCache>)> =
+            shard_set.iter().map(|&s| (s, self.shards[s].lock())).collect();
+        let mut taken: Vec<(usize, InlineVec<usize, 4>)> =
+            shard_set.iter().map(|&s| (s, InlineVec::new())).collect();
+        let mut chosen: InlineVec<(usize, usize), 4> = InlineVec::new();
+        for &kh in &request.key_hashes {
+            let shard = self.shard_of(kh);
+            let guard =
+                &mut guards.iter_mut().find(|(s, _)| *s == shard).expect("shard set covers key").1;
+            let claimed = &mut taken.iter_mut().find(|(s, _)| *s == shard).expect("same set").1;
+            match guard.find_free_slot(kh, claimed) {
+                Ok(idx) => {
+                    claimed.push(idx);
+                    chosen.push((shard, idx));
+                }
+                Err(outcome) => return outcome,
+            }
+        }
+        let request = Arc::new(request);
+        for (&kh, &(shard, idx)) in request.key_hashes.iter().zip(chosen.iter()) {
+            guards
+                .iter_mut()
+                .find(|(s, _)| *s == shard)
+                .expect("still held")
+                .1
+                .commit_slot(idx, kh, &request);
+        }
+        RecordOutcome::Accepted
+    }
+
+    /// Returns `true` if a read of `key_hashes` commutes with every stored
+    /// request (§A.1 probe). Each key checks only its own shard.
+    pub fn commutes_with_read(&self, key_hashes: &[KeyHash]) -> bool {
+        key_hashes.iter().all(|&kh| {
+            self.shards[self.shard_of(kh)].lock().commutes_with_read(std::slice::from_ref(&kh))
+        })
+    }
+
+    /// Frees the slots named by `(key_hash, rpc_id)` pairs and returns
+    /// suspected uncollected garbage (§4.5).
+    ///
+    /// Every shard participates — each counts one gc round regardless of
+    /// whether any of `entries` landed on it, so the suspicion clock ticks
+    /// uniformly. Reports are merged and deduplicated by rpc id (a
+    /// cross-shard multi-key request may be suspected by several shards).
+    pub fn gc(&self, entries: &[(KeyHash, RpcId)]) -> Vec<RecordedRequest> {
+        let n = self.shards.len();
+        let mut per_shard: Vec<Vec<(KeyHash, RpcId)>> = vec![Vec::new(); n];
+        for &(kh, rid) in entries {
+            per_shard[self.shard_of(kh)].push((kh, rid));
+        }
+        let mut out: Vec<RecordedRequest> = Vec::new();
+        let mut seen: HashSet<RpcId> = HashSet::new();
+        for (shard, subset) in self.shards.iter().zip(per_shard) {
+            for stale in shard.lock().gc(&subset) {
+                if seen.insert(stale.rpc_id) {
+                    out.push(stale);
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct requests currently stored (recovery data, §4.6),
+    /// deduplicated by rpc id across shards.
+    pub fn all_requests(&self) -> Vec<RecordedRequest> {
+        let mut seen: HashSet<RpcId> = HashSet::new();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for req in shard.lock().all_requests() {
+                if seen.insert(req.rpc_id) {
+                    out.push(req);
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears every shard (§3.6 witness reset).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.lock().reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedWitnessCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedWitnessCache")
+            .field("num_shards", &self.shards.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use curp_proto::op::Op;
+    use curp_proto::types::{ClientId, MasterId};
+
+    fn req(key: &str, client: u64, seq: u64) -> RecordedRequest {
+        let op = Op::Put {
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            value: Bytes::from_static(b"v"),
+        };
+        RecordedRequest {
+            master_id: MasterId(1),
+            rpc_id: RpcId::new(ClientId(client), seq),
+            key_hashes: op.key_hashes(),
+            op,
+        }
+    }
+
+    fn multi_req(keys: &[&str], client: u64, seq: u64) -> RecordedRequest {
+        let kvs: Vec<(Bytes, Bytes)> = keys
+            .iter()
+            .map(|k| (Bytes::copy_from_slice(k.as_bytes()), Bytes::from_static(b"v")))
+            .collect();
+        let op = Op::MultiPut { kvs };
+        RecordedRequest {
+            master_id: MasterId(1),
+            rpc_id: RpcId::new(ClientId(client), seq),
+            key_hashes: op.key_hashes(),
+            op,
+        }
+    }
+
+    fn cache() -> ShardedWitnessCache {
+        ShardedWitnessCache::new(CacheConfig::default(), DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Finds two key names guaranteed to live on different shards.
+    fn cross_shard_keys(c: &ShardedWitnessCache) -> (String, String) {
+        let a = "ck0".to_string();
+        let sa = c.shard_of(KeyHash::of(a.as_bytes()));
+        let b = (1..200)
+            .map(|i| format!("ck{i}"))
+            .find(|k| c.shard_of(KeyHash::of(k.as_bytes())) != sa)
+            .expect("some key must land elsewhere");
+        (a, b)
+    }
+
+    #[test]
+    fn accepts_commutative_rejects_conflicting() {
+        let c = cache();
+        assert_eq!(c.record(req("x", 1, 1)), RecordOutcome::Accepted);
+        assert_eq!(c.record(req("x", 2, 1)), RecordOutcome::ConflictingKey);
+        assert_eq!(c.record(req("y", 2, 2)), RecordOutcome::Accepted);
+        assert_eq!(c.occupied_slots(), 2);
+    }
+
+    #[test]
+    fn cross_shard_multikey_is_all_or_nothing() {
+        let c = cache();
+        let (a, b) = cross_shard_keys(&c);
+        // Occupy key b first: the multi-key record must be fully rejected,
+        // leaving key a's shard untouched.
+        assert_eq!(c.record(req(&b, 1, 1)), RecordOutcome::Accepted);
+        assert_eq!(c.record(multi_req(&[&a, &b], 2, 1)), RecordOutcome::ConflictingKey);
+        assert_eq!(c.occupied_slots(), 1);
+        assert_eq!(c.record(req(&a, 3, 1)), RecordOutcome::Accepted);
+        // And a clean cross-shard record takes one slot per key.
+        let (x, y) = (format!("{a}-2"), format!("{b}-2"));
+        let before = c.occupied_slots();
+        let r = multi_req(&[&x, &y], 4, 1);
+        let expect = r.key_hashes.len();
+        assert_eq!(c.record(r), RecordOutcome::Accepted);
+        assert_eq!(c.occupied_slots(), before + expect);
+    }
+
+    #[test]
+    fn cross_shard_recovery_data_dedups() {
+        let c = cache();
+        let (a, b) = cross_shard_keys(&c);
+        assert_eq!(c.record(multi_req(&[&a, &b], 1, 1)), RecordOutcome::Accepted);
+        assert_eq!(c.all_requests().len(), 1, "one request despite two shards");
+    }
+
+    #[test]
+    fn gc_frees_across_shards_and_ticks_all_rounds() {
+        let c = cache();
+        let (a, b) = cross_shard_keys(&c);
+        let r = multi_req(&[&a, &b], 1, 1);
+        let pairs: Vec<(KeyHash, RpcId)> = r.key_hashes.iter().map(|&kh| (kh, r.rpc_id)).collect();
+        c.record(r);
+        assert!(c.gc(&pairs).is_empty());
+        assert_eq!(c.occupied_slots(), 0);
+        // Suspicion rounds tick on every shard even when a gc batch is
+        // empty: a stuck record becomes suspect after 3 empty rounds.
+        let stuck = req(&a, 2, 9);
+        c.record(stuck.clone());
+        for _ in 0..3 {
+            assert!(c.gc(&[]).is_empty());
+        }
+        assert_eq!(c.record(req(&a, 3, 10)), RecordOutcome::ConflictingKey);
+        let suspects = c.gc(&[]);
+        assert_eq!(suspects.len(), 1);
+        assert_eq!(suspects[0].rpc_id, stuck.rpc_id);
+    }
+
+    #[test]
+    fn commute_probe_sees_pending_writes() {
+        let c = cache();
+        let r = req("probe-key", 1, 1);
+        let kh = r.key_hashes[0];
+        c.record(r);
+        assert!(!c.commutes_with_read(&[kh]));
+        assert!(c.commutes_with_read(&Op::Get { key: Bytes::from_static(b"other") }.key_hashes()));
+    }
+
+    #[test]
+    fn reset_clears_all_shards() {
+        let c = cache();
+        let (a, b) = cross_shard_keys(&c);
+        c.record(multi_req(&[&a, &b], 1, 1));
+        c.reset();
+        assert_eq!(c.occupied_slots(), 0);
+        assert!(c.all_requests().is_empty());
+    }
+
+    #[test]
+    fn geometry_matches_unsharded_capacity() {
+        let c = cache();
+        assert_eq!(c.config().total_slots, 4096);
+        let mb = c.memory_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb > 8.0 && mb < 10.0, "got {mb:.1} MB");
+    }
+
+    #[test]
+    fn shards_for_picks_divisible_counts() {
+        assert_eq!(ShardedWitnessCache::shards_for(&CacheConfig::default()), 8);
+        let odd = CacheConfig { total_slots: 12, associativity: 4, gc_suspicion_rounds: 3 };
+        assert_eq!(ShardedWitnessCache::shards_for(&odd), 3);
+        let prime = CacheConfig { total_slots: 7, associativity: 1, gc_suspicion_rounds: 3 };
+        assert_eq!(ShardedWitnessCache::shards_for(&prime), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "split evenly")]
+    fn bad_shard_geometry_panics() {
+        ShardedWitnessCache::new(CacheConfig::default(), 7);
+    }
+
+    #[test]
+    fn concurrent_records_on_distinct_keys_all_land() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = cache();
+        // Distinct keys never conflict; a rare SetFull (§B.1 false
+        // conflict) is legitimate, so count acceptances instead of
+        // asserting all 800 land.
+        let accepted = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let (c, accepted) = (&c, &accepted);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        match c.record(req(&format!("t{t}-k{i}"), t + 1, i + 1)) {
+                            RecordOutcome::Accepted => {
+                                accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            RecordOutcome::SetFull => {}
+                            RecordOutcome::ConflictingKey => {
+                                panic!("distinct keys must never key-conflict")
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let accepted = accepted.load(Ordering::Relaxed);
+        assert_eq!(c.occupied_slots(), accepted);
+        assert!(accepted >= 780, "far too many false conflicts: {accepted}/800");
+    }
+}

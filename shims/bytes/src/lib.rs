@@ -262,6 +262,11 @@ impl BytesMut {
         self.vec.len()
     }
 
+    /// Number of bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.vec.is_empty()

@@ -189,6 +189,13 @@ struct Measurement {
     iters: u64,
 }
 
+/// How many timed samples each benchmark takes; the **minimum** per-iter
+/// sample is reported. On shared CI runners the mean of one long batch
+/// absorbs scheduler interference from neighboring tenants (±15% run to
+/// run was observed); the min-of-k estimator converges on the code's
+/// intrinsic cost, which is what a cross-PR perf trajectory needs.
+pub const MEASURE_SAMPLES: u64 = 5;
+
 /// Timer handle passed to benchmark closures.
 pub struct Bencher {
     warm_up_time: Duration,
@@ -198,7 +205,20 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine`.
+    /// Iteration budget for the whole measurement phase, calibrated from
+    /// an observed warm-up per-iter cost.
+    fn budget_iters(&self, per_iter_ns: u64) -> u64 {
+        (self.measurement_time.as_nanos() as u64 / per_iter_ns.max(1))
+            .clamp(self.sample_size as u64, 10_000_000)
+    }
+
+    fn record_min_sample(&mut self, samples: impl IntoIterator<Item = Duration>, iters: u64) {
+        let best = samples.into_iter().min().expect("at least one sample");
+        self.result = Some(Measurement { total: best, iters });
+    }
+
+    /// Times repeated calls of `routine`: [`MEASURE_SAMPLES`] equal batches,
+    /// reporting the fastest batch (see [`MEASURE_SAMPLES`]).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: also calibrates how many iterations fit the budget.
         let warm_start = Instant::now();
@@ -208,18 +228,46 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = self.warm_up_time.as_nanos() as u64 / warm_iters.max(1);
-        let budget_iters = (self.measurement_time.as_nanos() as u64 / per_iter.max(1))
-            .clamp(self.sample_size as u64, 10_000_000);
+        let per_sample = (self.budget_iters(per_iter) / MEASURE_SAMPLES).max(1);
 
-        let start = Instant::now();
-        for _ in 0..budget_iters {
-            black_box(routine());
+        let samples = (0..MEASURE_SAMPLES).map(|_| {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+        self.record_min_sample(samples, per_sample);
+    }
+
+    /// Hands the iteration count to `routine`, which runs that many
+    /// iterations *its own way* and reports the elapsed [`Duration`] —
+    /// real criterion's escape hatch for measurements the harness cannot
+    /// time itself (multi-threaded sections, virtual-time accounting).
+    ///
+    /// Calibration runs small batches until the warm-up budget is spent
+    /// (wall clock), sizing the measured batches from the durations the
+    /// routine itself reports; the fastest of [`MEASURE_SAMPLES`] batches
+    /// is reported.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        let mut reported = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while warm_start.elapsed() < self.warm_up_time {
+            reported += routine(batch);
+            warm_iters += batch;
+            batch = (batch * 2).min(1024);
         }
-        self.result = Some(Measurement { total: start.elapsed(), iters: budget_iters });
+        let per_iter = (reported.as_nanos() as u64 / warm_iters.max(1)).max(1);
+        let per_sample = (self.budget_iters(per_iter) / MEASURE_SAMPLES).max(1);
+        let samples: Vec<Duration> = (0..MEASURE_SAMPLES).map(|_| routine(per_sample)).collect();
+        self.record_min_sample(samples, per_sample);
     }
 
     /// Times `routine` over inputs produced by `setup`; setup time is
-    /// excluded from the measurement.
+    /// excluded from the measurement. Like [`iter`](Self::iter), the
+    /// fastest of [`MEASURE_SAMPLES`] batches is reported.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -233,17 +281,19 @@ impl Bencher {
             warm_iters += 1;
         }
         let per_iter = self.warm_up_time.as_nanos() as u64 / warm_iters.max(1);
-        let budget_iters = (self.measurement_time.as_nanos() as u64 / per_iter.max(1))
-            .clamp(self.sample_size as u64, 10_000_000);
+        let per_sample = (self.budget_iters(per_iter) / MEASURE_SAMPLES).max(1);
 
-        let mut total = Duration::ZERO;
-        for _ in 0..budget_iters {
-            let input = setup();
-            let start = Instant::now();
-            black_box(routine(input));
-            total += start.elapsed();
-        }
-        self.result = Some(Measurement { total, iters: budget_iters });
+        let samples = (0..MEASURE_SAMPLES).map(|_| {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+        self.record_min_sample(samples, per_sample);
     }
 }
 
@@ -307,6 +357,24 @@ mod tests {
         // No --json / BENCH_JSON in the test environment: must not panic
         // or create files.
         write_json_report();
+    }
+
+    #[test]
+    fn iter_custom_reports_routine_duration() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                // Report 100 ns per iteration regardless of wall time.
+                Duration::from_nanos(100 * iters)
+            })
+        });
+        // ns_per_iter must reflect the reported (not wall) duration.
+        let records = records().lock().unwrap();
+        let rec = records.iter().rev().find(|r| r.id == "custom").unwrap();
+        assert!((rec.ns_per_iter - 100.0).abs() < 1.0, "got {}", rec.ns_per_iter);
     }
 
     #[test]
