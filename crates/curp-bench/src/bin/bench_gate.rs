@@ -1,0 +1,85 @@
+//! CI bench-regression gate (see [`curp_bench::gate`]).
+//!
+//! ```sh
+//! cargo run -p curp-bench --bin bench_gate -- \
+//!     --baseline=BENCH_micro.json --current=BENCH_micro.current.json
+//! ```
+//!
+//! Exits non-zero when any gated bench slowed down more than the threshold
+//! (default 2.5x) against the committed baseline, or when a baseline bench
+//! is missing from the current run. Paths are resolved relative to the
+//! invocation directory (CI runs from the workspace root).
+
+use std::process::ExitCode;
+
+use curp_bench::gate::{evaluate, parse_report, GateConfig};
+
+struct Args {
+    baseline: String,
+    current: String,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "BENCH_micro.json".to_string(),
+        current: "BENCH_micro.current.json".to_string(),
+        threshold: 2.5,
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--baseline=") {
+            args.baseline = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--current=") {
+            args.current = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--threshold=") {
+            args.threshold = v.parse().map_err(|e| format!("bad --threshold value {v:?}: {e}"))?;
+            if args.threshold.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
+                return Err("--threshold must be > 1.0".to_string());
+            }
+        } else if arg == "--help" || arg == "-h" {
+            return Err("usage: bench_gate [--baseline=PATH] [--current=PATH] [--threshold=RATIO]"
+                .to_string());
+        } else {
+            return Err(format!("unknown argument {arg:?} (try --help)"));
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline =
+        parse_report(&read(&args.baseline)?).map_err(|e| format!("{}: {e}", args.baseline))?;
+    let current =
+        parse_report(&read(&args.current)?).map_err(|e| format!("{}: {e}", args.current))?;
+    let config = GateConfig { threshold: args.threshold, ..GateConfig::default() };
+    let report = evaluate(&baseline, &current, &config);
+    print!("{report}");
+    if report.passed() {
+        println!(
+            "bench gate PASSED ({} benches within {:.1}x of {})",
+            report.checked, config.threshold, args.baseline
+        );
+    } else {
+        println!(
+            "bench gate FAILED against {} (threshold {:.1}x); if the slowdown is \
+             intentional, refresh the committed baseline with a full run:\n  cargo bench \
+             -p curp-bench --bench micro -- --json=$PWD/{}",
+            args.baseline, config.threshold, args.baseline
+        );
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

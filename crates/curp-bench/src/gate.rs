@@ -1,0 +1,280 @@
+//! The bench-regression gate: diffs a fresh `BENCH_micro.json` smoke run
+//! against the committed baseline and fails on large slowdowns.
+//!
+//! CI runs the micro benches in `--smoke` mode on every push and then
+//! executes `cargo run -p curp-bench --bin bench_gate` to compare the run
+//! against the repository's checked-in full-mode baseline. A fast-path bench
+//! that got more than [`GateConfig::threshold`]× slower fails the job, as
+//! does a baseline bench that disappeared from the run (silently dropping
+//! coverage must be an explicit baseline update, not an accident).
+//!
+//! The threshold is deliberately loose (default 2.5×): smoke mode's min-of-5
+//! sampling absorbs most shared-runner noise, but wall-clock numbers still
+//! wobble between runner generations. Benches that run real OS threads
+//! wobble far more than that on a one-core container, so they are skipped by
+//! default ([`GateConfig::default_skips`]). The virtual-time client benches
+//! are fully deterministic and could hold a much tighter bound; they share
+//! the loose one for simplicity.
+
+use std::fmt;
+
+/// One measurement from a `BENCH_micro.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id (`bench_function` name).
+    pub id: String,
+    /// Reported nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Parses the criterion-shim JSON report format.
+///
+/// The shim emits one `{"id": ..., "ns_per_iter": ..., "iters": ...}` object
+/// per result; this scanner extracts exactly those pairs, so it tolerates
+/// header fields and whitespace changes without needing a JSON dependency.
+pub fn parse_report(json: &str) -> Result<Vec<BenchResult>, String> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(idx) = rest.find("\"id\"") {
+        rest = &rest[idx + 4..];
+        let open = rest.find('"').ok_or("unterminated id field")?;
+        let tail = &rest[open + 1..];
+        let close = tail.find('"').ok_or("unterminated id string")?;
+        let id = tail[..close].to_string();
+        rest = &tail[close + 1..];
+        let nidx = rest.find("\"ns_per_iter\"").ok_or_else(|| format!("{id}: no ns_per_iter"))?;
+        let after =
+            rest[nidx + "\"ns_per_iter\"".len()..].trim_start_matches([':', ' ', '\t']).to_string();
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(after.len());
+        let ns: f64 = after[..end].parse().map_err(|e| format!("{id}: bad ns_per_iter: {e}"))?;
+        if !ns.is_finite() || ns < 0.0 {
+            return Err(format!("{id}: non-finite ns_per_iter"));
+        }
+        out.push(BenchResult { id, ns_per_iter: ns });
+        rest = &rest[nidx..];
+    }
+    if out.is_empty() {
+        return Err("no bench results found".into());
+    }
+    Ok(out)
+}
+
+/// Gate policy.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Fail when `current / baseline` exceeds this ratio.
+    pub threshold: f64,
+    /// Bench ids exempt from the ratio check (still reported).
+    pub skip: Vec<String>,
+}
+
+impl GateConfig {
+    /// Benches exempt by default: both run real OS threads, whose wall-clock
+    /// interleaving on a one-core shared runner swings far beyond any
+    /// threshold that would still catch real regressions elsewhere.
+    pub fn default_skips() -> Vec<String> {
+        vec![
+            "store_sharded_put_4threads_wallclock".to_string(),
+            "witness_record_2masters_concurrent".to_string(),
+        ]
+    }
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { threshold: 2.5, skip: Self::default_skips() }
+    }
+}
+
+/// One bench that tripped the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline ns/iter.
+    pub baseline_ns: f64,
+    /// Current ns/iter.
+    pub current_ns: f64,
+}
+
+impl Regression {
+    /// Slowdown factor.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Outcome of one gate evaluation.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Benches compared against the baseline.
+    pub checked: usize,
+    /// Benches skipped by policy.
+    pub skipped: usize,
+    /// Benches only in the current run (enter the baseline when it is next
+    /// refreshed; never a failure).
+    pub new_benches: Vec<String>,
+    /// Baseline benches absent from the current run (a failure).
+    pub missing: Vec<String>,
+    /// Benches beyond the slowdown threshold (a failure).
+    pub regressions: Vec<Regression>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bench gate: {} checked, {} skipped, {} new, {} missing, {} regressed",
+            self.checked,
+            self.skipped,
+            self.new_benches.len(),
+            self.missing.len(),
+            self.regressions.len()
+        )?;
+        for id in &self.new_benches {
+            writeln!(f, "  new      {id} (not in baseline; refresh BENCH_micro.json)")?;
+        }
+        for id in &self.missing {
+            writeln!(f, "  MISSING  {id} (in baseline, absent from this run)")?;
+        }
+        for r in &self.regressions {
+            writeln!(
+                f,
+                "  REGRESSED {}: {:.1} -> {:.1} ns/iter ({:.2}x)",
+                r.id,
+                r.baseline_ns,
+                r.current_ns,
+                r.ratio()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates `current` against `baseline` under `config`.
+pub fn evaluate(
+    baseline: &[BenchResult],
+    current: &[BenchResult],
+    config: &GateConfig,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for b in baseline {
+        let skipped = config.skip.iter().any(|s| s == &b.id);
+        match current.iter().find(|c| c.id == b.id) {
+            None => report.missing.push(b.id.clone()),
+            Some(_) if skipped => report.skipped += 1,
+            Some(c) => {
+                report.checked += 1;
+                if c.ns_per_iter > b.ns_per_iter * config.threshold {
+                    report.regressions.push(Regression {
+                        id: b.id.clone(),
+                        baseline_ns: b.ns_per_iter,
+                        current_ns: c.ns_per_iter,
+                    });
+                }
+            }
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.id == c.id) {
+            report.new_benches.push(c.id.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: &str, ns: f64) -> BenchResult {
+        BenchResult { id: id.into(), ns_per_iter: ns }
+    }
+
+    const SAMPLE: &str = r#"{
+  "harness": "criterion-shim",
+  "mode": "smoke",
+  "results": [
+    {"id": "store_put_100b", "ns_per_iter": 236.7, "iters": 1136363},
+    {"id": "keyhash_30b", "ns_per_iter": 16.4, "iters": 2000000}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_shim_report() {
+        let parsed = parse_report(SAMPLE).unwrap();
+        assert_eq!(parsed, vec![r("store_put_100b", 236.7), r("keyhash_30b", 16.4)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report(r#"{"id": "x", "iters": 3}"#).is_err());
+        assert!(parse_report(r#"{"id": "x", "ns_per_iter": "fast"}"#).is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = vec![r("a", 100.0), r("b", 50.0)];
+        let cur = vec![r("a", 240.0), r("b", 20.0)]; // 2.4x and a speedup
+        let report = evaluate(&base, &cur, &GateConfig::default());
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.checked, 2);
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_fails() {
+        let base = vec![r("a", 100.0)];
+        let cur = vec![r("a", 251.0)];
+        let report = evaluate(&base, &cur, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert!((report.regressions[0].ratio() - 2.51).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_baseline_bench_fails() {
+        let base = vec![r("a", 100.0), r("gone", 10.0)];
+        let cur = vec![r("a", 100.0)];
+        let report = evaluate(&base, &cur, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn new_benches_are_reported_but_pass() {
+        let base = vec![r("a", 100.0)];
+        let cur = vec![r("a", 100.0), r("fresh", 5.0)];
+        let report = evaluate(&base, &cur, &GateConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.new_benches, vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn skipped_benches_never_regress() {
+        let base = vec![r("store_sharded_put_4threads_wallclock", 100.0)];
+        let cur = vec![r("store_sharded_put_4threads_wallclock", 10_000.0)];
+        let report = evaluate(&base, &cur, &GateConfig::default());
+        assert!(report.passed());
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn gate_passes_on_the_committed_baseline_against_itself() {
+        // The real committed baseline must parse and self-compare clean.
+        let committed = include_str!("../../../BENCH_micro.json");
+        let base = parse_report(committed).unwrap();
+        let report = evaluate(&base, &base, &GateConfig::default());
+        assert!(report.passed(), "{report}");
+        assert!(report.checked >= 15, "baseline unexpectedly small");
+    }
+}

@@ -1,4 +1,5 @@
-//! Shared output helpers for the figure-reproduction benches.
+//! Shared output helpers for the figure-reproduction benches, plus the
+//! [`gate`] module backing the `bench_gate` CI regression check.
 //!
 //! Every paper figure has a `harness = false` bench target that prints the
 //! same series the paper plots, in a grep-friendly tab-separated format:
@@ -10,6 +11,8 @@
 //! <x>\t<y>
 //! ...
 //! ```
+
+pub mod gate;
 
 /// Prints a figure header with the paper's reference numbers.
 pub fn figure_header(figure: &str, title: &str, paper_notes: &[&str]) {

@@ -12,19 +12,30 @@
 //! fails it restarts the whole operation — re-fetching the configuration in
 //! case the master crashed and was recovered elsewhere. Retries reuse the
 //! same RIFL id so re-executions are filtered.
+//!
+//! [`PipelinedClient`] layers a windowed, batching mode on top: up to a
+//! configured number of operations stay in flight per partition, flushed as
+//! `Batch` frames and resolved through [`Completion`] futures keyed by RIFL
+//! id, with routing by [`ClusterConfig::partition_for`] so one handle drives
+//! every master of a partitioned cluster concurrently.
 
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::Duration;
 
 use curp_proto::cluster::{ClusterConfig, PartitionConfig};
 use curp_proto::footprint::Footprint;
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
-use curp_proto::types::{RpcId, ServerId};
+use curp_proto::types::{MasterId, RpcId, ServerId};
 use curp_rifl::RiflSequencer;
 use curp_transport::rpc::RpcClient;
 use parking_lot::Mutex;
+use tokio::sync::{mpsc, oneshot, OwnedSemaphorePermit, Semaphore};
 
 use crate::master::futures_join_all;
 
@@ -168,6 +179,13 @@ impl CurpClient {
     /// is durable (f-fault-tolerant) when this returns.
     pub async fn update(&self, op: Op) -> Result<OpResult, ClientError> {
         let rpc_id = self.state.lock().rifl.next_rpc_id();
+        self.update_with_id(rpc_id, op).await
+    }
+
+    /// The full retry loop for one mutation under an already-assigned RIFL
+    /// id (re-used by [`PipelinedClient`] when a batched attempt needs a
+    /// per-op restart; re-executions are filtered by the id).
+    async fn update_with_id(&self, rpc_id: RpcId, op: Op) -> Result<OpResult, ClientError> {
         let footprint = op.key_hashes();
         let mut last_err = String::new();
         for attempt in 0..self.cfg.max_retries {
@@ -348,4 +366,339 @@ impl CurpClient {
 enum TryOutcome {
     Done(OpResult),
     RefreshAndRetry(String),
+}
+
+// ---- pipelined mode ---------------------------------------------------------
+
+/// Tuning for [`PipelinedClient`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Maximum operations in flight per partition. [`PipelinedClient::submit`]
+    /// suspends (backpressure) while a partition's window is full.
+    pub window: usize,
+    /// Maximum operations flushed in one [`Request::Batch`] frame.
+    pub max_batch: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { window: 16, max_batch: 16 }
+    }
+}
+
+/// A windowed, batching front end over [`CurpClient`].
+///
+/// The plain client issues one operation per in-flight RPC, so end-to-end
+/// throughput is bounded by round trips. `PipelinedClient` keeps up to
+/// [`PipelineConfig::window`] operations outstanding *per partition*:
+/// [`submit`](Self::submit) routes the operation by its footprint
+/// ([`ClusterConfig::partition_for`], so one client instance drives many
+/// masters concurrently), waits for a window slot, and returns a
+/// [`Completion`] future keyed by the operation's RIFL id. Queued operations
+/// bound for the same partition are flushed together as one `Batch` frame —
+/// the master update batch and one record batch per witness go out in
+/// parallel, each record keeping its own per-op footprint so witness
+/// commutativity stays per-op (§3.2.2).
+///
+/// Per-op outcomes follow the same state machine as [`CurpClient::update`]:
+/// master-synced and fast-path completions resolve immediately; ops whose
+/// records were rejected share a single explicit sync RPC per flush; refused
+/// ops (stale witness list, moved partition, transport errors) fall back to
+/// the one-op retry loop under their original RIFL id.
+///
+/// Operations inside the window are **concurrent**: CURP's guarantees apply
+/// per operation, and two pipelined ops may execute in either order. A
+/// caller that needs happens-before between two updates must await the first
+/// [`Completion`] before submitting the second.
+pub struct PipelinedClient {
+    inner: Arc<CurpClient>,
+    cfg: PipelineConfig,
+    pipes: Mutex<HashMap<MasterId, Pipe>>,
+}
+
+struct Pipe {
+    queue: mpsc::UnboundedSender<PendingOp>,
+    window: Arc<Semaphore>,
+}
+
+/// One submitted-but-unresolved operation, owned by its partition's flusher.
+struct PendingOp {
+    rpc_id: RpcId,
+    op: Op,
+    footprint: Footprint,
+    /// Window slot; dropping it (on completion) re-opens the window.
+    permit: OwnedSemaphorePermit,
+    done: oneshot::Sender<Result<OpResult, ClientError>>,
+}
+
+/// Completion future for a pipelined operation, keyed by its RIFL id.
+pub struct Completion {
+    rpc_id: RpcId,
+    rx: oneshot::Receiver<Result<OpResult, ClientError>>,
+}
+
+impl Completion {
+    /// The RIFL id assigned to this operation at submission.
+    pub fn rpc_id(&self) -> RpcId {
+        self.rpc_id
+    }
+}
+
+impl Future for Completion {
+    type Output = Result<OpResult, ClientError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.rx).poll(cx).map(|r| match r {
+            Ok(result) => result,
+            Err(_) => Err(ClientError::Exhausted("pipeline dropped before completion".into())),
+        })
+    }
+}
+
+impl PipelinedClient {
+    /// Wraps a connected client in a pipelined front end.
+    pub fn new(inner: Arc<CurpClient>, cfg: PipelineConfig) -> Arc<PipelinedClient> {
+        assert!(cfg.window > 0 && cfg.max_batch > 0);
+        Arc::new(PipelinedClient { inner, cfg, pipes: Mutex::new(HashMap::new()) })
+    }
+
+    /// The wrapped client (shared configuration, stats and RIFL lease).
+    pub fn inner(&self) -> &Arc<CurpClient> {
+        &self.inner
+    }
+
+    /// Enqueues an operation (mutation or read) on its partition's pipeline.
+    ///
+    /// Suspends while the partition's window is full — this is the
+    /// backpressure that keeps an open-loop generator from queueing without
+    /// bound — and resolves to a [`Completion`] future once a slot is held.
+    pub async fn submit(&self, op: Op) -> Result<Completion, ClientError> {
+        let footprint = op.key_hashes();
+        let part = match self.inner.route(&footprint) {
+            Ok(p) => p,
+            Err(ClientError::NoPartition) => {
+                self.inner.refresh_config().await?;
+                self.inner.route(&footprint)?
+            }
+            Err(e) => return Err(e),
+        };
+        let (window, queue) = self.pipe_for(&part);
+        let permit = window
+            .acquire_owned()
+            .await
+            .map_err(|_| ClientError::Exhausted("pipeline window closed".into()))?;
+        let rpc_id = self.inner.state.lock().rifl.next_rpc_id();
+        let (done, rx) = oneshot::channel();
+        if queue.send(PendingOp { rpc_id, op, footprint, permit, done }).is_err() {
+            return Err(ClientError::Exhausted("pipeline flusher gone".into()));
+        }
+        Ok(Completion { rpc_id, rx })
+    }
+
+    /// Submits and awaits one operation (convenience; no pipelining benefit
+    /// unless other submissions are in flight).
+    pub async fn update(&self, op: Op) -> Result<OpResult, ClientError> {
+        self.submit(op).await?.await
+    }
+
+    /// Returns (creating on first use) the pipe for `part`'s master.
+    ///
+    /// A partition that moves to a new master incarnation simply gets a new
+    /// pipe; the old flusher drains its queue and then idles harmlessly
+    /// until the client is dropped.
+    fn pipe_for(
+        &self,
+        part: &PartitionConfig,
+    ) -> (Arc<Semaphore>, mpsc::UnboundedSender<PendingOp>) {
+        let mut pipes = self.pipes.lock();
+        let pipe = pipes.entry(part.master_id).or_insert_with(|| {
+            let window = Arc::new(Semaphore::new(self.cfg.window));
+            let (tx, rx) = mpsc::unbounded_channel();
+            tokio::spawn(run_pipe(Arc::clone(&self.inner), part.master_id, self.cfg.max_batch, rx));
+            Pipe { queue: tx, window }
+        });
+        (Arc::clone(&pipe.window), pipe.queue.clone())
+    }
+}
+
+/// Per-partition flusher: drains the queue into batches of at most
+/// `max_batch` ops and spawns one flush per batch. Flushes overlap — the
+/// pipe keeps draining while earlier batches' RPCs are in flight; the
+/// window semaphore is what bounds total outstanding operations. Exits when
+/// the owning [`PipelinedClient`] is dropped.
+async fn run_pipe(
+    inner: Arc<CurpClient>,
+    master_id: MasterId,
+    max_batch: usize,
+    mut rx: mpsc::UnboundedReceiver<PendingOp>,
+) {
+    while let Some(first) = rx.recv().await {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(p) => batch.push(p),
+                Err(_) => break,
+            }
+        }
+        tokio::spawn(flush_batch(Arc::clone(&inner), master_id, batch));
+    }
+}
+
+/// Sends one flushed batch: the master update/read batch in parallel with
+/// one record batch per witness, then resolves every op per the fast-path
+/// rules (or coalesces one sync RPC / falls back per op).
+async fn flush_batch(inner: Arc<CurpClient>, master_id: MasterId, batch: Vec<PendingOp>) {
+    let (part, first_incomplete) = {
+        let st = inner.state.lock();
+        (st.config.partition_by_master(master_id).cloned(), st.rifl.first_incomplete())
+    };
+    let Some(part) = part else {
+        // The partition moved while queued; retry each op individually.
+        for p in batch {
+            fallback(&inner, p);
+        }
+        return;
+    };
+    let record_witnesses = inner.cfg.record_witnesses;
+
+    let mut master_reqs = Vec::with_capacity(batch.len());
+    let mut record_reqs = Vec::new();
+    // batch index of the op behind each record request (reads record nothing).
+    let mut record_slots = Vec::new();
+    for (i, p) in batch.iter().enumerate() {
+        if p.op.is_read_only() {
+            master_reqs.push(Request::ClientRead { op: p.op.clone() });
+            continue;
+        }
+        master_reqs.push(Request::ClientUpdate {
+            rpc_id: p.rpc_id,
+            first_incomplete,
+            witness_list_version: part.witness_list_version,
+            op: p.op.clone(),
+        });
+        if record_witnesses && !part.witnesses.is_empty() {
+            // Each record keeps its own footprint: the witness checks
+            // commutativity per op, exactly as in the unbatched path.
+            record_reqs.push(Request::WitnessRecord {
+                request: RecordedRequest {
+                    master_id: part.master_id,
+                    rpc_id: p.rpc_id,
+                    key_hashes: p.footprint.clone(),
+                    op: p.op.clone(),
+                },
+            });
+            record_slots.push(i);
+        }
+    }
+
+    let record_futs: Vec<_> = if record_reqs.is_empty() {
+        Vec::new()
+    } else {
+        part.witnesses.iter().map(|&w| inner.rpc.call_batch(w, record_reqs.clone())).collect()
+    };
+    let master_fut = inner.rpc.call_batch(part.master, master_reqs);
+    let (master_rsp, witness_rsps) = tokio::join!(master_fut, futures_join_all(record_futs));
+
+    let master_rsps = match master_rsp {
+        Ok(r) if r.len() == batch.len() => r,
+        _ => {
+            for p in batch {
+                fallback(&inner, p);
+            }
+            return;
+        }
+    };
+
+    // accepted[j]: every witness accepted record_reqs[j]. An unreachable or
+    // short-replying witness fails the whole flush's records (the op is not
+    // durable on all f witnesses), same as the unbatched all-accepted rule.
+    let mut accepted = vec![!witness_rsps.is_empty(); record_slots.len()];
+    for w in &witness_rsps {
+        match w {
+            Ok(rsps) if rsps.len() == accepted.len() => {
+                for (j, r) in rsps.iter().enumerate() {
+                    if !matches!(r, Response::RecordAccepted) {
+                        accepted[j] = false;
+                    }
+                }
+            }
+            _ => accepted.iter_mut().for_each(|a| *a = false),
+        }
+    }
+    let mut accepted_at: HashMap<usize, bool> = record_slots.into_iter().zip(accepted).collect();
+
+    let mut need_sync: Vec<(PendingOp, OpResult)> = Vec::new();
+    for (i, (p, rsp)) in batch.into_iter().zip(master_rsps).enumerate() {
+        match rsp {
+            // Reads hold no completion record at the master, but their RIFL
+            // id must still be acknowledged or the piggybacked watermark
+            // (and with it completion-record GC) would stall behind them.
+            Response::Read { result } => complete(&inner, p, result),
+            Response::Update { result, synced } => {
+                if synced {
+                    inner.stats.synced_by_master.fetch_add(1, Ordering::Relaxed);
+                    complete(&inner, p, result);
+                } else if !record_witnesses
+                    // Async baseline completes unrecorded; otherwise the
+                    // 1-RTT rule: all f witnesses accepted (or f == 0).
+                    || accepted_at.remove(&i).unwrap_or(false)
+                    || part.fault_tolerance() == 0
+                {
+                    inner.stats.fast_path.fetch_add(1, Ordering::Relaxed);
+                    complete(&inner, p, result);
+                } else {
+                    need_sync.push((p, result));
+                }
+            }
+            // NotOwner / StaleWitnessList / Retry / transport surprises:
+            // the one-op retry loop refreshes config and sorts it out.
+            _ => fallback(&inner, p),
+        }
+    }
+
+    if !need_sync.is_empty() {
+        // One explicit sync covers every op in the flush: a successful sync
+        // makes the master's whole unsynced prefix durable (§3.2.3).
+        match inner.rpc.call(part.master, Request::Sync).await {
+            Ok(Response::SyncDone) => {
+                for (p, result) in need_sync {
+                    inner.stats.explicit_sync.fetch_add(1, Ordering::Relaxed);
+                    complete(&inner, p, result);
+                }
+            }
+            _ => {
+                for (p, _) in need_sync {
+                    fallback(&inner, p);
+                }
+            }
+        }
+    }
+}
+
+/// Resolves a pipelined mutation: records RIFL completion, delivers the
+/// result, and (by dropping the op) releases its window slot.
+fn complete(inner: &Arc<CurpClient>, p: PendingOp, result: OpResult) {
+    inner.state.lock().rifl.complete(p.rpc_id);
+    let _ = p.done.send(Ok(result));
+}
+
+/// Restarts one op through the one-op retry path (same RIFL id, so a
+/// re-execution is filtered) without stalling the flusher.
+fn fallback(inner: &Arc<CurpClient>, p: PendingOp) {
+    let inner = Arc::clone(inner);
+    tokio::spawn(async move {
+        let PendingOp { rpc_id, op, permit, done, .. } = p;
+        let res = if op.is_read_only() {
+            let res = inner.read(op).await;
+            // No completion record exists for a read; acknowledge its id
+            // unconditionally so the RIFL watermark keeps advancing.
+            inner.state.lock().rifl.complete(rpc_id);
+            res
+        } else {
+            // update_with_id records the RIFL completion itself on success.
+            inner.update_with_id(rpc_id, op).await
+        };
+        let _ = done.send(res);
+        drop(permit);
+    });
 }

@@ -27,7 +27,7 @@ pub mod server;
 pub mod snapshot;
 
 pub use backup::BackupService;
-pub use client::{ClientError, CurpClient};
+pub use client::{ClientError, Completion, CurpClient, PipelineConfig, PipelinedClient};
 pub use coordinator::{Coordinator, CoordinatorHandler};
 pub use master::{Master, MasterConfig};
 pub use server::{CurpServer, ServerHandler};

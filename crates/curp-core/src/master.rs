@@ -973,17 +973,6 @@ impl Master {
     }
 }
 
-/// Minimal join_all (avoids a futures-util dependency): polls all futures to
-/// completion and returns their outputs in order.
-pub(crate) async fn futures_join_all<F, T>(futs: impl IntoIterator<Item = F>) -> Vec<T>
-where
-    F: std::future::Future<Output = T> + Send + 'static,
-    T: Send + 'static,
-{
-    let handles: Vec<tokio::task::JoinHandle<T>> = futs.into_iter().map(tokio::spawn).collect();
-    let mut out = Vec::with_capacity(handles.len());
-    for h in handles {
-        out.push(h.await.expect("rpc task panicked"));
-    }
-    out
-}
+// The transport layer owns the one minimal join_all (it needs it for batch
+// fan-out); re-exported under the historical name for this crate's callers.
+pub(crate) use curp_transport::rpc::join_all as futures_join_all;

@@ -100,6 +100,12 @@ impl CurpServer {
             Request::Consensus { .. } => {
                 Response::Retry { reason: "not a consensus replica".into() }
             }
+            // Both transports unwrap batch frames before the handler (one
+            // inner dispatch per request); a raw Batch reaching a server
+            // means a transport that does not understand them.
+            Request::Batch { .. } => {
+                Response::Retry { reason: "batch frames are unwrapped by the transport".into() }
+            }
         }
     }
 }

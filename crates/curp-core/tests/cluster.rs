@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use curp_core::client::{ClientConfig, CurpClient};
+use curp_core::client::{ClientConfig, CurpClient, PipelineConfig, PipelinedClient};
 use curp_core::coordinator::Coordinator;
 use curp_core::master::MasterConfig;
 use curp_core::server::{CurpServer, ServerHandler};
@@ -460,6 +460,129 @@ async fn message_loss_is_masked_by_retries() {
         assert_eq!(
             client.read(get(&format!("lossy{i}"))).await.unwrap(),
             OpResult::Value(Some(b("v")))
+        );
+    }
+}
+
+// ---- pipelined client -------------------------------------------------------
+
+#[tokio::test(start_paused = true)]
+async fn pipelined_disjoint_ops_all_take_fast_path_in_one_frame() {
+    let cluster = TestCluster::new(3, lazy_cfg()).await;
+    let client = Arc::new(cluster.client().await);
+    let pipe = PipelinedClient::new(Arc::clone(&client), PipelineConfig::default());
+    // 16 disjoint-key puts submitted back to back: the flusher drains them
+    // into one Batch frame (window and max_batch are both 16).
+    let mut completions = Vec::new();
+    for i in 0..16 {
+        completions.push(pipe.submit(put(&format!("p{i}"), "v")).await.unwrap());
+    }
+    for c in completions {
+        assert_eq!(c.await.unwrap(), OpResult::Written { version: 1 });
+    }
+    assert_eq!(client.stats.fast_path.load(std::sync::atomic::Ordering::Relaxed), 16);
+    // The master saw ONE message for all 16 ops (the batch frame).
+    let master_stats = cluster.net.stats(ServerId(1)).unwrap();
+    assert_eq!(master_stats.requests_in.load(std::sync::atomic::Ordering::Relaxed), 1);
+    // Every witness holds all 16 records, each under its own footprint.
+    assert_eq!(cluster.server(2).witness().occupancy(cluster.master_id), 16);
+    // And the data is readable.
+    assert_eq!(client.read(get("p7")).await.unwrap(), OpResult::Value(Some(b("v"))));
+}
+
+#[tokio::test(start_paused = true)]
+async fn pipelined_conflicting_ops_complete_with_consistent_versions() {
+    let cluster = TestCluster::new(3, lazy_cfg()).await;
+    let client = Arc::new(cluster.client().await);
+    let pipe = PipelinedClient::new(Arc::clone(&client), PipelineConfig::default());
+    // 8 non-commuting writes to one key flushed together: the master orders
+    // them, witnesses reject the conflicts, and every op still completes
+    // durably through the synced/sync paths.
+    let mut completions = Vec::new();
+    for i in 0..8 {
+        completions.push(pipe.submit(put("hot", &format!("v{i}"))).await.unwrap());
+    }
+    let mut versions = Vec::new();
+    for c in completions {
+        match c.await.unwrap() {
+            OpResult::Written { version } => versions.push(version),
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+    versions.sort_unstable();
+    assert_eq!(versions, (1..=8).collect::<Vec<u64>>(), "one version per executed op");
+    let s = &client.stats;
+    let total = s.fast_path.load(std::sync::atomic::Ordering::Relaxed)
+        + s.synced_by_master.load(std::sync::atomic::Ordering::Relaxed)
+        + s.explicit_sync.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(total, 8, "every op resolved through exactly one path");
+    // The conflicts forced durability: the backups saw a sync.
+    assert!(cluster.server(2).backup().next_seq(cluster.master_id).unwrap_or(0) >= 1);
+}
+
+#[tokio::test(start_paused = true)]
+async fn pipelined_window_applies_backpressure() {
+    let cluster = TestCluster::new(3, lazy_cfg()).await;
+    cluster
+        .net
+        .set_default_latency(Arc::new(curp_transport::latency::Fixed(Duration::from_millis(10))));
+    let client = Arc::new(cluster.client().await);
+    let pipe = PipelinedClient::new(client, PipelineConfig { window: 2, max_batch: 2 });
+    let t0 = tokio::time::Instant::now();
+    let c1 = pipe.submit(put("a", "1")).await.unwrap();
+    let c2 = pipe.submit(put("b", "2")).await.unwrap();
+    assert_eq!(t0.elapsed(), Duration::ZERO, "submits inside the window never wait");
+    // Window full: the third submit must wait for a completion, which takes
+    // at least one 10 ms-per-hop round trip.
+    let c3 = pipe.submit(put("c", "3")).await.unwrap();
+    assert!(t0.elapsed() >= Duration::from_millis(20), "blocked {:?}", t0.elapsed());
+    for c in [c1, c2, c3] {
+        assert!(c.await.is_ok());
+    }
+}
+
+#[tokio::test(start_paused = true)]
+async fn pipelined_mixed_reads_and_writes_resolve_positionally() {
+    let cluster = TestCluster::new(3, lazy_cfg()).await;
+    let client = Arc::new(cluster.client().await);
+    let pipe = PipelinedClient::new(Arc::clone(&client), PipelineConfig::default());
+    pipe.update(put("m", "before")).await.unwrap();
+    // A read and two writes of other keys pipelined together: each completes
+    // with its own result.
+    let w1 = pipe.submit(put("n", "1")).await.unwrap();
+    let r = pipe.submit(get("m")).await.unwrap();
+    let w2 = pipe.submit(put("o", "2")).await.unwrap();
+    assert_eq!(w1.await.unwrap(), OpResult::Written { version: 1 });
+    assert_eq!(r.await.unwrap(), OpResult::Value(Some(b("before"))));
+    assert_eq!(w2.await.unwrap(), OpResult::Written { version: 1 });
+    // The pipelined reads acknowledged their RIFL ids: a later op's
+    // piggybacked watermark lets the master GC everything completed.
+    assert!(client.stats.fast_path.load(std::sync::atomic::Ordering::Relaxed) >= 3);
+}
+
+#[tokio::test(start_paused = true)]
+async fn pipelined_completions_survive_master_crash_recovery() {
+    let cluster = TestCluster::new(3, lazy_cfg()).await;
+    let client = Arc::new(cluster.client().await);
+    let pipe = PipelinedClient::new(Arc::clone(&client), PipelineConfig::default());
+    let mut completions = Vec::new();
+    for i in 0..6 {
+        completions.push(pipe.submit(put(&format!("cr{i}"), "v")).await.unwrap());
+    }
+    for c in completions {
+        assert!(c.await.is_ok());
+    }
+    // Crash the master and recover onto a spare; the pipelined writes were
+    // recorded on witnesses, so the new master must serve all of them.
+    cluster.net.crash(ServerId(1));
+    cluster.server(1).seal_master();
+    cluster.coord.recover_master(cluster.master_id, ServerId(5)).await.expect("recover");
+    client.refresh_config().await.unwrap();
+    for i in 0..6 {
+        assert_eq!(
+            client.read(get(&format!("cr{i}"))).await.unwrap(),
+            OpResult::Value(Some(b("v"))),
+            "cr{i} lost in recovery"
         );
     }
 }

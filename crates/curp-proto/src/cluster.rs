@@ -37,9 +37,12 @@ impl HashRange {
     /// Splits the range at `mid`, returning `([start, mid), [mid, end))`.
     ///
     /// # Panics
-    /// Panics if `mid` is not strictly inside the range.
+    /// Panics if `mid` is not strictly inside the range. In particular
+    /// `mid == u64::MAX` is rejected even when `end == u64::MAX`: the lower
+    /// half's `end` would become `u64::MAX`, which this type treats as
+    /// inclusive of the top hash — both halves would own it.
     pub fn split_at(&self, mid: u64) -> (HashRange, HashRange) {
-        assert!(mid > self.start && (mid < self.end || self.end == u64::MAX));
+        assert!(mid > self.start && mid < self.end);
         (HashRange { start: self.start, end: mid }, HashRange { start: mid, end: self.end })
     }
 }
@@ -205,6 +208,97 @@ mod tests {
     fn split_outside_range_panics() {
         let r = HashRange { start: 100, end: 200 };
         r.split_at(50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_at_top_hash_panics() {
+        // mid == u64::MAX would give the lower half end == u64::MAX, whose
+        // inclusive-top semantics would make BOTH halves own the top hash.
+        HashRange::FULL.split_at(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_at_start_panics() {
+        HashRange { start: 100, end: 200 }.split_at(100);
+    }
+
+    #[test]
+    fn split_just_below_top_isolates_the_wrap_hashes() {
+        // The top of the hash space wraps into the inclusive end == u64::MAX
+        // range: a split at u64::MAX - 1 leaves a two-hash upper range
+        // {MAX-1, MAX} and each boundary hash has exactly one owner.
+        let (lo, hi) = HashRange::FULL.split_at(u64::MAX - 1);
+        assert!(lo.contains(KeyHash(u64::MAX - 2)) && !hi.contains(KeyHash(u64::MAX - 2)));
+        assert!(!lo.contains(KeyHash(u64::MAX - 1)) && hi.contains(KeyHash(u64::MAX - 1)));
+        assert!(!lo.contains(KeyHash(u64::MAX)) && hi.contains(KeyHash(u64::MAX)));
+    }
+
+    #[test]
+    fn empty_range_contains_nothing() {
+        let empty = HashRange { start: 500, end: 500 };
+        for h in [0, 499, 500, 501, u64::MAX] {
+            assert!(!empty.contains(KeyHash(h)), "empty range claimed {h}");
+        }
+        // Degenerate exception baked into the wire format: start == end ==
+        // u64::MAX is NOT empty — end == u64::MAX is inclusive of the top
+        // hash, so this is the top-hash singleton.
+        let top = HashRange { start: u64::MAX, end: u64::MAX };
+        assert!(top.contains(KeyHash(u64::MAX)));
+        assert!(!top.contains(KeyHash(u64::MAX - 1)));
+    }
+
+    #[test]
+    fn adjacent_ranges_boundary_hash_belongs_to_the_upper_range() {
+        let (lo, hi) = HashRange { start: 100, end: 300 }.split_at(200);
+        assert_eq!((lo.start, lo.end, hi.start, hi.end), (100, 200, 200, 300));
+        // The split point itself is owned by exactly the upper range.
+        assert!(!lo.contains(KeyHash(200)) && hi.contains(KeyHash(200)));
+        assert!(lo.contains(KeyHash(199)) && !hi.contains(KeyHash(199)));
+        // Outer edges unchanged.
+        assert!(lo.contains(KeyHash(100)) && !lo.contains(KeyHash(99)));
+        assert!(hi.contains(KeyHash(299)) && !hi.contains(KeyHash(300)));
+    }
+
+    #[test]
+    fn partition_for_boundary_hashes_have_exactly_one_owner() {
+        // Three adjacent partitions built by repeated splitting, as the
+        // coordinator's migration path does.
+        let (p0, rest) = HashRange::FULL.split_at(1 << 62);
+        let (p1, p2) = rest.split_at(1 << 63);
+        let mut parts = Vec::new();
+        for (i, range) in [p0, p1, p2].into_iter().enumerate() {
+            let mut p = sample_partition(range);
+            p.master_id = MasterId(i as u64 + 1);
+            parts.push(p);
+        }
+        let cfg = ClusterConfig { partitions: parts, version: 1 };
+        let expected = [
+            (0u64, 1u64),
+            ((1 << 62) - 1, 1),
+            (1 << 62, 2), // boundary: upper partition owns it
+            ((1 << 63) - 1, 2),
+            (1 << 63, 3), // boundary: upper partition owns it
+            (u64::MAX, 3),
+        ];
+        for (h, owner) in expected {
+            let owners = cfg.partitions.iter().filter(|p| p.range.contains(KeyHash(h))).count();
+            assert_eq!(owners, 1, "hash {h} owned {owners}x");
+            assert_eq!(cfg.partition_for(KeyHash(h)).unwrap().master_id, MasterId(owner), "{h}");
+        }
+    }
+
+    #[test]
+    fn partition_for_uncovered_hash_is_none() {
+        let cfg = ClusterConfig {
+            partitions: vec![sample_partition(HashRange { start: 100, end: 200 })],
+            version: 1,
+        };
+        assert!(cfg.partition_for(KeyHash(99)).is_none());
+        assert!(cfg.partition_for(KeyHash(200)).is_none());
+        assert!(cfg.partition_for(KeyHash(u64::MAX)).is_none());
+        assert!(ClusterConfig::default().partition_for(KeyHash(0)).is_none());
     }
 
     #[test]

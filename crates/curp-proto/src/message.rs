@@ -254,6 +254,20 @@ pub enum Request {
         payload: Bytes,
     },
 
+    // ---- any -> any (transport batching) -----------------------------------
+    /// A batch of independent requests flushed as one frame (one transport
+    /// write, one dispatch charge per direction). Each inner request keeps
+    /// its own payload — in particular each [`Request::WitnessRecord`]
+    /// carries its own per-op footprint, so witness commutativity checks
+    /// stay per-op. The receiver handles every inner request independently
+    /// and replies with a [`Response::Batch`] whose `responses[i]` answers
+    /// `requests[i]`, whatever order the handlers completed in. Batches do
+    /// not nest: the codec rejects a `Batch` inside a `Batch`.
+    Batch {
+        /// The independent inner requests, in submission order.
+        requests: Vec<Request>,
+    },
+
     // ---- any -> coordinator ------------------------------------------------------
     /// Fetches the current cluster configuration.
     GetConfig,
@@ -375,6 +389,13 @@ pub enum Response {
         payload: Bytes,
     },
 
+    /// Positional answers to a [`Request::Batch`]: `responses[i]` answers
+    /// `requests[i]` regardless of handler completion order.
+    Batch {
+        /// One response per inner request, in request order.
+        responses: Vec<Response>,
+    },
+
     /// Generic retriable failure with a human-readable reason.
     Retry {
         /// Why the request could not be served.
@@ -409,6 +430,7 @@ tags! {
     REQ_ACQUIRE_LEASE = 16,
     REQ_RENEW_LEASE = 17,
     REQ_CONSENSUS = 22,
+    REQ_BATCH = 23,
 }
 
 impl Encode for Request {
@@ -492,6 +514,10 @@ impl Encode for Request {
                 buf.put_u8(REQ_CONSENSUS);
                 payload.encode(buf);
             }
+            Request::Batch { requests } => {
+                buf.put_u8(REQ_BATCH);
+                encode_seq(requests, buf);
+            }
             Request::GetConfig => buf.put_u8(REQ_GET_CONFIG),
             Request::AcquireLease => buf.put_u8(REQ_ACQUIRE_LEASE),
             Request::RenewLease { client } => {
@@ -541,6 +567,7 @@ impl Encode for Request {
             Request::MasterClientExpired { client } => client.encoded_len(),
             Request::RenewLease { client } => client.encoded_len(),
             Request::Consensus { payload } => payload.encoded_len(),
+            Request::Batch { requests } => seq_encoded_len(requests),
         }
     }
 }
@@ -594,6 +621,15 @@ impl Decode for Request {
             },
             REQ_M_EXPIRED => Request::MasterClientExpired { client: ClientId::decode(buf)? },
             REQ_CONSENSUS => Request::Consensus { payload: Bytes::decode(buf)? },
+            REQ_BATCH => {
+                let requests: Vec<Request> = decode_seq(buf)?;
+                // Batches never nest; bounding the recursion depth here keeps
+                // adversarial frames from growing an unbounded decode stack.
+                if requests.iter().any(|r| matches!(r, Request::Batch { .. })) {
+                    return Err(DecodeError::InvalidTag { ty: "Request (nested batch)", tag });
+                }
+                Request::Batch { requests }
+            }
             REQ_GET_CONFIG => Request::GetConfig,
             REQ_ACQUIRE_LEASE => Request::AcquireLease,
             REQ_RENEW_LEASE => Request::RenewLease { client: ClientId::decode(buf)? },
@@ -626,6 +662,7 @@ tags! {
     RSP_RETRY = 20,
     RSP_B_INSTALLED = 21,
     RSP_CONSENSUS = 22,
+    RSP_BATCH = 23,
 }
 
 impl Encode for Response {
@@ -700,6 +737,10 @@ impl Encode for Response {
                 buf.put_u8(RSP_CONSENSUS);
                 payload.encode(buf);
             }
+            Response::Batch { responses } => {
+                buf.put_u8(RSP_BATCH);
+                encode_seq(responses, buf);
+            }
         }
     }
 
@@ -732,6 +773,7 @@ impl Encode for Response {
             Response::Lease { client, ttl_ms } => client.encoded_len() + ttl_ms.encoded_len(),
             Response::Retry { reason } => reason.encoded_len(),
             Response::Consensus { payload } => payload.encoded_len(),
+            Response::Batch { responses } => seq_encoded_len(responses),
         }
     }
 }
@@ -774,6 +816,13 @@ impl Decode for Response {
             }
             RSP_RETRY => Response::Retry { reason: String::decode(buf)? },
             RSP_CONSENSUS => Response::Consensus { payload: Bytes::decode(buf)? },
+            RSP_BATCH => {
+                let responses: Vec<Response> = decode_seq(buf)?;
+                if responses.iter().any(|r| matches!(r, Response::Batch { .. })) {
+                    return Err(DecodeError::InvalidTag { ty: "Response (nested batch)", tag });
+                }
+                Response::Batch { responses }
+            }
             tag => return Err(DecodeError::InvalidTag { ty: "Response", tag }),
         })
     }
@@ -880,6 +929,19 @@ mod tests {
             },
             Request::MasterClientExpired { client: ClientId(9) },
             Request::Consensus { payload: b("raft-bytes") },
+            Request::Batch {
+                requests: vec![
+                    Request::ClientUpdate {
+                        rpc_id: rid(1, 2),
+                        first_incomplete: 1,
+                        witness_list_version: WitnessListVersion(4),
+                        op: Op::Put { key: b("k"), value: b("v") },
+                    },
+                    Request::WitnessRecord { request: recorded() },
+                    Request::Sync,
+                ],
+            },
+            Request::Batch { requests: Vec::new() },
             Request::GetConfig,
             Request::AcquireLease,
             Request::RenewLease { client: ClientId(9) },
@@ -924,6 +986,14 @@ mod tests {
             Response::Lease { client: ClientId(4), ttl_ms: 30_000 },
             Response::Retry { reason: "busy".into() },
             Response::Consensus { payload: b("raft-reply") },
+            Response::Batch {
+                responses: vec![
+                    Response::Update { result: OpResult::Written { version: 1 }, synced: false },
+                    Response::RecordAccepted,
+                    Response::SyncDone,
+                ],
+            },
+            Response::Batch { responses: Vec::new() },
         ]
     }
 
@@ -954,6 +1024,34 @@ mod tests {
     fn unknown_tags_rejected() {
         assert!(Request::from_bytes(&[200]).is_err());
         assert!(Response::from_bytes(&[200]).is_err());
+    }
+
+    #[test]
+    fn nested_batches_rejected() {
+        let req = Request::Batch { requests: vec![Request::Batch { requests: vec![] }] };
+        assert!(Request::from_bytes(&req.to_bytes()).is_err());
+        let rsp = Response::Batch { responses: vec![Response::Batch { responses: vec![] }] };
+        assert!(Response::from_bytes(&rsp.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn batch_keeps_per_op_footprints() {
+        // The batch frame must not collapse footprints: each WitnessRecord
+        // inside a batch round-trips with its own key hashes.
+        let a = recorded();
+        let mut b2 = recorded();
+        b2.rpc_id = rid(1, 6);
+        b2.key_hashes = vec![KeyHash(33)].into();
+        let req = Request::Batch {
+            requests: vec![
+                Request::WitnessRecord { request: a.clone() },
+                Request::WitnessRecord { request: b2.clone() },
+            ],
+        };
+        let back = Request::from_bytes(&req.to_bytes()).unwrap();
+        let Request::Batch { requests } = back else { panic!("not a batch") };
+        assert_eq!(requests[0], Request::WitnessRecord { request: a });
+        assert_eq!(requests[1], Request::WitnessRecord { request: b2 });
     }
 
     #[test]

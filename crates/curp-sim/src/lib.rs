@@ -28,4 +28,4 @@ pub mod time;
 pub use cluster::{Mode, RamcloudParams, RunResult, SimCluster};
 pub use lincheck::{check_linearizable, HistOp, HistoryEvent};
 pub use redis::{RedisMode, RedisParams, RedisSim};
-pub use time::{run_sim, to_virtual_us, vns, vus};
+pub use time::{run_sim, to_virtual_ns, to_virtual_us, vns, vus};

@@ -33,6 +33,13 @@ pub enum RpcError {
     },
     /// The peer sent bytes that did not decode.
     Malformed(DecodeError),
+    /// The peer's reply to a [`curp_proto::message::Request::Batch`] was not
+    /// a batch of the same arity, so responses cannot be matched to their
+    /// requests.
+    BatchMismatch {
+        /// The misbehaving server.
+        to: ServerId,
+    },
 }
 
 impl fmt::Display for RpcError {
@@ -42,6 +49,9 @@ impl fmt::Display for RpcError {
             RpcError::Unreachable { to } => write!(f, "server {to} unreachable"),
             RpcError::ConnectionReset { to } => write!(f, "connection to {to} reset"),
             RpcError::Malformed(e) => write!(f, "malformed response: {e}"),
+            RpcError::BatchMismatch { to } => {
+                write!(f, "batch reply from {to} did not match the request batch")
+            }
         }
     }
 }

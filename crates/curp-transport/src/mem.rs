@@ -32,7 +32,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::RpcError;
 use crate::latency::{Fixed, LatencyModel};
-use crate::rpc::{BoxFuture, RpcClient, SharedHandler};
+use crate::rpc::{join_all, BoxFuture, RpcClient, SharedHandler};
 
 /// Per-server simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -260,9 +260,23 @@ impl MemNetwork {
             };
             stats.requests_in.fetch_add(1, Ordering::Relaxed);
             stats.bytes_in.fetch_add(req_len, Ordering::Relaxed);
-            // Incoming request occupies the receiver's dispatch thread.
+            // Incoming request occupies the receiver's dispatch thread. A
+            // batch is ONE message: it pays one dispatch charge per direction
+            // no matter how many inner requests it carries — exactly the
+            // amortization that makes client batching pay off against a
+            // dispatch-bound server (§C.1).
             self.occupy_dispatch(to).await;
-            let rsp = handler.handle(from, req).await;
+            let rsp = match req {
+                Request::Batch { requests } => {
+                    // Inner requests are handled independently and
+                    // concurrently; responses stay in request order however
+                    // the handlers interleave.
+                    let futs: Vec<_> =
+                        requests.into_iter().map(|r| handler.handle(from, r)).collect();
+                    Response::Batch { responses: join_all(futs).await }
+                }
+                req => handler.handle(from, req).await,
+            };
             // If the server crashed while processing, its response is lost.
             if self.is_crashed(to) {
                 std::future::pending::<()>().await;
@@ -299,6 +313,25 @@ impl RpcClient for MemClient {
         let net = self.net.clone();
         let from = self.from;
         Box::pin(net.do_call(from, to, req))
+    }
+
+    fn call_batch(
+        &self,
+        to: ServerId,
+        reqs: Vec<Request>,
+    ) -> BoxFuture<'static, Result<Vec<Response>, RpcError>> {
+        let net = self.net.clone();
+        let from = self.from;
+        Box::pin(async move {
+            if reqs.is_empty() {
+                return Ok(Vec::new());
+            }
+            let n = reqs.len();
+            match net.do_call(from, to, Request::Batch { requests: reqs }).await? {
+                Response::Batch { responses } if responses.len() == n => Ok(responses),
+                _ => Err(RpcError::BatchMismatch { to }),
+            }
+        })
     }
 }
 
@@ -435,6 +468,76 @@ mod tests {
         assert_eq!(stats.requests_in.load(Ordering::Relaxed), 3);
         assert_eq!(stats.responses_out.load(Ordering::Relaxed), 3);
         assert!(stats.bytes_in.load(Ordering::Relaxed) > 0);
+    }
+
+    /// Handler whose per-request latency *decreases* with arrival order, so
+    /// inner batch responses complete out of order and demultiplexing by
+    /// position is actually exercised.
+    fn staggered_handler() -> SharedHandler {
+        use std::sync::atomic::AtomicU64;
+        let arrivals = Arc::new(AtomicU64::new(0));
+        Arc::new(move |_from: ServerId, req: Request| {
+            let order = arrivals.fetch_add(1, Ordering::Relaxed);
+            async move {
+                // First arrival sleeps longest: completion order reverses.
+                tokio::time::sleep(Duration::from_millis(50u64.saturating_sub(order * 10))).await;
+                match req {
+                    Request::RenewLease { client } => Response::Lease { client, ttl_ms: order },
+                    _ => Response::Retry { reason: "unexpected".into() },
+                }
+            }
+        })
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn batch_is_one_message_and_demuxes_in_order() {
+        use curp_proto::types::ClientId;
+        let net = MemNetwork::new(1);
+        net.add_simple_server(ServerId(1), staggered_handler());
+        let client = net.client(ServerId(100));
+        let reqs: Vec<Request> =
+            (0..4).map(|i| Request::RenewLease { client: ClientId(i) }).collect();
+        let rsps = client.call_batch(ServerId(1), reqs).await.unwrap();
+        // responses[i] answers requests[i] even though handler completion
+        // order was reversed (ttl_ms records arrival order).
+        for (i, rsp) in rsps.iter().enumerate() {
+            assert_eq!(
+                *rsp,
+                Response::Lease { client: ClientId(i as u64), ttl_ms: i as u64 },
+                "response {i} mismatched"
+            );
+        }
+        // The whole batch crossed the network as one message.
+        let stats = net.stats(ServerId(1)).unwrap();
+        assert_eq!(stats.requests_in.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.responses_out.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn empty_batch_resolves_without_network() {
+        let net = MemNetwork::new(1);
+        // No servers registered: any real call would be Unreachable.
+        let client = net.client(ServerId(100));
+        assert_eq!(client.call_batch(ServerId(9), Vec::new()).await.unwrap(), Vec::new());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn batch_amortizes_dispatch_cost() {
+        // 8 ops through a 5 ms/message dispatch-bound server: one batch pays
+        // 2 dispatch charges total, serial calls pay 2 per op.
+        let net = MemNetwork::new(1);
+        net.set_default_latency(Arc::new(Fixed(Duration::ZERO)));
+        net.set_rpc_timeout(Duration::from_secs(10));
+        net.add_server(
+            ServerId(1),
+            echo_handler(),
+            ServerSpec { dispatch_cost: Duration::from_millis(5) },
+        );
+        let client = net.client(ServerId(100));
+        let t0 = tokio::time::Instant::now();
+        let rsps = client.call_batch(ServerId(1), vec![Request::Sync; 8]).await.unwrap();
+        assert_eq!(rsps, vec![Response::SyncDone; 8]);
+        assert_eq!(t0.elapsed(), Duration::from_millis(10), "one message each way");
     }
 
     #[tokio::test(start_paused = true)]

@@ -16,6 +16,21 @@ use crate::error::RpcError;
 /// A boxed, sendable future — the return type of object-safe async traits.
 pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
 
+/// Drives a set of futures concurrently and collects their outputs in input
+/// order (a minimal `futures::future::join_all`).
+pub async fn join_all<F, T>(futs: impl IntoIterator<Item = F>) -> Vec<T>
+where
+    F: Future<Output = T> + Send + 'static,
+    T: Send + 'static,
+{
+    let handles: Vec<_> = futs.into_iter().map(tokio::spawn).collect();
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await.expect("joined task panicked"));
+    }
+    out
+}
+
 /// Client half: issue a request to a server and await its response.
 pub trait RpcClient: Send + Sync + 'static {
     /// Sends `req` to `to` and resolves with its response.
@@ -24,6 +39,24 @@ pub trait RpcClient: Send + Sync + 'static {
     /// CURP clients deliberately issue the master update and all witness
     /// records in parallel (§3.2.1).
     fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, RpcError>>;
+
+    /// Sends a batch of independent requests to `to` and resolves with the
+    /// positionally matched responses (`responses[i]` answers `reqs[i]`).
+    ///
+    /// Transports that understand [`Request::Batch`] override this to flush
+    /// the whole batch as one write and demultiplex the single
+    /// [`Response::Batch`] reply; the default implementation issues the
+    /// calls individually but concurrently, so any `RpcClient` is batchable.
+    /// An empty batch resolves to an empty vector without touching the
+    /// network. On `Ok`, the response count always equals the request count.
+    fn call_batch(
+        &self,
+        to: ServerId,
+        reqs: Vec<Request>,
+    ) -> BoxFuture<'static, Result<Vec<Response>, RpcError>> {
+        let futs: Vec<_> = reqs.into_iter().map(|r| self.call(to, r)).collect();
+        Box::pin(async move { join_all(futs).await.into_iter().collect() })
+    }
 }
 
 /// Server half: handle one request.
@@ -52,6 +85,17 @@ pub type SharedHandler = Arc<dyn RpcHandler>;
 impl RpcClient for Arc<dyn RpcClient> {
     fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, RpcError>> {
         (**self).call(to, req)
+    }
+
+    fn call_batch(
+        &self,
+        to: ServerId,
+        reqs: Vec<Request>,
+    ) -> BoxFuture<'static, Result<Vec<Response>, RpcError>> {
+        // Forward explicitly so the inner transport's batched fast path is
+        // reached through `Arc<dyn RpcClient>` too (the default method would
+        // otherwise silently fall back to one-call-per-request).
+        (**self).call_batch(to, reqs)
     }
 }
 

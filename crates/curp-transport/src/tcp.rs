@@ -28,7 +28,7 @@ use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::{mpsc, oneshot};
 
 use crate::error::RpcError;
-use crate::rpc::{BoxFuture, RpcClient, SharedHandler};
+use crate::rpc::{join_all, BoxFuture, RpcClient, SharedHandler};
 
 /// Default per-RPC deadline for the TCP transport.
 pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(5);
@@ -130,7 +130,17 @@ async fn serve_connection(stream: TcpStream, handler: SharedHandler) -> std::io:
             let handler = Arc::clone(&handler);
             let wr = Arc::clone(&wr);
             tokio::spawn(async move {
-                let rsp = handler.handle(from, req).await;
+                let rsp = match req {
+                    // A batch frame: handle every inner request concurrently
+                    // and flush ONE positionally-ordered reply envelope (one
+                    // write), however the handlers' completions interleave.
+                    Request::Batch { requests } => {
+                        let futs: Vec<_> =
+                            requests.into_iter().map(|r| handler.handle(from, r)).collect();
+                        Response::Batch { responses: join_all(futs).await }
+                    }
+                    req => handler.handle(from, req).await,
+                };
                 let reply = RpcEnvelope { corr_id, is_response: true, payload: rsp.to_bytes() };
                 let mut guard = wr.lock().await;
                 let (wr, buf) = &mut *guard;
@@ -301,6 +311,26 @@ impl RpcClient for TcpRouter {
     fn call(&self, to: ServerId, req: Request) -> BoxFuture<'static, Result<Response, RpcError>> {
         Box::pin(self.clone().do_call(to, req))
     }
+
+    fn call_batch(
+        &self,
+        to: ServerId,
+        reqs: Vec<Request>,
+    ) -> BoxFuture<'static, Result<Vec<Response>, RpcError>> {
+        // One Batch frame, one envelope, one writer-task write; the reply is
+        // a single Response::Batch demultiplexed back into per-op responses.
+        let router = self.clone();
+        Box::pin(async move {
+            if reqs.is_empty() {
+                return Ok(Vec::new());
+            }
+            let n = reqs.len();
+            match router.do_call(to, Request::Batch { requests: reqs }).await? {
+                Response::Batch { responses } if responses.len() == n => Ok(responses),
+                _ => Err(RpcError::BatchMismatch { to }),
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +389,35 @@ mod tests {
         }
         for j in joins {
             assert_eq!(j.await.unwrap().unwrap(), Response::SyncDone);
+        }
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn batch_flushes_once_and_demuxes_out_of_order_completions() {
+        use curp_proto::types::ClientId;
+        use std::sync::atomic::AtomicU64;
+        // Earlier requests sleep longer, so inner handlers complete in
+        // reverse order; the reply must still be positionally correct.
+        let arrivals = Arc::new(AtomicU64::new(0));
+        let handler: SharedHandler = Arc::new(move |_from: ServerId, req: Request| {
+            let order = arrivals.fetch_add(1, Ordering::Relaxed);
+            async move {
+                tokio::time::sleep(Duration::from_millis(40u64.saturating_sub(order * 10))).await;
+                match req {
+                    Request::RenewLease { client } => Response::Lease { client, ttl_ms: order },
+                    _ => Response::NotOwner,
+                }
+            }
+        });
+        let server = TcpServer::bind("127.0.0.1:0".parse().unwrap(), handler).await.unwrap();
+        let router = TcpRouter::new(ServerId(7));
+        router.add_route(ServerId(1), server.local_addr());
+        let reqs: Vec<Request> =
+            (0..4).map(|i| Request::RenewLease { client: ClientId(i) }).collect();
+        let rsps = router.client().call_batch(ServerId(1), reqs).await.unwrap();
+        for (i, rsp) in rsps.iter().enumerate() {
+            assert_eq!(*rsp, Response::Lease { client: ClientId(i as u64), ttl_ms: i as u64 });
         }
         server.shutdown();
     }

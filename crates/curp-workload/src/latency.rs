@@ -100,6 +100,32 @@ impl LatencyRecorder {
         out
     }
 
+    /// Returns a copy with every sample divided by `divisor` — used to map
+    /// virtual-clock samples (recorded in inflated tokio time, e.g. 1
+    /// virtual ns = 1 tokio ms) back to protocol-scale nanoseconds.
+    pub fn scaled_down(&self, divisor: u64) -> LatencyRecorder {
+        assert!(divisor > 0);
+        LatencyRecorder {
+            samples_ns: self.samples_ns.iter().map(|&s| s / divisor).collect(),
+            sorted: self.sorted,
+        }
+    }
+
+    /// The percentile capture used by throughput/tail reports: median, tail
+    /// percentiles, mean and max, in microseconds.
+    pub fn summary(&mut self) -> LatencySummary {
+        assert!(!self.is_empty(), "no samples recorded");
+        LatencySummary {
+            count: self.len(),
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_ns(0.50) as f64 / 1_000.0,
+            p90_us: self.quantile_ns(0.90) as f64 / 1_000.0,
+            p99_us: self.quantile_ns(0.99) as f64 / 1_000.0,
+            p999_us: self.quantile_ns(0.999) as f64 / 1_000.0,
+            max_us: self.quantile_ns(1.0) as f64 / 1_000.0,
+        }
+    }
+
     /// CDF series (Figure 8): pairs `(latency_us, fraction_at_most)` at the
     /// given resolution (number of points).
     pub fn cdf_us(&mut self, points: usize) -> Vec<(f64, f64)> {
@@ -116,6 +142,25 @@ impl LatencyRecorder {
             })
             .collect()
     }
+}
+
+/// Latency percentiles of one run (see [`LatencyRecorder::summary`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 90th percentile, µs.
+    pub p90_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+    /// Maximum, µs.
+    pub max_us: f64,
 }
 
 #[cfg(test)]
@@ -176,5 +221,24 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 4);
         assert_eq!(a.quantile_ns(1.0), 4_000);
+    }
+
+    #[test]
+    fn scaled_down_divides_samples() {
+        let r = filled(&[1000, 2000]); // 1 ms, 2 ms in ns
+        let mut s = r.scaled_down(1000);
+        assert_eq!(s.quantile_ns(0.0), 1_000);
+        assert_eq!(s.quantile_ns(1.0), 2_000);
+    }
+
+    #[test]
+    fn summary_captures_percentiles() {
+        let mut r = filled(&(1..=1000).collect::<Vec<_>>());
+        let s = r.summary();
+        assert_eq!(s.count, 1000);
+        assert!((s.p50_us - 500.0).abs() <= 1.0);
+        assert!((s.p99_us - 990.0).abs() <= 2.0);
+        assert!((s.max_us - 1000.0).abs() < 1e-9);
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us && s.p99_us <= s.p999_us);
     }
 }

@@ -6,12 +6,17 @@
 //! * [`ycsb`] — the YCSB-A (50/50 read/update) and YCSB-B (95/5) operation
 //!   mixes over `user<N>` keys with 100-byte values, as used in Figure 7;
 //! * [`latency`] — latency recording with percentile and CCDF/CDF series
-//!   extraction matching the axes of Figures 5, 7, 8 and 13.
+//!   extraction matching the axes of Figures 5, 7, 8 and 13;
+//! * [`open_loop`] — a fixed-arrival-rate (open-loop) driver that issues
+//!   operations on a schedule independent of completions and measures
+//!   latency from scheduled arrival, for saturation/tail studies.
 
 pub mod latency;
+pub mod open_loop;
 pub mod ycsb;
 pub mod zipfian;
 
-pub use latency::LatencyRecorder;
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use open_loop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
 pub use ycsb::{Workload, WorkloadOp};
 pub use zipfian::{KeyChooser, Uniform, Zipfian};

@@ -1,0 +1,211 @@
+//! Open-loop (fixed-arrival-rate) load generation.
+//!
+//! A *closed-loop* client issues its next operation only after the previous
+//! one completes, so offered load falls whenever the system slows down —
+//! latency figures measured that way hide queueing. An *open-loop* driver
+//! issues operations on a fixed arrival schedule regardless of completions:
+//! when the system falls behind, requests queue and measured latency grows
+//! without bound, which is exactly the saturation/tail behaviour the paper's
+//! latency-vs-throughput figures (Figure 13) probe. This module provides the
+//! schedule and measurement half; the system-specific submission (which
+//! client, which transport) is a closure supplied by the caller.
+//!
+//! Latency is measured from an operation's **scheduled arrival** to its
+//! completion, so time spent queueing behind a saturated system counts —
+//! the defining property of open-loop measurement (avoids coordinated
+//! omission).
+
+use std::future::Future;
+use std::time::Duration;
+
+use rand::RngCore;
+
+use crate::latency::LatencyRecorder;
+use crate::ycsb::{Workload, WorkloadOp};
+
+/// Arrival schedule for one open-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Fixed inter-arrival gap (the offered rate is `1 / interval`).
+    pub interval: Duration,
+    /// Total operations to issue.
+    pub ops: u64,
+}
+
+/// What one open-loop run observed.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// Operations issued (always `config.ops`).
+    pub issued: u64,
+    /// Operations whose submission future resolved `true`.
+    pub completed: u64,
+    /// Operations whose submission future resolved `false`.
+    pub failed: u64,
+    /// Scheduled-arrival-to-completion latencies, one sample per issued op.
+    pub latency: LatencyRecorder,
+    /// Time from the first scheduled arrival to the last completion.
+    pub elapsed: Duration,
+}
+
+impl OpenLoopReport {
+    /// Completed operations per second of elapsed time.
+    ///
+    /// `time_unit` is the duration of one caller-level second: pass
+    /// `Duration::from_secs(1)` for wall-clock runs, or the virtual-time
+    /// inflation (e.g. 1 virtual second = 1 000 000 tokio seconds) for
+    /// simulated runs.
+    pub fn throughput(&self, time_unit: Duration) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 * time_unit.as_secs_f64() / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs one open-loop pass over `workload`.
+///
+/// Every `config.interval`, the driver draws the next operation and calls
+/// `submit` with it; the returned future is spawned immediately (arrivals
+/// never wait for completions) and must resolve to `true` on success. Any
+/// backpressure the submission path applies — e.g. a pipelined client's
+/// window — happens *inside* the spawned future, so it delays that
+/// operation (and is charged to its latency) without perturbing the arrival
+/// schedule.
+pub async fn run_open_loop<S, F>(
+    workload: &mut Workload,
+    rng: &mut dyn RngCore,
+    config: OpenLoopConfig,
+    mut submit: S,
+) -> OpenLoopReport
+where
+    S: FnMut(WorkloadOp) -> F,
+    F: Future<Output = bool> + Send + 'static,
+{
+    let (tx, mut rx) = tokio::sync::mpsc::unbounded_channel::<(Duration, bool)>();
+    let start = tokio::time::Instant::now();
+    for i in 0..config.ops {
+        let offset = Duration::from_nanos((config.interval.as_nanos() as u64).saturating_mul(i));
+        let scheduled = start + offset;
+        tokio::time::sleep_until(scheduled).await;
+        let fut = submit(workload.next_op(rng));
+        let tx = tx.clone();
+        tokio::spawn(async move {
+            let ok = fut.await;
+            let _ = tx.send((scheduled.elapsed(), ok));
+        });
+    }
+    drop(tx);
+    let mut latency = LatencyRecorder::new();
+    let (mut completed, mut failed) = (0u64, 0u64);
+    while let Some((lat, ok)) = rx.recv().await {
+        latency.record(lat);
+        if ok {
+            completed += 1;
+        } else {
+            failed += 1;
+        }
+    }
+    OpenLoopReport { issued: config.ops, completed, failed, latency, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn sim<F: Future>(fut: F) -> F::Output {
+        let rt = tokio::runtime::Builder::new_current_thread()
+            .enable_time()
+            .start_paused(true)
+            .build()
+            .unwrap();
+        rt.block_on(fut)
+    }
+
+    #[test]
+    fn arrivals_follow_the_schedule_not_the_completions() {
+        // Each op takes 100 ms to complete, arrivals come every 10 ms: a
+        // closed loop would need 100 ms/op, the open loop still issues all
+        // 20 ops inside ~200 ms of schedule + one service time.
+        sim(async {
+            let mut w = Workload::uniform_writes(100);
+            let mut rng = StdRng::seed_from_u64(1);
+            let cfg = OpenLoopConfig { interval: Duration::from_millis(10), ops: 20 };
+            let report = run_open_loop(&mut w, &mut rng, cfg, |_op| async {
+                tokio::time::sleep(Duration::from_millis(100)).await;
+                true
+            })
+            .await;
+            assert_eq!(report.issued, 20);
+            assert_eq!(report.completed, 20);
+            assert_eq!(report.failed, 0);
+            // Last arrival at 190 ms + 100 ms service.
+            assert_eq!(report.elapsed, Duration::from_millis(290));
+        });
+    }
+
+    #[test]
+    fn latency_includes_queueing_from_scheduled_arrival() {
+        // A server that serializes ops with 30 ms service time against a
+        // 10 ms arrival interval: the queue grows, so later ops see larger
+        // scheduled-arrival latency even though service time is constant.
+        sim(async {
+            let mut w = Workload::uniform_writes(100);
+            let mut rng = StdRng::seed_from_u64(2);
+            let gate = Arc::new(tokio::sync::Mutex::new(()));
+            let cfg = OpenLoopConfig { interval: Duration::from_millis(10), ops: 10 };
+            let report = run_open_loop(&mut w, &mut rng, cfg, |_op| {
+                let gate = Arc::clone(&gate);
+                async move {
+                    let _g = gate.lock().await;
+                    tokio::time::sleep(Duration::from_millis(30)).await;
+                    true
+                }
+            })
+            .await;
+            let mut lat = report.latency;
+            // First op runs immediately: exactly its 30 ms service time.
+            assert_eq!(lat.quantile_ns(0.0), 30_000_000);
+            // The server stays busy until 300 ms; whichever op drains last
+            // arrived by 90 ms, so the worst latency is 210–300 ms — far
+            // above service time, because queueing is charged to the op.
+            let worst = lat.quantile_ns(1.0);
+            assert!((210_000_000..=300_000_000).contains(&worst), "worst-case latency {worst} ns");
+        });
+    }
+
+    #[test]
+    fn failures_are_counted_separately() {
+        sim(async {
+            let mut w = Workload::uniform_writes(100);
+            let mut rng = StdRng::seed_from_u64(3);
+            let n = Arc::new(AtomicU64::new(0));
+            let cfg = OpenLoopConfig { interval: Duration::from_millis(1), ops: 10 };
+            let report = run_open_loop(&mut w, &mut rng, cfg, |_op| {
+                let n = Arc::clone(&n);
+                async move { n.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) }
+            })
+            .await;
+            assert_eq!(report.completed, 5);
+            assert_eq!(report.failed, 5);
+            assert_eq!(report.latency.len(), 10);
+        });
+    }
+
+    #[test]
+    fn throughput_respects_the_time_unit() {
+        let report = OpenLoopReport {
+            issued: 100,
+            completed: 100,
+            failed: 0,
+            latency: LatencyRecorder::new(),
+            elapsed: Duration::from_secs(2),
+        };
+        assert!((report.throughput(Duration::from_secs(1)) - 50.0).abs() < 1e-9);
+        // 1 caller-second == 1000 elapsed-seconds (virtual inflation).
+        assert!((report.throughput(Duration::from_secs(1000)) - 50_000.0).abs() < 1e-6);
+    }
+}

@@ -29,6 +29,35 @@
 //! assert_eq!(written, OpResult::Written { version: 1 });
 //! ```
 //!
+//! ## Pipelined throughput
+//!
+//! The one-op-at-a-time client above is round-trip bound. For throughput,
+//! wrap it in [`core::client::PipelinedClient`]: a windowed, batching front
+//! end that keeps many operations in flight per partition, flushes them as
+//! single-write `Batch` frames, and routes by key hash across all masters.
+//!
+//! ```
+//! use curp::core::client::{PipelineConfig, PipelinedClient};
+//! use curp::sim::{run_sim, SimCluster, Mode, RamcloudParams};
+//! use curp::proto::op::{Op, OpResult};
+//! use bytes::Bytes;
+//!
+//! run_sim(async {
+//!     let cluster =
+//!         SimCluster::build_partitioned(Mode::Curp, RamcloudParams::new(3), 4).await;
+//!     let pipe = PipelinedClient::new(cluster.client(0).await, PipelineConfig::default());
+//!     let mut completions = Vec::new();
+//!     for i in 0..64 {
+//!         let op = Op::Put { key: Bytes::from(format!("k{i}")), value: Bytes::from("v") };
+//!         // Suspends only when the target partition's window (16) is full.
+//!         completions.push(pipe.submit(op).await.unwrap());
+//!     }
+//!     for c in completions {
+//!         assert!(matches!(c.await.unwrap(), OpResult::Written { .. }));
+//!     }
+//! });
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -41,7 +70,7 @@
 //! | [`core`] | master, backup, client, coordinator, recovery |
 //! | [`consensus`] | the §A.2 consensus extension (Raft-style + witnesses) |
 //! | [`sim`] | calibrated cluster models and the linearizability checker |
-//! | [`workload`] | YCSB/Zipfian generators and latency recorders |
+//! | [`workload`] | YCSB/Zipfian generators, latency recorders, and the open-loop load driver |
 
 pub use curp_consensus as consensus;
 pub use curp_core as core;
