@@ -20,12 +20,12 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use curp_core::client::PipelineConfig;
-use curp_proto::message::{RecordedRequest, Request};
-use curp_proto::op::Op;
+use curp_proto::message::{LogEntry, RecordedRequest, Request};
+use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{ClientId, KeyHash, MasterId, RpcId, WitnessListVersion};
 use curp_proto::wire::{Decode, Encode};
 use curp_sim::{run_sim, to_virtual_ns, Mode, RamcloudParams, SimCluster};
-use curp_storage::{ShardedStore, Store};
+use curp_storage::{Aof, FsyncPolicy, ShardedStore, Store};
 use curp_witness::{CacheConfig, WitnessCache, WitnessService};
 
 fn request(seq: u64, key: u64) -> RecordedRequest {
@@ -314,6 +314,61 @@ fn bench_contention(c: &mut Criterion) {
     });
 }
 
+// ---- durable path: the backup's per-sync-round AOF write --------------------
+//
+// `aof_append_batch_fsync` prices exactly what a durable backup pays per
+// sync round before it may acknowledge (DESIGN.md invariant 7): one
+// `append_batch` of 50 entries + one fsync (§C.2's batching — compare
+// ~50x this per-entry cost for `appendfsync always`). The `_nofsync` twin
+// isolates the encode+write cost so the fsync share is visible in the
+// trajectory. Real wall-clock disk numbers; the bench caps the physical
+// rounds per sample and extrapolates, so the file stays small (~8 KiB per
+// round) at any requested iteration count.
+
+fn aof_round_time(iters: u64, policy: FsyncPolicy) -> Duration {
+    const CAP: u64 = 64;
+    let rounds = iters.clamp(1, CAP);
+    let path =
+        std::env::temp_dir().join(format!("curp-bench-aof-{}-{policy:?}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let batch: Vec<LogEntry> = (0..50u64)
+        .map(|i| LogEntry {
+            seq: i,
+            rpc_id: Some(RpcId::new(ClientId(1), i + 1)),
+            op: Op::Put {
+                key: Bytes::from(i.to_le_bytes().to_vec()),
+                value: Bytes::from(vec![b'x'; 100]),
+            },
+            result: OpResult::Written { version: i + 1 },
+        })
+        .collect();
+    let mut aof = Aof::open(&path, policy).expect("open bench aof");
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        aof.append_batch(&batch).expect("append");
+        aof.sync().expect("fsync");
+    }
+    let elapsed = t0.elapsed();
+    drop(aof);
+    let _ = std::fs::remove_file(&path);
+    if rounds == iters {
+        elapsed
+    } else {
+        Duration::from_nanos(
+            (elapsed.as_nanos() as f64 * iters as f64 / rounds as f64).round() as u64
+        )
+    }
+}
+
+fn bench_aof(c: &mut Criterion) {
+    c.bench_function("aof_append_batch_fsync", |b| {
+        b.iter_custom(|iters| aof_round_time(iters, FsyncPolicy::Manual))
+    });
+    c.bench_function("aof_append_batch_nofsync", |b| {
+        b.iter_custom(|iters| aof_round_time(iters, FsyncPolicy::Never))
+    });
+}
+
 fn bench_codec(c: &mut Criterion) {
     let req = Request::ClientUpdate {
         rpc_id: RpcId::new(ClientId(7), 1234),
@@ -425,7 +480,7 @@ fn bench_commutativity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_witness, bench_store, bench_contention, bench_codec, bench_commutativity
+    targets = bench_witness, bench_store, bench_contention, bench_aof, bench_codec, bench_commutativity
 }
 criterion_group! {
     name = client_benches;

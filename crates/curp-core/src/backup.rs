@@ -6,17 +6,46 @@
 //! determinism as it goes, and fences stale master epochs to neutralize
 //! zombies (§4.7). During recovery it serves its materialized state as a
 //! [`Snapshot`] (the "restoration from backups" step, §3.3).
+//!
+//! ## Durability (§5.4)
+//!
+//! A backup built with [`BackupService::durable`] keeps one append-only
+//! file per master under its data directory and follows the write-ahead
+//! discipline: every sync round's applicable entries are appended and
+//! fsynced **before** they are applied or acknowledged — "log client
+//! requests to an append-only file and invoke fsync before responding"
+//! (§5.4), with one `write + fsync` per round, the §C.2 batching. A master
+//! recovery install persists the snapshot (plus its fencing epoch) next to
+//! the AOF. After a whole-cluster power loss,
+//! [`BackupService::restore_from_aof`] rebuilds each replica from
+//! the snapshot + AOF suffix, so everything a backup ever acknowledged
+//! survives the restart — the invariant `Coordinator::restart_cluster`
+//! builds on.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
+use bytes::Buf;
 use curp_proto::message::{LogEntry, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{Epoch, MasterId};
 use curp_rifl::RiflTable;
-use curp_storage::Store;
+use curp_storage::{Aof, FsyncPolicy, Store};
 use parking_lot::Mutex;
 
 use crate::snapshot::Snapshot;
+
+fn aof_path(dir: &Path, master: MasterId) -> PathBuf {
+    dir.join(format!("master-{}.aof", master.0))
+}
+
+fn snap_path(dir: &Path, master: MasterId) -> PathBuf {
+    dir.join(format!("master-{}.snap", master.0))
+}
+
+fn corrupt(what: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what)
+}
 
 struct Replica {
     store: Store,
@@ -27,16 +56,25 @@ struct Replica {
     /// replicate entries from several worker threads concurrently, so a
     /// later entry can arrive first; it is buffered, not rejected).
     reorder: std::collections::BTreeMap<u64, LogEntry>,
+    /// Write-ahead log handle (`None` on a memory-only service).
+    aof: Option<Aof>,
+    /// Set after a persistence failure: the on-disk suffix is unknown, so
+    /// the replica refuses every further sync (fail-stop) rather than ack
+    /// entries whose durability it cannot vouch for. Cleared only by a cold
+    /// restart, which re-reads the disk.
+    wedged: bool,
 }
 
 impl Replica {
-    fn new(epoch: Epoch) -> Self {
+    fn new(epoch: Epoch, aof: Option<Aof>) -> Self {
         Replica {
             store: Store::new(),
             rifl: RiflTable::new(),
             next_seq: 0,
             epoch,
             reorder: std::collections::BTreeMap::new(),
+            aof,
+            wedged: false,
         }
     }
 
@@ -48,60 +86,161 @@ impl Replica {
         }
         self.next_seq += 1;
     }
+}
 
-    fn drain_reorder(&mut self) {
-        while let Some(e) = self.reorder.remove(&self.next_seq) {
-            self.apply(&e);
-        }
-    }
+/// Outcome of one [`BackupService::sync`] round.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// Entries staged/applied; everything at `seq < next_seq` is durable
+    /// (fsynced, on a durable service) on this backup.
+    Applied {
+        /// Next expected sequence number.
+        next_seq: u64,
+    },
+    /// The sender's epoch is stale — it is a fenced zombie (§4.7).
+    Fenced {
+        /// Next expected sequence number (for the sender's diagnostics).
+        next_seq: u64,
+    },
+    /// The write-ahead append or fsync failed; nothing was acknowledged and
+    /// the replica is wedged until a cold restart.
+    PersistFailed {
+        /// The underlying I/O error.
+        error: String,
+    },
 }
 
 /// A backup server hosting one replica per master.
 #[derive(Default)]
 pub struct BackupService {
     replicas: Mutex<HashMap<MasterId, Replica>>,
+    /// Data directory for the per-master AOFs + snapshots (`None` =
+    /// memory-only, the pre-§5.4 configuration).
+    dir: Option<PathBuf>,
 }
 
 impl BackupService {
-    /// Creates an empty backup service.
+    /// Creates an empty, memory-only backup service.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Applies a sync batch. Returns `(accepted, next_seq)`.
+    /// Creates (or reopens) a durable backup service rooted at `dir`,
+    /// restoring every replica that survives on disk — the cold-restart
+    /// entry point. See the module docs for the write-ahead discipline.
+    pub fn durable(dir: impl Into<PathBuf>) -> std::io::Result<BackupService> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let svc = BackupService { replicas: Mutex::new(HashMap::new()), dir: Some(dir) };
+        svc.restore_all_from_disk()?;
+        Ok(svc)
+    }
+
+    /// Whether this service persists its replicas.
+    pub fn is_durable(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Looks up (creating if absent) the replica for `master`. Creation
+    /// opens the write-ahead AOF on a durable service, which can fail.
+    fn replica_entry<'a>(
+        dir: Option<&Path>,
+        replicas: &'a mut HashMap<MasterId, Replica>,
+        master: MasterId,
+        epoch: Epoch,
+    ) -> std::io::Result<&'a mut Replica> {
+        use std::collections::hash_map::Entry;
+        match replicas.entry(master) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(v) => {
+                let aof = dir
+                    .map(|d| Aof::open(&aof_path(d, master), FsyncPolicy::Manual))
+                    .transpose()?;
+                Ok(v.insert(Replica::new(epoch, aof)))
+            }
+        }
+    }
+
+    /// Applies a sync batch.
     ///
-    /// * A stale epoch is rejected (`accepted == false`): the sender is a
-    ///   fenced zombie (§4.7).
+    /// * A stale epoch is [`SyncOutcome::Fenced`]: the sender is a zombie
+    ///   (§4.7).
     /// * Entries below `next_seq` are duplicates from a retried sync and are
     ///   skipped idempotently.
     /// * Entries above `next_seq` are buffered and applied once their
     ///   predecessors arrive (concurrent replication from multiple master
     ///   workers may reorder batches in flight).
-    pub fn sync(&self, master: MasterId, epoch: Epoch, entries: &[LogEntry]) -> (bool, u64) {
+    /// * On a durable service the round's applicable entries are appended
+    ///   and fsynced **before** being applied: an `Applied` ack implies the
+    ///   covering fsync happened (DESIGN.md invariant 7). A failed append
+    ///   wedges the replica — fail-stop, never an unbacked ack.
+    pub fn sync(&self, master: MasterId, epoch: Epoch, entries: &[LogEntry]) -> SyncOutcome {
         let mut replicas = self.replicas.lock();
-        let replica = replicas.entry(master).or_insert_with(|| Replica::new(epoch));
+        let replica = match Self::replica_entry(self.dir.as_deref(), &mut replicas, master, epoch) {
+            Ok(r) => r,
+            Err(e) => return SyncOutcome::PersistFailed { error: format!("open aof: {e}") },
+        };
+        // Fencing is answered before the wedge: a deposed zombie must learn
+        // it was fenced (and seal itself) even from a backup that can no
+        // longer persist — Retry would have it retry forever, unsealed.
         if epoch < replica.epoch {
-            return (false, replica.next_seq);
+            return SyncOutcome::Fenced { next_seq: replica.next_seq };
         }
         replica.epoch = epoch;
-        for e in entries {
-            if e.seq < replica.next_seq {
-                continue; // idempotent re-send
-            }
-            if e.seq > replica.next_seq {
-                replica.reorder.insert(e.seq, e.clone());
-                continue;
-            }
-            replica.apply(e);
-            replica.drain_reorder();
+        if replica.wedged {
+            return SyncOutcome::PersistFailed { error: "replica wedged (fail-stop)".into() };
         }
-        (true, replica.next_seq)
+        // Common case first: the batch is exactly the next contiguous run
+        // (masters send seq-sorted batches) and nothing is buffered — apply
+        // straight from the slice, no staging clones, no map churn. The
+        // general path (gaps, interleaved duplicates, buffered entries)
+        // stages through the reorder map.
+        let dup_prefix = entries.iter().take_while(|e| e.seq < replica.next_seq).count();
+        let fresh = &entries[dup_prefix..];
+        let contiguous = replica.reorder.is_empty()
+            && fresh.iter().enumerate().all(|(i, e)| e.seq == replica.next_seq + i as u64);
+        let staged: Vec<LogEntry>;
+        let ready: &[LogEntry] = if contiguous {
+            fresh
+        } else {
+            for e in fresh {
+                if e.seq >= replica.next_seq {
+                    replica.reorder.insert(e.seq, e.clone());
+                }
+            }
+            let mut run = Vec::new();
+            let mut n = replica.next_seq;
+            while let Some(e) = replica.reorder.remove(&n) {
+                run.push(e);
+                n += 1;
+            }
+            staged = run;
+            &staged
+        };
+        // Write-ahead: one append + one fsync per sync round, before apply.
+        if let Some(aof) = replica.aof.as_mut() {
+            if !ready.is_empty() {
+                if let Err(e) = aof.append_batch(ready).and_then(|()| aof.sync()) {
+                    replica.wedged = true;
+                    return SyncOutcome::PersistFailed { error: format!("aof append: {e}") };
+                }
+            }
+        }
+        for e in ready {
+            replica.apply(e);
+        }
+        SyncOutcome::Applied { next_seq: replica.next_seq }
     }
 
     /// Raises the fencing epoch for `master` (coordinator, pre-recovery §4.7).
     pub fn set_epoch(&self, master: MasterId, epoch: Epoch) {
         let mut replicas = self.replicas.lock();
-        let replica = replicas.entry(master).or_insert_with(|| Replica::new(epoch));
+        let Ok(replica) = Self::replica_entry(self.dir.as_deref(), &mut replicas, master, epoch)
+        else {
+            // The AOF could not even be opened: syncs will fail the same
+            // way, so the fence is moot — there is nothing to protect.
+            return;
+        };
         if epoch > replica.epoch {
             replica.epoch = epoch;
         }
@@ -113,26 +252,183 @@ impl BackupService {
     /// restore then starts from an empty state (everything it executed lives
     /// only on witnesses), so an absent replica yields an empty snapshot.
     pub fn fetch(&self, master: MasterId) -> (u64, Snapshot) {
-        let mut replicas = self.replicas.lock();
-        let replica = replicas.entry(master).or_insert_with(|| Replica::new(Epoch(0)));
-        (replica.next_seq, Snapshot::capture(&replica.store, &replica.rifl, replica.next_seq))
+        let replicas = self.replicas.lock();
+        match replicas.get(&master) {
+            Some(r) => (r.next_seq, Snapshot::capture(&r.store, &r.rifl, r.next_seq)),
+            None => (0, Snapshot::capture(&Store::new(), &RiflTable::new(), 0)),
+        }
     }
 
     /// Replaces (or creates) the replica for `master` from a snapshot.
-    /// Rejects stale epochs, like [`sync`](Self::sync).
-    pub fn install(&self, master: MasterId, epoch: Epoch, next_seq: u64, snap: &Snapshot) -> bool {
+    /// Returns `Ok(false)` for a stale epoch, like [`sync`](Self::sync);
+    /// `Err` when a durable service cannot persist the install.
+    pub fn install(
+        &self,
+        master: MasterId,
+        epoch: Epoch,
+        next_seq: u64,
+        snap: &Snapshot,
+    ) -> std::io::Result<bool> {
         let mut replicas = self.replicas.lock();
         if let Some(existing) = replicas.get(&master) {
             if epoch < existing.epoch {
-                return false;
+                return Ok(false);
             }
         }
+        let aof = match &self.dir {
+            Some(dir) => {
+                Self::persist_install(dir, master, epoch, next_seq, snap)?;
+                Some(Aof::open(&aof_path(dir, master), FsyncPolicy::Manual)?)
+            }
+            None => None,
+        };
         let (store, rifl) = snap.restore();
         replicas.insert(
             master,
-            Replica { store, rifl, next_seq, epoch, reorder: std::collections::BTreeMap::new() },
+            Replica {
+                store,
+                rifl,
+                next_seq,
+                epoch,
+                reorder: std::collections::BTreeMap::new(),
+                aof,
+                wedged: false,
+            },
         );
-        true
+        Ok(true)
+    }
+
+    /// Persists an installed snapshot: header (epoch, next_seq) + blob,
+    /// written to a temp file, fsynced, renamed over the `.snap` path —
+    /// then the AOF is truncated (subsequent syncs continue from
+    /// `next_seq`). Crash between the rename and the truncate leaves stale
+    /// AOF entries below `next_seq`, which
+    /// [`BackupService::restore_from_aof`] skips.
+    fn persist_install(
+        dir: &Path,
+        master: MasterId,
+        epoch: Epoch,
+        next_seq: u64,
+        snap: &Snapshot,
+    ) -> std::io::Result<()> {
+        let tmp = dir.join(format!("master-{}.snap.tmp", master.0));
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&epoch.0.to_le_bytes())?;
+            f.write_all(&next_seq.to_le_bytes())?;
+            f.write_all(&snap.to_blob())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, snap_path(dir, master))?;
+        let aof = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(aof_path(dir, master))?;
+        aof.sync_data()?;
+        // The rename and any file creation live in the directory: flush it,
+        // or a power loss can forget the whole install (fsynced contents
+        // with no directory entry are unreachable).
+        curp_storage::fsync_dir(dir)
+    }
+
+    /// Rebuilds the replica for `master` from its on-disk state — the
+    /// persisted snapshot (if any) plus the AOF suffix — replaying entries
+    /// in order and verifying deterministic results. Returns the restored
+    /// `next_seq`. A torn AOF tail is discarded (it was never acknowledged:
+    /// the fsync precedes every ack); a seq gap or mid-log corruption is an
+    /// error.
+    pub fn restore_from_aof(&self, master: MasterId) -> std::io::Result<u64> {
+        let dir = self
+            .dir
+            .clone()
+            .ok_or_else(|| corrupt("restore_from_aof on a memory-only service".into()))?;
+        let (mut store, mut rifl, mut next_seq, epoch) =
+            match std::fs::read(snap_path(&dir, master)) {
+                Ok(raw) => Self::parse_snap(&raw)?,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    (Store::new(), RiflTable::new(), 0, Epoch(0))
+                }
+                Err(e) => return Err(e),
+            };
+        let outcome = Aof::load(&aof_path(&dir, master))?;
+        for e in &outcome.entries {
+            if e.seq < next_seq {
+                continue; // pre-install remnant (see persist_install)
+            }
+            if e.seq > next_seq {
+                return Err(corrupt(format!(
+                    "gap in AOF for {master:?}: expected seq {next_seq}, found {}",
+                    e.seq
+                )));
+            }
+            let result = store.execute(&e.op);
+            if result != e.result {
+                // A hard error, not an assert: a replica whose replay
+                // diverges from what was acknowledged would hand clients
+                // exactly-once answers that no longer match its state.
+                return Err(corrupt(format!(
+                    "nondeterministic replay of entry {}: got {result:?}, logged {:?}",
+                    e.seq, e.result
+                )));
+            }
+            if let Some(id) = e.rpc_id {
+                rifl.record(id, e.result.clone());
+            }
+            next_seq += 1;
+        }
+        // Cut any torn tail off the file before appending again: new
+        // entries written after the leftover bytes would hide behind the
+        // tear's stale length prefix and poison the next restart's load.
+        Aof::truncate_to_clean(&aof_path(&dir, master), &outcome)?;
+        let aof = Aof::open(&aof_path(&dir, master), FsyncPolicy::Manual)?;
+        self.replicas.lock().insert(
+            master,
+            Replica {
+                store,
+                rifl,
+                next_seq,
+                epoch,
+                reorder: std::collections::BTreeMap::new(),
+                aof: Some(aof),
+                wedged: false,
+            },
+        );
+        Ok(next_seq)
+    }
+
+    fn parse_snap(raw: &[u8]) -> std::io::Result<(Store, RiflTable, u64, Epoch)> {
+        let mut buf = raw;
+        if buf.remaining() < 16 {
+            return Err(corrupt("snap file shorter than its header".into()));
+        }
+        let epoch = Epoch(buf.get_u64_le());
+        let next_seq = buf.get_u64_le();
+        let snap = Snapshot::from_blob(buf).map_err(|e| corrupt(format!("snap blob: {e}")))?;
+        let (store, rifl) = snap.restore();
+        Ok((store, rifl, next_seq, epoch))
+    }
+
+    /// Restores every master whose files survive in the data directory.
+    /// Returns the restored ids (sorted). No-op on a memory-only service.
+    pub fn restore_all_from_disk(&self) -> std::io::Result<Vec<MasterId>> {
+        let Some(dir) = self.dir.clone() else { return Ok(Vec::new()) };
+        let mut ids = std::collections::BTreeSet::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            let Some(rest) = name.strip_prefix("master-") else { continue };
+            if let Some(id) = rest.strip_suffix(".aof").or_else(|| rest.strip_suffix(".snap")) {
+                if let Ok(n) = id.parse::<u64>() {
+                    ids.insert(MasterId(n));
+                }
+            }
+        }
+        for &m in &ids {
+            self.restore_from_aof(m)?;
+        }
+        Ok(ids.into_iter().collect())
     }
 
     /// Executes a read-only op against the replica (possibly stale — callers
@@ -146,9 +442,35 @@ impl BackupService {
         Some(replica.store.execute(op))
     }
 
-    /// Drops the replica for `master` (post-recovery cleanup).
+    /// Drops the replica state for `master` (post-recovery cleanup),
+    /// shrinking its on-disk footprint to a tombstone on a durable service.
+    /// Only safe once the successor master's install is durable everywhere
+    /// — the coordinator calls this after every backup acknowledged the
+    /// `BackupInstall`.
+    ///
+    /// The map entry survives as a *fencing tombstone*: the epoch keeps
+    /// rejecting the dead incarnation's zombie syncs (§4.7), which must
+    /// outlive the data — including across this backup's own restart, so on
+    /// a durable service the tombstone is persisted as an empty snapshot
+    /// carrying the epoch (the AOF is deleted). Master ids are never
+    /// reissued, so no legitimate sync ever targets the tombstone.
     pub fn drop_replica(&self, master: MasterId) {
-        self.replicas.lock().remove(&master);
+        let mut replicas = self.replicas.lock();
+        let Some(r) = replicas.get_mut(&master) else { return };
+        let epoch = r.epoch;
+        *r = Replica::new(epoch, None); // closes the AOF handle
+        if let Some(dir) = &self.dir {
+            // Persist the fence (empty snapshot + epoch; persist_install
+            // also truncates the AOF), then delete the AOF file. Best
+            // effort beyond the fence: if the tombstone cannot be written,
+            // keep the old files — stale data is recoverable garbage, a
+            // lost fence is a zombie hole.
+            let empty = Snapshot::capture(&Store::new(), &RiflTable::new(), 0);
+            if Self::persist_install(dir, master, epoch, 0, &empty).is_ok() {
+                let _ = std::fs::remove_file(aof_path(dir, master));
+                let _ = curp_storage::fsync_dir(dir);
+            }
+        }
     }
 
     /// Next expected sequence number, if the replica exists (diagnostics).
@@ -160,8 +482,19 @@ impl BackupService {
     pub fn handle_request(&self, req: &Request) -> Response {
         match req {
             Request::BackupSync { master_id, epoch, entries } => {
-                let (accepted, next_seq) = self.sync(*master_id, *epoch, entries);
-                Response::BackupSynced { accepted, next_seq }
+                match self.sync(*master_id, *epoch, entries) {
+                    SyncOutcome::Applied { next_seq } => {
+                        Response::BackupSynced { accepted: true, next_seq }
+                    }
+                    SyncOutcome::Fenced { next_seq } => {
+                        Response::BackupSynced { accepted: false, next_seq }
+                    }
+                    // Not a fencing verdict: the master retries, and a
+                    // wedged backup stays unavailable until cold restart.
+                    SyncOutcome::PersistFailed { error } => {
+                        Response::Retry { reason: format!("backup persist failed: {error}") }
+                    }
+                }
             }
             Request::BackupFetch { master_id } => {
                 let (next_seq, snap) = self.fetch(*master_id);
@@ -169,10 +502,13 @@ impl BackupService {
             }
             Request::BackupInstall { master_id, epoch, next_seq, snapshot } => {
                 match Snapshot::from_blob(snapshot) {
-                    Ok(snap) if self.install(*master_id, *epoch, *next_seq, &snap) => {
-                        Response::BackupInstalled
-                    }
-                    Ok(_) => Response::Retry { reason: "stale install epoch".into() },
+                    Ok(snap) => match self.install(*master_id, *epoch, *next_seq, &snap) {
+                        Ok(true) => Response::BackupInstalled,
+                        Ok(false) => Response::Retry { reason: "stale install epoch".into() },
+                        Err(e) => {
+                            Response::Retry { reason: format!("install persist failed: {e}") }
+                        }
+                    },
                     Err(e) => Response::Retry { reason: format!("bad snapshot: {e}") },
                 }
             }
@@ -210,10 +546,20 @@ mod tests {
         }
     }
 
+    /// Legacy-shaped wrapper so the pre-`SyncOutcome` assertions read
+    /// unchanged: `(accepted, next_seq)`.
+    fn sync2(bs: &BackupService, m: MasterId, e: Epoch, entries: &[LogEntry]) -> (bool, u64) {
+        match bs.sync(m, e, entries) {
+            SyncOutcome::Applied { next_seq } => (true, next_seq),
+            SyncOutcome::Fenced { next_seq } => (false, next_seq),
+            SyncOutcome::PersistFailed { error } => panic!("unexpected persist failure: {error}"),
+        }
+    }
+
     #[test]
     fn applies_ordered_entries() {
         let bs = BackupService::new();
-        let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "2", 1)]);
+        let (ok, next) = sync2(&bs, M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "2", 1)]);
         assert!(ok);
         assert_eq!(next, 2);
         assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(Some(b("1")))));
@@ -222,9 +568,9 @@ mod tests {
     #[test]
     fn duplicate_entries_are_idempotent() {
         let bs = BackupService::new();
-        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1)]);
+        sync2(&bs, M, Epoch(0), &[entry(0, "a", "1", 1)]);
         // Re-send of the same batch plus one new entry.
-        let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "a", "2", 2)]);
+        let (ok, next) = sync2(&bs, M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "a", "2", 2)]);
         assert!(ok);
         assert_eq!(next, 2);
         assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(Some(b("2")))));
@@ -233,12 +579,12 @@ mod tests {
     #[test]
     fn out_of_order_entries_are_buffered_until_contiguous() {
         let bs = BackupService::new();
-        let (ok, next) = bs.sync(M, Epoch(0), &[entry(1, "a", "2", 2)]);
+        let (ok, next) = sync2(&bs, M, Epoch(0), &[entry(1, "a", "2", 2)]);
         assert!(ok, "future entry is buffered, not refused");
         assert_eq!(next, 0, "nothing applied yet");
         // Reads do not see buffered entries.
         assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(None)));
-        let (ok, next) = bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1)]);
+        let (ok, next) = sync2(&bs, M, Epoch(0), &[entry(0, "a", "1", 1)]);
         assert!(ok);
         assert_eq!(next, 2, "gap filled; both applied in order");
         assert_eq!(bs.read(M, &Op::Get { key: b("a") }), Some(OpResult::Value(Some(b("2")))));
@@ -247,12 +593,12 @@ mod tests {
     #[test]
     fn zombie_epoch_fenced() {
         let bs = BackupService::new();
-        bs.sync(M, Epoch(1), &[entry(0, "a", "1", 1)]);
+        sync2(&bs, M, Epoch(1), &[entry(0, "a", "1", 1)]);
         bs.set_epoch(M, Epoch(2));
-        let (ok, _) = bs.sync(M, Epoch(1), &[entry(1, "a", "2", 2)]);
+        let (ok, _) = sync2(&bs, M, Epoch(1), &[entry(1, "a", "2", 2)]);
         assert!(!ok, "stale-epoch sync must be rejected");
         // The new epoch's syncs are fine.
-        let (ok, _) = bs.sync(M, Epoch(2), &[entry(1, "a", "2", 2)]);
+        let (ok, _) = sync2(&bs, M, Epoch(2), &[entry(1, "a", "2", 2)]);
         assert!(ok);
     }
 
@@ -261,7 +607,7 @@ mod tests {
         let bs = BackupService::new();
         bs.set_epoch(M, Epoch(5));
         bs.set_epoch(M, Epoch(3));
-        let (ok, _) = bs.sync(M, Epoch(4), &[]);
+        let (ok, _) = sync2(&bs, M, Epoch(4), &[]);
         assert!(!ok);
     }
 
@@ -276,12 +622,12 @@ mod tests {
     #[test]
     fn fetch_install_roundtrip() {
         let bs = BackupService::new();
-        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "2", 1)]);
+        sync2(&bs, M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "2", 1)]);
         let (next, snap) = bs.fetch(M);
         assert_eq!(next, 2);
 
         let target = BackupService::new();
-        assert!(target.install(MasterId(2), Epoch(1), next, &snap));
+        assert!(target.install(MasterId(2), Epoch(1), next, &snap).unwrap());
         assert_eq!(
             target.read(MasterId(2), &Op::Get { key: b("b") }),
             Some(OpResult::Value(Some(b("2"))))
@@ -296,21 +642,21 @@ mod tests {
         let bs = BackupService::new();
         bs.set_epoch(M, Epoch(5));
         let snap = Snapshot::capture(&Store::new(), &RiflTable::new(), 0);
-        assert!(!bs.install(M, Epoch(4), 0, &snap));
-        assert!(bs.install(M, Epoch(5), 0, &snap));
+        assert!(!bs.install(M, Epoch(4), 0, &snap).unwrap());
+        assert!(bs.install(M, Epoch(5), 0, &snap).unwrap());
     }
 
     #[test]
     fn read_rejects_mutations() {
         let bs = BackupService::new();
-        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1)]);
+        sync2(&bs, M, Epoch(0), &[entry(0, "a", "1", 1)]);
         assert_eq!(bs.read(M, &Op::Put { key: b("a"), value: b("2") }), None);
     }
 
     #[test]
     fn rifl_records_accumulate() {
         let bs = BackupService::new();
-        bs.sync(M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "1", 1)]);
+        sync2(&bs, M, Epoch(0), &[entry(0, "a", "1", 1), entry(1, "b", "1", 1)]);
         let replicas = bs.replicas.lock();
         assert_eq!(replicas.get(&M).unwrap().rifl.record_count(), 2);
     }

@@ -232,6 +232,17 @@ impl Coordinator {
             part.witnesses.iter().map(|&w| rpc.call(w, Request::WitnessEnd { master_id: crashed }));
         let _ = futures_join_all(ends).await;
 
+        // Drop the crashed master's replicas (and, on durable backups,
+        // their on-disk AOF/snapshot). Safe here: `Master::recover` returned
+        // only after every backup acknowledged the new master's install, so
+        // the old files can never be needed again. Control-plane direct
+        // handles, like the rest of the coordinator's orchestration.
+        for &b in &part.backups {
+            if let Ok(srv) = self.server(b) {
+                srv.backup().drop_replica(crashed);
+            }
+        }
+
         let mut st = self.st.lock();
         if let Some(p) = st.config.partitions.iter_mut().find(|p| p.master_id == crashed) {
             p.master_id = new_id;
@@ -241,6 +252,33 @@ impl Coordinator {
         }
         st.config.version += 1;
         Ok(new_id)
+    }
+
+    /// Rebuilds the whole cluster after a power loss (§5.4's crash model
+    /// applied to every server at once).
+    ///
+    /// Precondition: every server process has been restarted from its
+    /// on-disk state (`CurpServer::new_durable` over the same data
+    /// directories — backups replay their AOFs, witnesses their journals)
+    /// and re-registered with this coordinator and the transport. The
+    /// coordinator itself models the consensus-replicated configuration
+    /// store the paper assumes as given, so its partition map survives.
+    ///
+    /// Each partition then runs the standard crash recovery (§4.6) with the
+    /// *whole cluster* as the casualty: fence the dead incarnation's epoch,
+    /// restore the synced prefix from a backup's replayed AOF, replay the
+    /// unsynced suffix from a journaled witness (RIFL filters overlap), and
+    /// publish the rebuilt partition map. Returns the new master ids in
+    /// partition order.
+    pub async fn restart_cluster(&self) -> Result<Vec<MasterId>, String> {
+        let parts = self.st.lock().config.partitions.clone();
+        let mut new_ids = Vec::with_capacity(parts.len());
+        for p in &parts {
+            // The new master lands on the same server that hosted it before
+            // the outage; per-partition recovery handles everything else.
+            new_ids.push(self.recover_master(p.master_id, p.master).await?);
+        }
+        Ok(new_ids)
     }
 
     /// Replaces a crashed/decommissioned witness (§3.6): start an instance on

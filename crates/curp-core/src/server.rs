@@ -6,36 +6,90 @@
 //! direct (in-process) handles to `CurpServer`s for control-plane actions —
 //! installing and recovering masters — while all data-plane traffic flows
 //! through the transport.
+//!
+//! A server built with [`CurpServer::new_durable`] survives power loss: its
+//! backup role write-ahead-logs every sync round to per-master AOFs and its
+//! witness role journals every mutation before acknowledging (§3.2.2's
+//! non-volatile witness memory, §5.4's fsync-before-respond). Re-creating
+//! the server over the same data directory replays both, which is the
+//! per-process half of `Coordinator::restart_cluster`.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use curp_proto::message::{Request, Response};
 use curp_proto::types::ServerId;
 use curp_transport::rpc::{BoxFuture, RpcHandler};
 use curp_witness::cache::CacheConfig;
-use curp_witness::WitnessService;
+use curp_witness::{JournaledWitness, WitnessService};
 use parking_lot::Mutex;
 
 use crate::backup::BackupService;
 use crate::master::Master;
+
+/// The witness role in either volatility class: plain (in-memory, the
+/// paper's flash-backed-DRAM assumption) or journaled (write-ahead to disk
+/// before every ack).
+enum WitnessRole {
+    Plain(WitnessService),
+    Journaled(JournaledWitness),
+}
+
+impl WitnessRole {
+    fn service(&self) -> &WitnessService {
+        match self {
+            WitnessRole::Plain(s) => s,
+            WitnessRole::Journaled(j) => j.service(),
+        }
+    }
+
+    fn handle_request(&self, req: &Request) -> Response {
+        match self {
+            WitnessRole::Plain(s) => s.handle_request(req),
+            WitnessRole::Journaled(j) => j.handle_request(req),
+        }
+    }
+}
 
 /// One server process.
 pub struct CurpServer {
     id: ServerId,
     master: Mutex<Option<Arc<Master>>>,
     backup: BackupService,
-    witness: WitnessService,
+    witness: WitnessRole,
 }
 
 impl CurpServer {
-    /// Creates a server with empty roles.
+    /// Creates a memory-only server with empty roles.
     pub fn new(id: ServerId, witness_config: CacheConfig) -> Arc<CurpServer> {
         Arc::new(CurpServer {
             id,
             master: Mutex::new(None),
             backup: BackupService::new(),
-            witness: WitnessService::new(witness_config),
+            witness: WitnessRole::Plain(WitnessService::new(witness_config)),
         })
+    }
+
+    /// Creates a durable server rooted at `data_dir`: the backup role keeps
+    /// per-master write-ahead AOFs under `data_dir/backup/` and the witness
+    /// role journals to `data_dir/witness.journal`. Opening over an existing
+    /// directory **is** the cold-restart path — both roles replay whatever
+    /// survives on disk before the server accepts its first request.
+    pub fn new_durable(
+        id: ServerId,
+        witness_config: CacheConfig,
+        data_dir: &Path,
+    ) -> std::io::Result<Arc<CurpServer>> {
+        std::fs::create_dir_all(data_dir)?;
+        Ok(Arc::new(CurpServer {
+            id,
+            master: Mutex::new(None),
+            backup: BackupService::durable(data_dir.join("backup"))?,
+            witness: WitnessRole::Journaled(JournaledWitness::open(
+                witness_config,
+                &data_dir.join("witness.journal"),
+            )?),
+        }))
     }
 
     /// Transport identity of this server.
@@ -60,7 +114,7 @@ impl CurpServer {
 
     /// The witness role (always present; empty until `start`).
     pub fn witness(&self) -> &WitnessService {
-        &self.witness
+        self.witness.service()
     }
 
     /// Seals the hosted master (crash simulation / decommission).

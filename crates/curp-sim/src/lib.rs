@@ -18,14 +18,23 @@
 //!   latency with syscall costs, an fsync-priced append-only "backup", and
 //!   event-loop fsync batching;
 //! * [`lincheck`] — a Wing–Gong linearizability checker used by the
-//!   property tests to validate histories with injected crashes.
+//!   property tests to validate histories with injected crashes;
+//! * [`tempdir`] — self-cleaning scratch directories for the durability
+//!   scenarios (the power-loss nemesis restarts a [`SimCluster`] built with
+//!   [`SimCluster::build_durable`] from real on-disk AOFs and journals).
 
 pub mod cluster;
 pub mod lincheck;
 pub mod redis;
 pub mod time;
 
+// The scratch-directory guard lives in `curp-storage` (shared with its own
+// AOF tests); re-exported here because the durability *scenarios* — the
+// power-loss nemesis, its tests and examples — are driven from this crate.
+pub use curp_storage::tempdir;
+
 pub use cluster::{Mode, RamcloudParams, RunResult, SimCluster};
+pub use curp_storage::TempDir;
 pub use lincheck::{check_linearizable, HistOp, HistoryEvent};
 pub use redis::{RedisMode, RedisParams, RedisSim};
 pub use time::{run_sim, to_virtual_ns, to_virtual_us, vns, vus};

@@ -6,8 +6,12 @@
 //! log: length-prefixed encoded [`LogEntry`]s appended to a file, with an
 //! fsync policy controlling when the OS is forced to make them durable.
 //!
-//! Loading tolerates a torn tail (a crash mid-append): decoding stops at the
-//! first incomplete or corrupt record, mirroring Redis' `aof-load-truncated`.
+//! Loading tolerates a torn tail (a crash mid-append, mirroring Redis'
+//! `aof-load-truncated`) but refuses real mid-log corruption: the two look
+//! nothing alike on disk — a torn append is a missing suffix, while a bad
+//! record *followed by complete frames* means the medium lied — and recovery
+//! must not silently drop the durable entries behind a corrupt one. The
+//! distinction is reported through [`LoadOutcome`].
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -32,6 +36,29 @@ pub enum FsyncPolicy {
     Never,
 }
 
+/// Result of loading an AOF from disk.
+///
+/// Distinguishes the three on-disk conditions recovery cares about:
+///
+/// * clean EOF — `truncated == false`;
+/// * torn tail (crash mid-append) — `truncated == true`: the incomplete or
+///   undecodable final record was discarded, everything before it loaded;
+/// * mid-log corruption — [`Aof::load`] returns an error instead (a corrupt
+///   record with complete frames *after* it cannot be explained by a torn
+///   write, and truncating there would drop durable entries).
+#[derive(Debug, Default)]
+pub struct LoadOutcome {
+    /// Every complete, decodable entry, in file order.
+    pub entries: Vec<LogEntry>,
+    /// Whether a torn final record was discarded.
+    pub truncated: bool,
+    /// Byte length of the clean prefix — the frames behind `entries`.
+    /// When `truncated`, the file must be cut back to this length before
+    /// any further append: new records written after the torn bytes would
+    /// sit behind a garbage length prefix and poison the *next* load.
+    pub clean_len: u64,
+}
+
 /// An append-only log of executed operations.
 pub struct Aof {
     file: File,
@@ -40,10 +67,28 @@ pub struct Aof {
     synced: u64,
 }
 
+/// Fsyncs `dir` itself, making directory-entry mutations (file creation,
+/// rename) durable. On ext4/xfs a file whose *contents* were fsynced can
+/// still vanish in a power loss if the directory entry pointing at it was
+/// never flushed — every durable-creation path must call this.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 impl Aof {
     /// Opens (creating if missing) the AOF at `path` for appending.
+    ///
+    /// Unless the policy is [`FsyncPolicy::Never`], a newly created file's
+    /// directory entry is made durable too ([`fsync_dir`]): an fsynced log
+    /// that can disappear with its directory entry is not a log.
     pub fn open(path: &Path, policy: FsyncPolicy) -> std::io::Result<Aof> {
+        let existed = path.exists();
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !existed && policy != FsyncPolicy::Never {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fsync_dir(dir)?;
+            }
+        }
         Ok(Aof { file, policy, appended: 0, synced: 0 })
     }
 
@@ -75,10 +120,15 @@ impl Aof {
     }
 
     /// Forces appended entries to stable storage.
+    ///
+    /// Under [`FsyncPolicy::Never`] this is a no-op and `synced()` does not
+    /// advance: the counter promises durability, and without an fsync there
+    /// is none to promise.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        if self.policy != FsyncPolicy::Never {
-            self.file.sync_data()?;
+        if self.policy == FsyncPolicy::Never {
+            return Ok(());
         }
+        self.file.sync_data()?;
         self.synced = self.appended;
         Ok(())
     }
@@ -95,27 +145,83 @@ impl Aof {
 
     /// Loads all complete entries from `path`.
     ///
-    /// A torn final record (crash mid-write) is silently discarded; any
-    /// complete-but-corrupt record stops the load at that point, returning
-    /// everything before it.
-    pub fn load(path: &Path) -> std::io::Result<Vec<LogEntry>> {
+    /// A torn final record (crash mid-write) is discarded and reported via
+    /// [`LoadOutcome::truncated`]; a missing file is an empty log. A corrupt
+    /// record with complete frames after it — or an out-of-bounds length
+    /// prefix, which a torn append cannot produce (append writes the 4
+    /// header bytes before any payload, and a tear leaves a *short* header,
+    /// not a wrong one) — is real corruption and returns `InvalidData`.
+    ///
+    /// Known limit: an in-place bit flip that turns a length prefix into a
+    /// different *in-bounds* value makes the rest of the file parse as one
+    /// incomplete frame, which is indistinguishable from a tear without
+    /// per-record checksums — this loader detects torn writes and payload
+    /// corruption, not adversarial or silent in-place media corruption.
+    pub fn load(path: &Path) -> std::io::Result<LoadOutcome> {
         let mut file = match File::open(path) {
             Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LoadOutcome::default()),
             Err(e) => return Err(e),
         };
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)?;
+        Self::load_frames(&raw)
+    }
+
+    /// Decodes a raw AOF byte stream (see [`Aof::load`] for the semantics).
+    pub fn load_frames(raw: &[u8]) -> std::io::Result<LoadOutcome> {
+        let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
         let mut decoder = FrameDecoder::new();
-        decoder.push(&raw);
-        let mut entries = Vec::new();
-        while let Ok(Some(frame)) = decoder.next_frame() {
-            match LogEntry::from_bytes_shared(frame) {
-                Ok(e) => entries.push(e),
-                Err(_) => break,
+        decoder.push(raw);
+        let mut frames = Vec::new();
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => frames.push(frame),
+                // Leftover bytes are a torn (incomplete) final record.
+                Ok(None) => break,
+                Err(e) => return Err(corrupt(format!("corrupt frame header: {e}"))),
             }
         }
-        Ok(entries)
+        let mut outcome =
+            LoadOutcome { entries: Vec::new(), truncated: decoder.buffered() > 0, clean_len: 0 };
+        let last = frames.len();
+        for (i, frame) in frames.into_iter().enumerate() {
+            let frame_len = 4 + frame.len() as u64;
+            match LogEntry::from_bytes_shared(frame) {
+                Ok(e) => {
+                    outcome.entries.push(e);
+                    outcome.clean_len += frame_len;
+                }
+                // A final undecodable frame is indistinguishable from a torn
+                // write; one followed by complete frames is not.
+                Err(_) if i + 1 == last => {
+                    outcome.truncated = true;
+                    break;
+                }
+                Err(e) => {
+                    return Err(corrupt(format!(
+                        "corrupt record {i} with {} complete frames after it: {e}",
+                        last - i - 1
+                    )))
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Cuts a torn tail off the file at `path`, leaving exactly the clean
+    /// prefix a prior [`Aof::load`] reported. Recovery must call this
+    /// before reopening a truncated log for appending: a new record
+    /// written after leftover torn bytes hides behind their stale length
+    /// prefix and turns the *next* load into phantom entries or a
+    /// corruption error.
+    pub fn truncate_to_clean(path: &Path, outcome: &LoadOutcome) -> std::io::Result<()> {
+        if !outcome.truncated {
+            return Ok(());
+        }
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(outcome.clean_len)?;
+        f.sync_data()
     }
 }
 
@@ -154,8 +260,9 @@ mod tests {
             assert_eq!(aof.synced(), 10);
         }
         let loaded = Aof::load(&path).unwrap();
-        assert_eq!(loaded.len(), 10);
-        assert_eq!(loaded[3], entry(3));
+        assert_eq!(loaded.entries.len(), 10);
+        assert_eq!(loaded.entries[3], entry(3));
+        assert!(!loaded.truncated, "clean file must not report a torn tail");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -169,14 +276,29 @@ mod tests {
         assert_eq!(aof.synced(), 0, "manual policy defers fsync");
         aof.sync().unwrap();
         assert_eq!(aof.synced(), 5);
-        assert_eq!(Aof::load(&path).unwrap().len(), 5);
+        assert_eq!(Aof::load(&path).unwrap().entries.len(), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn never_policy_never_reports_synced() {
+        let path = tmpfile("never");
+        let mut aof = Aof::open(&path, FsyncPolicy::Never).unwrap();
+        for i in 0..4 {
+            aof.append(&entry(i)).unwrap();
+        }
+        aof.sync().unwrap();
+        assert_eq!(aof.appended(), 4);
+        assert_eq!(aof.synced(), 0, "no fsync happened, so nothing is durable");
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn missing_file_loads_empty() {
         let path = tmpfile("missing");
-        assert!(Aof::load(&path).unwrap().is_empty());
+        let loaded = Aof::load(&path).unwrap();
+        assert!(loaded.entries.is_empty());
+        assert!(!loaded.truncated);
     }
 
     #[test]
@@ -194,7 +316,46 @@ mod tests {
         f.set_len(len - 20).unwrap();
         drop(f);
         let loaded = Aof::load(&path).unwrap();
-        assert_eq!(loaded.len(), 2, "torn third record dropped");
+        assert_eq!(loaded.entries.len(), 2, "torn third record dropped");
+        assert!(loaded.truncated, "the tear must be reported");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error_not_a_truncation() {
+        let path = tmpfile("midlog");
+        {
+            let mut aof = Aof::open(&path, FsyncPolicy::Always).unwrap();
+            for i in 0..3 {
+                aof.append(&entry(i)).unwrap();
+            }
+        }
+        // Corrupt the *second* record's rpc_id Option tag (payload offset 8,
+        // after the 8-byte seq): complete frames follow it, so this cannot
+        // be a torn append.
+        let first_len = 4 + entry(0).to_bytes().len();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[first_len + 4 + 8] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let err = Aof::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_an_error() {
+        let path = tmpfile("badlen");
+        {
+            let mut aof = Aof::open(&path, FsyncPolicy::Always).unwrap();
+            aof.append(&entry(0)).unwrap();
+        }
+        // Overwrite the length prefix with an absurd declared size. All four
+        // header bytes are present, so a torn append cannot explain it.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &raw).unwrap();
+        let err = Aof::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -210,8 +371,8 @@ mod tests {
             aof.append(&entry(1)).unwrap();
         }
         let loaded = Aof::load(&path).unwrap();
-        assert_eq!(loaded.len(), 2);
-        assert_eq!(loaded[1].seq, 1);
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.entries[1].seq, 1);
         std::fs::remove_file(&path).unwrap();
     }
 }

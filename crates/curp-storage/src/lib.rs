@@ -19,7 +19,9 @@
 pub mod aof;
 pub mod sharded;
 pub mod store;
+pub mod tempdir;
 
-pub use aof::{Aof, FsyncPolicy};
+pub use aof::{fsync_dir, Aof, FsyncPolicy, LoadOutcome};
 pub use sharded::{ShardGuards, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::{Object, Store, Value};
+pub use tempdir::TempDir;

@@ -1,0 +1,78 @@
+//! Self-cleaning scratch directories for durability tests and examples.
+//!
+//! The workspace has no `tempfile` dependency (fully offline build), so
+//! this is the minimal guard the AOF/journal and power-loss scenarios
+//! need: a unique directory under the OS temp root that is removed —
+//! recursively — when the guard drops. Keeping cleanup in `Drop` is what
+//! lets `cargo test` leave no stray files behind even when an assertion
+//! fails mid-test (panic unwinding still runs the destructor). It lives in
+//! `curp-storage` (the lowest crate that touches the filesystem) so every
+//! downstream crate's tests share one implementation; `curp-sim`
+//! re-exports it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under [`std::env::temp_dir`], removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<temp>/<prefix>-<pid>-<n>` (fresh and empty).
+    pub fn new(prefix: &str) -> std::io::Result<TempDir> {
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+        // A stale directory from a killed earlier run (same pid is possible
+        // across reboots) must not leak old state into this run.
+        if path.exists() {
+            std::fs::remove_dir_all(&path)?;
+        }
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Guard against ever deleting outside the OS temp root, then clean
+        // up best-effort (a failed removal must not abort a panic unwind).
+        if self.path.starts_with(std::env::temp_dir()) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let kept;
+        {
+            let dir = TempDir::new("curp-tempdir-test").unwrap();
+            kept = dir.path().to_path_buf();
+            std::fs::write(dir.path().join("file"), b"x").unwrap();
+            std::fs::create_dir(dir.path().join("sub")).unwrap();
+            std::fs::write(dir.path().join("sub/file"), b"y").unwrap();
+            assert!(kept.exists());
+        }
+        assert!(!kept.exists(), "drop must remove the tree");
+    }
+
+    #[test]
+    fn two_guards_do_not_collide() {
+        let a = TempDir::new("curp-tempdir-test").unwrap();
+        let b = TempDir::new("curp-tempdir-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

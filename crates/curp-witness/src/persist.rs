@@ -105,16 +105,57 @@ pub struct JournaledWitness {
 impl JournaledWitness {
     /// Opens (or creates) a journaled witness at `path`, replaying any
     /// existing journal to restore prior state.
+    ///
+    /// Replay follows the AOF's torn-tail discipline: a crash mid-append
+    /// leaves an incomplete (or undecodable) *final* record, which is
+    /// discarded — the mutation it described was never acknowledged, because
+    /// the journal fsync precedes every ack. A corrupt record with complete
+    /// frames *after* it cannot be a tear and fails the open with
+    /// `InvalidData`: silently skipping it would thaw acknowledged state.
     pub fn open(config: CacheConfig, path: &Path) -> std::io::Result<JournaledWitness> {
+        let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
         let inner = WitnessService::new(config);
-        // Replay.
-        if let Ok(mut f) = File::open(path) {
+        // Replay. A missing journal is a fresh witness; any *other* open
+        // failure (permissions, I/O) must fail loudly — skipping replay on
+        // a transient error would boot an empty-but-acking witness and thaw
+        // frozen instances.
+        let existing = match File::open(path) {
+            Ok(f) => Some(f),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        if let Some(mut f) = existing {
             let mut raw = Vec::new();
             f.read_to_end(&mut raw)?;
+            drop(f);
             let mut decoder = FrameDecoder::new();
             decoder.push(&raw);
-            while let Ok(Some(frame)) = decoder.next_frame() {
-                let Ok(op) = JournalOp::from_bytes_shared(frame) else { break };
+            let mut frames = Vec::new();
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(frame)) => frames.push(frame),
+                    Ok(None) => break, // leftover bytes: torn final record
+                    Err(e) => return Err(corrupt(format!("corrupt journal header: {e}"))),
+                }
+            }
+            // Byte length of the fully-replayed prefix; grown per frame so
+            // a torn tail can be cut off below.
+            let mut clean_len = 0u64;
+            let last = frames.len();
+            for (i, frame) in frames.into_iter().enumerate() {
+                let frame_len = 4 + frame.len() as u64;
+                let op = match JournalOp::from_bytes_shared(frame) {
+                    Ok(op) => op,
+                    // Final complete-but-undecodable frame: same tear class.
+                    Err(_) if i + 1 == last => break,
+                    Err(e) => {
+                        return Err(corrupt(format!(
+                            "corrupt journal record {i} with {} complete frames after it: {e}",
+                            last - i - 1
+                        )))
+                    }
+                };
+                clean_len += frame_len;
                 match op {
                     JournalOp::Start(m) => {
                         inner.start(m);
@@ -134,8 +175,25 @@ impl JournaledWitness {
                     JournalOp::End(m) => inner.end(m),
                 }
             }
+            // Cut any torn tail before reopening for append: a new record
+            // journaled after the leftover bytes would hide behind the
+            // tear's stale length prefix and poison the next replay.
+            if clean_len < raw.len() as u64 {
+                let t = OpenOptions::new().write(true).open(path)?;
+                t.set_len(clean_len)?;
+                t.sync_data()?;
+            }
         }
+        let created = !path.exists();
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if created {
+            // Make the directory entry durable too: a journal whose file
+            // can vanish with an unflushed directory in a power loss is not
+            // write-ahead storage (same rule as `curp_storage::fsync_dir`).
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                File::open(dir)?.sync_all()?;
+            }
+        }
         Ok(JournaledWitness { inner, journal: Mutex::new(file) })
     }
 
