@@ -43,6 +43,41 @@ fn snap_path(dir: &Path, master: MasterId) -> PathBuf {
     dir.join(format!("master-{}.snap", master.0))
 }
 
+fn fence_path(dir: &Path, master: MasterId) -> PathBuf {
+    dir.join(format!("master-{}.fence", master.0))
+}
+
+/// Persists the fencing epoch for `master` as a sidecar file (8-byte LE
+/// epoch, tmp + fsync + rename + dir fsync). The fence must survive this
+/// backup's own crash: the coordinator fences *before* recovery reads any
+/// backup (§4.7), and a zombie master can outlive a backup reboot — a fence
+/// that only lives in memory would re-admit its stale syncs after a cold
+/// restart.
+fn persist_fence(dir: &Path, master: MasterId, epoch: Epoch) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = dir.join(format!("master-{}.fence.tmp", master.0));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&epoch.0.to_le_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, fence_path(dir, master))?;
+    curp_storage::fsync_dir(dir)
+}
+
+/// Reads the persisted fence, if any ([`Epoch(0)`](Epoch) when absent).
+fn load_fence(dir: &Path, master: MasterId) -> std::io::Result<Epoch> {
+    match std::fs::read(fence_path(dir, master)) {
+        Ok(raw) => {
+            let bytes: [u8; 8] =
+                raw.try_into().map_err(|_| corrupt(format!("bad fence file for {master:?}")))?;
+            Ok(Epoch(u64::from_le_bytes(bytes)))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Epoch(0)),
+        Err(e) => Err(e),
+    }
+}
+
 fn corrupt(what: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, what)
 }
@@ -233,6 +268,13 @@ impl BackupService {
     }
 
     /// Raises the fencing epoch for `master` (coordinator, pre-recovery §4.7).
+    ///
+    /// On a durable service the fence is persisted before returning: it must
+    /// keep rejecting the zombie across this backup's own restart, or a
+    /// crash between the coordinator's fence and the recovery install
+    /// re-admits the deposed master's syncs. If the fence cannot be
+    /// persisted the replica wedges (fail-stop), same as a failed append —
+    /// it may not acknowledge anything whose rejection it cannot guarantee.
     pub fn set_epoch(&self, master: MasterId, epoch: Epoch) {
         let mut replicas = self.replicas.lock();
         let Ok(replica) = Self::replica_entry(self.dir.as_deref(), &mut replicas, master, epoch)
@@ -241,8 +283,13 @@ impl BackupService {
             // way, so the fence is moot — there is nothing to protect.
             return;
         };
-        if epoch > replica.epoch {
+        if epoch >= replica.epoch {
             replica.epoch = epoch;
+            if let Some(dir) = &self.dir {
+                if persist_fence(dir, master, epoch).is_err() {
+                    replica.wedged = true;
+                }
+            }
         }
     }
 
@@ -352,6 +399,9 @@ impl BackupService {
                 }
                 Err(e) => return Err(e),
             };
+        // The sidecar fence may be ahead of the snapshot epoch (set_epoch
+        // between installs); the replica restores at the higher of the two.
+        let epoch = epoch.max(load_fence(&dir, master)?);
         let outcome = Aof::load(&aof_path(&dir, master))?;
         for e in &outcome.entries {
             if e.seq < next_seq {
@@ -419,7 +469,11 @@ impl BackupService {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
             let Some(rest) = name.strip_prefix("master-") else { continue };
-            if let Some(id) = rest.strip_suffix(".aof").or_else(|| rest.strip_suffix(".snap")) {
+            if let Some(id) = rest
+                .strip_suffix(".aof")
+                .or_else(|| rest.strip_suffix(".snap"))
+                .or_else(|| rest.strip_suffix(".fence"))
+            {
                 if let Ok(n) = id.parse::<u64>() {
                     ids.insert(MasterId(n));
                 }
@@ -468,6 +522,9 @@ impl BackupService {
             let empty = Snapshot::capture(&Store::new(), &RiflTable::new(), 0);
             if Self::persist_install(dir, master, epoch, 0, &empty).is_ok() {
                 let _ = std::fs::remove_file(aof_path(dir, master));
+                // The tombstone snapshot now carries the epoch; the sidecar
+                // fence (always <= the in-memory epoch) is redundant.
+                let _ = std::fs::remove_file(fence_path(dir, master));
                 let _ = curp_storage::fsync_dir(dir);
             }
         }

@@ -279,9 +279,12 @@ impl CurpClient {
             return TryOutcome::Done(result);
         }
 
-        // Slow path: ask the master to make it durable on backups.
+        // Slow path: ask the master to make it durable on backups. The sync
+        // names the incarnation that executed this op speculatively — a
+        // recovered successor on the same server must refuse rather than
+        // vouch for entries it never held.
         self.stats.explicit_sync.fetch_add(1, Ordering::Relaxed);
-        match self.rpc.call(part.master, Request::Sync).await {
+        match self.rpc.call(part.master, Request::Sync { master_id: part.master_id }).await {
             Ok(Response::SyncDone) => TryOutcome::Done(result),
             // "If there is no response to the sync RPC ... the client
             // restarts the entire process" (§3.2.1).
@@ -658,8 +661,10 @@ async fn flush_batch(inner: Arc<CurpClient>, master_id: MasterId, batch: Vec<Pen
 
     if !need_sync.is_empty() {
         // One explicit sync covers every op in the flush: a successful sync
-        // makes the master's whole unsynced prefix durable (§3.2.3).
-        match inner.rpc.call(part.master, Request::Sync).await {
+        // makes the master's whole unsynced prefix durable (§3.2.3). Like
+        // the unbatched path, it is bound to the incarnation that executed
+        // the flush — a recovered successor must refuse.
+        match inner.rpc.call(part.master, Request::Sync { master_id: part.master_id }).await {
             Ok(Response::SyncDone) => {
                 for (p, result) in need_sync {
                     inner.stats.explicit_sync.fetch_add(1, Ordering::Relaxed);

@@ -486,7 +486,17 @@ impl Master {
     }
 
     /// Handles an explicit client sync RPC (slow path, §3.2.1).
-    pub async fn handle_sync(self: &Arc<Self>) -> Response {
+    ///
+    /// The request names the master incarnation whose speculative results
+    /// the client is holding. A mismatch means the partition was recovered
+    /// since the client's update executed — this master's log never held
+    /// those entries, so its `SyncDone` would prove nothing about them. The
+    /// refusal sends the client through the full retry path, where RIFL
+    /// filters anything recovery already replayed (§4.7, client side).
+    pub async fn handle_sync(self: &Arc<Self>, master_id: MasterId) -> Response {
+        if master_id != self.id {
+            return Response::Retry { reason: "master incarnation changed".into() };
+        }
         if self.is_sealed() {
             return Response::Retry { reason: "master sealed".into() };
         }
@@ -963,7 +973,7 @@ impl Master {
                 self.handle_update(rpc_id, first_incomplete, witness_list_version, op).await
             }
             Request::ClientRead { op } => self.handle_read(op).await,
-            Request::Sync => self.handle_sync().await,
+            Request::Sync { master_id } => self.handle_sync(master_id).await,
             Request::MasterWitnessList { version, witnesses } => {
                 self.handle_witness_list(version, witnesses).await
             }

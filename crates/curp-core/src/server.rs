@@ -128,7 +128,7 @@ impl CurpServer {
         match &req {
             Request::ClientUpdate { .. }
             | Request::ClientRead { .. }
-            | Request::Sync
+            | Request::Sync { .. }
             | Request::MasterWitnessList { .. }
             | Request::MasterClientExpired { .. } => {
                 let master = self.master.lock().clone();
@@ -182,7 +182,7 @@ mod tests {
     #[tokio::test]
     async fn serverless_roles_answer_sanely() {
         let s = ServerHandler(CurpServer::new(ServerId(1), CacheConfig::default()));
-        let rsp = s.handle(ServerId(9), Request::Sync).await;
+        let rsp = s.handle(ServerId(9), Request::Sync { master_id: MasterId(1) }).await;
         assert!(matches!(rsp, Response::Retry { .. }), "no master installed");
         let rsp = s.handle(ServerId(9), Request::WitnessStart { master_id: MasterId(1) }).await;
         assert_eq!(rsp, Response::WitnessStarted { ok: true });

@@ -181,6 +181,48 @@ fn dropped_replica_keeps_its_fence_and_loses_its_data() {
 }
 
 #[test]
+fn set_epoch_fence_survives_backup_restart() {
+    // The §4.7 hole this pins shut: the coordinator fences every backup
+    // *before* reading any of them for recovery. If a backup crashes and
+    // cold-restarts inside that window, a fence that lived only in memory is
+    // gone — and the deposed master's next sync would be accepted, diverging
+    // the replica from the recovered successor. The fence must hit disk in
+    // set_epoch itself.
+    let dir = TempDir::new("curp-durability-fence").unwrap();
+    {
+        let bs = BackupService::durable(dir.path()).unwrap();
+        applied(bs.sync(M, Epoch(1), &[entry(0, "a", "1", 1)]));
+        // Coordinator fences ahead of recovery (§4.7 step 0)…
+        bs.set_epoch(M, Epoch(7));
+        // …and this backup dies before the recovery install reaches it.
+    }
+    let bs = BackupService::durable(dir.path()).unwrap();
+    assert_eq!(bs.next_seq(M), Some(1), "data must survive alongside the fence");
+    assert!(
+        matches!(bs.sync(M, Epoch(1), &[entry(1, "a", "2", 2)]), SyncOutcome::Fenced { .. }),
+        "zombie sync re-admitted: the fence did not survive the restart"
+    );
+    // The recovered successor (fenced epoch or later) still syncs fine.
+    applied(bs.sync(M, Epoch(7), &[entry(1, "a", "2", 2)]));
+}
+
+#[test]
+fn fence_without_any_sync_survives_restart() {
+    // A master that crashed before its first sync has no replica, no AOF, no
+    // snapshot — only the fence file says anything about it on disk.
+    let dir = TempDir::new("curp-durability-fence-bare").unwrap();
+    {
+        let bs = BackupService::durable(dir.path()).unwrap();
+        bs.set_epoch(M, Epoch(3));
+    }
+    let bs = BackupService::durable(dir.path()).unwrap();
+    assert!(
+        matches!(bs.sync(M, Epoch(2), &[entry(0, "a", "1", 1)]), SyncOutcome::Fenced { .. }),
+        "bare fence lost across restart"
+    );
+}
+
+#[test]
 fn restore_from_aof_rejects_memory_only_service() {
     let bs = BackupService::new();
     assert!(!bs.is_durable());

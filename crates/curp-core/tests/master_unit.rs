@@ -309,7 +309,24 @@ async fn sealed_master_refuses_everything() {
     r.master.seal();
     assert!(matches!(put(&r, rid(1, 1), "k", "v").await, Response::Retry { .. }));
     assert!(matches!(r.master.handle_read(Op::Get { key: b("k") }).await, Response::Retry { .. }));
-    assert!(matches!(r.master.handle_sync().await, Response::Retry { .. }));
+    assert!(matches!(r.master.handle_sync(M).await, Response::Retry { .. }));
+}
+
+#[tokio::test]
+async fn sync_for_a_dead_incarnation_is_refused() {
+    let r = rig(lazy());
+    put(&r, rid(1, 1), "k", "v").await;
+    // A client holding speculative results from a previous master life asks
+    // this incarnation to vouch for them. It must refuse: a SyncDone here
+    // only proves durability of entries *this* log holds, and answering for
+    // a dead incarnation would let the client externalize results that
+    // recovery may have discarded (the chaos fleet's zombie-ack scenario).
+    let stale = MasterId(M.0 + 1);
+    assert!(matches!(r.master.handle_sync(stale).await, Response::Retry { .. }));
+    assert_eq!(r.master.pending_len(), 1, "a refused sync must not sync anything");
+    // The same request naming the live incarnation succeeds.
+    assert_eq!(r.master.handle_sync(M).await, Response::SyncDone);
+    assert_eq!(r.master.pending_len(), 0);
 }
 
 #[tokio::test]

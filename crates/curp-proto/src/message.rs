@@ -140,7 +140,17 @@ pub enum Request {
         op: Op,
     },
     /// Client asks the master to sync to backups (slow path, §3.2.1).
-    Sync,
+    ///
+    /// Bound to the master *incarnation* that executed the client's ops
+    /// speculatively: a `SyncDone` only proves durability of what **this**
+    /// master has in its log. A server whose partition was since recovered
+    /// onto a new master id must refuse, or the client would externalize a
+    /// dead incarnation's speculative results on the strength of a sync that
+    /// never covered them (§4.7's fencing, client side).
+    Sync {
+        /// The master incarnation whose unsynced tail must become durable.
+        master_id: MasterId,
+    },
 
     // ---- client -> witness (Figure 4) --------------------------------------
     /// `record(masterID, keyHashes, rpcId, request)`.
@@ -447,7 +457,10 @@ impl Encode for Request {
                 buf.put_u8(REQ_CLIENT_READ);
                 op.encode(buf);
             }
-            Request::Sync => buf.put_u8(REQ_SYNC),
+            Request::Sync { master_id } => {
+                buf.put_u8(REQ_SYNC);
+                master_id.encode(buf);
+            }
             Request::WitnessRecord { request } => {
                 buf.put_u8(REQ_W_RECORD);
                 request.encode(buf);
@@ -536,7 +549,8 @@ impl Encode for Request {
                     + op.encoded_len()
             }
             Request::ClientRead { op } => op.encoded_len(),
-            Request::Sync | Request::GetConfig | Request::AcquireLease => 0,
+            Request::GetConfig | Request::AcquireLease => 0,
+            Request::Sync { master_id } => master_id.encoded_len(),
             Request::WitnessEnd { master_id } => master_id.encoded_len(),
             Request::WitnessRecord { request } => request.encoded_len(),
             Request::WitnessCommuteCheck { master_id, key_hashes } => {
@@ -584,7 +598,7 @@ impl Decode for Request {
                 op: Op::decode(buf)?,
             },
             REQ_CLIENT_READ => Request::ClientRead { op: Op::decode(buf)? },
-            REQ_SYNC => Request::Sync,
+            REQ_SYNC => Request::Sync { master_id: MasterId::decode(buf)? },
             REQ_W_RECORD => Request::WitnessRecord { request: RecordedRequest::decode(buf)? },
             REQ_W_COMMUTE => Request::WitnessCommuteCheck {
                 master_id: MasterId::decode(buf)?,
@@ -894,7 +908,7 @@ mod tests {
                 op: Op::Put { key: b("k"), value: b("v") },
             },
             Request::ClientRead { op: Op::Get { key: b("k") } },
-            Request::Sync,
+            Request::Sync { master_id: MasterId(1) },
             Request::WitnessRecord { request: recorded() },
             Request::WitnessCommuteCheck {
                 master_id: MasterId(3),
@@ -938,7 +952,7 @@ mod tests {
                         op: Op::Put { key: b("k"), value: b("v") },
                     },
                     Request::WitnessRecord { request: recorded() },
-                    Request::Sync,
+                    Request::Sync { master_id: MasterId(1) },
                 ],
             },
             Request::Batch { requests: Vec::new() },
@@ -1013,7 +1027,7 @@ mod tests {
 
     #[test]
     fn envelope_roundtrips() {
-        let req = Request::Sync;
+        let req = Request::Sync { master_id: MasterId(1) };
         let env = RpcEnvelope { corr_id: 42, is_response: false, payload: req.to_bytes() };
         roundtrip(&env);
         let back = Request::from_bytes(&env.payload).unwrap();

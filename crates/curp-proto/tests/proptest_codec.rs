@@ -77,7 +77,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             }
         }),
         arb_op().prop_map(|op| Request::ClientRead { op }),
-        Just(Request::Sync),
+        Just(Request::Sync { master_id: MasterId(1) }),
         arb_recorded().prop_map(|request| Request::WitnessRecord { request }),
         (any::<u64>(), prop::collection::vec(any::<u64>(), 0..6)).prop_map(|(m, hs)| {
             Request::WitnessCommuteCheck {

@@ -68,6 +68,12 @@ pub struct RamcloudParams {
     pub sync_interval_ns: u64,
     /// Enable the §4.4 hot-key preemptive sync heuristic.
     pub hotkey_sync: bool,
+    /// Host witnesses on their own `f` servers instead of co-hosting them
+    /// with the backups (the default, as Figure 2's co-hosting allows).
+    /// Separate hosts make witness-only failures observable: crashing a
+    /// witness then leaves every backup reachable, isolating the §4.4
+    /// record-failure → sync fallback.
+    pub separate_witnesses: bool,
     /// RNG seed for the network latency model.
     pub seed: u64,
 }
@@ -84,6 +90,7 @@ impl RamcloudParams {
             batch_size: 50,
             sync_interval_ns: 20_000, // 20 µs idle flush
             hotkey_sync: true,
+            separate_witnesses: false,
             seed: 0xCB5B_F00D,
         }
     }
@@ -197,10 +204,12 @@ impl SimCluster {
         net.add_simple_server(COORD, Arc::new(CoordinatorHandler(Arc::clone(&coord))));
 
         // Masters on s1..=sN with their dispatch threads; f replica servers
-        // hosting backup + witness (co-hosted, Figure 2); one spare for
-        // recovery.
+        // hosting backup + witness (co-hosted, Figure 2) — or, with
+        // `separate_witnesses`, f backup servers followed by f witness-only
+        // servers; one spare for recovery.
+        let wit_extra = if params.separate_witnesses && mode == Mode::Curp { params.f } else { 0 };
         let mut servers = Vec::new();
-        for i in 1..=(partitions + f + 1) {
+        for i in 1..=(partitions + f + wit_extra + 1) {
             let s = Self::boot_server(i, durable_root.as_deref());
             let dispatch = Self::dispatch_cost(i, partitions, &params);
             net.add_server(
@@ -213,8 +222,17 @@ impl SimCluster {
         }
         let backups: Vec<ServerId> =
             (partitions + 1..partitions + 1 + f).map(|i| ServerId(i as u64)).collect();
-        let witnesses: Vec<ServerId> =
-            if mode == Mode::Curp { backups.clone() } else { Vec::new() };
+        let witnesses: Vec<ServerId> = if mode == Mode::Curp {
+            if wit_extra > 0 {
+                (partitions + 1 + f..partitions + 1 + f + wit_extra)
+                    .map(|i| ServerId(i as u64))
+                    .collect()
+            } else {
+                backups.clone()
+            }
+        } else {
+            Vec::new()
+        };
 
         // Even split of the hash space: partition p owns [p*stride,
         // (p+1)*stride), with the last range running to u64::MAX (inclusive
@@ -316,6 +334,149 @@ impl SimCluster {
         self.master_ids = new_ids.clone();
         self.master_id = new_ids[0];
         Ok(new_ids)
+    }
+
+    /// Whether this cluster persists server state on disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable_root.is_some()
+    }
+
+    fn f(&self) -> usize {
+        match self.mode {
+            Mode::Unreplicated => 0,
+            _ => self.params.f,
+        }
+    }
+
+    fn witnesses_separate(&self) -> bool {
+        self.params.separate_witnesses && self.mode == Mode::Curp
+    }
+
+    /// Servers currently hosting a live master, in partition order.
+    pub fn master_servers(&self) -> Vec<ServerId> {
+        self.coord.config().partitions.iter().map(|p| p.master).collect()
+    }
+
+    /// The `f` backup servers (static layout: right after the masters).
+    pub fn backup_servers(&self) -> Vec<ServerId> {
+        (self.partitions + 1..self.partitions + 1 + self.f()).map(|i| ServerId(i as u64)).collect()
+    }
+
+    /// The witness servers: the backup servers when co-hosted (default), a
+    /// separate block of `f` servers under
+    /// [`RamcloudParams::separate_witnesses`].
+    pub fn witness_servers(&self) -> Vec<ServerId> {
+        if self.mode != Mode::Curp {
+            return Vec::new();
+        }
+        let start = if self.witnesses_separate() {
+            self.partitions + 1 + self.f()
+        } else {
+            self.partitions + 1
+        };
+        (start..start + self.f()).map(|i| ServerId(i as u64)).collect()
+    }
+
+    /// A registered, reachable server holding no current role — the
+    /// recovery target [`churn_master`](Self::churn_master) uses.
+    pub fn spare_server(&self) -> Option<ServerId> {
+        let cfg = self.coord.config();
+        self.servers.iter().map(|s| s.id()).find(|id| {
+            !self.net.is_crashed(*id)
+                && cfg.partitions.iter().all(|p| {
+                    p.master != *id && !p.backups.contains(id) && !p.witnesses.contains(id)
+                })
+        })
+    }
+
+    /// The server process object for `id`, if it exists.
+    pub fn server(&self, id: ServerId) -> Option<&Arc<CurpServer>> {
+        self.servers.iter().find(|s| s.id() == id)
+    }
+
+    /// Crashes one server: its NIC goes dark (requests to it time out) and
+    /// any master it hosts stops its background syncer — the sim-level
+    /// stand-in for the process dying.
+    pub fn crash_server(&self, id: ServerId) {
+        self.net.crash(id);
+        if let Some(s) = self.server(id) {
+            s.seal_master();
+        }
+    }
+
+    /// Restarts a crashed server. On a durable cluster this is a **cold**
+    /// restart: a fresh process object is booted from the server's data
+    /// directory alone (AOF + witness-journal replay), exactly like one
+    /// machine of [`power_loss_restart`](Self::power_loss_restart). On a
+    /// memory-only cluster there is no disk to reboot from, so the restart
+    /// is warm (state intact, as after a network outage).
+    ///
+    /// Refuses to restart a server currently listed as a partition's master:
+    /// a master's speculative (unsynced) state cannot be cold-booted — that
+    /// incarnation must go through
+    /// [`Coordinator::recover_master`] instead (see
+    /// [`churn_master`](Self::churn_master)).
+    pub fn restart_server(&mut self, id: ServerId) -> Result<(), String> {
+        if self.coord.config().partitions.iter().any(|p| p.master == id) {
+            return Err(format!("s{} hosts a live master; use churn_master", id.0));
+        }
+        match self.durable_root.clone() {
+            Some(root) => {
+                let i = id.0 as usize;
+                let s = Self::boot_server(i, Some(root.as_path()));
+                let dispatch = Self::dispatch_cost(i, self.partitions, &self.params);
+                // add_server installs a fresh (non-crashed) entry.
+                self.net.add_server(
+                    id,
+                    Arc::new(ServerHandler(Arc::clone(&s))),
+                    ServerSpec { dispatch_cost: dispatch },
+                );
+                self.coord.register_server(Arc::clone(&s));
+                match self.servers.iter_mut().find(|srv| srv.id() == id) {
+                    Some(slot) => *slot = s,
+                    None => self.servers.push(s),
+                }
+            }
+            None => self.net.restart(id),
+        }
+        Ok(())
+    }
+
+    /// Master recovery churn: crashes the partition's master host and
+    /// recovers the partition onto the current spare (§3.3/§4.6), then
+    /// brings the old host back so it becomes the next spare. Retries the
+    /// recovery while concurrent faults (a crashed backup, a partitioned
+    /// witness) keep it from completing. Returns the new master id.
+    pub async fn churn_master(&mut self, partition: usize) -> Result<MasterId, String> {
+        let part = self
+            .coord
+            .config()
+            .partitions
+            .get(partition)
+            .cloned()
+            .ok_or_else(|| format!("no partition {partition}"))?;
+        let spare = self.spare_server().ok_or("no spare server available")?;
+        self.crash_server(part.master);
+        let mut last_err = String::new();
+        for _ in 0..40 {
+            match self.coord.recover_master(part.master_id, spare).await {
+                Ok(new_id) => {
+                    self.master_ids[partition] = new_id;
+                    if partition == 0 {
+                        self.master_id = new_id;
+                    }
+                    // The deposed host rejoins as a role-less server (the
+                    // next spare). Cold on durable clusters.
+                    self.restart_server(part.master)?;
+                    return Ok(new_id);
+                }
+                Err(e) => {
+                    last_err = e;
+                    tokio::time::sleep(vus(250)).await;
+                }
+            }
+        }
+        Err(format!("recover_master kept failing: {last_err}"))
     }
 
     /// Creates a client. Client ids start at 100 and each gets its own
@@ -699,6 +860,151 @@ mod tests {
             let r =
                 client.update(Op::Incr { key: Bytes::from("counter"), delta: 1 }).await.unwrap();
             assert_eq!(r, OpResult::Counter(8));
+        });
+    }
+
+    #[test]
+    fn replica_crash_restart_preserves_fencing_epoch() {
+        use bytes::Bytes;
+        use curp_core::backup::SyncOutcome;
+        use curp_proto::types::Epoch;
+
+        // A replica-only crash must not lose the fencing epoch (§4.7): the
+        // coordinator fences every backup *before* recovery reads any of
+        // them, and a backup that cold-restarts inside that window must
+        // still reject the deposed master's syncs.
+        run_sim(async {
+            let dir = crate::tempdir::TempDir::new("curp-sim-fence").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 2; // sync early so the replica holds entries
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            let client = cluster.client(0).await;
+            for i in 0..6 {
+                let op = Op::Put {
+                    key: Bytes::from(format!("k{i}")),
+                    value: Bytes::from("v".to_owned()),
+                };
+                client.update(op).await.unwrap();
+            }
+            // A read blocks on a full sync: the replicas now hold entries.
+            client.read(Op::Get { key: Bytes::from("k0") }).await.unwrap();
+
+            let b = cluster.backup_servers()[0];
+            let mid = cluster.master_id;
+            let seq_before = cluster.server(b).unwrap().backup().next_seq(mid).unwrap();
+            assert!(seq_before > 0, "replica never synced; test would prove nothing");
+
+            // Coordinator-style fence, then the backup dies and cold-boots.
+            cluster.server(b).unwrap().backup().set_epoch(mid, Epoch(7));
+            cluster.crash_server(b);
+            cluster.restart_server(b).unwrap();
+
+            let backup = cluster.server(b).unwrap().backup();
+            assert_eq!(backup.next_seq(mid), Some(seq_before), "synced data lost in restart");
+            assert!(
+                matches!(backup.sync(mid, Epoch(1), &[]), SyncOutcome::Fenced { .. }),
+                "zombie sync accepted: the fence did not survive the crash-restart"
+            );
+        });
+    }
+
+    #[test]
+    fn witness_crash_forces_sync_path_until_restart() {
+        use bytes::Bytes;
+        use std::sync::atomic::Ordering;
+
+        // Paper §4.4: when a witness rejects or cannot be reached, the
+        // client falls back to asking the master to sync — slower, still
+        // safe. Witnesses must live on their own servers here: crashing a
+        // co-hosted witness would kill a backup too, and the sync path
+        // itself would be dead.
+        run_sim(async {
+            let mut params = RamcloudParams::new(3);
+            params.separate_witnesses = true;
+            params.batch_size = 10_000;
+            params.sync_interval_ns = u64::MAX / 2048; // no background syncs
+            let mut cluster = SimCluster::build(Mode::Curp, params).await;
+            assert_eq!(
+                cluster
+                    .backup_servers()
+                    .iter()
+                    .filter(|b| cluster.witness_servers().contains(b))
+                    .count(),
+                0,
+                "separate_witnesses must disjoin the two roles"
+            );
+            let client = cluster.client(0).await;
+            let fast = |c: &CurpClient| c.stats.fast_path.load(Ordering::Relaxed);
+
+            client
+                .update(Op::Put { key: Bytes::from("a"), value: Bytes::from("1") })
+                .await
+                .unwrap();
+            assert_eq!(fast(&client), 1, "healthy cluster must take the 1-RTT fast path");
+
+            let w = cluster.witness_servers()[0];
+            cluster.crash_server(w);
+            client
+                .update(Op::Put { key: Bytes::from("b"), value: Bytes::from("2") })
+                .await
+                .unwrap();
+            assert_eq!(fast(&client), 1, "with a witness down the fast path must not be taken");
+            let synced = cluster
+                .backup_servers()
+                .iter()
+                .map(|b| cluster.server(*b).unwrap().backup().next_seq(cluster.master_id))
+                .collect::<Vec<_>>();
+            assert!(
+                synced.iter().all(|s| s.unwrap_or(0) >= 2),
+                "the fallback op must reach the backups via sync, got {synced:?}"
+            );
+
+            // A memory cluster's restart is warm: the witness returns with
+            // its records intact and the fast path resumes.
+            cluster.restart_server(w).unwrap();
+            client
+                .update(Op::Put { key: Bytes::from("c"), value: Bytes::from("3") })
+                .await
+                .unwrap();
+            assert_eq!(fast(&client), 2, "fast path must resume once the witness is back");
+        });
+    }
+
+    #[test]
+    fn churn_master_recovers_partition_onto_spare() {
+        use bytes::Bytes;
+        use curp_proto::op::OpResult;
+
+        run_sim(async {
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 5;
+            let mut cluster = SimCluster::build(Mode::Curp, params).await;
+            let client = cluster.client(0).await;
+            client
+                .update(Op::Put { key: Bytes::from("k"), value: Bytes::from("before") })
+                .await
+                .unwrap();
+
+            let old_master = cluster.master_id;
+            let old_host = cluster.master_servers()[0];
+            let spare = cluster.spare_server().expect("fresh cluster has a spare");
+            let new_master = cluster.churn_master(0).await.expect("churn failed");
+            assert_ne!(new_master, old_master);
+            assert_eq!(cluster.master_id, new_master);
+            assert_eq!(cluster.master_servers()[0], spare, "partition must move to the spare");
+            assert_eq!(
+                cluster.spare_server(),
+                Some(old_host),
+                "the deposed host must rejoin as the next spare"
+            );
+
+            let r = client.read(Op::Get { key: Bytes::from("k") }).await.unwrap();
+            assert_eq!(r, OpResult::Value(Some(Bytes::from("before"))), "write lost in churn");
+            // And the recovered master accepts new writes.
+            client
+                .update(Op::Put { key: Bytes::from("k"), value: Bytes::from("after") })
+                .await
+                .unwrap();
         });
     }
 

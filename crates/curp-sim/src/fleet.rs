@@ -1,0 +1,384 @@
+//! The chaos fleet: seed-driven end-to-end fault runs with per-run
+//! linearizability checking.
+//!
+//! One fleet run ([`run_chaos_seed`]) is a pure function of its seed:
+//!
+//! 1. draw a topology (1–2 partitions, f = 3, witnesses co-hosted or
+//!    separate) and a sequence of 1–3 composed [`nemesis`](crate::nemesis)
+//!    episodes from a seeded RNG;
+//! 2. build the cluster — durable (real on-disk AOFs, journals, fences)
+//!    iff any drawn nemesis cold-restarts servers;
+//! 3. run open-loop pipelined load *concurrently* with the nemesis
+//!    sequence, recording every operation's invoke/response window and
+//!    observed result in a history (failed mutations become *pending* —
+//!    their outcome is unknown and the checker may keep or drop them);
+//! 4. heal everything, anchor the final state with a completed read per
+//!    key and one more increment per counter (exactly-once made visible);
+//! 5. run the Wing–Gong checker; any violation is reported as a minimal
+//!    per-key counterexample window plus a one-line repro
+//!    (`CHAOS_SEED=<n> cargo test -q --test chaos`).
+//!
+//! Determinism: the cluster's latency draws, the transport's fault rolls,
+//! the load arrivals and the nemesis schedule all derive from the seed
+//! through the paused virtual clock, so the run — and the
+//! [`ScheduleLog::hash`] fingerprint of everything the nemeses did —
+//! replays identically from the same seed.
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use curp_core::client::{PipelineConfig, PipelinedClient};
+use curp_proto::op::{Op, OpResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::{Mode, RamcloudParams, SimCluster};
+use crate::lincheck::{failing_keys_detailed, HistOp, HistoryEvent};
+use crate::nemesis::{draw_sequence, ScheduleLog, Topology};
+use crate::time::{run_sim, vns};
+use crate::TempDir;
+
+/// Keys carrying opaque values (Put/Get traffic).
+const VALUE_KEYS: &[&str] = &["alpha", "beta", "gamma"];
+/// Keys carrying counters (Incr traffic) — kept disjoint from
+/// [`VALUE_KEYS`] so the workload never trips `WrongType`.
+const COUNTER_KEYS: &[&str] = &["c0", "c1"];
+
+/// Parameters of one chaos run. [`ChaosConfig::new`] gives the fleet
+/// defaults; only tests that need a different load shape override fields.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Open-loop arrivals to drive while the nemeses run.
+    pub ops: u64,
+    /// Virtual nanoseconds between arrivals.
+    pub arrival_ns: u64,
+}
+
+impl ChaosConfig {
+    /// Fleet defaults: 48 arrivals, one every 40 µs — a ~2 ms load span
+    /// that overlaps a multi-episode nemesis sequence.
+    pub fn new(seed: u64) -> ChaosConfig {
+        ChaosConfig { seed, ops: 48, arrival_ns: 40_000 }
+    }
+}
+
+/// What one chaos run did and found.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The seed this run derived from.
+    pub seed: u64,
+    /// Names of the drawn nemeses, in injection order.
+    pub nemeses: Vec<&'static str>,
+    /// Whether the cluster was built durable (some nemesis needed disk).
+    pub durable: bool,
+    /// Drawn partition count.
+    pub partitions: usize,
+    /// Drawn witness placement.
+    pub separate_witnesses: bool,
+    /// FNV-1a fingerprint of the nemesis schedule — the replay oracle.
+    pub schedule_hash: u64,
+    /// The schedule, one formatted line per recorded state change.
+    pub schedule: Vec<String>,
+    /// History events with a known outcome.
+    pub completed_ops: usize,
+    /// History events whose outcome is unknown (the checker may drop them).
+    pub pending_ops: usize,
+    /// Linearizability violations: one formatted minimal counterexample
+    /// window per failing key. Empty on a clean run.
+    pub violations: Vec<String>,
+    /// The full recorded history (completed and pending events), for
+    /// deeper triage than the minimal windows in `violations`.
+    pub history: Vec<HistoryEvent>,
+    /// Harness-level failures (a nemesis that could not complete, an
+    /// anchor read that kept failing after healing). Empty on a clean run.
+    pub errors: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether the run was clean: no violations, no harness errors.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+
+    /// The one-line repro for this seed.
+    pub fn repro_line(&self) -> String {
+        repro_line(self.seed)
+    }
+
+    /// Everything a failing seed's triage needs, as one block of text.
+    pub fn render_failure(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("chaos seed {} failed — repro: {}\n", self.seed, self.repro_line()));
+        out.push_str(&format!(
+            "topology: {} partition(s), f=3, witnesses {}; cluster {}\n",
+            self.partitions,
+            if self.separate_witnesses { "separate" } else { "co-hosted" },
+            if self.durable { "durable" } else { "in-memory" },
+        ));
+        out.push_str(&format!(
+            "nemeses: [{}], schedule hash {:#018x}\n",
+            self.nemeses.join(", "),
+            self.schedule_hash
+        ));
+        for line in &self.schedule {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        for err in &self.errors {
+            out.push_str(&format!("harness error: {err}\n"));
+        }
+        for v in &self.violations {
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The one-line repro for a chaos seed.
+pub fn repro_line(seed: u64) -> String {
+    format!("CHAOS_SEED={seed} cargo test -q --test chaos")
+}
+
+/// Runs one chaos seed with the fleet defaults.
+pub fn run_chaos_seed(seed: u64) -> ChaosReport {
+    run_chaos(ChaosConfig::new(seed))
+}
+
+/// Runs one configured chaos run inside its own paused-clock simulation.
+pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
+    run_sim(async move { chaos_run(cfg).await })
+}
+
+async fn chaos_run(cfg: ChaosConfig) -> ChaosReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Draw the world: topology first (the nemesis draws size their victim
+    // indices from it), then the episode sequence.
+    let partitions = rng.gen_range(1..=2usize);
+    let separate_witnesses = rng.gen_bool(0.5);
+    let topo = Topology::of(partitions, 3, separate_witnesses);
+    let nemeses = draw_sequence(&mut rng, &topo);
+    let names: Vec<&'static str> = nemeses.iter().map(|n| n.name()).collect();
+    let durable = nemeses.iter().any(|n| n.needs_disk());
+
+    let mut params = RamcloudParams::new(3);
+    params.seed = cfg.seed;
+    params.batch_size = 5; // frequent syncs: AOFs and journals both carry state
+    params.sync_interval_ns = 30_000;
+    params.separate_witnesses = separate_witnesses;
+
+    // The scratch directory exists only for durable runs and its path never
+    // enters the schedule log (it would break cross-process replay hashes).
+    let dir = if durable { Some(TempDir::new("curp-chaos").expect("tempdir")) } else { None };
+    let mut cluster = match &dir {
+        Some(d) => SimCluster::build_durable(Mode::Curp, params, partitions, d.path()).await,
+        None => SimCluster::build_partitioned(Mode::Curp, params, partitions).await,
+    };
+
+    let pipe = cluster.pipelined_client(0, PipelineConfig::default()).await;
+    let history: Arc<Mutex<Vec<HistoryEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let epoch = tokio::time::Instant::now();
+    let mut log = ScheduleLog::start();
+    let mut errors = Vec::new();
+
+    // Open-loop load, concurrent with the nemeses: arrivals keep coming
+    // whether or not earlier operations completed.
+    let load = {
+        let pipe = Arc::clone(&pipe);
+        let history = Arc::clone(&history);
+        let mut load_rng = StdRng::seed_from_u64(cfg.seed ^ 0xD00D);
+        let (ops, arrival_ns) = (cfg.ops, cfg.arrival_ns);
+        tokio::spawn(async move {
+            let mut tasks = Vec::new();
+            for _ in 0..ops {
+                tokio::time::sleep(vns(arrival_ns)).await;
+                let (key, kind) = match load_rng.gen_range(0..3u32) {
+                    0 => (VALUE_KEYS[load_rng.gen_range(0..VALUE_KEYS.len())], 0),
+                    1 => (COUNTER_KEYS[load_rng.gen_range(0..COUNTER_KEYS.len())], 1),
+                    _ => {
+                        let all: Vec<&str> =
+                            VALUE_KEYS.iter().chain(COUNTER_KEYS).copied().collect();
+                        (all[load_rng.gen_range(0..all.len())], 2)
+                    }
+                };
+                let payload = load_rng.gen::<u64>();
+                tasks.push(tokio::spawn(one_op(
+                    Arc::clone(&pipe),
+                    Arc::clone(&history),
+                    Bytes::from(key.to_owned()),
+                    kind,
+                    payload,
+                    epoch,
+                )));
+            }
+            for t in tasks {
+                t.await.expect("op task panicked");
+            }
+        })
+    };
+
+    // The nemesis sequence runs strictly sequentially (overlapping
+    // episodes could deadlock — e.g. a churn retrying into a partition
+    // that nothing will heal), with drawn gaps between episodes.
+    for n in &nemeses {
+        let gap_ns = rng.gen_range(30_000..=300_000u64);
+        tokio::time::sleep(vns(gap_ns)).await;
+        if let Err(e) = n.run(&mut cluster, &mut log).await {
+            errors.push(format!("nemesis {} failed: {e}", n.name()));
+            break;
+        }
+    }
+
+    // Heal whatever a failed episode may have left behind, then let the
+    // load drain (every retry/timeout is virtual time — wall-clock free).
+    cluster.net.heal_all();
+    cluster.net.set_default_fault(None);
+    load.await.expect("load driver panicked");
+
+    // Anchor the final state: one more increment per counter (a RIFL
+    // double-apply shifts it) and a completed read per key (a lost
+    // acknowledged write breaks linearization against it).
+    let client = pipe.inner();
+    for key in COUNTER_KEYS {
+        let key = Bytes::from((*key).to_owned());
+        let invoke = epoch.elapsed().as_millis() as u64;
+        match client.update(Op::Incr { key: key.clone(), delta: 1 }).await {
+            Ok(OpResult::Counter(v)) => {
+                let ret = epoch.elapsed().as_millis() as u64;
+                history.lock().unwrap().push(HistoryEvent {
+                    key,
+                    op: HistOp::Incr(1, v),
+                    invoke,
+                    ret,
+                });
+            }
+            Ok(other) => errors.push(format!("anchor incr on {key:?} returned {other:?}")),
+            Err(e) => errors.push(format!("anchor incr on {key:?} failed after heal: {e}")),
+        }
+    }
+    for key in VALUE_KEYS.iter().chain(COUNTER_KEYS) {
+        let key = Bytes::from((*key).to_owned());
+        let invoke = epoch.elapsed().as_millis() as u64;
+        match client.read(Op::Get { key: key.clone() }).await {
+            Ok(OpResult::Value(v)) => {
+                let ret = epoch.elapsed().as_millis() as u64;
+                history.lock().unwrap().push(HistoryEvent { key, op: HistOp::Get(v), invoke, ret });
+            }
+            Ok(other) => errors.push(format!("anchor read on {key:?} returned {other:?}")),
+            Err(e) => errors.push(format!("anchor read on {key:?} failed after heal: {e}")),
+        }
+    }
+
+    let history = std::mem::take(&mut *history.lock().unwrap());
+    let completed_ops = history.iter().filter(|e| !e.is_pending()).count();
+    let pending_ops = history.len() - completed_ops;
+    let violations: Vec<String> =
+        failing_keys_detailed(&history).iter().map(|cx| cx.to_string()).collect();
+
+    ChaosReport {
+        seed: cfg.seed,
+        nemeses: names,
+        durable,
+        partitions,
+        separate_witnesses,
+        schedule_hash: log.hash(),
+        schedule: log.events().iter().map(|ev| ev.to_string()).collect(),
+        completed_ops,
+        pending_ops,
+        violations,
+        history,
+        errors,
+    }
+}
+
+/// Submits one operation through the pipelined client and records its
+/// history event — or a *pending* marker for a mutation whose outcome is
+/// unknown (the fault may have eaten the ack). Failed reads observed
+/// nothing and are skipped entirely.
+async fn one_op(
+    pipe: Arc<PipelinedClient>,
+    history: Arc<Mutex<Vec<HistoryEvent>>>,
+    key: Bytes,
+    kind: u32,
+    payload: u64,
+    epoch: tokio::time::Instant,
+) {
+    // Under the sim's scaled clock (1 virtual ns = 1 tokio ms, see
+    // crate::time) `as_millis` yields virtual *nanoseconds*.
+    let invoke = epoch.elapsed().as_millis() as u64;
+    let (op_for_history, outcome) = match kind {
+        0 => {
+            let value = Bytes::from(format!("v{payload}"));
+            let done = match pipe.submit(Op::Put { key: key.clone(), value: value.clone() }).await {
+                Ok(completion) => completion.await.map(|_| ()),
+                Err(e) => Err(e),
+            };
+            (HistOp::Put(value), done)
+        }
+        1 => {
+            let delta = (payload % 4) as i64 + 1;
+            let done = match pipe.submit(Op::Incr { key: key.clone(), delta }).await {
+                Ok(completion) => completion.await,
+                Err(e) => Err(e),
+            };
+            match done {
+                Ok(OpResult::Counter(v)) => (HistOp::Incr(delta, v), Ok(())),
+                Ok(other) => panic!("unexpected incr result {other:?}"),
+                Err(e) => (HistOp::Incr(delta, 0), Err(e)),
+            }
+        }
+        _ => {
+            let done = match pipe.submit(Op::Get { key: key.clone() }).await {
+                Ok(completion) => completion.await,
+                Err(e) => Err(e),
+            };
+            match done {
+                Ok(OpResult::Value(v)) => (HistOp::Get(v), Ok(())),
+                Ok(other) => panic!("unexpected get result {other:?}"),
+                // A failed read observed nothing; it constrains no state.
+                Err(_) => return,
+            }
+        }
+    };
+    let ret = epoch.elapsed().as_millis() as u64;
+    let event = match outcome {
+        Ok(()) => HistoryEvent { key, op: op_for_history, invoke, ret },
+        // Unknown outcome: the op may or may not have taken effect.
+        Err(_) => HistoryEvent { key, op: op_for_history, invoke, ret: u64::MAX },
+    };
+    history.lock().unwrap().push(event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_seed_runs_clean_and_reports() {
+        let report = run_chaos_seed(0xFEED_FACE);
+        assert!(report.is_ok(), "{}", report.render_failure());
+        assert!(!report.nemeses.is_empty());
+        assert!(!report.schedule.is_empty(), "nemeses must have recorded a schedule");
+        assert_ne!(report.schedule_hash, 0);
+        assert!(report.completed_ops > 0);
+        assert_eq!(
+            report.repro_line(),
+            format!("CHAOS_SEED={} cargo test -q --test chaos", 0xFEED_FACEu64)
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_the_identical_schedule() {
+        let a = run_chaos_seed(0xBEEF);
+        let b = run_chaos_seed(0xBEEF);
+        assert_eq!(a.schedule, b.schedule, "schedules diverged across replays");
+        assert_eq!(a.schedule_hash, b.schedule_hash);
+        assert_eq!(a.nemeses, b.nemeses);
+        assert_eq!(a.completed_ops, b.completed_ops);
+        assert_eq!(a.pending_ops, b.pending_ops);
+    }
+}

@@ -19,12 +19,18 @@
 //!   event-loop fsync batching;
 //! * [`lincheck`] — a Wing–Gong linearizability checker used by the
 //!   property tests to validate histories with injected crashes;
+//! * [`nemesis`] / [`fleet`] — the chaos fleet: composable seed-driven
+//!   fault-injection episodes and the per-seed runner that composes them
+//!   against open-loop load, heals, and checks the full history (a failing
+//!   seed is a one-line `CHAOS_SEED=<n>` repro — see `tests/chaos.rs`);
 //! * [`tempdir`] — self-cleaning scratch directories for the durability
 //!   scenarios (the power-loss nemesis restarts a [`SimCluster`] built with
 //!   [`SimCluster::build_durable`] from real on-disk AOFs and journals).
 
 pub mod cluster;
+pub mod fleet;
 pub mod lincheck;
+pub mod nemesis;
 pub mod redis;
 pub mod time;
 
@@ -35,6 +41,10 @@ pub use curp_storage::tempdir;
 
 pub use cluster::{Mode, RamcloudParams, RunResult, SimCluster};
 pub use curp_storage::TempDir;
-pub use lincheck::{check_linearizable, HistOp, HistoryEvent};
+pub use fleet::{repro_line, run_chaos, run_chaos_seed, ChaosConfig, ChaosReport};
+pub use lincheck::{
+    check_linearizable, failing_keys_detailed, Counterexample, HistOp, HistoryEvent,
+};
+pub use nemesis::{draw_nemesis, draw_sequence, Nemesis, ScheduleEvent, ScheduleLog, Topology};
 pub use redis::{RedisMode, RedisParams, RedisSim};
 pub use time::{run_sim, to_virtual_ns, to_virtual_us, vns, vus};

@@ -10,6 +10,7 @@
 //! the checker partitions by key and searches each independently.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 use bytes::Bytes;
 
@@ -105,6 +106,134 @@ pub fn failing_keys(history: &[HistoryEvent]) -> Vec<Bytes> {
         per_key.iter().filter(|(_, events)| !check_key(events)).map(|(k, _)| k.clone()).collect();
     bad.sort();
     bad
+}
+
+/// A minimal conflicting op window for one non-linearizable key.
+///
+/// `window` is minimal up to *value support*: removing any single event
+/// either makes the remainder linearizable (the op participates in the
+/// conflict) or orphans a value some read in the window observed (the op
+/// explains where that value came from — dropping it would leave a
+/// technically-failing but unreadable "ghost value" window). Shrinking is
+/// sound because a failing *sub*-history implies the full history fails:
+/// dropping events only removes constraints.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The key whose sub-history admits no linearization.
+    pub key: Bytes,
+    /// The conflicting ops, sorted by (invoke, ret).
+    pub window: Vec<HistoryEvent>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "key {:?}: {}-op conflict window (each op is necessary):",
+            String::from_utf8_lossy(&self.key),
+            self.window.len()
+        )?;
+        for e in &self.window {
+            let op = match &e.op {
+                HistOp::Put(v) => format!("put {:?}", String::from_utf8_lossy(v)),
+                HistOp::Get(Some(v)) => format!("get -> {:?}", String::from_utf8_lossy(v)),
+                HistOp::Get(None) => "get -> (absent)".to_string(),
+                HistOp::Incr(d, r) => format!("incr {d:+} -> {r}"),
+            };
+            if e.is_pending() {
+                writeln!(f, "  [{} ..pending] {op}", e.invoke)?;
+            } else {
+                writeln!(f, "  [{} .. {}] {op}", e.invoke, e.ret)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Like [`failing_keys`], but with a minimal per-key counterexample trace:
+/// for every failing key, the smallest window of its ops that still admits
+/// no linearization. This is the debuggable artifact a chaos failure prints
+/// — the conflict is visible without rerunning the seed.
+pub fn failing_keys_detailed(history: &[HistoryEvent]) -> Vec<Counterexample> {
+    let mut per_key: HashMap<Bytes, Vec<&HistoryEvent>> = HashMap::new();
+    for e in history {
+        per_key.entry(e.key.clone()).or_default().push(e);
+    }
+    let mut bad: Vec<Counterexample> = per_key
+        .iter()
+        .filter(|(_, events)| !check_key(events))
+        .map(|(k, events)| Counterexample { key: k.clone(), window: shrink(events) })
+        .collect();
+    bad.sort_by(|a, b| a.key.cmp(&b.key));
+    bad
+}
+
+/// Shrinks a failing per-key history to a 1-minimal failing window.
+fn shrink(events: &[&HistoryEvent]) -> Vec<HistoryEvent> {
+    let mut sorted: Vec<&HistoryEvent> = events.to_vec();
+    sorted.sort_by_key(|e| (e.invoke, e.ret));
+    // Minimal failing prefix first (cheap, and it anchors the conflict at
+    // the earliest op whose addition breaks the history).
+    let mut window = sorted.clone();
+    for n in 1..=sorted.len() {
+        if !check_key(&sorted[..n]) {
+            window = sorted[..n].to_vec();
+            break;
+        }
+    }
+    // Greedy single-event elimination to a fixpoint. Value-support events
+    // are kept even when removable: a window whose read observes a value no
+    // remaining op wrote is still failing, but no longer tells the reader
+    // anything.
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < window.len() {
+            if supports_observed_value(window[i], &window) {
+                i += 1;
+                continue;
+            }
+            let mut cand = window.clone();
+            cand.remove(i);
+            if !check_key(&cand) {
+                window = cand;
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    window.into_iter().cloned().collect()
+}
+
+/// Whether `ev` is a completed mutation whose result some *other* window op
+/// observed — the provenance of a read value or of a counter chain link.
+/// Pending mutations never support anything: their recorded result was never
+/// externalized.
+fn supports_observed_value(ev: &HistoryEvent, window: &[&HistoryEvent]) -> bool {
+    if ev.is_pending() {
+        return false;
+    }
+    let others = window.iter().filter(|o| !std::ptr::eq(**o, ev));
+    match &ev.op {
+        HistOp::Put(v) => {
+            let mut others = others;
+            others.any(|o| matches!(&o.op, HistOp::Get(Some(g)) if g == v))
+        }
+        HistOp::Incr(_, r) => {
+            let shown = r.to_string();
+            let mut others = others;
+            others.any(|o| match &o.op {
+                HistOp::Get(Some(g)) => g.as_ref() == shown.as_bytes(),
+                HistOp::Incr(d2, r2) => !o.is_pending() && r2.wrapping_sub(*d2) == *r,
+                _ => false,
+            })
+        }
+        HistOp::Get(_) => false,
+    }
 }
 
 fn check_key(events: &[&HistoryEvent]) -> bool {
@@ -276,5 +405,58 @@ mod tests {
     fn read_of_absent_key_after_put_completes_is_rejected() {
         let h = vec![put("k", "1", 0, 10), get("k", None, 20, 30)];
         assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn counterexample_window_is_minimal() {
+        // A stale read: "1" observed strictly after two later puts
+        // completed. The window must shrink to three ops — put "1" as the
+        // observed value's provenance, ONE of the overwrites, and the get —
+        // while the redundant second overwrite and the healthy key drop out.
+        let h = vec![
+            put("k", "1", 0, 10),
+            put("k", "2", 20, 30),
+            put("k", "3", 32, 38),
+            get("k", Some("1"), 40, 50),
+            // An unrelated healthy key must not appear in the output.
+            put("other", "x", 0, 10),
+        ];
+        let bad = failing_keys_detailed(&h);
+        assert_eq!(bad.len(), 1);
+        let cx = &bad[0];
+        assert_eq!(cx.key, b("k"));
+        assert_eq!(cx.window.len(), 3, "window not minimal: {cx}");
+        assert!(matches!(&cx.window[0].op, HistOp::Put(v) if v == &b("1")));
+        assert!(
+            matches!(&cx.window[1].op, HistOp::Put(v) if v == &b("2") || v == &b("3")),
+            "one overwrite must remain: {cx}"
+        );
+        assert!(matches!(&cx.window[2].op, HistOp::Get(Some(v)) if v == &b("1")));
+        // Every window is genuinely failing.
+        let refs: Vec<&HistoryEvent> = cx.window.iter().collect();
+        assert!(!check_key(&refs));
+        // The display names the key and both ops.
+        let shown = cx.to_string();
+        assert!(shown.contains("key \"k\"") && shown.contains("put") && shown.contains("get"));
+    }
+
+    #[test]
+    fn counterexamples_empty_for_linearizable_history() {
+        let h = vec![put("k", "1", 0, 10), get("k", Some("1"), 20, 30)];
+        assert!(failing_keys_detailed(&h).is_empty());
+    }
+
+    #[test]
+    fn counterexample_preserves_pending_markers() {
+        // A lost-update counter conflict where a pending op is load-bearing:
+        // incr returning 1 twice fails regardless, and the minimal window
+        // keeps both completed increments (the pending one is droppable).
+        let incr =
+            |d, r, i, t| HistoryEvent { key: b("c"), op: HistOp::Incr(d, r), invoke: i, ret: t };
+        let h = vec![incr(1, 1, 0, 10), incr(1, 0, 20, u64::MAX), incr(1, 1, 40, 50)];
+        let bad = failing_keys_detailed(&h);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].window.len(), 2, "pending op should shrink away: {}", bad[0]);
+        assert!(bad[0].window.iter().all(|e| !e.is_pending()));
     }
 }

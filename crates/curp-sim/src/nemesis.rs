@@ -1,0 +1,878 @@
+//! Composable, seed-driven nemeses for the chaos fleet.
+//!
+//! A [`Nemesis`] is one fault-injection episode — inject, hold, heal —
+//! whose every parameter (victim, rates, durations) was drawn up front
+//! from a seeded RNG by [`draw_nemesis`]. Running one against a
+//! [`SimCluster`] under the paused clock is therefore a pure function of
+//! (seed, cluster state): the same seed replays the identical episode,
+//! byte for byte, which is what makes a failing chaos seed a one-line
+//! repro instead of a flake.
+//!
+//! Every state change a nemesis makes is recorded in a [`ScheduleLog`]
+//! with its virtual-time offset. The log's FNV-1a [`hash`](ScheduleLog::hash)
+//! is the replay oracle: two runs of the same seed must produce equal
+//! hashes, and `tests/chaos.rs` asserts exactly that.
+//!
+//! The combinators cover the paper's failure model:
+//!
+//! * [`SymmetricPartition`] / [`AsymmetricPartition`] — §3.1's arbitrary
+//!   loss, including the nastier one-way variant (requests arrive,
+//!   responses vanish);
+//! * [`PacketDrop`] / [`PacketDelay`] / [`PacketDup`] — per-link loss,
+//!   added delay, and duplicate delivery (RIFL's exactly-once must absorb
+//!   the dup, §4.5);
+//! * [`CrashRestart`] — a backup or witness host dies mid-sync and
+//!   cold-boots from its own disk alone;
+//! * [`WitnessLoss`] — a witness goes dark, forcing the client's §4.4
+//!   record-failure → explicit-sync fallback until it returns;
+//! * [`MasterChurn`] — §4.6 master recovery onto the spare, under load;
+//! * [`PowerLoss`] — the §5.4 whole-cluster outage and cold restart.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+
+use curp_proto::types::ServerId;
+use curp_transport::latency::Fixed;
+use curp_transport::mem::FaultSpec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+use crate::cluster::SimCluster;
+use crate::time::{to_virtual_ns, vns};
+
+/// The future a nemesis episode runs as. Local (non-`Send`): the whole
+/// simulation lives on one paused current-thread runtime.
+pub type NemesisFuture<'a> = Pin<Box<dyn Future<Output = Result<(), String>> + 'a>>;
+
+/// One composable fault-injection episode.
+pub trait Nemesis {
+    /// Stable name, used in schedule logs and repro output.
+    fn name(&self) -> &'static str;
+
+    /// Whether this nemesis only makes sense on a durable cluster (it
+    /// cold-restarts servers from disk). The fleet builds the cluster
+    /// durable iff any drawn nemesis needs it.
+    fn needs_disk(&self) -> bool {
+        false
+    }
+
+    /// Runs the episode to completion: inject, hold, heal. Implementations
+    /// must leave the cluster in a servable state (all faults cleared, all
+    /// crashed servers restarted) unless they return `Err`.
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a>;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule log
+// ---------------------------------------------------------------------------
+
+/// One recorded state change, stamped with its virtual-time offset from
+/// the log's creation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleEvent {
+    /// Virtual nanoseconds since [`ScheduleLog::start`].
+    pub at_vns: u64,
+    /// The nemesis that made the change.
+    pub nemesis: &'static str,
+    /// What changed (server ids, rates, directions — never host paths).
+    pub action: String,
+}
+
+impl fmt::Display for ScheduleEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10} vns] {:<20} {}", self.at_vns, self.nemesis, self.action)
+    }
+}
+
+/// The deterministic record of everything the nemeses did to a cluster.
+///
+/// Timestamps come from the paused virtual clock, and actions mention only
+/// protocol-level identifiers (server ids, rates), so the log — and its
+/// [`hash`](Self::hash) — is identical across runs of the same seed, even
+/// across processes.
+pub struct ScheduleLog {
+    epoch: tokio::time::Instant,
+    events: Vec<ScheduleEvent>,
+}
+
+impl ScheduleLog {
+    /// Opens a log whose timestamps count from *now* (virtual time).
+    pub fn start() -> ScheduleLog {
+        ScheduleLog { epoch: tokio::time::Instant::now(), events: Vec::new() }
+    }
+
+    /// Records one state change at the current virtual time.
+    pub fn record(&mut self, nemesis: &'static str, action: impl Into<String>) {
+        self.events.push(ScheduleEvent {
+            at_vns: to_virtual_ns(self.epoch.elapsed()),
+            nemesis,
+            action: action.into(),
+        });
+    }
+
+    /// The recorded events, in injection order.
+    pub fn events(&self) -> &[ScheduleEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a 64 over every event (timestamp, nemesis, action). Two runs
+    /// of the same chaos seed must produce the same hash — this is the
+    /// replay oracle `tests/chaos.rs` pins.
+    pub fn hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for ev in &self.events {
+            eat(&ev.at_vns.to_le_bytes());
+            eat(ev.nemesis.as_bytes());
+            eat(ev.action.as_bytes());
+            eat(b"\n");
+        }
+        h
+    }
+}
+
+impl fmt::Display for ScheduleLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ev in &self.events {
+            writeln!(f, "{ev}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+/// The static server layout of a [`SimCluster`], computable *before* the
+/// cluster exists — [`draw_nemesis`] sizes its victim draws from this, so
+/// the drawn schedule depends only on the seed and the drawn topology.
+///
+/// Mirrors `SimCluster::build_inner`: masters on `s1..=p`, backups on the
+/// next `f` servers, witnesses co-hosted with them (or on their own `f`
+/// servers under `separate_witnesses`), one spare last. Only *masters*
+/// ever move at runtime (recovery onto the spare), so the backup and
+/// witness blocks stay accurate for the lifetime of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of key-range partitions (= initial masters).
+    pub partitions: usize,
+    /// Replication / witness factor.
+    pub f: usize,
+    /// Witnesses hosted on their own servers instead of on the backups.
+    pub separate_witnesses: bool,
+}
+
+impl Topology {
+    /// Describes a CURP-mode cluster's layout.
+    pub fn of(partitions: usize, f: usize, separate_witnesses: bool) -> Topology {
+        Topology { partitions, f, separate_witnesses }
+    }
+
+    /// The backup servers.
+    pub fn backups(&self) -> Vec<ServerId> {
+        (self.partitions + 1..=self.partitions + self.f).map(|i| ServerId(i as u64)).collect()
+    }
+
+    /// The witness servers (the backups, unless separate).
+    pub fn witnesses(&self) -> Vec<ServerId> {
+        if self.separate_witnesses {
+            (self.partitions + self.f + 1..=self.partitions + 2 * self.f)
+                .map(|i| ServerId(i as u64))
+                .collect()
+        } else {
+            self.backups()
+        }
+    }
+
+    /// Backups ∪ witnesses: every server a non-master nemesis may pick on.
+    pub fn replica_pool(&self) -> Vec<ServerId> {
+        let mut pool = self.backups();
+        for w in self.witnesses() {
+            if !pool.contains(&w) {
+                pool.push(w);
+            }
+        }
+        pool
+    }
+}
+
+/// Backups ∪ witnesses of a *live* cluster, in stable (ascending) order.
+/// Identical to [`Topology::replica_pool`] for the matching layout — the
+/// live form exists so a nemesis never has to trust a stale topology.
+fn replica_pool(cluster: &SimCluster) -> Vec<ServerId> {
+    let mut pool = cluster.backup_servers();
+    for w in cluster.witness_servers() {
+        if !pool.contains(&w) {
+            pool.push(w);
+        }
+    }
+    pool
+}
+
+fn pick(pool: &[ServerId], index: usize) -> Result<ServerId, String> {
+    if pool.is_empty() {
+        return Err("no servers to pick a victim from".into());
+    }
+    Ok(pool[index % pool.len()])
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// Cuts one replica server off from every live master, both directions,
+/// for `hold_ns` of virtual time — then heals.
+#[derive(Debug, Clone)]
+pub struct SymmetricPartition {
+    /// Victim index into the replica pool (modded at run time).
+    pub victim: usize,
+    /// How long the partition holds, in virtual nanoseconds.
+    pub hold_ns: u64,
+}
+
+impl Nemesis for SymmetricPartition {
+    fn name(&self) -> &'static str {
+        "symmetric-partition"
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            let victim = pick(&replica_pool(cluster), self.victim)?;
+            let masters = cluster.master_servers();
+            for m in &masters {
+                cluster.net.partition(victim, *m);
+                log.record(self.name(), format!("cut s{} <-> s{}", victim.0, m.0));
+            }
+            tokio::time::sleep(vns(self.hold_ns)).await;
+            for m in &masters {
+                cluster.net.heal(victim, *m);
+            }
+            log.record(self.name(), format!("heal s{}", victim.0));
+            Ok(())
+        })
+    }
+}
+
+/// One-way partition: messages from the masters to one replica server (or
+/// the reverse, per `inbound`) are blackholed while the opposite direction
+/// still delivers — the asymmetric failure that loses only the *responses*.
+#[derive(Debug, Clone)]
+pub struct AsymmetricPartition {
+    /// Victim index into the replica pool (modded at run time).
+    pub victim: usize,
+    /// `true`: master → victim direction is cut; `false`: victim → master.
+    pub inbound: bool,
+    /// How long the partition holds, in virtual nanoseconds.
+    pub hold_ns: u64,
+}
+
+impl Nemesis for AsymmetricPartition {
+    fn name(&self) -> &'static str {
+        "asymmetric-partition"
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            let victim = pick(&replica_pool(cluster), self.victim)?;
+            let masters = cluster.master_servers();
+            for m in &masters {
+                let (from, to) = if self.inbound { (*m, victim) } else { (victim, *m) };
+                cluster.net.partition_oneway(from, to);
+                log.record(self.name(), format!("cut s{} -> s{}", from.0, to.0));
+            }
+            tokio::time::sleep(vns(self.hold_ns)).await;
+            for m in &masters {
+                let (from, to) = if self.inbound { (*m, victim) } else { (victim, *m) };
+                cluster.net.heal_oneway(from, to);
+            }
+            log.record(self.name(), format!("heal s{}", victim.0));
+            Ok(())
+        })
+    }
+}
+
+/// Seeded random loss on both directions of every master ↔ victim link.
+#[derive(Debug, Clone)]
+pub struct PacketDrop {
+    /// Victim index into the replica pool (modded at run time).
+    pub victim: usize,
+    /// Per-message loss probability on the faulted links.
+    pub drop_rate: f64,
+    /// Seed for the links' fault RNGs (drawn from the fleet RNG).
+    pub seed: u64,
+    /// How long the loss holds, in virtual nanoseconds.
+    pub hold_ns: u64,
+}
+
+impl Nemesis for PacketDrop {
+    fn name(&self) -> &'static str {
+        "packet-drop"
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            let victim = pick(&replica_pool(cluster), self.victim)?;
+            let masters = cluster.master_servers();
+            let spec = FaultSpec { drop_rate: self.drop_rate, dup_rate: 0.0, seed: self.seed };
+            for m in &masters {
+                cluster.net.set_link_fault(*m, victim, spec);
+                cluster.net.set_link_fault(victim, *m, spec);
+                log.record(
+                    self.name(),
+                    format!("drop {:.2} on s{} <-> s{}", self.drop_rate, m.0, victim.0),
+                );
+            }
+            tokio::time::sleep(vns(self.hold_ns)).await;
+            for m in &masters {
+                cluster.net.clear_link_fault(*m, victim);
+                cluster.net.clear_link_fault(victim, *m);
+            }
+            log.record(self.name(), format!("heal s{}", victim.0));
+            Ok(())
+        })
+    }
+}
+
+/// Replaces the latency model on every master ↔ victim link with a fixed,
+/// much larger delay — reordering those links' messages far behind the
+/// rest of the cluster's traffic.
+#[derive(Debug, Clone)]
+pub struct PacketDelay {
+    /// Victim index into the replica pool (modded at run time).
+    pub victim: usize,
+    /// The substitute one-way delay, in virtual nanoseconds.
+    pub delay_ns: u64,
+    /// How long the slow links hold, in virtual nanoseconds.
+    pub hold_ns: u64,
+}
+
+impl Nemesis for PacketDelay {
+    fn name(&self) -> &'static str {
+        "packet-delay"
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            let victim = pick(&replica_pool(cluster), self.victim)?;
+            let masters = cluster.master_servers();
+            let model = Arc::new(Fixed(vns(self.delay_ns)));
+            for m in &masters {
+                cluster.net.set_link_latency(*m, victim, model.clone());
+                cluster.net.set_link_latency(victim, *m, model.clone());
+                log.record(
+                    self.name(),
+                    format!("delay {} vns on s{} <-> s{}", self.delay_ns, m.0, victim.0),
+                );
+            }
+            tokio::time::sleep(vns(self.hold_ns)).await;
+            for m in &masters {
+                cluster.net.clear_link_latency(*m, victim);
+                cluster.net.clear_link_latency(victim, *m);
+            }
+            log.record(self.name(), format!("heal s{}", victim.0));
+            Ok(())
+        })
+    }
+}
+
+/// Duplicates requests on *every* link (cluster-wide default fault) — the
+/// network retransmission storm RIFL's exactly-once table must absorb.
+#[derive(Debug, Clone)]
+pub struct PacketDup {
+    /// Per-request duplication probability.
+    pub dup_rate: f64,
+    /// Seed for the links' fault RNGs (drawn from the fleet RNG).
+    pub seed: u64,
+    /// How long duplication holds, in virtual nanoseconds.
+    pub hold_ns: u64,
+}
+
+impl Nemesis for PacketDup {
+    fn name(&self) -> &'static str {
+        "packet-dup"
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            cluster.net.set_default_fault(Some(FaultSpec {
+                drop_rate: 0.0,
+                dup_rate: self.dup_rate,
+                seed: self.seed,
+            }));
+            log.record(self.name(), format!("dup {:.2} on all links", self.dup_rate));
+            tokio::time::sleep(vns(self.hold_ns)).await;
+            cluster.net.set_default_fault(None);
+            log.record(self.name(), "heal all links");
+            Ok(())
+        })
+    }
+}
+
+/// Crashes one replica server mid-run and cold-restarts it from its own
+/// disk alone (AOF + witness-journal replay) — the single-machine §4.6
+/// failure. Requires a durable cluster.
+#[derive(Debug, Clone)]
+pub struct CrashRestart {
+    /// Victim index into the replica pool (modded at run time).
+    pub victim: usize,
+    /// How long the server stays down, in virtual nanoseconds.
+    pub hold_ns: u64,
+}
+
+impl Nemesis for CrashRestart {
+    fn name(&self) -> &'static str {
+        "crash-restart"
+    }
+
+    fn needs_disk(&self) -> bool {
+        true
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            let victim = pick(&replica_pool(cluster), self.victim)?;
+            cluster.crash_server(victim);
+            log.record(self.name(), format!("crash s{}", victim.0));
+            tokio::time::sleep(vns(self.hold_ns)).await;
+            cluster.restart_server(victim)?;
+            log.record(self.name(), format!("restart s{}", victim.0));
+            Ok(())
+        })
+    }
+}
+
+/// Takes one *witness* host dark for `hold_ns`, then brings it back. While
+/// it is down every record to it fails, so clients fall back to the
+/// explicit-sync path (§4.4); on a co-hosted layout the collocated backup
+/// goes down too and sync rounds stall until the restart.
+#[derive(Debug, Clone)]
+pub struct WitnessLoss {
+    /// Victim index into the witness list (modded at run time).
+    pub victim: usize,
+    /// How long the witness stays down, in virtual nanoseconds.
+    pub hold_ns: u64,
+}
+
+impl Nemesis for WitnessLoss {
+    fn name(&self) -> &'static str {
+        "witness-loss"
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            let victim = pick(&cluster.witness_servers(), self.victim)?;
+            cluster.crash_server(victim);
+            log.record(self.name(), format!("crash witness s{}", victim.0));
+            tokio::time::sleep(vns(self.hold_ns)).await;
+            cluster.restart_server(victim)?;
+            log.record(self.name(), format!("restart witness s{}", victim.0));
+            Ok(())
+        })
+    }
+}
+
+/// Kills one partition's master and recovers the partition onto the spare
+/// server (§3.3/§4.6) — witness replay, backup restore, epoch bump — while
+/// load keeps arriving. The deposed host rejoins as the next spare.
+#[derive(Debug, Clone)]
+pub struct MasterChurn {
+    /// Partition index (modded by the partition count at run time).
+    pub partition: usize,
+}
+
+impl Nemesis for MasterChurn {
+    fn name(&self) -> &'static str {
+        "master-churn"
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            let partition = self.partition % cluster.master_ids.len();
+            let old = cluster.master_ids[partition];
+            log.record(self.name(), format!("kill master m{} (partition {partition})", old.0));
+            let new = cluster.churn_master(partition).await?;
+            log.record(self.name(), format!("recovered as m{}", new.0));
+            Ok(())
+        })
+    }
+}
+
+/// The §5.4 nemesis: every server loses power at once and the whole
+/// cluster cold-boots from disk. Requires a durable cluster.
+#[derive(Debug, Clone)]
+pub struct PowerLoss;
+
+impl Nemesis for PowerLoss {
+    fn name(&self) -> &'static str {
+        "power-loss"
+    }
+
+    fn needs_disk(&self) -> bool {
+        true
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            log.record(self.name(), "whole-cluster power out");
+            let new_ids = cluster.power_loss_restart().await?;
+            let ids: Vec<String> = new_ids.iter().map(|m| format!("m{}", m.0)).collect();
+            log.record(self.name(), format!("cold restart, masters [{}]", ids.join(", ")));
+            Ok(())
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drawing
+// ---------------------------------------------------------------------------
+
+/// Draws one fully-parameterised nemesis from the seeded RNG. Victim
+/// indices are drawn against `topo`'s pool sizes (and re-modded at run
+/// time), hold times span 200 µs – 2 ms of virtual time so an episode
+/// overlaps tens of open-loop arrivals.
+pub fn draw_nemesis(rng: &mut StdRng, topo: &Topology) -> Box<dyn Nemesis> {
+    let hold_ns = rng.gen_range(200_000..=2_000_000u64);
+    let pool = topo.replica_pool().len().max(1);
+    match rng.gen_range(0..8u32) {
+        0 => Box::new(SymmetricPartition { victim: rng.gen_range(0..pool), hold_ns }),
+        1 => Box::new(AsymmetricPartition {
+            victim: rng.gen_range(0..pool),
+            inbound: rng.gen_bool(0.5),
+            hold_ns,
+        }),
+        2 => Box::new(PacketDrop {
+            victim: rng.gen_range(0..pool),
+            drop_rate: rng.gen_range(0.05..0.35),
+            seed: rng.gen(),
+            hold_ns,
+        }),
+        3 => Box::new(PacketDelay {
+            victim: rng.gen_range(0..pool),
+            delay_ns: rng.gen_range(5_000..50_000u64),
+            hold_ns,
+        }),
+        4 => Box::new(PacketDup { dup_rate: rng.gen_range(0.5..1.0), seed: rng.gen(), hold_ns }),
+        5 => Box::new(CrashRestart { victim: rng.gen_range(0..pool), hold_ns }),
+        6 => Box::new(WitnessLoss { victim: rng.gen_range(0..topo.f.max(1)), hold_ns }),
+        _ => Box::new(MasterChurn { partition: rng.gen_range(0..topo.partitions.max(1)) }),
+    }
+}
+
+/// Draws a whole episode sequence: 1–3 nemeses, with [`PowerLoss`] mixed
+/// in at low probability (it is the heaviest episode by far).
+pub fn draw_sequence(rng: &mut StdRng, topo: &Topology) -> Vec<Box<dyn Nemesis>> {
+    let count = rng.gen_range(1..=3);
+    (0..count)
+        .map(|_| {
+            if rng.gen_bool(0.15) {
+                Box::new(PowerLoss) as Box<dyn Nemesis>
+            } else {
+                draw_nemesis(rng, topo)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Mode, RamcloudParams, SimCluster};
+    use crate::time::run_sim;
+    use crate::TempDir;
+    use bytes::Bytes;
+    use curp_proto::op::{Op, OpResult};
+    use rand::SeedableRng;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    async fn put(cluster: &SimCluster, key: &str, val: &str) {
+        let client = cluster.client(7).await;
+        client.update(Op::Put { key: b(key), value: b(val) }).await.expect("put");
+    }
+
+    async fn get(cluster: &SimCluster, key: &str) -> Option<Bytes> {
+        let client = cluster.client(8).await;
+        match client.read(Op::Get { key: b(key) }).await.expect("get") {
+            OpResult::Value(v) => v,
+            other => panic!("unexpected read result {other:?}"),
+        }
+    }
+
+    /// Runs one nemesis against a fresh memory cluster and asserts the
+    /// cluster still serves reads and writes afterwards.
+    fn survives(nemesis: impl Nemesis, expect_events: usize) {
+        run_sim(async move {
+            let mut cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+            put(&cluster, "k", "before").await;
+            let mut log = ScheduleLog::start();
+            nemesis.run(&mut cluster, &mut log).await.expect("nemesis failed");
+            assert_eq!(log.len(), expect_events, "schedule:\n{log}");
+            assert_ne!(log.hash(), 0);
+            put(&cluster, "k", "after").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("after")));
+        });
+    }
+
+    #[test]
+    fn symmetric_partition_holds_then_heals() {
+        // 1 master → one cut event + one heal event.
+        survives(SymmetricPartition { victim: 0, hold_ns: 50_000 }, 2);
+    }
+
+    #[test]
+    fn asymmetric_partition_cuts_one_direction_then_heals() {
+        survives(AsymmetricPartition { victim: 1, inbound: true, hold_ns: 50_000 }, 2);
+        survives(AsymmetricPartition { victim: 1, inbound: false, hold_ns: 50_000 }, 2);
+    }
+
+    #[test]
+    fn packet_drop_is_cleared_after_hold() {
+        survives(PacketDrop { victim: 2, drop_rate: 0.3, seed: 42, hold_ns: 50_000 }, 2);
+    }
+
+    #[test]
+    fn packet_delay_slows_then_restores_the_link() {
+        survives(PacketDelay { victim: 0, delay_ns: 20_000, hold_ns: 50_000 }, 2);
+    }
+
+    #[test]
+    fn packet_dup_preserves_exactly_once() {
+        run_sim(async {
+            let mut cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+            let client = cluster.client(7).await;
+            // Duplicate every request while a counter climbs: RIFL must
+            // absorb every duplicate or the count overshoots.
+            let nemesis = PacketDup { dup_rate: 1.0, seed: 7, hold_ns: 1 };
+            let mut log = ScheduleLog::start();
+            // Inject by hand (hold window is irrelevant here — the fault
+            // stays on while we drive load, then we heal explicitly).
+            cluster.net.set_default_fault(Some(FaultSpec {
+                drop_rate: 0.0,
+                dup_rate: 1.0,
+                seed: 7,
+            }));
+            for _ in 0..10 {
+                client.update(Op::Incr { key: b("c"), delta: 1 }).await.expect("incr");
+            }
+            cluster.net.set_default_fault(None);
+            let r = client.read(Op::Get { key: b("c") }).await.expect("read");
+            assert_eq!(r, OpResult::Value(Some(b("10"))), "duplicates double-applied");
+            // And the combinator itself heals cleanly.
+            nemesis.run(&mut cluster, &mut log).await.expect("nemesis failed");
+            assert_eq!(log.len(), 2);
+        });
+    }
+
+    #[test]
+    fn crash_restart_mid_sync_cold_boots_the_backup() {
+        run_sim(async {
+            let dir = TempDir::new("curp-nemesis-crashrestart").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 2; // frequent syncs: the AOF carries state
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            for i in 0..6 {
+                put(&cluster, "k", &format!("v{i}")).await;
+            }
+            let mut log = ScheduleLog::start();
+            let nemesis = CrashRestart { victim: 0, hold_ns: 100_000 };
+            assert!(nemesis.needs_disk());
+            nemesis.run(&mut cluster, &mut log).await.expect("nemesis failed");
+            assert_eq!(log.len(), 2, "schedule:\n{log}");
+            // The restarted backup was rebuilt from disk and keeps serving:
+            // new writes sync to it and reads see them.
+            put(&cluster, "k", "post").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("post")));
+        });
+    }
+
+    #[test]
+    fn witness_loss_forces_sync_fallback_then_recovers() {
+        run_sim(async {
+            let mut params = RamcloudParams::new(3);
+            params.separate_witnesses = true;
+            // No background syncing: only the §4.4 fallback syncs. Writes
+            // use distinct keys — with syncs off, witness records linger,
+            // and a same-key record would be rejected as non-commuting
+            // (masking the fast-path recovery this test pins).
+            params.batch_size = 10_000;
+            params.sync_interval_ns = u64::MAX / 2048;
+            let mut cluster = SimCluster::build(Mode::Curp, params).await;
+            let client = cluster.client(7).await;
+            client.update(Op::Put { key: b("a"), value: b("v1") }).await.expect("put");
+            assert_eq!(client.stats.fast_path.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+            let mut log = ScheduleLog::start();
+            let nemesis = WitnessLoss { victim: 0, hold_ns: 200_000 };
+            let run = nemesis.run(&mut cluster, &mut log);
+            // Race a write against the outage window: it must complete (via
+            // the sync fallback — the witness is down) without fast-pathing.
+            let fut = async {
+                tokio::time::sleep(vns(50_000)).await;
+                client.update(Op::Put { key: b("b"), value: b("v2") }).await.expect("put");
+            };
+            let (ran, ()) = tokio::join!(run, fut);
+            ran.expect("nemesis failed");
+            assert_eq!(
+                client.stats.fast_path.load(std::sync::atomic::Ordering::Relaxed),
+                1,
+                "a write during witness loss cannot take the fast path"
+            );
+            // Witness back: the fast path returns.
+            client.update(Op::Put { key: b("c"), value: b("v3") }).await.expect("put");
+            assert_eq!(client.stats.fast_path.load(std::sync::atomic::Ordering::Relaxed), 2);
+        });
+    }
+
+    #[test]
+    fn master_churn_moves_the_partition_to_the_spare() {
+        run_sim(async {
+            let mut cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+            put(&cluster, "k", "v").await;
+            let old = cluster.master_id;
+            let mut log = ScheduleLog::start();
+            MasterChurn { partition: 0 }.run(&mut cluster, &mut log).await.expect("churn failed");
+            assert_ne!(cluster.master_id, old);
+            assert_eq!(log.len(), 2, "schedule:\n{log}");
+            assert_eq!(get(&cluster, "k").await, Some(b("v")));
+        });
+    }
+
+    #[test]
+    fn power_loss_nemesis_cold_restarts_the_cluster() {
+        run_sim(async {
+            let dir = TempDir::new("curp-nemesis-powerloss").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 5;
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            put(&cluster, "k", "v").await;
+            let old = cluster.master_id;
+            let mut log = ScheduleLog::start();
+            PowerLoss.run(&mut cluster, &mut log).await.expect("power loss failed");
+            assert_ne!(cluster.master_id, old, "the partition must be re-incarnated");
+            assert_eq!(get(&cluster, "k").await, Some(b("v")));
+            assert_eq!(log.len(), 2);
+        });
+    }
+
+    #[test]
+    fn drawn_schedule_is_a_pure_function_of_the_seed() {
+        let topo = Topology::of(2, 3, true);
+        let draw_names = |seed: u64| -> Vec<&'static str> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| draw_nemesis(&mut rng, &topo).name()).collect()
+        };
+        // Same seed → identical sequence; different seed → different.
+        assert_eq!(draw_names(0xC0FFEE), draw_names(0xC0FFEE));
+        assert_ne!(draw_names(0xC0FFEE), draw_names(0xC0FFEF));
+        // All eight combinators are reachable from draw_nemesis.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..256 {
+            seen.insert(draw_nemesis(&mut rng, &topo).name());
+        }
+        assert_eq!(seen.len(), 8, "combinators drawn: {seen:?}");
+    }
+
+    #[test]
+    fn schedule_hash_is_order_and_content_sensitive() {
+        run_sim(async {
+            let mut a = ScheduleLog::start();
+            a.record("x", "one");
+            a.record("y", "two");
+            let mut b_log = ScheduleLog::start();
+            b_log.record("y", "two");
+            b_log.record("x", "one");
+            assert_ne!(a.hash(), b_log.hash(), "hash must be order-sensitive");
+            let mut c = ScheduleLog::start();
+            c.record("x", "one");
+            c.record("y", "two");
+            assert_eq!(a.hash(), c.hash(), "identical logs must hash equal");
+            assert!(!a.is_empty());
+            assert_eq!(a.events().len(), 2);
+        });
+    }
+
+    #[test]
+    fn topology_mirrors_the_cluster_layout() {
+        run_sim(async {
+            // Co-hosted: witnesses are the backups.
+            let cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+            let topo = Topology::of(1, 3, false);
+            assert_eq!(topo.backups(), cluster.backup_servers());
+            assert_eq!(topo.witnesses(), cluster.witness_servers());
+            assert_eq!(topo.replica_pool().len(), 3);
+        });
+        run_sim(async {
+            // Separate: a second block of f witness hosts.
+            let mut params = RamcloudParams::new(3);
+            params.separate_witnesses = true;
+            let cluster = SimCluster::build_partitioned(Mode::Curp, params, 2).await;
+            let topo = Topology::of(2, 3, true);
+            assert_eq!(topo.backups(), cluster.backup_servers());
+            assert_eq!(topo.witnesses(), cluster.witness_servers());
+            assert_eq!(topo.replica_pool().len(), 6);
+        });
+    }
+}

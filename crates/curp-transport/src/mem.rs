@@ -5,7 +5,8 @@
 //! * per-link one-way delays drawn from a [`LatencyModel`] (global default
 //!   plus per-link overrides, so geo-replication setups can make one witness
 //!   "nearby"),
-//! * optional message loss and bidirectional partitions,
+//! * seeded per-link fault injection (message loss and duplication) and
+//!   one- or two-way partitions,
 //! * server crashes (requests to a crashed server vanish, like a dead NIC),
 //! * a per-server *dispatch cost*: every message a server sends or receives
 //!   occupies a FIFO dispatch resource for a fixed virtual duration. This
@@ -70,14 +71,78 @@ struct ServerEntry {
     stats: Arc<ServerStats>,
 }
 
+/// Fault-injection parameters for one directed link (or the network-wide
+/// default). Decisions are drawn from a dedicated RNG seeded with `seed`, so
+/// a schedule built from a given seed replays byte-identically: the draw
+/// sequence depends only on the messages crossing *this* link, never on
+/// unrelated traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Probability that a message on the link is silently lost.
+    pub drop_rate: f64,
+    /// Probability that a (non-lost) request is delivered twice. Responses
+    /// are never duplicated: the caller keeps only one anyway, so a dup
+    /// there is invisible — request dups are what stress exactly-once.
+    pub dup_rate: f64,
+    /// Seed for this link's decision RNG.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.drop_rate), "drop_rate {}", self.drop_rate);
+        assert!((0.0..=1.0).contains(&self.dup_rate), "dup_rate {}", self.dup_rate);
+    }
+}
+
+/// One per-message fault decision.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultRoll {
+    lost: bool,
+    dup: bool,
+}
+
+struct LinkFault {
+    drop_rate: f64,
+    dup_rate: f64,
+    rng: StdRng,
+}
+
+impl LinkFault {
+    fn new(spec: FaultSpec) -> Self {
+        spec.validate();
+        LinkFault {
+            drop_rate: spec.drop_rate,
+            dup_rate: spec.dup_rate,
+            rng: StdRng::seed_from_u64(spec.seed),
+        }
+    }
+
+    fn roll(&mut self) -> FaultRoll {
+        let lost = self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate);
+        let dup = !lost && self.dup_rate > 0.0 && self.rng.gen_bool(self.dup_rate);
+        FaultRoll { lost, dup }
+    }
+}
+
 struct Inner {
     servers: Mutex<HashMap<ServerId, ServerEntry>>,
     default_latency: Mutex<Arc<dyn LatencyModel>>,
     link_latency: Mutex<HashMap<(ServerId, ServerId), Arc<dyn LatencyModel>>>,
     partitions: Mutex<HashSet<(ServerId, ServerId)>>,
-    drop_rate: Mutex<f64>,
-    rng: Mutex<StdRng>,
+    link_faults: Mutex<HashMap<(ServerId, ServerId), LinkFault>>,
+    default_fault: Mutex<Option<LinkFault>>,
+    /// Latency draws also use one RNG per directed link (lazily seeded from
+    /// `seed`), for the same replayability reason as [`LinkFault`].
+    latency_rngs: Mutex<HashMap<(ServerId, ServerId), StdRng>>,
+    seed: u64,
     rpc_timeout: Mutex<Duration>,
+}
+
+/// Derives a stable per-directed-link seed from the network seed.
+fn link_seed(seed: u64, from: ServerId, to: ServerId) -> u64 {
+    seed ^ from.0.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+        ^ to.0.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
 }
 
 /// The simulated network. Cheap to clone (shared state).
@@ -97,8 +162,10 @@ impl MemNetwork {
                 default_latency: Mutex::new(Arc::new(Fixed(Duration::from_micros(1)))),
                 link_latency: Mutex::new(HashMap::new()),
                 partitions: Mutex::new(HashSet::new()),
-                drop_rate: Mutex::new(0.0),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                link_faults: Mutex::new(HashMap::new()),
+                default_fault: Mutex::new(None),
+                latency_rngs: Mutex::new(HashMap::new()),
+                seed,
                 rpc_timeout: Mutex::new(Duration::from_millis(200)),
             }),
         }
@@ -135,10 +202,43 @@ impl MemNetwork {
         self.inner.link_latency.lock().insert((from, to), model);
     }
 
+    /// Removes a per-link latency override (falls back to the default).
+    pub fn clear_link_latency(&self, from: ServerId, to: ServerId) {
+        self.inner.link_latency.lock().remove(&(from, to));
+    }
+
     /// Sets the probability that any individual message is silently lost.
+    ///
+    /// Convenience wrapper over [`set_default_fault`](Self::set_default_fault):
+    /// the decision RNG is seeded from the network seed, so the loss pattern
+    /// is deterministic per seed (but shared across links — per-link
+    /// [`set_link_fault`](Self::set_link_fault) is the replay-exact path).
     pub fn set_drop_rate(&self, p: f64) {
         assert!((0.0..=1.0).contains(&p));
-        *self.inner.drop_rate.lock() = p;
+        let spec = (p > 0.0).then_some(FaultSpec {
+            drop_rate: p,
+            dup_rate: 0.0,
+            seed: self.inner.seed ^ 0xD20B,
+        });
+        self.set_default_fault(spec);
+    }
+
+    /// Installs (or replaces) the fault model for the directed link
+    /// `from → to`. Each installation restarts the link's decision RNG from
+    /// `spec.seed`.
+    pub fn set_link_fault(&self, from: ServerId, to: ServerId, spec: FaultSpec) {
+        self.inner.link_faults.lock().insert((from, to), LinkFault::new(spec));
+    }
+
+    /// Removes the fault model for `from → to` (falls back to the default).
+    pub fn clear_link_fault(&self, from: ServerId, to: ServerId) {
+        self.inner.link_faults.lock().remove(&(from, to));
+    }
+
+    /// Installs (or with `None` clears) the fault model applied to every
+    /// link without its own [`set_link_fault`](Self::set_link_fault) entry.
+    pub fn set_default_fault(&self, spec: Option<FaultSpec>) {
+        *self.inner.default_fault.lock() = spec.map(LinkFault::new);
     }
 
     /// Sets how long callers wait before reporting [`RpcError::Timeout`].
@@ -181,6 +281,22 @@ impl MemNetwork {
         p.remove(&(b, a));
     }
 
+    /// Cuts only the direction `from → to` (an *asymmetric* partition: `to`
+    /// still reaches `from`, so e.g. a master can send but never hear acks).
+    pub fn partition_oneway(&self, from: ServerId, to: ServerId) {
+        self.inner.partitions.lock().insert((from, to));
+    }
+
+    /// Heals a previous [`partition_oneway`](Self::partition_oneway).
+    pub fn heal_oneway(&self, from: ServerId, to: ServerId) {
+        self.inner.partitions.lock().remove(&(from, to));
+    }
+
+    /// Heals every partition (both kinds) at once.
+    pub fn heal_all(&self) {
+        self.inner.partitions.lock().clear();
+    }
+
     /// Per-server message statistics.
     pub fn stats(&self, id: ServerId) -> Option<Arc<ServerStats>> {
         self.inner.servers.lock().get(&id).map(|e| Arc::clone(&e.stats))
@@ -200,13 +316,18 @@ impl MemNetwork {
             links.get(&(from, to)).cloned()
         };
         let model = model.unwrap_or_else(|| Arc::clone(&self.inner.default_latency.lock()));
-        let mut rng = self.inner.rng.lock();
-        model.sample(&mut *rng)
+        let mut rngs = self.inner.latency_rngs.lock();
+        let rng = rngs
+            .entry((from, to))
+            .or_insert_with(|| StdRng::seed_from_u64(link_seed(self.inner.seed, from, to)));
+        model.sample(rng)
     }
 
-    fn message_lost(&self) -> bool {
-        let p = *self.inner.drop_rate.lock();
-        p > 0.0 && self.inner.rng.lock().gen_bool(p)
+    fn fault_roll(&self, from: ServerId, to: ServerId) -> FaultRoll {
+        if let Some(f) = self.inner.link_faults.lock().get_mut(&(from, to)) {
+            return f.roll();
+        }
+        self.inner.default_fault.lock().as_mut().map(LinkFault::roll).unwrap_or_default()
     }
 
     fn is_partitioned(&self, from: ServerId, to: ServerId) -> bool {
@@ -244,7 +365,11 @@ impl MemNetwork {
             self.occupy_dispatch(from).await;
             let d_out = self.sample_delay(from, to);
             tokio::time::sleep(d_out).await;
-            if self.is_partitioned(from, to) || self.message_lost() {
+            if self.is_partitioned(from, to) {
+                std::future::pending::<()>().await;
+            }
+            let roll = self.fault_roll(from, to);
+            if roll.lost {
                 std::future::pending::<()>().await;
             }
             let (handler, stats) = {
@@ -258,6 +383,23 @@ impl MemNetwork {
                     None => return Err(RpcError::Unreachable { to }),
                 }
             };
+            if roll.dup {
+                // The network delivered a second copy of the request. It is
+                // its own message — it pays its own dispatch charge and runs
+                // through the handler concurrently with the original — but
+                // its response is discarded (the caller awaits only one).
+                // This is exactly the retransmission scenario RIFL's
+                // exactly-once table must absorb.
+                stats.requests_in.fetch_add(1, Ordering::Relaxed);
+                stats.bytes_in.fetch_add(req_len, Ordering::Relaxed);
+                let net = self.clone();
+                let dup_handler = Arc::clone(&handler);
+                let dup_req = req.clone();
+                tokio::spawn(async move {
+                    net.occupy_dispatch(to).await;
+                    let _ = deliver(&dup_handler, from, dup_req).await;
+                });
+            }
             stats.requests_in.fetch_add(1, Ordering::Relaxed);
             stats.bytes_in.fetch_add(req_len, Ordering::Relaxed);
             // Incoming request occupies the receiver's dispatch thread. A
@@ -266,17 +408,7 @@ impl MemNetwork {
             // amortization that makes client batching pay off against a
             // dispatch-bound server (§C.1).
             self.occupy_dispatch(to).await;
-            let rsp = match req {
-                Request::Batch { requests } => {
-                    // Inner requests are handled independently and
-                    // concurrently; responses stay in request order however
-                    // the handlers interleave.
-                    let futs: Vec<_> =
-                        requests.into_iter().map(|r| handler.handle(from, r)).collect();
-                    Response::Batch { responses: join_all(futs).await }
-                }
-                req => handler.handle(from, req).await,
-            };
+            let rsp = deliver(&handler, from, req).await;
             // If the server crashed while processing, its response is lost.
             if self.is_crashed(to) {
                 std::future::pending::<()>().await;
@@ -287,7 +419,9 @@ impl MemNetwork {
             self.occupy_dispatch(to).await;
             let d_back = self.sample_delay(to, from);
             tokio::time::sleep(d_back).await;
-            if self.is_partitioned(to, from) || self.message_lost() {
+            // Response leg: duplication is meaningless here (see
+            // [`FaultSpec::dup_rate`]), only loss applies.
+            if self.is_partitioned(to, from) || self.fault_roll(to, from).lost {
                 std::future::pending::<()>().await;
             }
             // Incoming response occupies the sender's dispatch thread.
@@ -298,6 +432,20 @@ impl MemNetwork {
             Ok(r) => r,
             Err(_) => Err(RpcError::Timeout { to }),
         }
+    }
+}
+
+/// Hands one delivered message to the destination handler. A batch is
+/// unwrapped here: inner requests are handled independently and
+/// concurrently; responses stay in request order however the handlers
+/// interleave.
+async fn deliver(handler: &SharedHandler, from: ServerId, req: Request) -> Response {
+    match req {
+        Request::Batch { requests } => {
+            let futs: Vec<_> = requests.into_iter().map(|r| handler.handle(from, r)).collect();
+            Response::Batch { responses: join_all(futs).await }
+        }
+        req => handler.handle(from, req).await,
     }
 }
 
@@ -338,12 +486,13 @@ impl RpcClient for MemClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use curp_proto::types::MasterId;
     use std::sync::atomic::AtomicUsize;
 
     fn echo_handler() -> SharedHandler {
         Arc::new(|_from: ServerId, req: Request| async move {
             match req {
-                Request::Sync => Response::SyncDone,
+                Request::Sync { .. } => Response::SyncDone,
                 _ => Response::Retry { reason: "unexpected".into() },
             }
         })
@@ -354,7 +503,7 @@ mod tests {
         let net = MemNetwork::new(1);
         net.add_simple_server(ServerId(1), echo_handler());
         let client = net.client(ServerId(100));
-        let rsp = client.call(ServerId(1), Request::Sync).await.unwrap();
+        let rsp = client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.unwrap();
         assert_eq!(rsp, Response::SyncDone);
     }
 
@@ -362,7 +511,8 @@ mod tests {
     async fn unknown_server_is_unreachable() {
         let net = MemNetwork::new(1);
         let client = net.client(ServerId(100));
-        let err = client.call(ServerId(9), Request::Sync).await.unwrap_err();
+        let err =
+            client.call(ServerId(9), Request::Sync { master_id: MasterId(1) }).await.unwrap_err();
         assert_eq!(err, RpcError::Unreachable { to: ServerId(9) });
     }
 
@@ -372,10 +522,11 @@ mod tests {
         net.add_simple_server(ServerId(1), echo_handler());
         net.crash(ServerId(1));
         let client = net.client(ServerId(100));
-        let err = client.call(ServerId(1), Request::Sync).await.unwrap_err();
+        let err =
+            client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.unwrap_err();
         assert_eq!(err, RpcError::Timeout { to: ServerId(1) });
         net.restart(ServerId(1));
-        assert!(client.call(ServerId(1), Request::Sync).await.is_ok());
+        assert!(client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_ok());
     }
 
     #[tokio::test(start_paused = true)]
@@ -384,9 +535,9 @@ mod tests {
         net.add_simple_server(ServerId(1), echo_handler());
         net.partition(ServerId(100), ServerId(1));
         let client = net.client(ServerId(100));
-        assert!(client.call(ServerId(1), Request::Sync).await.is_err());
+        assert!(client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_err());
         net.heal(ServerId(100), ServerId(1));
-        assert!(client.call(ServerId(1), Request::Sync).await.is_ok());
+        assert!(client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_ok());
     }
 
     #[tokio::test(start_paused = true)]
@@ -395,7 +546,94 @@ mod tests {
         net.add_simple_server(ServerId(1), echo_handler());
         net.set_drop_rate(1.0);
         let client = net.client(ServerId(100));
-        assert!(client.call(ServerId(1), Request::Sync).await.is_err());
+        assert!(client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_err());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn oneway_partition_cuts_only_one_direction() {
+        let net = MemNetwork::new(1);
+        net.add_simple_server(ServerId(1), echo_handler());
+        net.add_simple_server(ServerId(2), echo_handler());
+        // Requests 1→2 still flow, but 2's *responses* (the 2→1 leg) are cut,
+        // so the caller at 1 times out while 2→1 request traffic also dies.
+        net.partition_oneway(ServerId(2), ServerId(1));
+        let c1 = net.client(ServerId(1));
+        let c2 = net.client(ServerId(2));
+        assert!(
+            c1.call(ServerId(2), Request::Sync { master_id: MasterId(1) }).await.is_err(),
+            "response leg is cut"
+        );
+        assert!(
+            c2.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_err(),
+            "request leg is cut"
+        );
+        // The reverse direction was never touched: 2 can be *called* by a
+        // third party unaffected by the 2→1 cut.
+        let c9 = net.client(ServerId(9));
+        assert!(c9.call(ServerId(2), Request::Sync { master_id: MasterId(1) }).await.is_ok());
+        net.heal_oneway(ServerId(2), ServerId(1));
+        assert!(c1.call(ServerId(2), Request::Sync { master_id: MasterId(1) }).await.is_ok());
+        assert!(c2.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_ok());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn dup_fault_delivers_request_exactly_twice() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let net = MemNetwork::new(1);
+        net.add_simple_server(
+            ServerId(1),
+            Arc::new(|_f: ServerId, _r: Request| async {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                Response::SyncDone
+            }),
+        );
+        net.set_link_fault(
+            ServerId(100),
+            ServerId(1),
+            FaultSpec { drop_rate: 0.0, dup_rate: 1.0, seed: 9 },
+        );
+        let client = net.client(ServerId(100));
+        let rsp = client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.unwrap();
+        assert_eq!(rsp, Response::SyncDone, "the caller still gets exactly one response");
+        // Let the fire-and-forget duplicate leg land.
+        tokio::time::sleep(Duration::from_millis(10)).await;
+        assert_eq!(HITS.load(Ordering::Relaxed), 2, "duplicate delivered exactly twice");
+        let stats = net.stats(ServerId(1)).unwrap();
+        assert_eq!(stats.requests_in.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.responses_out.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn link_fault_drop_pattern_replays_from_seed() {
+        // Two networks with identical per-link fault seeds must lose exactly
+        // the same messages — the property chaos-schedule replay rests on.
+        async fn pattern(seed: u64) -> Vec<bool> {
+            let net = MemNetwork::new(7);
+            net.set_rpc_timeout(Duration::from_millis(50));
+            net.add_simple_server(ServerId(1), echo_handler());
+            net.set_link_fault(
+                ServerId(100),
+                ServerId(1),
+                FaultSpec { drop_rate: 0.5, dup_rate: 0.0, seed },
+            );
+            let client = net.client(ServerId(100));
+            let mut out = Vec::new();
+            for _ in 0..24 {
+                out.push(
+                    client
+                        .call(ServerId(1), Request::Sync { master_id: MasterId(1) })
+                        .await
+                        .is_ok(),
+                );
+            }
+            out
+        }
+        let a = pattern(42).await;
+        let b = pattern(42).await;
+        let c = pattern(43).await;
+        assert_eq!(a, b, "same fault seed, same losses");
+        assert_ne!(a, c, "different fault seed, different losses");
+        assert!(a.iter().any(|x| *x) && a.iter().any(|x| !*x), "p=0.5 mixes both outcomes");
     }
 
     // NOTE on units: tokio's timer has 1 ms resolution (sleeps round up to
@@ -411,7 +649,7 @@ mod tests {
         net.add_simple_server(ServerId(1), echo_handler());
         let client = net.client(ServerId(100));
         let t0 = tokio::time::Instant::now();
-        client.call(ServerId(1), Request::Sync).await.unwrap();
+        client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.unwrap();
         let rtt = t0.elapsed();
         assert_eq!(rtt, Duration::from_millis(20), "two one-way hops of 10ms");
     }
@@ -434,7 +672,7 @@ mod tests {
         for i in 0..10 {
             let client = net.client(ServerId(100 + i));
             handles.push(tokio::spawn(async move {
-                client.call(ServerId(1), Request::Sync).await.unwrap()
+                client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.unwrap()
             }));
         }
         for h in handles {
@@ -452,7 +690,10 @@ mod tests {
         net.set_link_latency(ServerId(100), ServerId(1), Arc::new(Fixed(Duration::ZERO)));
         net.set_link_latency(ServerId(1), ServerId(100), Arc::new(Fixed(Duration::ZERO)));
         let t0 = tokio::time::Instant::now();
-        net.client(ServerId(100)).call(ServerId(1), Request::Sync).await.unwrap();
+        net.client(ServerId(100))
+            .call(ServerId(1), Request::Sync { master_id: MasterId(1) })
+            .await
+            .unwrap();
         assert_eq!(t0.elapsed(), Duration::ZERO);
     }
 
@@ -462,7 +703,7 @@ mod tests {
         net.add_simple_server(ServerId(1), echo_handler());
         let client = net.client(ServerId(100));
         for _ in 0..3 {
-            client.call(ServerId(1), Request::Sync).await.unwrap();
+            client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.unwrap();
         }
         let stats = net.stats(ServerId(1)).unwrap();
         assert_eq!(stats.requests_in.load(Ordering::Relaxed), 3);
@@ -535,7 +776,10 @@ mod tests {
         );
         let client = net.client(ServerId(100));
         let t0 = tokio::time::Instant::now();
-        let rsps = client.call_batch(ServerId(1), vec![Request::Sync; 8]).await.unwrap();
+        let rsps = client
+            .call_batch(ServerId(1), vec![Request::Sync { master_id: MasterId(1) }; 8])
+            .await
+            .unwrap();
         assert_eq!(rsps, vec![Response::SyncDone; 8]);
         assert_eq!(t0.elapsed(), Duration::from_millis(10), "one message each way");
     }
@@ -555,8 +799,9 @@ mod tests {
         let mut handles = Vec::new();
         for i in 0..64 {
             let client = net.client(ServerId(200 + i));
-            handles
-                .push(tokio::spawn(async move { client.call(ServerId(1), Request::Sync).await }));
+            handles.push(tokio::spawn(async move {
+                client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await
+            }));
         }
         for h in handles {
             assert!(h.await.unwrap().is_ok());

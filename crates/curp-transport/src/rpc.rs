@@ -102,16 +102,20 @@ impl RpcClient for Arc<dyn RpcClient> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use curp_proto::types::MasterId;
 
     #[tokio::test]
     async fn closures_are_handlers() {
         let h: SharedHandler = Arc::new(|_from: ServerId, req: Request| async move {
             match req {
-                Request::Sync => Response::SyncDone,
+                Request::Sync { .. } => Response::SyncDone,
                 _ => Response::NotOwner,
             }
         });
-        assert_eq!(h.handle(ServerId(1), Request::Sync).await, Response::SyncDone);
+        assert_eq!(
+            h.handle(ServerId(1), Request::Sync { master_id: MasterId(1) }).await,
+            Response::SyncDone
+        );
         assert_eq!(h.handle(ServerId(1), Request::GetConfig).await, Response::NotOwner);
     }
 }

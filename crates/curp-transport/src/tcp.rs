@@ -336,11 +336,12 @@ impl RpcClient for TcpRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use curp_proto::types::MasterId;
 
     fn handler() -> SharedHandler {
         Arc::new(|from: ServerId, req: Request| async move {
             match req {
-                Request::Sync => Response::SyncDone,
+                Request::Sync { .. } => Response::SyncDone,
                 Request::RenewLease { client } => Response::Lease {
                     client,
                     // Echo the peer id back so tests can verify the hello frame.
@@ -357,7 +358,7 @@ mod tests {
         let router = TcpRouter::new(ServerId(77));
         router.add_route(ServerId(1), server.local_addr());
         let client = router.client();
-        let rsp = client.call(ServerId(1), Request::Sync).await.unwrap();
+        let rsp = client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.unwrap();
         assert_eq!(rsp, Response::SyncDone);
         server.shutdown();
     }
@@ -385,7 +386,9 @@ mod tests {
         let mut joins = Vec::new();
         for _ in 0..100 {
             let c = Arc::clone(&client);
-            joins.push(tokio::spawn(async move { c.call(ServerId(1), Request::Sync).await }));
+            joins.push(tokio::spawn(async move {
+                c.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await
+            }));
         }
         for j in joins {
             assert_eq!(j.await.unwrap().unwrap(), Response::SyncDone);
@@ -425,7 +428,11 @@ mod tests {
     #[tokio::test]
     async fn unknown_route_unreachable() {
         let router = TcpRouter::new(ServerId(7));
-        let err = router.client().call(ServerId(5), Request::Sync).await.unwrap_err();
+        let err = router
+            .client()
+            .call(ServerId(5), Request::Sync { master_id: MasterId(1) })
+            .await
+            .unwrap_err();
         assert_eq!(err, RpcError::Unreachable { to: ServerId(5) });
     }
 
@@ -437,7 +444,7 @@ mod tests {
         let router = TcpRouter::new(ServerId(7));
         router.add_route(ServerId(1), bound);
         let client = router.client();
-        assert!(client.call(ServerId(1), Request::Sync).await.is_ok());
+        assert!(client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_ok());
         server.shutdown();
         // Give the OS a moment to tear down, then restart on the same port.
         tokio::time::sleep(Duration::from_millis(50)).await;
@@ -445,7 +452,7 @@ mod tests {
         // First call may race the dead connection; retry once.
         let mut ok = false;
         for _ in 0..20 {
-            if client.call(ServerId(1), Request::Sync).await.is_ok() {
+            if client.call(ServerId(1), Request::Sync { master_id: MasterId(1) }).await.is_ok() {
                 ok = true;
                 break;
             }

@@ -362,6 +362,9 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(s.handle_request(&Request::WitnessEnd { master_id: M }), Response::WitnessEnded);
-        assert!(matches!(s.handle_request(&Request::Sync), Response::Retry { .. }));
+        assert!(matches!(
+            s.handle_request(&Request::Sync { master_id: MasterId(1) }),
+            Response::Retry { .. }
+        ));
     }
 }

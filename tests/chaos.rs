@@ -1,0 +1,103 @@
+//! The chaos fleet batch: every seed builds a cluster, runs open-loop
+//! load concurrently with a randomly composed nemesis sequence (network
+//! partitions, loss, delay, duplication, crash-restarts, witness loss,
+//! master churn, whole-cluster power loss), heals, and checks the full
+//! history with the Wing–Gong linearizability checker plus exactly-once
+//! and final-read anchors.
+//!
+//! Seed protocol: every run is a pure function of its seed. A failing
+//! seed prints a one-line repro — `CHAOS_SEED=<n> cargo test -q --test
+//! chaos` re-runs exactly that seed's schedule, byte for byte (the
+//! schedule-hash test below pins the replay property itself). The
+//! `#[ignore]`d soak scales the batch to `CHAOS_SOAK_SEEDS` (default
+//! 1000) for nightly-style runs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use curp::sim::fleet::{repro_line, run_chaos_seed};
+
+/// Runs one seed and reports everything wrong with it (a linearizability
+/// violation, a harness error, an empty schedule, or a panic).
+fn check_seed(seed: u64) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| run_chaos_seed(seed))) {
+        Ok(report) => {
+            if report.schedule.is_empty() {
+                return Err(format!(
+                    "chaos seed {seed} recorded no schedule — repro: {}",
+                    repro_line(seed)
+                ));
+            }
+            if report.is_ok() {
+                Ok(())
+            } else {
+                Err(report.render_failure())
+            }
+        }
+        Err(_) => Err(format!("chaos seed {seed} panicked — repro: {}", repro_line(seed))),
+    }
+}
+
+fn run_batch(seeds: impl Iterator<Item = u64>) {
+    let mut failed = Vec::new();
+    for seed in seeds {
+        if let Err(why) = check_seed(seed) {
+            eprintln!("{why}");
+            failed.push(seed);
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "chaos seeds failed: {failed:?} — repro each with CHAOS_SEED=<n> cargo test -q --test chaos"
+    );
+}
+
+#[test]
+fn chaos_batch_is_linearizable_on_every_seed() {
+    // CHAOS_SEED=<n> narrows the batch to one seed — the repro path.
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => {
+            let seed: u64 = s.parse().expect("CHAOS_SEED must be a u64");
+            run_batch(std::iter::once(seed));
+        }
+        Err(_) => run_batch((0u64..64).map(|i| 0xC0FFEE ^ (i * 7919))),
+    }
+}
+
+#[test]
+fn any_seed_replays_an_identical_schedule() {
+    // The replay oracle: the same seed must produce the identical nemesis
+    // schedule — same draws, same victims, same virtual-time stamps —
+    // across two completely separate simulations.
+    let seed = 0xC0FFEE ^ (17 * 7919);
+    let a = run_chaos_seed(seed);
+    let b = run_chaos_seed(seed);
+    assert_ne!(a.schedule_hash, 0);
+    assert_eq!(a.schedule, b.schedule, "nemesis schedule diverged across replays");
+    assert_eq!(a.schedule_hash, b.schedule_hash, "schedule hash diverged across replays");
+    assert_eq!(a.nemeses, b.nemeses);
+    assert_eq!((a.completed_ops, a.pending_ops), (b.completed_ops, b.pending_ops));
+}
+
+/// Nightly-style soak: `cargo test -q --test chaos -- --ignored` runs
+/// `CHAOS_SOAK_SEEDS` (default 1000) seeds disjoint from the tier-1 batch.
+#[test]
+#[ignore = "seed soak — opt in with --ignored, scale with CHAOS_SOAK_SEEDS"]
+fn chaos_soak() {
+    let n: u64 =
+        std::env::var("CHAOS_SOAK_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let mut failed = Vec::new();
+    for i in 0..n {
+        let seed = 0x50AC_0000_0000_0000u64 ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if let Err(why) = check_seed(seed) {
+            eprintln!("{why}");
+            failed.push(seed);
+        }
+        if (i + 1) % 100 == 0 {
+            eprintln!("soak: {}/{n} seeds, {} failed", i + 1, failed.len());
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "soak seeds failed: {failed:?} — repro each with CHAOS_SEED=<n> cargo test -q --test chaos"
+    );
+}
