@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use curp_core::client::PipelineConfig;
+use curp_proto::cluster::{HashRange, LoadStats, LOAD_HISTOGRAM_BUCKETS};
 use curp_proto::message::{LogEntry, RecordedRequest, Request};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{ClientId, KeyHash, MasterId, RpcId, WitnessListVersion};
@@ -393,6 +394,16 @@ fn bench_codec(c: &mut Criterion) {
         let key = b"012345678901234567890123456789";
         b.iter(|| KeyHash::of(key));
     });
+    c.bench_function("load_stats_split_point", |b| {
+        // The autoscaler's split-point pick: a hotkey-mass median over the
+        // full 64-bucket histogram (worst case: the cumulative scan walks
+        // every bucket). Pure arithmetic on the coordinator's poll path.
+        let range = HashRange { start: 0, end: u64::MAX };
+        let hot_hash_histogram: Vec<u64> =
+            (0..LOAD_HISTOGRAM_BUCKETS as u64).map(|i| i * 7 + 1).collect();
+        let stats = LoadStats { updates: 1 << 20, pending: 8, range, hot_hash_histogram };
+        b.iter(|| stats.split_point());
+    });
 }
 
 // ---- client throughput: serial vs pipelined/batched -------------------------
@@ -448,12 +459,59 @@ fn pipelined_vtime(iters: u64, partitions: usize) -> Duration {
     })
 }
 
+/// Virtual time of one full online split (§3.6): drain the source master,
+/// cut the range at the midpoint, install the upper half on the spare, and
+/// publish the new map. The cluster holds 128 objects so the snapshot and
+/// backup installs carry real payload. Deterministic (virtual time); the
+/// gate holds it like the client benches.
+fn split_migration_vtime(iters: u64) -> Duration {
+    const CAP: u64 = 8;
+    let rounds = iters.clamp(1, CAP);
+    let mut total = Duration::ZERO;
+    for _ in 0..rounds {
+        total += run_sim(async {
+            let cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+            let client = cluster.client(0).await;
+            for i in 0..128u64 {
+                client
+                    .update(Op::Put {
+                        key: Bytes::from(i.to_le_bytes().to_vec()),
+                        value: Bytes::from(vec![0u8; 100]),
+                    })
+                    .await
+                    .expect("seed put");
+            }
+            let part = cluster.coord.config().partitions[0].clone();
+            let spare = cluster.coord.spare_servers()[0];
+            let t0 = tokio::time::Instant::now();
+            cluster
+                .coord
+                .migrate(
+                    part.master_id,
+                    u64::MAX / 2,
+                    spare,
+                    part.backups.clone(),
+                    part.witnesses.clone(),
+                )
+                .await
+                .expect("split migration");
+            Duration::from_nanos(to_virtual_ns(t0.elapsed()))
+        });
+    }
+    if rounds == iters {
+        total
+    } else {
+        Duration::from_nanos((total.as_nanos() as f64 * iters as f64 / rounds as f64).round() as u64)
+    }
+}
+
 fn bench_client_throughput(c: &mut Criterion) {
     c.bench_function("client_serial_update", |b| b.iter_custom(serial_vtime));
     c.bench_function("client_pipelined_w16", |b| b.iter_custom(|i| pipelined_vtime(i, 1)));
     c.bench_function("client_pipelined_w16_4partitions", |b| {
         b.iter_custom(|i| pipelined_vtime(i, 4))
     });
+    c.bench_function("scaleout_split_migration", |b| b.iter_custom(split_migration_vtime));
 }
 
 fn bench_commutativity(c: &mut Criterion) {

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::task::{Context, Poll};
 use std::time::Duration;
 
@@ -405,9 +405,15 @@ impl Default for PipelineConfig {
 ///
 /// Per-op outcomes follow the same state machine as [`CurpClient::update`]:
 /// master-synced and fast-path completions resolve immediately; ops whose
-/// records were rejected share a single explicit sync RPC per flush; refused
-/// ops (stale witness list, moved partition, transport errors) fall back to
-/// the one-op retry loop under their original RIFL id.
+/// records were rejected share a single explicit sync RPC per flush.
+/// Refused ops (`NotOwner` after a partition split, stale witness list,
+/// sealed master) refresh the map once and re-enter the pipeline on their
+/// new owner's pipe — up to `MAX_REDIRECTS` times, after which (or on
+/// transport errors) they fall back to the one-op retry loop under their
+/// original RIFL id. The redirect keeps a live split invisible to the
+/// caller: throughput for the moved range recovers to pipelined rates as
+/// soon as the refreshed map lands, instead of degrading to serial retries
+/// for the rest of the client's lifetime.
 ///
 /// Operations inside the window are **concurrent**: CURP's guarantees apply
 /// per operation, and two pipelined ops may execute in either order. A
@@ -417,7 +423,15 @@ pub struct PipelinedClient {
     inner: Arc<CurpClient>,
     cfg: PipelineConfig,
     pipes: Mutex<HashMap<MasterId, Pipe>>,
+    /// Handed to flushers so refused ops can re-enter the pipeline on
+    /// another master's pipe; weak, so dropping the client still shuts the
+    /// flushers down.
+    self_weak: Weak<PipelinedClient>,
 }
+
+/// Times a refused op may hop between pipes before degrading to the serial
+/// retry loop (guards against a stale map ping-ponging an op forever).
+const MAX_REDIRECTS: u32 = 3;
 
 struct Pipe {
     queue: mpsc::UnboundedSender<PendingOp>,
@@ -430,8 +444,12 @@ struct PendingOp {
     op: Op,
     footprint: Footprint,
     /// Window slot; dropping it (on completion) re-opens the window.
+    /// A redirected op keeps the permit of the pipe it was submitted on, so
+    /// total in-flight operations stay bounded across a migration.
     permit: OwnedSemaphorePermit,
     done: oneshot::Sender<Result<OpResult, ClientError>>,
+    /// How many times this op has been re-routed to a different pipe.
+    redirects: u32,
 }
 
 /// Completion future for a pipelined operation, keyed by its RIFL id.
@@ -462,7 +480,12 @@ impl PipelinedClient {
     /// Wraps a connected client in a pipelined front end.
     pub fn new(inner: Arc<CurpClient>, cfg: PipelineConfig) -> Arc<PipelinedClient> {
         assert!(cfg.window > 0 && cfg.max_batch > 0);
-        Arc::new(PipelinedClient { inner, cfg, pipes: Mutex::new(HashMap::new()) })
+        Arc::new_cyclic(|self_weak| PipelinedClient {
+            inner,
+            cfg,
+            pipes: Mutex::new(HashMap::new()),
+            self_weak: self_weak.clone(),
+        })
     }
 
     /// The wrapped client (shared configuration, stats and RIFL lease).
@@ -492,7 +515,7 @@ impl PipelinedClient {
             .map_err(|_| ClientError::Exhausted("pipeline window closed".into()))?;
         let rpc_id = self.inner.state.lock().rifl.next_rpc_id();
         let (done, rx) = oneshot::channel();
-        if queue.send(PendingOp { rpc_id, op, footprint, permit, done }).is_err() {
+        if queue.send(PendingOp { rpc_id, op, footprint, permit, done, redirects: 0 }).is_err() {
             return Err(ClientError::Exhausted("pipeline flusher gone".into()));
         }
         Ok(Completion { rpc_id, rx })
@@ -517,7 +540,13 @@ impl PipelinedClient {
         let pipe = pipes.entry(part.master_id).or_insert_with(|| {
             let window = Arc::new(Semaphore::new(self.cfg.window));
             let (tx, rx) = mpsc::unbounded_channel();
-            tokio::spawn(run_pipe(Arc::clone(&self.inner), part.master_id, self.cfg.max_batch, rx));
+            tokio::spawn(run_pipe(
+                Arc::clone(&self.inner),
+                self.self_weak.clone(),
+                part.master_id,
+                self.cfg.max_batch,
+                rx,
+            ));
             Pipe { queue: tx, window }
         });
         (Arc::clone(&pipe.window), pipe.queue.clone())
@@ -531,6 +560,7 @@ impl PipelinedClient {
 /// the owning [`PipelinedClient`] is dropped.
 async fn run_pipe(
     inner: Arc<CurpClient>,
+    pipeline: Weak<PipelinedClient>,
     master_id: MasterId,
     max_batch: usize,
     mut rx: mpsc::UnboundedReceiver<PendingOp>,
@@ -543,23 +573,27 @@ async fn run_pipe(
                 Err(_) => break,
             }
         }
-        tokio::spawn(flush_batch(Arc::clone(&inner), master_id, batch));
+        tokio::spawn(flush_batch(Arc::clone(&inner), pipeline.clone(), master_id, batch));
     }
 }
 
 /// Sends one flushed batch: the master update/read batch in parallel with
 /// one record batch per witness, then resolves every op per the fast-path
 /// rules (or coalesces one sync RPC / falls back per op).
-async fn flush_batch(inner: Arc<CurpClient>, master_id: MasterId, batch: Vec<PendingOp>) {
+async fn flush_batch(
+    inner: Arc<CurpClient>,
+    pipeline: Weak<PipelinedClient>,
+    master_id: MasterId,
+    batch: Vec<PendingOp>,
+) {
     let (part, first_incomplete) = {
         let st = inner.state.lock();
         (st.config.partition_by_master(master_id).cloned(), st.rifl.first_incomplete())
     };
     let Some(part) = part else {
-        // The partition moved while queued; retry each op individually.
-        for p in batch {
-            fallback(&inner, p);
-        }
+        // The partition vanished from the map while queued (split, churn):
+        // refresh once and re-route the whole batch to the new owners.
+        redirect_moved(&inner, &pipeline, batch);
         return;
     };
     let record_witnesses = inner.cfg.record_witnesses;
@@ -631,6 +665,7 @@ async fn flush_batch(inner: Arc<CurpClient>, master_id: MasterId, batch: Vec<Pen
     let mut accepted_at: HashMap<usize, bool> = record_slots.into_iter().zip(accepted).collect();
 
     let mut need_sync: Vec<(PendingOp, OpResult)> = Vec::new();
+    let mut moved: Vec<PendingOp> = Vec::new();
     for (i, (p, rsp)) in batch.into_iter().zip(master_rsps).enumerate() {
         match rsp {
             // Reads hold no completion record at the master, but their RIFL
@@ -653,11 +688,13 @@ async fn flush_batch(inner: Arc<CurpClient>, master_id: MasterId, batch: Vec<Pen
                     need_sync.push((p, result));
                 }
             }
-            // NotOwner / StaleWitnessList / Retry / transport surprises:
-            // the one-op retry loop refreshes config and sorts it out.
-            _ => fallback(&inner, p),
+            // NotOwner (the range split away) / StaleWitnessList / Retry
+            // (sealed mid-migration): refresh the map once for the whole
+            // flush and put the op back on its (possibly new) owner's pipe.
+            _ => moved.push(p),
         }
     }
+    redirect_moved(&inner, &pipeline, moved);
 
     if !need_sync.is_empty() {
         // One explicit sync covers every op in the flush: a successful sync
@@ -705,5 +742,44 @@ fn fallback(inner: &Arc<CurpClient>, p: PendingOp) {
         };
         let _ = done.send(res);
         drop(permit);
+    });
+}
+
+/// Re-routes ops refused by a master whose range moved: refreshes the map
+/// once, then re-enqueues each op on the pipe of whichever partition owns
+/// it under the refreshed map. This is what keeps a partition split
+/// invisible to throughput — the moved range's traffic hops to the new
+/// master's pipe and stays batched, rather than degrading permanently to
+/// the serial retry loop. Ops that exhaust [`MAX_REDIRECTS`], ops the
+/// refreshed map cannot route, and everything after the owning
+/// [`PipelinedClient`] is dropped fall back to [`fallback`].
+fn redirect_moved(
+    inner: &Arc<CurpClient>,
+    pipeline: &Weak<PipelinedClient>,
+    moved: Vec<PendingOp>,
+) {
+    if moved.is_empty() {
+        return;
+    }
+    let inner = Arc::clone(inner);
+    let pipeline = pipeline.clone();
+    tokio::spawn(async move {
+        inner.refresh_config().await.ok();
+        for mut p in moved {
+            let routed = pipeline.upgrade().and_then(|pl| {
+                let part = inner.route(&p.footprint).ok()?;
+                Some((pl, part))
+            });
+            match routed {
+                Some((pl, part)) if p.redirects < MAX_REDIRECTS => {
+                    p.redirects += 1;
+                    let (_, queue) = pl.pipe_for(&part);
+                    if let Err(back) = queue.send(p) {
+                        fallback(&inner, back.0);
+                    }
+                }
+                _ => fallback(&inner, p),
+            }
+        }
     });
 }

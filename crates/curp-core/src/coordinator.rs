@@ -13,14 +13,26 @@
 //!   syncs before acknowledging), bump the witness-list version;
 //! * **migration** — split a partition and move the upper half.
 //!
+//! The [`Autoscaler`] drives the migration path from load instead of an
+//! operator: it polls every partition master's [`LoadStats`] snapshot, and
+//! when one saturates (deep speculative queue while executing a healthy
+//! update rate) it splits that partition at the hotkey-mass median and
+//! migrates the upper half onto a spare server — all while clients keep
+//! running (their `NotOwner` retries re-route against the re-published map,
+//! whose version increases monotonically: once a coordinator mutation
+//! shrinks an owner's range, every republication carries a strictly larger
+//! version, so a client can never install a stale map that double-owns a
+//! hash).
+//!
 //! Control-plane actions use direct [`CurpServer`] handles (coordinator and
 //! servers share a process in this implementation); the data plane runs over
 //! the transport.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
-use curp_proto::cluster::{ClusterConfig, HashRange, PartitionConfig};
+use curp_proto::cluster::{ClusterConfig, HashRange, LoadStats, PartitionConfig};
 use curp_proto::message::{Request, Response};
 use curp_proto::types::{ClientId, MasterId, ServerId, WitnessListVersion};
 use curp_rifl::LeaseManager;
@@ -451,6 +463,29 @@ impl Coordinator {
         Ok(new_id)
     }
 
+    /// Registered servers currently holding no role in any partition — the
+    /// migration/recovery target pool, in deterministic (id) order.
+    pub fn spare_servers(&self) -> Vec<ServerId> {
+        let cfg = self.st.lock().config.clone();
+        let mut ids: Vec<ServerId> = self.servers.lock().keys().copied().collect();
+        ids.sort();
+        ids.retain(|id| {
+            cfg.partitions
+                .iter()
+                .all(|p| p.master != *id && !p.backups.contains(id) && !p.witnesses.contains(id))
+        });
+        ids
+    }
+
+    /// Polls one partition master's load snapshot over the transport.
+    pub async fn poll_load(&self, part: &PartitionConfig) -> Result<LoadStats, String> {
+        let rpc = (self.client_for)(part.master);
+        match rpc.call(part.master, Request::MasterLoadStats { master_id: part.master_id }).await {
+            Ok(Response::LoadStats { stats }) => Ok(stats),
+            other => Err(format!("load poll of {:?} failed: {other:?}", part.master_id)),
+        }
+    }
+
     /// Expires overdue client leases, telling every master to sync before
     /// dropping the clients' completion records (§4.8).
     pub async fn tick_leases(&self) {
@@ -506,5 +541,138 @@ impl RpcHandler for CoordinatorHandler {
     fn handle(&self, _from: ServerId, req: Request) -> BoxFuture<'static, Response> {
         let coord = Arc::clone(&self.0);
         Box::pin(async move { coord.handle_request(&req) })
+    }
+}
+
+/// Tuning knobs for the load-driven split loop.
+#[derive(Debug, Clone)]
+pub struct AutoscaleConfig {
+    /// How often [`Autoscaler::run`] polls every partition.
+    pub poll_interval: Duration,
+    /// A partition is saturated only when its speculative queue is at least
+    /// this deep at poll time (queue-depth signal).
+    pub saturation_pending: u64,
+    /// ... and it executed at least this many updates since the previous
+    /// poll (rate signal — a deep queue alone can be a transient).
+    pub min_update_delta: u64,
+    /// Never split past this many partitions.
+    pub max_partitions: usize,
+    /// Quiet period after a successful split: let the moved half warm up
+    /// (and clients re-route) before judging saturation again.
+    pub cooldown: Duration,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            poll_interval: Duration::from_millis(50),
+            saturation_pending: 8,
+            min_update_delta: 16,
+            max_partitions: 8,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// What one autoscaler tick decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// No partition met the saturation criteria (or the cluster is at
+    /// `max_partitions`); nothing changed.
+    Hold,
+    /// `source` was split at `split_at` (the hotkey-mass median) and its
+    /// upper half migrated to a new master on `target`.
+    Split {
+        /// The partition that was saturated.
+        source: MasterId,
+        /// The load-weighted split point.
+        split_at: u64,
+        /// The spare server now hosting the new master.
+        target: ServerId,
+        /// The new master's id.
+        new_master: MasterId,
+    },
+}
+
+/// The load-driven split loop: polls per-partition [`LoadStats`], picks the
+/// most saturated partition, splits it at the hotkey-mass median, and
+/// migrates the upper half onto a spare server — the §3.6 migration path
+/// driven by load instead of an operator. Holds its own poll state (the
+/// previous update counters for rate deltas); the coordinator stays
+/// stateless about scaling.
+pub struct Autoscaler {
+    coord: Arc<Coordinator>,
+    cfg: AutoscaleConfig,
+    /// Update counters from the previous poll, per master incarnation.
+    last_updates: HashMap<MasterId, u64>,
+}
+
+impl Autoscaler {
+    /// Creates an autoscaler over `coord`.
+    pub fn new(coord: Arc<Coordinator>, cfg: AutoscaleConfig) -> Autoscaler {
+        Autoscaler { coord, cfg, last_updates: HashMap::new() }
+    }
+
+    /// One poll-and-maybe-split round. Errors are advisory (an unreachable
+    /// master, a split that raced concurrent writes); the caller just ticks
+    /// again — exactly what [`run`](Self::run) does.
+    pub async fn tick(&mut self) -> Result<ScaleDecision, String> {
+        let config = self.coord.config();
+        if config.partitions.len() >= self.cfg.max_partitions {
+            return Ok(ScaleDecision::Hold);
+        }
+        // Poll every partition; skip unreachable masters (they are being
+        // recovered — not this loop's business).
+        let mut polled: Vec<(PartitionConfig, LoadStats, u64)> = Vec::new();
+        for part in &config.partitions {
+            let Ok(stats) = self.coord.poll_load(part).await else { continue };
+            let delta = stats
+                .updates
+                .saturating_sub(self.last_updates.get(&part.master_id).copied().unwrap_or(0));
+            self.last_updates.insert(part.master_id, stats.updates);
+            polled.push((part.clone(), stats, delta));
+        }
+        // Dead incarnations (recovered or migrated away) drop out of the
+        // poll state so it cannot grow across reconfigurations.
+        self.last_updates.retain(|id, _| config.partition_by_master(*id).is_some());
+
+        let Some((part, stats, _)) = polled
+            .into_iter()
+            .filter(|(_, s, delta)| {
+                s.pending >= self.cfg.saturation_pending && *delta >= self.cfg.min_update_delta
+            })
+            .max_by_key(|(_, s, delta)| s.pending + delta)
+        else {
+            return Ok(ScaleDecision::Hold);
+        };
+        let split_at = stats
+            .split_point()
+            .ok_or_else(|| format!("partition {:?} saturated but unsplittable", part.master_id))?;
+        let target = self
+            .coord
+            .spare_servers()
+            .into_iter()
+            .next()
+            .ok_or_else(|| "no spare server for scale-out".to_string())?;
+        // The new partition reuses the source's replica/witness hosts — the
+        // Figure 2 co-hosting the rest of the cluster already runs with.
+        let new_master = self
+            .coord
+            .migrate(part.master_id, split_at, target, part.backups.clone(), part.witnesses.clone())
+            .await?;
+        Ok(ScaleDecision::Split { source: part.master_id, split_at, target, new_master })
+    }
+
+    /// Runs the loop forever: poll every `poll_interval`, cool down after a
+    /// successful split. Abort the returned handle to stop it.
+    pub fn run(mut self) -> tokio::task::JoinHandle<()> {
+        tokio::spawn(async move {
+            loop {
+                tokio::time::sleep(self.cfg.poll_interval).await;
+                if let Ok(ScaleDecision::Split { .. }) = self.tick().await {
+                    tokio::time::sleep(self.cfg.cooldown).await;
+                }
+            }
+        })
     }
 }

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use curp_proto::cluster::HashRange;
+use curp_proto::cluster::{HashRange, LoadStats};
 use curp_proto::footprint::{Footprint, ShardSet};
 use curp_proto::message::{LogEntry, RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
@@ -156,6 +156,11 @@ struct Ctrl {
     range: HashRange,
     /// Set when fenced (zombie) or migrated away: reject everything.
     sealed: bool,
+    /// Set for the duration of a [`Master::migrate_out`] cut: new updates
+    /// are refused with `Retry` so the pre-migration sync can actually
+    /// drain the pending tail under live load. Cleared when the cut
+    /// completes or fails; reads are unaffected.
+    draining: bool,
 }
 
 /// The master role for one partition.
@@ -247,6 +252,7 @@ impl Master {
                 wl_version: seed.wl_version,
                 range: seed.range,
                 sealed: false,
+                draining: false,
             }),
             pending_gc: Mutex::new(Vec::new()),
             next_seq: AtomicU64::new(next_seq),
@@ -304,6 +310,34 @@ impl Master {
         total
     }
 
+    /// Snapshots this master's load signals for the coordinator's
+    /// autoscaler: the monotone update counter, the speculative queue depth,
+    /// and a fixed-width histogram of recently updated key hashes over the
+    /// owned range — the split-point oracle.
+    ///
+    /// Taken under the existing shard guards (the same `lock_all` the
+    /// diagnostics use); the histogram is allocation-bounded by construction
+    /// ([`curp_proto::cluster::LOAD_HISTOGRAM_BUCKETS`] buckets regardless
+    /// of how many keys each shard's `recent_updates` holds — itself already
+    /// bounded by the hot-key retain rule).
+    pub fn load_stats(&self) -> LoadStats {
+        let range = self.ctrl.lock().range;
+        let mut histogram = vec![0u64; curp_proto::cluster::LOAD_HISTOGRAM_BUCKETS];
+        let mut pending = 0u64;
+        self.store.lock_all().for_each_ext_mut(|_, meta| {
+            pending += meta.pending.len() as u64;
+            for &h in meta.recent_updates.keys() {
+                histogram[LoadStats::bucket_for(&range, h)] += 1;
+            }
+        });
+        LoadStats {
+            updates: self.stats.updates.load(Ordering::Relaxed),
+            pending,
+            range,
+            hot_hash_histogram: histogram,
+        }
+    }
+
     /// Current witness list and version (diagnostics).
     pub fn witness_list(&self) -> (WitnessListVersion, Vec<ServerId>) {
         let ctrl = self.ctrl.lock();
@@ -352,6 +386,9 @@ impl Master {
                 let ctrl = self.ctrl.lock();
                 if ctrl.sealed {
                     return Response::Retry { reason: "master sealed".into() };
+                }
+                if ctrl.draining {
+                    return Response::Retry { reason: "master draining for migration".into() };
                 }
                 if wl_version != ctrl.wl_version {
                     return Response::StaleWitnessList { current: ctrl.wl_version };
@@ -935,9 +972,36 @@ impl Master {
     /// every update runs under *its* shard guards — so no update can
     /// execute against the migrated half between the range change and the
     /// data extraction.
+    ///
+    /// Safe to call under live traffic: the master *drains* for the
+    /// duration of the cut — new updates are refused with `Retry` (clients
+    /// back off and return once the new map is published) so the
+    /// pre-migration sync converges on an empty pending tail instead of
+    /// chasing a write stream that never quiesces.
     pub async fn migrate_out(self: &Arc<Self>, split_at: u64) -> Result<Snapshot, String> {
-        if !self.sync().await {
-            return Err("pre-migration sync failed".into());
+        {
+            let mut ctrl = self.ctrl.lock();
+            if ctrl.draining {
+                return Err("migration already in progress".into());
+            }
+            ctrl.draining = true;
+        }
+        let out = self.migrate_out_draining(split_at).await;
+        self.ctrl.lock().draining = false;
+        out
+    }
+
+    async fn migrate_out_draining(self: &Arc<Self>, split_at: u64) -> Result<Snapshot, String> {
+        // With the drain flag up no new entries are admitted, but updates
+        // already past the ownership check may still land one each — a
+        // couple of sync rounds flushes the stragglers.
+        for _ in 0..5 {
+            if !self.sync().await {
+                return Err("pre-migration sync failed".into());
+            }
+            if self.pending_len() == 0 {
+                break;
+            }
         }
         let mut guards = self.store.lock_all();
         let mut pending = 0;
@@ -978,6 +1042,12 @@ impl Master {
                 self.handle_witness_list(version, witnesses).await
             }
             Request::MasterClientExpired { client } => self.handle_client_expired(client).await,
+            Request::MasterLoadStats { master_id } => {
+                if master_id != self.id {
+                    return Response::Retry { reason: "stale master id".into() };
+                }
+                Response::LoadStats { stats: self.load_stats() }
+            }
             _ => Response::Retry { reason: "not a master request".into() },
         }
     }

@@ -130,7 +130,8 @@ impl CurpServer {
             | Request::ClientRead { .. }
             | Request::Sync { .. }
             | Request::MasterWitnessList { .. }
-            | Request::MasterClientExpired { .. } => {
+            | Request::MasterClientExpired { .. }
+            | Request::MasterLoadStats { .. } => {
                 let master = self.master.lock().clone();
                 match master {
                     Some(m) => m.handle_request(req).await,

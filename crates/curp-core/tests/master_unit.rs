@@ -438,6 +438,56 @@ async fn sync_merges_per_shard_tails_into_contiguous_log() {
 }
 
 #[tokio::test]
+async fn load_stats_snapshot_is_allocation_bounded() {
+    use curp_proto::cluster::LOAD_HISTOGRAM_BUCKETS;
+
+    // One shard with a tiny hot-key window makes the retain bound
+    // (8 * hotkey_window + 64 entries per shard) small enough to exercise.
+    let hotkey_window = 4u64;
+    let r = rig(MasterConfig { store_shards: 1, hotkey_window, ..lazy() });
+    // An empty master still answers with the full (all-zero) histogram.
+    let empty = r.master.load_stats();
+    assert_eq!(empty.hot_hash_histogram.len(), LOAD_HISTOGRAM_BUCKETS);
+    assert_eq!(empty.mass(), 0);
+    assert_eq!(empty.split_point(), None);
+
+    // Far more distinct keys than the hot-key window holds: the snapshot's
+    // histogram must stay at its fixed bucket count and its mass must stay
+    // within the retain bound — no allocation proportional to the keyspace.
+    let keys = 2_000u64;
+    for i in 0..keys {
+        put(&r, rid(1, i + 1), &format!("load-{i}"), "v").await;
+    }
+    let stats = r.master.load_stats();
+    assert_eq!(stats.hot_hash_histogram.len(), LOAD_HISTOGRAM_BUCKETS);
+    assert!(stats.mass() > 0, "recent updates must register in the histogram");
+    assert!(
+        stats.mass() <= 8 * hotkey_window + 64 + 1,
+        "histogram mass {} exceeds the recent-updates retain bound",
+        stats.mass()
+    );
+    assert_eq!(stats.updates, keys);
+    assert_eq!(stats.pending, r.master.pending_len() as u64);
+    assert_eq!(stats.range, HashRange::FULL);
+    // Uniform keys: the load-weighted split point is a legal split_at input.
+    let mid = stats.split_point().expect("mass > 0 over a splittable range");
+    assert!(mid > 0 && mid < u64::MAX);
+
+    // The RPC surface agrees with the direct call, and a stale incarnation
+    // id is refused (the autoscaler may race a recovery).
+    let rsp = r.master.handle_request(Request::MasterLoadStats { master_id: M }).await;
+    match rsp {
+        Response::LoadStats { stats: s } => {
+            assert_eq!(s.hot_hash_histogram.len(), LOAD_HISTOGRAM_BUCKETS)
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let rsp =
+        r.master.handle_request(Request::MasterLoadStats { master_id: MasterId(M.0 + 1) }).await;
+    assert!(matches!(rsp, Response::Retry { .. }));
+}
+
+#[tokio::test]
 async fn multikey_update_spans_shards_atomically() {
     // A MultiPut whose keys land on different shards: executes atomically,
     // conflicts with later single-key writes on any of its keys, and syncs

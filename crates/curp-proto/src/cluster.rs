@@ -12,7 +12,7 @@ use crate::wire::{decode_seq, encode_seq, seq_encoded_len, Decode, DecodeError, 
 /// A half-open, non-wrapping range of the 64-bit key-hash space:
 /// `[start, end)`, with `end == u64::MAX` treated as inclusive of the top
 /// hash so that a single range can cover the whole space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HashRange {
     /// First hash owned (inclusive).
     pub start: u64,
@@ -158,6 +158,100 @@ impl Encode for ClusterConfig {
 impl Decode for ClusterConfig {
     fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
         Ok(ClusterConfig { partitions: decode_seq(buf)?, version: u64::decode(buf)? })
+    }
+}
+
+/// Number of fixed-width hash buckets in a [`LoadStats`] histogram. The
+/// snapshot is allocation-bounded by construction: however many keys a
+/// partition holds, the histogram never grows past this.
+pub const LOAD_HISTOGRAM_BUCKETS: usize = 64;
+
+/// A per-partition load snapshot exported by a master for the coordinator's
+/// autoscaler (§3.6 reconfiguration, driven by load instead of an operator).
+///
+/// The histogram is the split-point oracle: bucket `i` counts recently
+/// updated key hashes in the `i`-th fixed-width slice of `range`, so the
+/// hotkey-mass median ([`LoadStats::split_point`]) lands the split where the
+/// *load* divides in half, not where the range does.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadStats {
+    /// Updates executed by this master since install (monotone counter; the
+    /// poller differences consecutive snapshots for a rate).
+    pub updates: u64,
+    /// Speculative (unsynced) entries queued at snapshot time — the
+    /// saturation signal.
+    pub pending: u64,
+    /// The hash range the master owned when the snapshot was taken.
+    pub range: HashRange,
+    /// Recently-updated-key counts per fixed-width bucket of `range`; at
+    /// most [`LOAD_HISTOGRAM_BUCKETS`] entries.
+    pub hot_hash_histogram: Vec<u64>,
+}
+
+impl LoadStats {
+    /// Width of one histogram bucket over `range` (saturating; never zero).
+    pub fn bucket_width(range: &HashRange) -> u64 {
+        let span = range.end.saturating_sub(range.start);
+        (span / LOAD_HISTOGRAM_BUCKETS as u64).max(1)
+    }
+
+    /// The histogram bucket owning hash `h` within `range`, clamped to the
+    /// last bucket (the top slice absorbs the rounding remainder and, for
+    /// `end == u64::MAX`, the inclusive top hash).
+    pub fn bucket_for(range: &HashRange, h: KeyHash) -> usize {
+        let off = h.0.saturating_sub(range.start);
+        ((off / Self::bucket_width(range)) as usize).min(LOAD_HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Total hotkey mass in the histogram.
+    pub fn mass(&self) -> u64 {
+        self.hot_hash_histogram.iter().sum()
+    }
+
+    /// The load-weighted split point: the bucket boundary closest to the
+    /// hotkey-mass median, clamped strictly inside `range` so it satisfies
+    /// [`HashRange::split_at`]'s preconditions (in particular it is never
+    /// `u64::MAX`). Returns `None` when the histogram is empty or the range
+    /// is too narrow to split.
+    pub fn split_point(&self) -> Option<u64> {
+        let total = self.mass();
+        if total == 0 || self.range.end.saturating_sub(self.range.start) < 2 {
+            return None;
+        }
+        let width = Self::bucket_width(&self.range);
+        let mut cum = 0u64;
+        let mut boundary = self.range.start.saturating_add(width);
+        for (i, count) in self.hot_hash_histogram.iter().enumerate() {
+            cum += count;
+            if cum * 2 >= total {
+                boundary = self.range.start.saturating_add(width.saturating_mul(i as u64 + 1));
+                break;
+            }
+        }
+        Some(boundary.clamp(self.range.start + 1, self.range.end - 1))
+    }
+}
+
+impl Encode for LoadStats {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.updates.encode(buf);
+        self.pending.encode(buf);
+        self.range.encode(buf);
+        encode_seq(&self.hot_hash_histogram, buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 8 + self.range.encoded_len() + seq_encoded_len(&self.hot_hash_histogram)
+    }
+}
+
+impl Decode for LoadStats {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(LoadStats {
+            updates: u64::decode(buf)?,
+            pending: u64::decode(buf)?,
+            range: HashRange::decode(buf)?,
+            hot_hash_histogram: decode_seq(buf)?,
+        })
     }
 }
 
@@ -331,5 +425,160 @@ mod tests {
     #[test]
     fn fault_tolerance_is_backup_count() {
         assert_eq!(sample_partition(HashRange::FULL).fault_tolerance(), 3);
+    }
+
+    #[test]
+    fn load_stats_roundtrips() {
+        let stats = LoadStats {
+            updates: 12_345,
+            pending: 17,
+            range: HashRange { start: 1 << 62, end: u64::MAX },
+            hot_hash_histogram: vec![3; LOAD_HISTOGRAM_BUCKETS],
+        };
+        roundtrip(&stats);
+        roundtrip(&LoadStats::default());
+    }
+
+    #[test]
+    fn split_point_tracks_the_hotkey_mass_median() {
+        // All mass piled in bucket 0: the split isolates the hot slice near
+        // the bottom of the range, far below the naive midpoint.
+        let range = HashRange { start: 0, end: 1 << 32 };
+        let mut hist = vec![0u64; LOAD_HISTOGRAM_BUCKETS];
+        hist[0] = 100;
+        let stats = LoadStats { updates: 0, pending: 0, range, hot_hash_histogram: hist };
+        let mid = stats.split_point().unwrap();
+        assert_eq!(mid, LoadStats::bucket_width(&range), "split must hug the hot bucket");
+        assert!(mid < (range.end - range.start) / 2);
+        // Uniform mass: the split lands at (about) the range midpoint.
+        let uniform = LoadStats {
+            hot_hash_histogram: vec![5; LOAD_HISTOGRAM_BUCKETS],
+            range,
+            ..LoadStats::default()
+        };
+        let mid = uniform.split_point().unwrap();
+        let naive = range.start + (range.end - range.start) / 2;
+        assert!(mid.abs_diff(naive) <= LoadStats::bucket_width(&range), "{mid} vs {naive}");
+    }
+
+    #[test]
+    fn split_point_is_always_strictly_inside_the_range() {
+        // Even with all mass in the LAST bucket of a full-space range, the
+        // returned point must satisfy split_at's preconditions — notably it
+        // can never be u64::MAX.
+        let mut hist = vec![0u64; LOAD_HISTOGRAM_BUCKETS];
+        hist[LOAD_HISTOGRAM_BUCKETS - 1] = 9;
+        let stats =
+            LoadStats { range: HashRange::FULL, hot_hash_histogram: hist, ..LoadStats::default() };
+        let mid = stats.split_point().unwrap();
+        assert!(mid > 0 && mid < u64::MAX);
+        HashRange::FULL.split_at(mid); // must not panic
+    }
+
+    #[test]
+    fn split_point_refuses_empty_or_unsplittable_inputs() {
+        assert_eq!(LoadStats::default().split_point(), None, "no mass, no split");
+        let narrow = LoadStats {
+            range: HashRange { start: 7, end: 8 },
+            hot_hash_histogram: vec![1],
+            ..LoadStats::default()
+        };
+        assert_eq!(narrow.split_point(), None, "a one-hash range cannot split");
+    }
+
+    #[test]
+    fn bucket_for_covers_the_range_edges() {
+        let range = HashRange { start: 1000, end: 2000 };
+        assert_eq!(LoadStats::bucket_for(&range, KeyHash(1000)), 0);
+        assert_eq!(LoadStats::bucket_for(&range, KeyHash(1999)), LOAD_HISTOGRAM_BUCKETS - 1);
+        // The inclusive top hash of a MAX-ended range lands in the last bucket.
+        assert_eq!(
+            LoadStats::bucket_for(&HashRange::FULL, KeyHash(u64::MAX)),
+            LOAD_HISTOGRAM_BUCKETS - 1
+        );
+    }
+}
+
+#[cfg(test)]
+mod split_props {
+    //! Boundary proptest for online splits: after ANY sequence of random
+    //! splits (the coordinator's migration path applied repeatedly),
+    //! `partition_for` must assign exactly one owner to every hash —
+    //! including `u64::MAX` and every split edge — and the map version must
+    //! strictly increase with each split.
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn partition(id: u64, range: HashRange) -> PartitionConfig {
+        PartitionConfig {
+            master_id: MasterId(id),
+            master: ServerId(id),
+            backups: Vec::new(),
+            witnesses: Vec::new(),
+            witness_list_version: WitnessListVersion(1),
+            epoch: Epoch(1),
+            range,
+        }
+    }
+
+    /// Applies one coordinator-style split: partition `idx`'s range is cut
+    /// at a point derived from `frac`, the new upper half is appended, and
+    /// the version bumps. Skips (returning false) when the chosen range is
+    /// too narrow — exactly what the autoscaler does.
+    fn apply_split(cfg: &mut ClusterConfig, idx: usize, frac: u64) -> bool {
+        let range = cfg.partitions[idx % cfg.partitions.len()].range;
+        let span = range.end.saturating_sub(range.start);
+        if span < 2 {
+            return false;
+        }
+        // Map frac into (start, end) exclusive — always a legal split point.
+        let mid = range.start + 1 + frac % (span - 1);
+        let (lo, hi) = range.split_at(mid);
+        let next_id = cfg.partitions.iter().map(|p| p.master_id.0).max().unwrap_or(0) + 1;
+        let i = idx % cfg.partitions.len();
+        cfg.partitions[i].range = lo;
+        cfg.partitions.push(partition(next_id, hi));
+        cfg.version += 1;
+        true
+    }
+
+    proptest! {
+        #[test]
+        fn random_split_sequences_keep_single_ownership(
+            splits in proptest::collection::vec((any::<usize>(), any::<u64>()), 0..12),
+            probes in proptest::collection::vec(any::<u64>(), 0..32),
+        ) {
+            let mut cfg = ClusterConfig {
+                partitions: vec![partition(1, HashRange::FULL)],
+                version: 1,
+            };
+            let mut last_version = cfg.version;
+            for (idx, frac) in splits {
+                if apply_split(&mut cfg, idx, frac) {
+                    prop_assert!(cfg.version > last_version, "map version must strictly increase");
+                    last_version = cfg.version;
+                }
+            }
+            // Probe set: fuzz probes plus every boundary the splits created
+            // (each range edge and its neighbours) plus the extremes.
+            let mut hashes: Vec<u64> = probes;
+            hashes.extend([0, 1, u64::MAX - 1, u64::MAX]);
+            for p in &cfg.partitions {
+                for edge in [p.range.start, p.range.end] {
+                    hashes.extend([edge.saturating_sub(1), edge, edge.saturating_add(1)]);
+                }
+            }
+            for h in hashes {
+                let owners = cfg
+                    .partitions
+                    .iter()
+                    .filter(|p| p.range.contains(KeyHash(h)))
+                    .count();
+                prop_assert_eq!(owners, 1, "hash {} owned {}x after splits", h, owners);
+                prop_assert!(cfg.partition_for(KeyHash(h)).is_some());
+            }
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use bytes::{Buf, BufMut, Bytes};
 
-use crate::cluster::ClusterConfig;
+use crate::cluster::{ClusterConfig, LoadStats};
 use crate::footprint::Footprint;
 use crate::op::{Op, OpResult};
 use crate::types::{ClientId, Epoch, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
@@ -254,6 +254,12 @@ pub enum Request {
         /// The expired client.
         client: ClientId,
     },
+    /// Asks a master for its current load snapshot (update counter, queue
+    /// depth, hot-hash histogram) — the autoscaler's polling RPC.
+    MasterLoadStats {
+        /// The master incarnation being polled.
+        master_id: MasterId,
+    },
 
     // ---- consensus (Appendix A.2) -------------------------------------------
     /// An opaque consensus-protocol message (`curp-consensus` defines the
@@ -377,6 +383,11 @@ pub enum Response {
 
     /// Master acknowledged a witness-list change (it has synced, §3.6).
     WitnessListInstalled,
+    /// A master's load snapshot (reply to [`Request::MasterLoadStats`]).
+    LoadStats {
+        /// The snapshot.
+        stats: LoadStats,
+    },
     /// Master acknowledged a lease expiry (it has synced, §4.8).
     ClientExpiredAck,
 
@@ -441,6 +452,7 @@ tags! {
     REQ_RENEW_LEASE = 17,
     REQ_CONSENSUS = 22,
     REQ_BATCH = 23,
+    REQ_M_LOAD = 24,
 }
 
 impl Encode for Request {
@@ -523,6 +535,10 @@ impl Encode for Request {
                 buf.put_u8(REQ_M_EXPIRED);
                 client.encode(buf);
             }
+            Request::MasterLoadStats { master_id } => {
+                buf.put_u8(REQ_M_LOAD);
+                master_id.encode(buf);
+            }
             Request::Consensus { payload } => {
                 buf.put_u8(REQ_CONSENSUS);
                 payload.encode(buf);
@@ -579,6 +595,7 @@ impl Encode for Request {
                 version.encoded_len() + seq_encoded_len(witnesses)
             }
             Request::MasterClientExpired { client } => client.encoded_len(),
+            Request::MasterLoadStats { master_id } => master_id.encoded_len(),
             Request::RenewLease { client } => client.encoded_len(),
             Request::Consensus { payload } => payload.encoded_len(),
             Request::Batch { requests } => seq_encoded_len(requests),
@@ -634,6 +651,7 @@ impl Decode for Request {
                 witnesses: decode_seq(buf)?,
             },
             REQ_M_EXPIRED => Request::MasterClientExpired { client: ClientId::decode(buf)? },
+            REQ_M_LOAD => Request::MasterLoadStats { master_id: MasterId::decode(buf)? },
             REQ_CONSENSUS => Request::Consensus { payload: Bytes::decode(buf)? },
             REQ_BATCH => {
                 let requests: Vec<Request> = decode_seq(buf)?;
@@ -677,6 +695,7 @@ tags! {
     RSP_B_INSTALLED = 21,
     RSP_CONSENSUS = 22,
     RSP_BATCH = 23,
+    RSP_LOAD_STATS = 24,
 }
 
 impl Encode for Response {
@@ -733,6 +752,10 @@ impl Encode for Response {
             }
             Response::EpochSet => buf.put_u8(RSP_EPOCH_SET),
             Response::WitnessListInstalled => buf.put_u8(RSP_WLIST_INSTALLED),
+            Response::LoadStats { stats } => {
+                buf.put_u8(RSP_LOAD_STATS);
+                stats.encode(buf);
+            }
             Response::ClientExpiredAck => buf.put_u8(RSP_EXPIRED_ACK),
             Response::Config { config } => {
                 buf.put_u8(RSP_CONFIG);
@@ -783,6 +806,7 @@ impl Encode for Response {
             }
             Response::BackupInstalled => 0,
             Response::BackupValue { result } => result.encoded_len(),
+            Response::LoadStats { stats } => stats.encoded_len(),
             Response::Config { config } => config.encoded_len(),
             Response::Lease { client, ttl_ms } => client.encoded_len() + ttl_ms.encoded_len(),
             Response::Retry { reason } => reason.encoded_len(),
@@ -823,6 +847,7 @@ impl Decode for Response {
             RSP_B_VALUE => Response::BackupValue { result: OpResult::decode(buf)? },
             RSP_EPOCH_SET => Response::EpochSet,
             RSP_WLIST_INSTALLED => Response::WitnessListInstalled,
+            RSP_LOAD_STATS => Response::LoadStats { stats: LoadStats::decode(buf)? },
             RSP_EXPIRED_ACK => Response::ClientExpiredAck,
             RSP_CONFIG => Response::Config { config: ClusterConfig::decode(buf)? },
             RSP_LEASE => {
@@ -942,6 +967,7 @@ mod tests {
                 witnesses: vec![ServerId(1), ServerId(2)],
             },
             Request::MasterClientExpired { client: ClientId(9) },
+            Request::MasterLoadStats { master_id: MasterId(3) },
             Request::Consensus { payload: b("raft-bytes") },
             Request::Batch {
                 requests: vec![
@@ -982,6 +1008,14 @@ mod tests {
             Response::BackupValue { result: OpResult::Value(None) },
             Response::EpochSet,
             Response::WitnessListInstalled,
+            Response::LoadStats {
+                stats: LoadStats {
+                    updates: 420,
+                    pending: 3,
+                    range: HashRange { start: 0, end: 1 << 63 },
+                    hot_hash_histogram: vec![1, 0, 7, 2],
+                },
+            },
             Response::ClientExpiredAck,
             Response::Config {
                 config: ClusterConfig {

@@ -74,6 +74,13 @@ pub struct RamcloudParams {
     /// witness then leaves every backup reachable, isolating the §4.4
     /// record-failure → sync fallback.
     pub separate_witnesses: bool,
+    /// Role-less servers kept in reserve. One is enough for master-recovery
+    /// churn; elastic scale-out ([`curp_core::coordinator::Autoscaler`])
+    /// consumes one spare per split, so a ramp to `n` partitions from one
+    /// needs `n - 1`. Spares are modeled with a master's dispatch cost —
+    /// that is the role they take when promoted — and carry no traffic
+    /// until then, so they leave the §5.1 calibration untouched.
+    pub spares: usize,
     /// RNG seed for the network latency model.
     pub seed: u64,
 }
@@ -91,6 +98,7 @@ impl RamcloudParams {
             sync_interval_ns: 20_000, // 20 µs idle flush
             hotkey_sync: true,
             separate_witnesses: false,
+            spares: 1,
             seed: 0xCB5B_F00D,
         }
     }
@@ -118,7 +126,7 @@ pub struct SimCluster {
     /// The coordinator (exposed for recovery orchestration in tests).
     pub coord: Arc<Coordinator>,
     /// All servers: the partition masters first, then the f replica servers
-    /// (co-hosted backup + witness), then one spare.
+    /// (co-hosted backup + witness), then [`RamcloudParams::spares`] spares.
     pub servers: Vec<Arc<CurpServer>>,
     /// The first partition's master id.
     pub master_id: MasterId,
@@ -206,12 +214,12 @@ impl SimCluster {
         // Masters on s1..=sN with their dispatch threads; f replica servers
         // hosting backup + witness (co-hosted, Figure 2) — or, with
         // `separate_witnesses`, f backup servers followed by f witness-only
-        // servers; one spare for recovery.
+        // servers; `params.spares` spares for recovery and scale-out.
         let wit_extra = if params.separate_witnesses && mode == Mode::Curp { params.f } else { 0 };
         let mut servers = Vec::new();
-        for i in 1..=(partitions + f + wit_extra + 1) {
+        for i in 1..=(partitions + f + wit_extra + params.spares.max(1)) {
             let s = Self::boot_server(i, durable_root.as_deref());
-            let dispatch = Self::dispatch_cost(i, partitions, &params);
+            let dispatch = Self::dispatch_cost(i, partitions, f + wit_extra, &params);
             net.add_server(
                 s.id(),
                 Arc::new(ServerHandler(Arc::clone(&s))),
@@ -278,12 +286,26 @@ impl SimCluster {
         }
     }
 
-    fn dispatch_cost(i: usize, partitions: usize, params: &RamcloudParams) -> Duration {
-        if i <= partitions {
+    /// Spares (beyond the `replicas` backup/witness block) are priced like
+    /// masters: promotion — churn recovery or an autoscaler split — is the
+    /// only way they ever see traffic, and it hands them a master's
+    /// dispatch thread.
+    fn dispatch_cost(
+        i: usize,
+        partitions: usize,
+        replicas: usize,
+        params: &RamcloudParams,
+    ) -> Duration {
+        if i <= partitions || i > partitions + replicas {
             vns(params.master_dispatch_ns)
         } else {
             vns(params.server_dispatch_ns)
         }
+    }
+
+    /// Size of the backup/witness server block laid out after the masters.
+    fn replica_block(&self) -> usize {
+        self.f() + if self.witnesses_separate() { self.f() } else { 0 }
     }
 
     /// The power-loss nemesis (§5.4's crash model, applied to the whole
@@ -318,7 +340,8 @@ impl SimCluster {
         for idx in 0..self.servers.len() {
             let i = idx + 1;
             let s = Self::boot_server(i, Some(root.as_path()));
-            let dispatch = Self::dispatch_cost(i, self.partitions, &self.params);
+            let dispatch =
+                Self::dispatch_cost(i, self.partitions, self.replica_block(), &self.params);
             self.net.add_server(
                 s.id(),
                 Arc::new(ServerHandler(Arc::clone(&s))),
@@ -424,7 +447,8 @@ impl SimCluster {
             Some(root) => {
                 let i = id.0 as usize;
                 let s = Self::boot_server(i, Some(root.as_path()));
-                let dispatch = Self::dispatch_cost(i, self.partitions, &self.params);
+                let dispatch =
+                    Self::dispatch_cost(i, self.partitions, self.replica_block(), &self.params);
                 // add_server installs a fresh (non-crashed) entry.
                 self.net.add_server(
                     id,
@@ -616,10 +640,29 @@ impl SimCluster {
         interval_vns: u64,
         ops: u64,
         pcfg: PipelineConfig,
-        mut workload: Workload,
+        workload: Workload,
     ) -> OpenLoopReport {
         let pipe = self.pipelined_client(0, pcfg).await;
-        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x09E7);
+        self.run_open_loop_on(&pipe, interval_vns, ops, workload, 0).await
+    }
+
+    /// Like [`run_open_loop`](Self::run_open_loop), but drives an **existing**
+    /// pipelined client instead of creating one. This is the saturation-ramp
+    /// building block: phases of offered load share one client handle, so
+    /// its cached partition map, per-master pipes and RIFL lease live
+    /// through whatever reconfiguration (autoscaler splits, churn) happens
+    /// between or during phases. `salt` decorrelates the workload RNG
+    /// across phases.
+    pub async fn run_open_loop_on(
+        &self,
+        pipe: &Arc<PipelinedClient>,
+        interval_vns: u64,
+        ops: u64,
+        mut workload: Workload,
+        salt: u64,
+    ) -> OpenLoopReport {
+        let pipe = Arc::clone(pipe);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x09E7 ^ salt);
         let cfg = OpenLoopConfig { interval: vns(interval_vns), ops };
         let mut report = run_open_loop(&mut workload, &mut rng, cfg, move |op| {
             let pipe = Arc::clone(&pipe);
@@ -754,6 +797,88 @@ mod tests {
                     .load(std::sync::atomic::Ordering::Relaxed);
                 assert!(hits > 0, "master s{m} never saw a request");
             }
+        });
+    }
+
+    #[test]
+    fn pipelined_throughput_recovers_after_split() {
+        use std::sync::atomic::Ordering;
+
+        // The satellite regression for online splits: a pipelined client
+        // whose cached map predates a partition split must get its moved
+        // range's throughput *back to pipelined rates* — the NotOwner
+        // responses redirect ops onto the new master's pipe rather than
+        // demoting the range to the serial retry loop forever.
+        run_sim(async {
+            let cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+            // Serial baseline on the intact single-partition map.
+            let serial = cluster.time_serial_updates(150, 100_000).await;
+
+            let pipe = cluster.pipelined_client(1, PipelineConfig::default()).await;
+            // Warm the pipe so its cached config is stale when the split lands.
+            let mut workload = Workload::uniform_writes(100_000);
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut completions = Vec::new();
+            for _ in 0..50 {
+                let WorkloadOp::Update { key, value } = workload.next_op(&mut rng) else {
+                    unreachable!()
+                };
+                completions.push(pipe.submit(Op::Put { key, value }).await.expect("submit"));
+            }
+            for c in completions {
+                c.await.expect("warmup update");
+            }
+
+            // Split the partition at the range midpoint onto the spare.
+            let part = cluster.coord.config().partitions[0].clone();
+            let spare = cluster.spare_server().expect("fresh cluster has a spare");
+            let version_before = cluster.coord.config().version;
+            let mut split = Err("never attempted".to_string());
+            for _ in 0..20 {
+                split = cluster
+                    .coord
+                    .migrate(
+                        part.master_id,
+                        u64::MAX / 2,
+                        spare,
+                        part.backups.clone(),
+                        part.witnesses.clone(),
+                    )
+                    .await;
+                if split.is_ok() {
+                    break;
+                }
+                tokio::time::sleep(vus(50)).await;
+            }
+            let new_master = split.expect("split failed");
+            assert_ne!(new_master, part.master_id);
+            assert!(cluster.coord.config().version > version_before, "map version must advance");
+
+            // The same write stream through the SAME (stale-mapped) pipe:
+            // the first flush to the old master draws NotOwner for the
+            // moved half and the ops must hop pipes, not go serial.
+            let t0 = tokio::time::Instant::now();
+            let mut completions = Vec::new();
+            for _ in 0..150 {
+                let WorkloadOp::Update { key, value } = workload.next_op(&mut rng) else {
+                    unreachable!()
+                };
+                completions.push(pipe.submit(Op::Put { key, value }).await.expect("submit"));
+            }
+            for c in completions {
+                c.await.expect("post-split update");
+            }
+            let post = t0.elapsed();
+
+            let speedup = serial.as_secs_f64() / post.as_secs_f64();
+            assert!(
+                speedup >= 2.0,
+                "post-split pipelined speedup only {speedup:.2}x ({serial:?} vs {post:?}) — \
+                 the moved range degraded to the serial path"
+            );
+            // And the new master genuinely served its half.
+            let hits = cluster.net.stats(spare).unwrap().requests_in.load(Ordering::Relaxed);
+            assert!(hits > 0, "the split-off master never saw a request");
         });
     }
 

@@ -170,6 +170,11 @@ async fn chaos_run(cfg: ChaosConfig) -> ChaosReport {
     params.batch_size = 5; // frequent syncs: AOFs and journals both carry state
     params.sync_interval_ns = 30_000;
     params.separate_witnesses = separate_witnesses;
+    // Two spares: a successful SplitMigration consumes one permanently
+    // (the spare becomes a master), and a later MasterChurn still needs a
+    // recovery target. Churn itself is spare-neutral — the deposed host
+    // rejoins the pool.
+    params.spares = 2;
 
     // The scratch directory exists only for durable runs and its path never
     // enters the schedule log (it would break cross-process replay hashes).

@@ -9,14 +9,19 @@
 //!   extraction matching the axes of Figures 5, 7, 8 and 13;
 //! * [`open_loop`] — a fixed-arrival-rate (open-loop) driver that issues
 //!   operations on a schedule independent of completions and measures
-//!   latency from scheduled arrival, for saturation/tail studies.
+//!   latency from scheduled arrival, for saturation/tail studies;
+//! * [`partition_load`] — per-partition issue/complete accounting over a
+//!   set of partition boundaries, for judging split balance and finding
+//!   the hottest partition.
 
 pub mod latency;
 pub mod open_loop;
+pub mod partition_load;
 pub mod ycsb;
 pub mod zipfian;
 
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use open_loop::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use partition_load::{PartitionLoad, PartitionLoadLedger};
 pub use ycsb::{Workload, WorkloadOp};
 pub use zipfian::{KeyChooser, Uniform, Zipfian};

@@ -1,0 +1,255 @@
+//! The elastic scale-out acceptance test (ISSUE 7's end state): one
+//! partition, open-loop load ramped past saturation, and the coordinator
+//! autoscaler splitting the keyspace live — while one pipelined client keeps
+//! running — until the cluster sustains at least twice the single-partition
+//! plateau, with a clean Wing–Gong linearizability check spanning every
+//! migration.
+//!
+//! Methodology (see EXPERIMENTS.md, "Saturation ramp"):
+//!
+//! 1. **Plateau** — offered load far past one master's capacity; completed
+//!    ops / elapsed time measures the capacity plateau, not the offered rate.
+//! 2. **Ramp** — the autoscaler polls `MasterLoadStats`, and each saturated
+//!    tick splits the hottest partition at its hotkey-mass median onto a
+//!    spare. Load never stops; the client's stale map heals through
+//!    NotOwner-triggered redirects.
+//! 3. **Re-measure** — the same offered load against the scaled cluster.
+//!
+//! A low-rate "checker lane" of counter increments runs through the same
+//! client across the whole ramp; its history (plus final reads) must
+//! linearize.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use curp_core::client::{PipelineConfig, PipelinedClient};
+use curp_core::coordinator::{AutoscaleConfig, Autoscaler};
+use curp_proto::op::{Op, OpResult};
+use curp_proto::types::KeyHash;
+use curp_sim::lincheck::{failing_keys_detailed, HistOp, HistoryEvent};
+use curp_sim::time::{run_sim, vus};
+use curp_sim::{Mode, RamcloudParams, SimCluster};
+use curp_workload::{PartitionLoadLedger, Workload, WorkloadOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const LANE_KEYS: [&str; 4] = ["c0", "c1", "c2", "c3"];
+
+/// Drives the three-client load fleet concurrently at one op per
+/// `interval_vns` virtual ns *per client* and returns the aggregate
+/// measured throughput (ops per virtual second) and the worst p99 (µs)
+/// across the fleet. Each client is its own simulated machine with its own
+/// NIC dispatch budget — a single client's 55 ns/message dispatch would
+/// itself cap near 2.3M ops/s (8 frames per unbatched op) and mask the
+/// server-side scaling this experiment probes.
+async fn drive_fleet(
+    cluster: &SimCluster,
+    fleet: &[Arc<PipelinedClient>; 3],
+    interval_vns: u64,
+    ops_per_client: u64,
+    salt: u64,
+) -> (f64, f64) {
+    let w = || Workload::uniform_writes(100_000);
+    let (a, b, c) = tokio::join!(
+        cluster.run_open_loop_on(&fleet[0], interval_vns, ops_per_client, w(), salt),
+        cluster.run_open_loop_on(&fleet[1], interval_vns, ops_per_client, w(), salt ^ 0x51),
+        cluster.run_open_loop_on(&fleet[2], interval_vns, ops_per_client, w(), salt ^ 0xA3),
+    );
+    let mut completed = 0u64;
+    let mut elapsed = Duration::ZERO;
+    let mut p99_us = 0.0f64;
+    for mut r in [a, b, c] {
+        assert_eq!(r.failed, 0, "fleet phase (salt {salt}) dropped ops");
+        completed += r.completed;
+        elapsed = elapsed.max(r.elapsed);
+        p99_us = p99_us.max(r.latency.quantile_ns(0.99) as f64 / 1_000.0);
+    }
+    // The three clients start together, so aggregate throughput is total
+    // completions over the slowest client's span.
+    (completed as f64 / elapsed.as_secs_f64(), p99_us)
+}
+
+/// One increment through the shared pipelined client, recorded for the
+/// Wing–Gong checker. An errored op's outcome is unknown — it may or may
+/// not have executed — so it is recorded as pending (`ret == u64::MAX`),
+/// which the checker may linearize or drop.
+async fn lane_incr(
+    pipe: &Arc<PipelinedClient>,
+    epoch: tokio::time::Instant,
+    key: &str,
+) -> HistoryEvent {
+    // Under the sim's scaled clock (1 virtual ns = 1 tokio ms), `as_millis`
+    // yields virtual nanoseconds.
+    let invoke = epoch.elapsed().as_millis() as u64;
+    let done = pipe.update(Op::Incr { key: Bytes::from(key.to_owned()), delta: 1 }).await;
+    let ret = epoch.elapsed().as_millis() as u64;
+    match done {
+        Ok(OpResult::Counter(v)) => {
+            HistoryEvent { key: Bytes::from(key.to_owned()), op: HistOp::Incr(1, v), invoke, ret }
+        }
+        Ok(other) => panic!("unexpected incr result {other:?}"),
+        Err(_) => HistoryEvent {
+            key: Bytes::from(key.to_owned()),
+            op: HistOp::Incr(1, 0),
+            invoke,
+            ret: u64::MAX,
+        },
+    }
+}
+
+#[test]
+fn scaleout_ramp() {
+    run_sim(async {
+        let mut params = RamcloudParams::new(3);
+        // A ramp from 1 to 4 partitions consumes three spares.
+        params.spares = 3;
+        // Scale-out splits masters but the f replica servers stay shared by
+        // every partition (Figure 2 co-hosting), so each witness still sees
+        // every update's record: at the default 300 ns replica dispatch the
+        // *witnesses* would cap the cluster near 2x one master and mask the
+        // master scaling this experiment probes. Model the replica block on
+        // faster NICs so masters stay the bottleneck in every phase.
+        params.server_dispatch_ns = 100;
+        let cluster = SimCluster::build(Mode::Curp, params).await;
+        assert_eq!(cluster.coord.config().partitions.len(), 1);
+        let version_at_start = cluster.coord.config().version;
+
+        // The lane client survives the whole ramp; the load fleet are three
+        // more machines. Deep windows keep enough ops in flight that the
+        // *servers* are the bottleneck in every phase — a shallow window
+        // would cap the measurement at window/latency and hide the
+        // scale-out.
+        let pcfg = PipelineConfig { window: 64, max_batch: 16 };
+        let pipe = cluster.pipelined_client(0, pcfg.clone()).await;
+        let fleet = [
+            cluster.pipelined_client(1, pcfg.clone()).await,
+            cluster.pipelined_client(2, pcfg.clone()).await,
+            cluster.pipelined_client(3, pcfg).await,
+        ];
+
+        // Phase 1: the single-partition plateau. 600 virtual ns between
+        // arrivals per client (~5M ops/s offered in aggregate) is far past
+        // one master's capacity, so completions/elapsed is capacity-bound,
+        // not schedule-bound.
+        let (plateau, base_p99_us) = drive_fleet(&cluster, &fleet, 600, 400, 1).await;
+
+        // The checker lane starts before the autoscaler so its increments
+        // span every migration the ramp triggers.
+        let epoch = tokio::time::Instant::now();
+        let stop = Arc::new(AtomicBool::new(false));
+        let lane = {
+            let pipe = Arc::clone(&pipe);
+            let stop = Arc::clone(&stop);
+            tokio::spawn(async move {
+                let mut hist = Vec::new();
+                // At least 40 increments (10 per key) regardless of how fast
+                // the ramp converges, at most 180 (per-key histories must
+                // stay within the checker's 63-op window).
+                for i in 0..180u64 {
+                    if i >= 40 && stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let key = LANE_KEYS[(i % LANE_KEYS.len() as u64) as usize];
+                    hist.push(lane_incr(&pipe, epoch, key).await);
+                    tokio::time::sleep(vus(3)).await;
+                }
+                hist
+            })
+        };
+
+        // Phase 2: the autoscaler watches per-partition LoadStats and
+        // splits the hottest saturated partition at its hotkey-mass median.
+        let autoscaler = Autoscaler::new(
+            Arc::clone(&cluster.coord),
+            AutoscaleConfig {
+                poll_interval: vus(30),
+                saturation_pending: 4,
+                min_update_delta: 24,
+                max_partitions: 4,
+                cooldown: vus(60),
+            },
+        )
+        .run();
+        let mut bursts = 0u64;
+        while cluster.coord.config().partitions.len() < 4 {
+            assert!(bursts < 8, "autoscaler never reached 4 partitions (burst {bursts})");
+            drive_fleet(&cluster, &fleet, 250, 400, 100 + bursts * 3).await;
+            bursts += 1;
+        }
+        autoscaler.abort();
+        let config = cluster.coord.config();
+        assert!(config.partitions.len() >= 4, "expected >= 4 partitions");
+        assert!(
+            config.version >= version_at_start + 3,
+            "each split must publish a strictly newer map ({} -> {})",
+            version_at_start,
+            config.version
+        );
+
+        // Wind down the checker lane and close each counter's history with
+        // a read — the observed sums must linearize against every increment
+        // issued across the migrations.
+        stop.store(true, Ordering::Relaxed);
+        let mut history = lane.await.expect("checker lane");
+        assert!(
+            history.iter().filter(|e| !e.is_pending()).count() >= LANE_KEYS.len() * 2,
+            "checker lane too sparse to mean anything"
+        );
+        for key in LANE_KEYS {
+            let invoke = epoch.elapsed().as_millis() as u64;
+            let got = pipe.update(Op::Get { key: Bytes::from(key) }).await.expect("final read");
+            let OpResult::Value(v) = got else { panic!("unexpected get result {got:?}") };
+            let ret = epoch.elapsed().as_millis() as u64;
+            history.push(HistoryEvent { key: Bytes::from(key), op: HistOp::Get(v), invoke, ret });
+        }
+        let bad = failing_keys_detailed(&history);
+        assert!(bad.is_empty(), "history not linearizable across migrations:\n{}", {
+            bad.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("\n")
+        });
+
+        // Phase 3: the same offered load against the scaled cluster must
+        // sustain at least twice the single-partition plateau, at a p99 no
+        // worse than the saturated single-partition phase.
+        let (sustained, scaled_p99_us) = drive_fleet(&cluster, &fleet, 600, 400, 2).await;
+        assert!(
+            sustained >= 2.0 * plateau,
+            "scale-out gained only {:.2}x ({:.0} -> {:.0} ops/s across {} partitions)",
+            sustained / plateau,
+            plateau,
+            sustained,
+            config.partitions.len(),
+        );
+        assert!(
+            scaled_p99_us <= base_p99_us,
+            "p99 regressed across scale-out: {base_p99_us:.1} µs -> {scaled_p99_us:.1} µs"
+        );
+
+        // The load-weighted split points must have produced a balanced
+        // map: account the uniform key stream against the final partition
+        // boundaries and check no partition is starved or doubly hot.
+        let ledger =
+            PartitionLoadLedger::new(config.partitions.iter().map(|p| p.range.start).collect());
+        let mut workload = Workload::uniform_writes(100_000);
+        let mut rng = StdRng::seed_from_u64(0x10AD);
+        for _ in 0..2_000 {
+            let (WorkloadOp::Update { key, .. } | WorkloadOp::Read { key }) =
+                workload.next_op(&mut rng);
+            let h = KeyHash::of(&key);
+            // The ledger's boundary arithmetic must agree with the
+            // cluster map's owner resolution for every key.
+            let owner = config.partition_for(h).expect("every hash has an owner");
+            let p = ledger.issue(h.0);
+            assert_eq!(ledger.snapshot()[p].start, owner.range.start, "ledger/map disagree");
+        }
+        let snap = ledger.snapshot();
+        for (i, part) in snap.iter().enumerate() {
+            assert!(
+                part.share(ledger.total_issued()) >= 0.05,
+                "partition {i} starved after the ramp: {snap:?}"
+            );
+        }
+        assert!(ledger.imbalance() <= 2.5, "split points left the map skewed: {snap:?}");
+    });
+}
