@@ -74,8 +74,14 @@ pub struct ClientConfig {
     pub record_witnesses: bool,
     /// Attempts before giving up on an operation.
     pub max_retries: u32,
-    /// Backoff between retries.
+    /// Base backoff between retries; attempt `n` waits roughly
+    /// `retry_backoff * 2^(n-1)`, jittered, capped at `retry_backoff_max`.
     pub retry_backoff: Duration,
+    /// Ceiling on the exponential backoff. A draining or recovering master
+    /// can be unavailable for many base intervals; without the exponential
+    /// ramp every parked client re-sends in lockstep and hammers it the
+    /// moment it returns.
+    pub retry_backoff_max: Duration,
 }
 
 impl Default for ClientConfig {
@@ -84,8 +90,24 @@ impl Default for ClientConfig {
             record_witnesses: true,
             max_retries: 25,
             retry_backoff: Duration::from_millis(10),
+            retry_backoff_max: Duration::from_millis(160),
         }
     }
+}
+
+/// Bounded exponential backoff for retry `attempt` (1-based), with
+/// deterministic jitter in `[b/2, b]` derived from `salt` — callers pass a
+/// per-operation value (e.g. the RIFL id) so concurrent clients de-sync
+/// without OS randomness, which would break simulator determinism.
+fn retry_delay(base: Duration, max: Duration, attempt: u32, salt: u64) -> Duration {
+    let b = base.saturating_mul(1u32 << (attempt - 1).min(16)).min(max).max(base);
+    // splitmix64 finalizer over (salt, attempt): cheap, well-mixed bits.
+    let mut z = salt ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let half = b / 2;
+    half + Duration::from_nanos(z % (half.as_nanos().max(1) as u64))
 }
 
 /// Path counters (tests, figures).
@@ -191,7 +213,13 @@ impl CurpClient {
         for attempt in 0..self.cfg.max_retries {
             if attempt > 0 {
                 self.stats.restarts.fetch_add(1, Ordering::Relaxed);
-                tokio::time::sleep(self.cfg.retry_backoff).await;
+                tokio::time::sleep(retry_delay(
+                    self.cfg.retry_backoff,
+                    self.cfg.retry_backoff_max,
+                    attempt,
+                    rpc_id.client.0.rotate_left(32) ^ rpc_id.seq,
+                ))
+                .await;
             }
             let part = match self.route(&footprint) {
                 Ok(p) => p,
@@ -298,9 +326,17 @@ impl CurpClient {
         assert!(op.is_read_only(), "use update() for mutations");
         let footprint = op.key_hashes();
         let mut last_err = String::new();
+        let salt = self.state.lock().rifl.client_id().0.rotate_left(32)
+            ^ footprint.first().map_or(0, |h| h.0);
         for attempt in 0..self.cfg.max_retries {
             if attempt > 0 {
-                tokio::time::sleep(self.cfg.retry_backoff).await;
+                tokio::time::sleep(retry_delay(
+                    self.cfg.retry_backoff,
+                    self.cfg.retry_backoff_max,
+                    attempt,
+                    salt,
+                ))
+                .await;
             }
             let part = match self.route(&footprint) {
                 Ok(p) => p,
@@ -782,4 +818,37 @@ fn redirect_moved(
             }
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_ramps_and_caps() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(160);
+        let mut prev_ceiling = Duration::ZERO;
+        for attempt in 1..=10u32 {
+            let d = retry_delay(base, max, attempt, 0xBEEF);
+            let ceiling = base.saturating_mul(1 << (attempt - 1)).min(max);
+            assert!(d >= ceiling / 2, "attempt {attempt}: {d:?} below half-ceiling");
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} above ceiling {ceiling:?}");
+            assert!(ceiling >= prev_ceiling, "backoff envelope must be monotone");
+            prev_ceiling = ceiling;
+        }
+        // Past the cap every attempt draws from the same [max/2, max] band.
+        let d = retry_delay(base, max, 40, 7);
+        assert!(d >= max / 2 && d <= max);
+    }
+
+    #[test]
+    fn retry_delay_is_deterministic_and_salted() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(160);
+        assert_eq!(retry_delay(base, max, 3, 42), retry_delay(base, max, 3, 42));
+        // Different salts must de-sync (not a hard guarantee per pair, but
+        // these particular values differ — determinism makes this stable).
+        assert_ne!(retry_delay(base, max, 3, 1), retry_delay(base, max, 3, 2));
+    }
 }

@@ -159,8 +159,17 @@ struct Ctrl {
     /// Set for the duration of a [`Master::migrate_out`] cut: new updates
     /// are refused with `Retry` so the pre-migration sync can actually
     /// drain the pending tail under live load. Cleared when the cut
-    /// completes or fails; reads are unaffected.
+    /// completes, fails, *or is cancelled* (RAII guard — a coordinator that
+    /// dies mid-drain must not leave the master refusing writes forever);
+    /// reads are unaffected.
     draining: bool,
+    /// The last completed cut's `(split_at, snapshot blob)`, kept until the
+    /// coordinator confirms the migration plan closed. A re-issued
+    /// `migrate_out` for the same split point returns this instead of
+    /// cutting again — the cut itself is not repeatable (the objects are
+    /// gone from the store), so this stash is what makes the drain step
+    /// idempotent for a resumed migration plan.
+    migration_stash: Option<(u64, bytes::Bytes)>,
 }
 
 /// The master role for one partition.
@@ -253,6 +262,7 @@ impl Master {
                 range: seed.range,
                 sealed: false,
                 draining: false,
+                migration_stash: None,
             }),
             pending_gc: Mutex::new(Vec::new()),
             next_seq: AtomicU64::new(next_seq),
@@ -320,6 +330,13 @@ impl Master {
     /// ([`curp_proto::cluster::LOAD_HISTOGRAM_BUCKETS`] buckets regardless
     /// of how many keys each shard's `recent_updates` holds — itself already
     /// bounded by the hot-key retain rule).
+    ///
+    /// Hashes outside the owned range are skipped, not clamped: after a
+    /// `migrate_out` shrinks the range, `recent_updates` still remembers
+    /// keys from the departed half until the hot-key window rolls over, and
+    /// `bucket_for`'s edge clamp would pile all of them into one boundary
+    /// bucket — dragging the hotkey-mass median toward the cut edge and
+    /// making the *next* split pathologically lopsided.
     pub fn load_stats(&self) -> LoadStats {
         let range = self.ctrl.lock().range;
         let mut histogram = vec![0u64; curp_proto::cluster::LOAD_HISTOGRAM_BUCKETS];
@@ -327,7 +344,9 @@ impl Master {
         self.store.lock_all().for_each_ext_mut(|_, meta| {
             pending += meta.pending.len() as u64;
             for &h in meta.recent_updates.keys() {
-                histogram[LoadStats::bucket_for(&range, h)] += 1;
+                if range.contains(h) {
+                    histogram[LoadStats::bucket_for(&range, h)] += 1;
+                }
             }
         });
         LoadStats {
@@ -978,17 +997,46 @@ impl Master {
     /// back off and return once the new map is published) so the
     /// pre-migration sync converges on an empty pending tail instead of
     /// chasing a write stream that never quiesces.
+    ///
+    /// Re-entrant for a resumed migration plan: the completed cut's snapshot
+    /// is stashed (as a blob) until [`Master::clear_migration_stash`], and a
+    /// re-issued `migrate_out` with the same `split_at` returns the stash
+    /// instead of failing — the objects left the store with the first cut,
+    /// so only the stash can answer the retry.
     pub async fn migrate_out(self: &Arc<Self>, split_at: u64) -> Result<Snapshot, String> {
         {
             let mut ctrl = self.ctrl.lock();
+            if let Some((at, blob)) = &ctrl.migration_stash {
+                if *at == split_at && ctrl.range.end == split_at {
+                    let blob = blob.clone();
+                    drop(ctrl);
+                    return Snapshot::from_blob(&blob).map_err(|e| e.to_string());
+                }
+            }
             if ctrl.draining {
                 return Err("migration already in progress".into());
             }
             ctrl.draining = true;
         }
-        let out = self.migrate_out_draining(split_at).await;
-        self.ctrl.lock().draining = false;
-        out
+        // RAII: clear the drain flag on every exit, *including cancellation*
+        // (the coordinator's orchestration future being dropped mid-drain) —
+        // a stale drain flag would refuse writes forever and block every
+        // later migration attempt with "already in progress".
+        struct DrainGuard<'a>(&'a Master);
+        impl Drop for DrainGuard<'_> {
+            fn drop(&mut self) {
+                self.0.ctrl.lock().draining = false;
+            }
+        }
+        let _guard = DrainGuard(self);
+        self.migrate_out_draining(split_at).await
+    }
+
+    /// Drops the stashed migration snapshot once the coordinator's plan has
+    /// closed (published or aborted); until then a resumed plan may still
+    /// re-request it.
+    pub fn clear_migration_stash(&self) {
+        self.ctrl.lock().migration_stash = None;
     }
 
     async fn migrate_out_draining(self: &Arc<Self>, split_at: u64) -> Result<Snapshot, String> {
@@ -1027,7 +1075,13 @@ impl Master {
         let (objects, dead) = guards.split_off(&|h| hi.contains(h));
         // The migrated partition inherits the full RIFL table: duplicate
         // detection must keep working for requests that moved with the data.
-        Ok(Snapshot { objects, dead_versions: dead, rifl: self.rifl.lock().export(), next_seq: 0 })
+        let snap =
+            Snapshot { objects, dead_versions: dead, rifl: self.rifl.lock().export(), next_seq: 0 };
+        // Stash the cut atomically with taking it: everything from the range
+        // flip to here runs without an await, so a cancelled caller either
+        // left the store untouched or left the stash holding the only copy.
+        self.ctrl.lock().migration_stash = Some((split_at, snap.to_blob()));
+        Ok(snap)
     }
 
     /// Dispatches master-directed requests.

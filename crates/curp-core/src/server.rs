@@ -98,8 +98,20 @@ impl CurpServer {
     }
 
     /// Installs (or replaces) the master role.
+    ///
+    /// A *replaced* master is sealed: an abandoned recovery or migration
+    /// attempt may have installed a half-initialized instance whose
+    /// background syncer is still running, and sealing is what makes that
+    /// syncer exit (and every late request bounce) instead of racing the
+    /// replacement for the same backups.
     pub fn set_master(&self, master: Arc<Master>) {
-        *self.master.lock() = Some(master);
+        let old = self.master.lock().replace(master);
+        if let Some(old) = old {
+            let current = self.master.lock().clone();
+            if !current.is_some_and(|c| Arc::ptr_eq(&c, &old)) {
+                old.seal();
+            }
+        }
     }
 
     /// The hosted master, if any.

@@ -353,6 +353,31 @@ async fn migrate_out_shrinks_ownership() {
 }
 
 #[tokio::test]
+async fn load_stats_after_a_cut_ignores_departed_hot_keys() {
+    let r = rig(lazy());
+    for i in 0..32 {
+        put(&r, rid(1, i + 1), &format!("mk{i}"), "v").await;
+    }
+    let snap = r.master.migrate_out(1 << 63).await.expect("migrate");
+    let departed = snap.objects.len() as u64;
+    assert!(departed > 0, "expected some keys in the upper half");
+
+    // The hot-key memory still remembers the departed half (the window has
+    // not rolled over), but the histogram must only count what the shrunk
+    // range owns: the edge clamp would otherwise pile the departed mass
+    // into the top bucket and drag every later split point to the cut edge.
+    let stats = r.master.load_stats();
+    assert_eq!(stats.range, HashRange { start: 0, end: 1 << 63 });
+    assert_eq!(stats.mass(), 32 - departed, "departed keys leaked into the histogram");
+    let split = stats.split_point().expect("owned keys keep the range splittable");
+    assert!(
+        split < (1 << 62) + (1 << 61),
+        "split point {split:#x} dragged toward the cut edge ({:#x})",
+        1u64 << 63
+    );
+}
+
+#[tokio::test]
 async fn unreachable_backup_fails_sync_but_keeps_pending() {
     let backup = Arc::new(BackupService::new());
     let witness = Arc::new(WitnessService::new(CacheConfig::default()));

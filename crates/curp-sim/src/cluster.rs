@@ -204,11 +204,27 @@ impl SimCluster {
             ..MasterConfig::default()
         };
         let net_for_factory = net.clone();
-        let coord = Coordinator::new(
-            Box::new(move |id| net_for_factory.client(id)),
-            master_cfg,
-            u64::MAX / 4, // leases effectively never expire inside a run
-        );
+        // On a durable cluster the coordinator write-ahead-logs every
+        // orchestration plan (recovery, migration) to an intent log under
+        // the same root, so a coordinator kill mid-plan can cold-boot and
+        // resume — see `CoordinatorCrash` in `nemesis.rs`.
+        let coord = match &durable_root {
+            Some(root) => {
+                std::fs::create_dir_all(root).expect("create durable root");
+                Coordinator::new_durable(
+                    Box::new(move |id| net_for_factory.client(id)),
+                    master_cfg,
+                    u64::MAX / 4, // leases effectively never expire inside a run
+                    &root.join("coordinator.intent"),
+                )
+                .expect("open coordinator intent log")
+            }
+            None => Coordinator::new(
+                Box::new(move |id| net_for_factory.client(id)),
+                master_cfg,
+                u64::MAX / 4,
+            ),
+        };
         net.add_simple_server(COORD, Arc::new(CoordinatorHandler(Arc::clone(&coord))));
 
         // Masters on s1..=sN with their dispatch threads; f replica servers
@@ -352,7 +368,12 @@ impl SimCluster {
         }
         self.servers = fresh;
         // The coordinator (the consensus-backed config store the paper
-        // assumes) survives the outage and re-anchors every partition.
+        // assumes) survives the outage and re-anchors every partition —
+        // but the outage may have caught it mid-plan, so it first re-reads
+        // its intent log from disk (the same cold-boot path a coordinator
+        // process restart takes) and `restart_cluster` resumes whatever was
+        // in flight after the per-partition recoveries.
+        self.coord.reload_intent().map_err(|e| format!("reload intent log: {e}"))?;
         let new_ids = self.coord.restart_cluster().await?;
         self.master_ids = new_ids.clone();
         self.master_id = new_ids[0];
@@ -362,6 +383,20 @@ impl SimCluster {
     /// Whether this cluster persists server state on disk.
     pub fn is_durable(&self) -> bool {
         self.durable_root.is_some()
+    }
+
+    /// Simulates a coordinator process kill + cold boot. The *kill* half is
+    /// the caller's job — drop the in-flight orchestration future (e.g. by
+    /// racing it against a timer in `tokio::select!`); this is the *boot*
+    /// half: discard the in-memory plan mirror and re-read the intent log
+    /// from disk, exactly like a restarted coordinator process. Returns the
+    /// number of open (interrupted) plans found on disk; drive them with
+    /// [`Coordinator::resume_plans`]. Requires [`build_durable`](Self::build_durable).
+    pub fn coordinator_cold_boot(&self) -> Result<usize, String> {
+        if self.durable_root.is_none() {
+            return Err("coordinator_cold_boot requires build_durable".into());
+        }
+        self.coord.reload_intent().map_err(|e| format!("reload intent log: {e}"))
     }
 
     fn f(&self) -> usize {
@@ -520,6 +555,7 @@ impl SimCluster {
             record_witnesses: self.mode == Mode::Curp,
             max_retries: 50,
             retry_backoff: vus(50),
+            retry_backoff_max: vus(800),
         };
         Arc::new(
             CurpClient::connect(self.net.client(id), COORD, cfg).await.expect("client connect"),

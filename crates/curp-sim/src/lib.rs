@@ -41,10 +41,16 @@ pub use curp_storage::tempdir;
 
 pub use cluster::{Mode, RamcloudParams, RunResult, SimCluster};
 pub use curp_storage::TempDir;
-pub use fleet::{repro_line, run_chaos, run_chaos_seed, ChaosConfig, ChaosReport};
+pub use fleet::{
+    drawn_episode_count, repro_line, repro_line_episodes, run_chaos, run_chaos_seed, shrink,
+    shrink_chaos_seed, ChaosConfig, ChaosReport,
+};
 pub use lincheck::{
     check_linearizable, failing_keys_detailed, Counterexample, HistOp, HistoryEvent,
 };
-pub use nemesis::{draw_nemesis, draw_sequence, Nemesis, ScheduleEvent, ScheduleLog, Topology};
+pub use nemesis::{
+    draw_nemesis, draw_overlay, draw_schedule, Episode, Nemesis, ScheduleEvent, ScheduleLog,
+    Topology,
+};
 pub use redis::{RedisMode, RedisParams, RedisSim};
 pub use time::{run_sim, to_virtual_ns, to_virtual_us, vns, vus};

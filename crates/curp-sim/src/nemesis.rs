@@ -28,15 +28,29 @@
 //! * [`MasterChurn`] — §4.6 master recovery onto the spare, under load;
 //! * [`SplitMigration`] — §3.6 online split: half of a live partition's
 //!   range drains onto a spare master while load keeps arriving;
-//! * [`PowerLoss`] — the §5.4 whole-cluster outage and cold restart.
+//! * [`PowerLoss`] — the §5.4 whole-cluster outage and cold restart;
+//! * [`CoordinatorCrash`] — the coordinator dies *mid-plan* (inside a
+//!   recovery or a migration), cold-boots from its write-ahead intent
+//!   log, and must resume or cleanly abort the interrupted plan.
+//!
+//! The five network combinators are also *overlays*
+//! ([`Nemesis::is_overlay`]): the fleet can run them concurrently with a
+//! structural episode through cloned network handles
+//! ([`Nemesis::run_overlay`]), so e.g. a master recovery proceeds while a
+//! one-way partition is still in force. [`draw_schedule`] draws such
+//! mixed schedules as a vector of indexed [`Episode`]s — all parameters
+//! up front, which is what lets the shrinker re-run an arbitrary episode
+//! subset without disturbing the survivors' draws.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
+use std::rc::Rc;
 
 use curp_proto::types::ServerId;
 use curp_transport::latency::Fixed;
-use curp_transport::mem::FaultSpec;
+use curp_transport::mem::{FaultSpec, MemNetwork};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -68,6 +82,31 @@ pub trait Nemesis {
         cluster: &'a mut SimCluster,
         log: &'a mut ScheduleLog,
     ) -> NemesisFuture<'a>;
+
+    /// Whether this episode touches only network links — never server
+    /// processes, disks, or the partition map. Overlay episodes may run
+    /// *concurrently* with one structural episode: the fleet launches them
+    /// against cloned network handles while the structural stream holds
+    /// the exclusive cluster borrow.
+    fn is_overlay(&self) -> bool {
+        false
+    }
+
+    /// Runs an overlay episode against the network alone. `masters` is a
+    /// snapshot of the master hosts at launch time (an overlay cuts and
+    /// heals exactly those links, even if a concurrent churn moves the
+    /// partition meanwhile) and `pool` the replica servers a victim may be
+    /// drawn from. Structural nemeses return `Err` without injecting.
+    fn run_overlay<'a>(
+        &'a self,
+        _net: &'a MemNetwork,
+        _masters: Vec<ServerId>,
+        _pool: Vec<ServerId>,
+        _log: &'a ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        let name = self.name();
+        Box::pin(async move { Err(format!("{name} is structural; it cannot run as an overlay")) })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -98,20 +137,30 @@ impl fmt::Display for ScheduleEvent {
 /// protocol-level identifiers (server ids, rates), so the log — and its
 /// [`hash`](Self::hash) — is identical across runs of the same seed, even
 /// across processes.
+///
+/// Cloning shares the underlying event list: the fleet hands clones to
+/// overlay episodes running concurrently with the structural stream, and
+/// every recorder appends to the one log. The whole simulation runs on a
+/// single paused-clock thread, so the interleaving — and therefore the
+/// recorded order — is itself a pure function of the seed.
+#[derive(Clone)]
 pub struct ScheduleLog {
     epoch: tokio::time::Instant,
-    events: Vec<ScheduleEvent>,
+    events: Rc<RefCell<Vec<ScheduleEvent>>>,
 }
 
 impl ScheduleLog {
     /// Opens a log whose timestamps count from *now* (virtual time).
     pub fn start() -> ScheduleLog {
-        ScheduleLog { epoch: tokio::time::Instant::now(), events: Vec::new() }
+        ScheduleLog {
+            epoch: tokio::time::Instant::now(),
+            events: Rc::new(RefCell::new(Vec::new())),
+        }
     }
 
     /// Records one state change at the current virtual time.
-    pub fn record(&mut self, nemesis: &'static str, action: impl Into<String>) {
-        self.events.push(ScheduleEvent {
+    pub fn record(&self, nemesis: &'static str, action: impl Into<String>) {
+        self.events.borrow_mut().push(ScheduleEvent {
             at_vns: to_virtual_ns(self.epoch.elapsed()),
             nemesis,
             action: action.into(),
@@ -119,18 +168,18 @@ impl ScheduleLog {
     }
 
     /// The recorded events, in injection order.
-    pub fn events(&self) -> &[ScheduleEvent] {
-        &self.events
+    pub fn events(&self) -> Vec<ScheduleEvent> {
+        self.events.borrow().clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.borrow().len()
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.borrow().is_empty()
     }
 
     /// FNV-1a 64 over every event (timestamp, nemesis, action). Two runs
@@ -146,7 +195,7 @@ impl ScheduleLog {
                 h = h.wrapping_mul(PRIME);
             }
         };
-        for ev in &self.events {
+        for ev in self.events.borrow().iter() {
             eat(&ev.at_vns.to_le_bytes());
             eat(ev.nemesis.as_bytes());
             eat(ev.action.as_bytes());
@@ -158,7 +207,7 @@ impl ScheduleLog {
 
 impl fmt::Display for ScheduleLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for ev in &self.events {
+        for ev in self.events.borrow().iter() {
             writeln!(f, "{ev}")?;
         }
         Ok(())
@@ -266,16 +315,31 @@ impl Nemesis for SymmetricPartition {
         cluster: &'a mut SimCluster,
         log: &'a mut ScheduleLog,
     ) -> NemesisFuture<'a> {
+        let masters = cluster.master_servers();
+        let pool = replica_pool(cluster);
+        self.run_overlay(&cluster.net, masters, pool, log)
+    }
+
+    fn is_overlay(&self) -> bool {
+        true
+    }
+
+    fn run_overlay<'a>(
+        &'a self,
+        net: &'a MemNetwork,
+        masters: Vec<ServerId>,
+        pool: Vec<ServerId>,
+        log: &'a ScheduleLog,
+    ) -> NemesisFuture<'a> {
         Box::pin(async move {
-            let victim = pick(&replica_pool(cluster), self.victim)?;
-            let masters = cluster.master_servers();
+            let victim = pick(&pool, self.victim)?;
             for m in &masters {
-                cluster.net.partition(victim, *m);
+                net.partition(victim, *m);
                 log.record(self.name(), format!("cut s{} <-> s{}", victim.0, m.0));
             }
             tokio::time::sleep(vns(self.hold_ns)).await;
             for m in &masters {
-                cluster.net.heal(victim, *m);
+                net.heal(victim, *m);
             }
             log.record(self.name(), format!("heal s{}", victim.0));
             Ok(())
@@ -306,18 +370,33 @@ impl Nemesis for AsymmetricPartition {
         cluster: &'a mut SimCluster,
         log: &'a mut ScheduleLog,
     ) -> NemesisFuture<'a> {
+        let masters = cluster.master_servers();
+        let pool = replica_pool(cluster);
+        self.run_overlay(&cluster.net, masters, pool, log)
+    }
+
+    fn is_overlay(&self) -> bool {
+        true
+    }
+
+    fn run_overlay<'a>(
+        &'a self,
+        net: &'a MemNetwork,
+        masters: Vec<ServerId>,
+        pool: Vec<ServerId>,
+        log: &'a ScheduleLog,
+    ) -> NemesisFuture<'a> {
         Box::pin(async move {
-            let victim = pick(&replica_pool(cluster), self.victim)?;
-            let masters = cluster.master_servers();
+            let victim = pick(&pool, self.victim)?;
             for m in &masters {
                 let (from, to) = if self.inbound { (*m, victim) } else { (victim, *m) };
-                cluster.net.partition_oneway(from, to);
+                net.partition_oneway(from, to);
                 log.record(self.name(), format!("cut s{} -> s{}", from.0, to.0));
             }
             tokio::time::sleep(vns(self.hold_ns)).await;
             for m in &masters {
                 let (from, to) = if self.inbound { (*m, victim) } else { (victim, *m) };
-                cluster.net.heal_oneway(from, to);
+                net.heal_oneway(from, to);
             }
             log.record(self.name(), format!("heal s{}", victim.0));
             Ok(())
@@ -348,13 +427,28 @@ impl Nemesis for PacketDrop {
         cluster: &'a mut SimCluster,
         log: &'a mut ScheduleLog,
     ) -> NemesisFuture<'a> {
+        let masters = cluster.master_servers();
+        let pool = replica_pool(cluster);
+        self.run_overlay(&cluster.net, masters, pool, log)
+    }
+
+    fn is_overlay(&self) -> bool {
+        true
+    }
+
+    fn run_overlay<'a>(
+        &'a self,
+        net: &'a MemNetwork,
+        masters: Vec<ServerId>,
+        pool: Vec<ServerId>,
+        log: &'a ScheduleLog,
+    ) -> NemesisFuture<'a> {
         Box::pin(async move {
-            let victim = pick(&replica_pool(cluster), self.victim)?;
-            let masters = cluster.master_servers();
+            let victim = pick(&pool, self.victim)?;
             let spec = FaultSpec { drop_rate: self.drop_rate, dup_rate: 0.0, seed: self.seed };
             for m in &masters {
-                cluster.net.set_link_fault(*m, victim, spec);
-                cluster.net.set_link_fault(victim, *m, spec);
+                net.set_link_fault(*m, victim, spec);
+                net.set_link_fault(victim, *m, spec);
                 log.record(
                     self.name(),
                     format!("drop {:.2} on s{} <-> s{}", self.drop_rate, m.0, victim.0),
@@ -362,8 +456,8 @@ impl Nemesis for PacketDrop {
             }
             tokio::time::sleep(vns(self.hold_ns)).await;
             for m in &masters {
-                cluster.net.clear_link_fault(*m, victim);
-                cluster.net.clear_link_fault(victim, *m);
+                net.clear_link_fault(*m, victim);
+                net.clear_link_fault(victim, *m);
             }
             log.record(self.name(), format!("heal s{}", victim.0));
             Ok(())
@@ -394,13 +488,28 @@ impl Nemesis for PacketDelay {
         cluster: &'a mut SimCluster,
         log: &'a mut ScheduleLog,
     ) -> NemesisFuture<'a> {
+        let masters = cluster.master_servers();
+        let pool = replica_pool(cluster);
+        self.run_overlay(&cluster.net, masters, pool, log)
+    }
+
+    fn is_overlay(&self) -> bool {
+        true
+    }
+
+    fn run_overlay<'a>(
+        &'a self,
+        net: &'a MemNetwork,
+        masters: Vec<ServerId>,
+        pool: Vec<ServerId>,
+        log: &'a ScheduleLog,
+    ) -> NemesisFuture<'a> {
         Box::pin(async move {
-            let victim = pick(&replica_pool(cluster), self.victim)?;
-            let masters = cluster.master_servers();
+            let victim = pick(&pool, self.victim)?;
             let model = Arc::new(Fixed(vns(self.delay_ns)));
             for m in &masters {
-                cluster.net.set_link_latency(*m, victim, model.clone());
-                cluster.net.set_link_latency(victim, *m, model.clone());
+                net.set_link_latency(*m, victim, model.clone());
+                net.set_link_latency(victim, *m, model.clone());
                 log.record(
                     self.name(),
                     format!("delay {} vns on s{} <-> s{}", self.delay_ns, m.0, victim.0),
@@ -408,8 +517,8 @@ impl Nemesis for PacketDelay {
             }
             tokio::time::sleep(vns(self.hold_ns)).await;
             for m in &masters {
-                cluster.net.clear_link_latency(*m, victim);
-                cluster.net.clear_link_latency(victim, *m);
+                net.clear_link_latency(*m, victim);
+                net.clear_link_latency(victim, *m);
             }
             log.record(self.name(), format!("heal s{}", victim.0));
             Ok(())
@@ -439,15 +548,31 @@ impl Nemesis for PacketDup {
         cluster: &'a mut SimCluster,
         log: &'a mut ScheduleLog,
     ) -> NemesisFuture<'a> {
+        let masters = cluster.master_servers();
+        let pool = replica_pool(cluster);
+        self.run_overlay(&cluster.net, masters, pool, log)
+    }
+
+    fn is_overlay(&self) -> bool {
+        true
+    }
+
+    fn run_overlay<'a>(
+        &'a self,
+        net: &'a MemNetwork,
+        _masters: Vec<ServerId>,
+        _pool: Vec<ServerId>,
+        log: &'a ScheduleLog,
+    ) -> NemesisFuture<'a> {
         Box::pin(async move {
-            cluster.net.set_default_fault(Some(FaultSpec {
+            net.set_default_fault(Some(FaultSpec {
                 drop_rate: 0.0,
                 dup_rate: self.dup_rate,
                 seed: self.seed,
             }));
             log.record(self.name(), format!("dup {:.2} on all links", self.dup_rate));
             tokio::time::sleep(vns(self.hold_ns)).await;
-            cluster.net.set_default_fault(None);
+            net.set_default_fault(None);
             log.record(self.name(), "heal all links");
             Ok(())
         })
@@ -666,11 +791,298 @@ impl Nemesis for PowerLoss {
     ) -> NemesisFuture<'a> {
         Box::pin(async move {
             log.record(self.name(), "whole-cluster power out");
-            let new_ids = cluster.power_loss_restart().await?;
-            let ids: Vec<String> = new_ids.iter().map(|m| format!("m{}", m.0)).collect();
-            log.record(self.name(), format!("cold restart, masters [{}]", ids.join(", ")));
-            Ok(())
+            // A concurrent overlay fault (drop, delay, one-way cut) can make
+            // one restart attempt fail; since recovery became re-entrant the
+            // restart is safe to re-issue until the links let it through.
+            let mut last = String::new();
+            for _ in 0..20 {
+                match cluster.power_loss_restart().await {
+                    Ok(new_ids) => {
+                        let ids: Vec<String> =
+                            new_ids.iter().map(|m| format!("m{}", m.0)).collect();
+                        log.record(
+                            self.name(),
+                            format!("cold restart, masters [{}]", ids.join(", ")),
+                        );
+                        return Ok(());
+                    }
+                    Err(e) => {
+                        last = e;
+                        tokio::time::sleep(vns(250_000)).await;
+                    }
+                }
+            }
+            Err(format!("power-loss restart never converged: {last}"))
         })
+    }
+}
+
+/// The orchestrator-failure nemesis: the coordinator is killed *mid-plan*
+/// — partway through a `recover_master` or a `migrate` — then cold-boots
+/// from its write-ahead intent log and must resume (or cleanly abort) the
+/// interrupted plan. This is the episode the intent log exists for.
+///
+/// The kill is a real cancellation: the orchestration future is raced
+/// against a timer and dropped when the timer wins, exactly like a
+/// coordinator process dying between two intent-log appends.
+#[derive(Debug, Clone)]
+pub struct CoordinatorCrash {
+    /// Partition index (modded by the live partition count at run time).
+    pub partition: usize,
+    /// `true` → interrupt a master recovery; `false` → interrupt a split
+    /// migration.
+    pub recover: bool,
+    /// How long the orchestration runs before the coordinator dies, in
+    /// virtual nanoseconds.
+    pub kill_after_ns: u64,
+    /// `true` → finish via a whole-cluster power loss (the interrupted
+    /// plan resolves inside `restart_cluster`); `false` → re-issue the
+    /// same orchestration call against the rebooted coordinator.
+    pub then_power_loss: bool,
+    /// Split point for the migrate variant, in 1/1024ths.
+    pub frac_1024: u64,
+}
+
+impl Nemesis for CoordinatorCrash {
+    fn name(&self) -> &'static str {
+        "coordinator-crash"
+    }
+
+    fn needs_disk(&self) -> bool {
+        true
+    }
+
+    fn run<'a>(
+        &'a self,
+        cluster: &'a mut SimCluster,
+        log: &'a mut ScheduleLog,
+    ) -> NemesisFuture<'a> {
+        Box::pin(async move {
+            if self.recover {
+                self.run_recover(cluster, log).await
+            } else {
+                self.run_migrate(cluster, log).await
+            }
+        })
+    }
+}
+
+impl CoordinatorCrash {
+    /// Crash a master, kill the coordinator mid-`recover_master`, cold-boot
+    /// it from the intent log, and finish the recovery.
+    async fn run_recover(
+        &self,
+        cluster: &mut SimCluster,
+        log: &mut ScheduleLog,
+    ) -> Result<(), String> {
+        let partition = self.partition % cluster.master_ids.len();
+        let old = cluster.master_ids[partition];
+        let old_host = cluster.coord.config().partitions[partition].master;
+        let Some(spare) = cluster.spare_server() else {
+            log.record(self.name(), "skip: no spare server");
+            return Ok(());
+        };
+        cluster.crash_server(old_host);
+        log.record(
+            self.name(),
+            format!("kill master m{} then coordinator after {} vns", old.0, self.kill_after_ns),
+        );
+        let outcome = tokio::select! {
+            res = cluster.coord.recover_master(old, spare) => Some(res),
+            _ = tokio::time::sleep(vns(self.kill_after_ns)) => None,
+        };
+        let mut recovered = matches!(outcome, Some(Ok(_)));
+        if outcome.is_none() {
+            let resumed = cluster.coordinator_cold_boot()?;
+            log.record(self.name(), format!("coordinator cold boot, {resumed} open plan(s)"));
+        } else if recovered {
+            log.record(self.name(), "recovery outran the kill timer");
+        }
+        if self.then_power_loss {
+            // Finish through a whole-cluster outage: `restart_cluster`
+            // re-anchors every partition and the interrupted plan resolves
+            // (resumes or cleanly aborts) inside `resume_plans`.
+            let mut last = String::new();
+            let mut booted = false;
+            for _ in 0..20 {
+                match cluster.power_loss_restart().await {
+                    Ok(_) => {
+                        booted = true;
+                        break;
+                    }
+                    Err(e) => {
+                        last = e;
+                        tokio::time::sleep(vns(250_000)).await;
+                    }
+                }
+            }
+            if !booted {
+                return Err(format!("power-loss finish never converged: {last}"));
+            }
+        } else if !recovered {
+            // Re-issue the same call: the coordinator finds the open plan
+            // in its intent log and resumes it instead of starting over.
+            let mut last = String::new();
+            for _ in 0..40 {
+                match cluster.coord.recover_master(old, spare).await {
+                    Ok(_) => {
+                        recovered = true;
+                        break;
+                    }
+                    Err(e) => {
+                        last = e;
+                        tokio::time::sleep(vns(250_000)).await;
+                    }
+                }
+            }
+            if !recovered {
+                return Err(format!("resumed recovery never converged: {last}"));
+            }
+        }
+        // Mirror whatever masters the recovery (or restart) actually chose.
+        let cfg = cluster.coord.config();
+        cluster.master_ids = cfg.partitions.iter().map(|p| p.master_id).collect();
+        cluster.master_id = cluster.master_ids[0];
+        // The deposed host rejoins as the next spare — unless the restart
+        // path already recovered a partition back onto it.
+        if !cfg.partitions.iter().any(|p| p.master == old_host) {
+            cluster.restart_server(old_host)?;
+        }
+        let new = cfg
+            .partitions
+            .get(partition)
+            .map(|p| p.master_id)
+            .ok_or_else(|| format!("partition {partition} vanished after recovery"))?;
+        log.record(self.name(), format!("recovered as m{}", new.0));
+        Ok(())
+    }
+
+    /// Kill the coordinator mid-`migrate`, cold-boot it, and let the resume
+    /// path finish (or cleanly abort) the split.
+    async fn run_migrate(
+        &self,
+        cluster: &mut SimCluster,
+        log: &mut ScheduleLog,
+    ) -> Result<(), String> {
+        let cfg = cluster.coord.config();
+        let idx = self.partition % cfg.partitions.len();
+        let part = cfg.partitions[idx].clone();
+        let width = part.range.end - part.range.start;
+        if width < 2 {
+            log.record(self.name(), format!("skip: partition {idx} too narrow to split"));
+            return Ok(());
+        }
+        let split_at = (part.range.start
+            + (width / 1024).max(1).saturating_mul(self.frac_1024.clamp(1, 1023)))
+        .clamp(part.range.start + 1, part.range.end - 1);
+        let Some(spare) = cluster.coord.spare_servers().first().copied() else {
+            log.record(self.name(), "skip: no spare server");
+            return Ok(());
+        };
+        log.record(
+            self.name(),
+            format!(
+                "split m{} at {:#018x} onto s{}, coordinator dies after {} vns",
+                part.master_id.0, split_at, spare.0, self.kill_after_ns
+            ),
+        );
+        let migrate = cluster.coord.migrate(
+            part.master_id,
+            split_at,
+            spare,
+            part.backups.clone(),
+            part.witnesses.clone(),
+        );
+        let outcome = tokio::select! {
+            res = migrate => Some(res),
+            _ = tokio::time::sleep(vns(self.kill_after_ns)) => None,
+        };
+        match outcome {
+            Some(Ok(new_id)) => {
+                cluster.master_ids.push(new_id);
+                log.record(self.name(), format!("migration outran the kill timer (m{})", new_id.0));
+                return Ok(());
+            }
+            Some(Err(e)) => {
+                // A live refusal (drain race, no progress) before the kill
+                // fired — same benign skip as SplitMigration.
+                log.record(self.name(), format!("skip: {e}"));
+                return Ok(());
+            }
+            None => {
+                let resumed = cluster.coordinator_cold_boot()?;
+                log.record(self.name(), format!("coordinator cold boot, {resumed} open plan(s)"));
+            }
+        }
+        if self.then_power_loss {
+            let mut last = String::new();
+            for _ in 0..20 {
+                match cluster.power_loss_restart().await {
+                    Ok(_) => {
+                        last.clear();
+                        break;
+                    }
+                    Err(e) => {
+                        last = e;
+                        tokio::time::sleep(vns(250_000)).await;
+                    }
+                }
+            }
+            if !last.is_empty() {
+                return Err(format!("power-loss finish never converged: {last}"));
+            }
+        } else {
+            let mut last = String::new();
+            let mut settled = false;
+            for _ in 0..20 {
+                match cluster
+                    .coord
+                    .migrate(
+                        part.master_id,
+                        split_at,
+                        spare,
+                        part.backups.clone(),
+                        part.witnesses.clone(),
+                    )
+                    .await
+                {
+                    Ok(new_id) => {
+                        cluster.master_ids.push(new_id);
+                        log.record(
+                            self.name(),
+                            format!(
+                                "resumed split installed m{} (map v{})",
+                                new_id.0,
+                                cluster.coord.config().version
+                            ),
+                        );
+                        settled = true;
+                        break;
+                    }
+                    Err(e) => {
+                        last = e;
+                        if last.contains("aborted") {
+                            // The resume path judged the interrupted plan
+                            // unsalvageable and rolled it back; that is a
+                            // legal outcome, not a failure.
+                            log.record(self.name(), format!("skip: {last}"));
+                            settled = true;
+                            break;
+                        }
+                        tokio::time::sleep(vns(250_000)).await;
+                    }
+                }
+            }
+            if !settled {
+                log.record(self.name(), format!("skip: {last}"));
+            }
+        }
+        // The restart/resume may have installed the new partition; keep the
+        // id mirror in sync either way.
+        let cfg = cluster.coord.config();
+        cluster.master_ids = cfg.partitions.iter().map(|p| p.master_id).collect();
+        cluster.master_id = cluster.master_ids[0];
+        Ok(())
     }
 }
 
@@ -685,7 +1097,7 @@ impl Nemesis for PowerLoss {
 pub fn draw_nemesis(rng: &mut StdRng, topo: &Topology) -> Box<dyn Nemesis> {
     let hold_ns = rng.gen_range(200_000..=2_000_000u64);
     let pool = topo.replica_pool().len().max(1);
-    match rng.gen_range(0..9u32) {
+    match rng.gen_range(0..10u32) {
         0 => Box::new(SymmetricPartition { victim: rng.gen_range(0..pool), hold_ns }),
         1 => Box::new(AsymmetricPartition {
             victim: rng.gen_range(0..pool),
@@ -707,26 +1119,89 @@ pub fn draw_nemesis(rng: &mut StdRng, topo: &Topology) -> Box<dyn Nemesis> {
         5 => Box::new(CrashRestart { victim: rng.gen_range(0..pool), hold_ns }),
         6 => Box::new(WitnessLoss { victim: rng.gen_range(0..topo.f.max(1)), hold_ns }),
         7 => Box::new(MasterChurn { partition: rng.gen_range(0..topo.partitions.max(1)) }),
-        _ => Box::new(SplitMigration {
+        8 => Box::new(SplitMigration {
             partition: rng.gen_range(0..topo.partitions.max(1)),
+            frac_1024: rng.gen_range(64..=960),
+        }),
+        _ => Box::new(CoordinatorCrash {
+            partition: rng.gen_range(0..topo.partitions.max(1)),
+            recover: rng.gen_bool(0.6),
+            kill_after_ns: rng.gen_range(10_000..=300_000),
+            then_power_loss: rng.gen_bool(0.25),
             frac_1024: rng.gen_range(64..=960),
         }),
     }
 }
 
-/// Draws a whole episode sequence: 1–3 nemeses, with [`PowerLoss`] mixed
-/// in at low probability (it is the heaviest episode by far).
-pub fn draw_sequence(rng: &mut StdRng, topo: &Topology) -> Vec<Box<dyn Nemesis>> {
-    let count = rng.gen_range(1..=3);
-    (0..count)
-        .map(|_| {
-            if rng.gen_bool(0.15) {
-                Box::new(PowerLoss) as Box<dyn Nemesis>
-            } else {
-                draw_nemesis(rng, topo)
-            }
-        })
-        .collect()
+/// Draws one network-only nemesis — the five combinators that can run as a
+/// concurrent overlay against cloned network handles while a structural
+/// episode reshapes the cluster underneath them.
+pub fn draw_overlay(rng: &mut StdRng, topo: &Topology) -> Box<dyn Nemesis> {
+    let hold_ns = rng.gen_range(200_000..=2_000_000u64);
+    let pool = topo.replica_pool().len().max(1);
+    match rng.gen_range(0..5u32) {
+        0 => Box::new(SymmetricPartition { victim: rng.gen_range(0..pool), hold_ns }),
+        1 => Box::new(AsymmetricPartition {
+            victim: rng.gen_range(0..pool),
+            inbound: rng.gen_bool(0.5),
+            hold_ns,
+        }),
+        2 => Box::new(PacketDrop {
+            victim: rng.gen_range(0..pool),
+            drop_rate: rng.gen_range(0.05..0.35),
+            seed: rng.gen(),
+            hold_ns,
+        }),
+        3 => Box::new(PacketDelay {
+            victim: rng.gen_range(0..pool),
+            delay_ns: rng.gen_range(5_000..50_000u64),
+            hold_ns,
+        }),
+        _ => Box::new(PacketDup { dup_rate: rng.gen_range(0.5..1.0), seed: rng.gen(), hold_ns }),
+    }
+}
+
+/// One drawn slot in a chaos schedule. Every draw happens up front in
+/// [`draw_schedule`], so a subset of episodes (selected by `index`) can be
+/// re-run without disturbing the other episodes' parameters — the property
+/// the shrinker depends on.
+pub struct Episode {
+    /// Position in the drawn schedule; stable under masking.
+    pub index: usize,
+    pub nemesis: Box<dyn Nemesis>,
+    /// `true` → runs concurrently (against cloned network handles) while
+    /// the structural stream reshapes the cluster underneath it.
+    pub overlay: bool,
+    /// Overlay: launch delay from schedule start. Structural: gap slept
+    /// before the episode fires.
+    pub at_ns: u64,
+}
+
+/// Draws a whole schedule: 1–3 structural episodes run strictly in
+/// sequence (with [`PowerLoss`] mixed in at low probability — it is the
+/// heaviest episode by far), plus 0–2 network overlays that run
+/// *concurrently* with the structural stream. The heal barrier moves to
+/// the end of the schedule: while any episode is live, another's faults
+/// may still be in force.
+pub fn draw_schedule(rng: &mut StdRng, topo: &Topology) -> Vec<Episode> {
+    let mut episodes = Vec::new();
+    let structural = rng.gen_range(1..=3);
+    for _ in 0..structural {
+        let nemesis = if rng.gen_bool(0.15) {
+            Box::new(PowerLoss) as Box<dyn Nemesis>
+        } else {
+            draw_nemesis(rng, topo)
+        };
+        let at_ns = rng.gen_range(30_000..=300_000u64);
+        episodes.push(Episode { index: episodes.len(), nemesis, overlay: false, at_ns });
+    }
+    let overlays = rng.gen_range(0..=2);
+    for _ in 0..overlays {
+        let nemesis = draw_overlay(rng, topo);
+        let at_ns = rng.gen_range(0..=600_000u64);
+        episodes.push(Episode { index: episodes.len(), nemesis, overlay: true, at_ns });
+    }
+    episodes
 }
 
 #[cfg(test)]
@@ -945,6 +1420,138 @@ mod tests {
     }
 
     #[test]
+    fn coordinator_crash_mid_recovery_resumes_from_the_intent_log() {
+        run_sim(async {
+            let dir = TempDir::new("curp-nemesis-coordcrash-recover").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 5;
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            put(&cluster, "k", "v").await;
+            let old = cluster.master_id;
+            let v_before = cluster.coord.config().version;
+            let mut log = ScheduleLog::start();
+            let nemesis = CoordinatorCrash {
+                partition: 0,
+                recover: true,
+                // 1 vns: the kill always beats the first recovery RPC, so
+                // the plan is interrupted with certainty.
+                kill_after_ns: 1,
+                then_power_loss: false,
+                frac_1024: 512,
+            };
+            assert!(nemesis.needs_disk());
+            nemesis.run(&mut cluster, &mut log).await.expect("coordinator-crash failed");
+            assert_ne!(cluster.master_id, old, "the partition must be re-incarnated");
+            assert!(cluster.coord.config().version > v_before, "recovery must publish a newer map");
+            assert_eq!(cluster.coord.open_plan_count(), 0, "no plan may stay open");
+            let rendered = format!("{log}");
+            assert!(rendered.contains("cold boot"), "schedule:\n{log}");
+            put(&cluster, "k", "after").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("after")));
+        });
+    }
+
+    #[test]
+    fn coordinator_crash_mid_recovery_survives_a_power_loss_finish() {
+        run_sim(async {
+            let dir = TempDir::new("curp-nemesis-coordcrash-power").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 5;
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            put(&cluster, "k", "v").await;
+            let v_before = cluster.coord.config().version;
+            let mut log = ScheduleLog::start();
+            CoordinatorCrash {
+                partition: 0,
+                recover: true,
+                kill_after_ns: 1,
+                then_power_loss: true,
+                frac_1024: 512,
+            }
+            .run(&mut cluster, &mut log)
+            .await
+            .expect("coordinator-crash + power-loss failed");
+            assert!(cluster.coord.config().version > v_before);
+            assert_eq!(cluster.coord.open_plan_count(), 0, "restart must resolve the open plan");
+            assert_eq!(get(&cluster, "k").await, Some(b("v")));
+            put(&cluster, "k", "after").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("after")));
+        });
+    }
+
+    #[test]
+    fn coordinator_crash_mid_migrate_resumes_or_aborts_cleanly() {
+        run_sim(async {
+            let dir = TempDir::new("curp-nemesis-coordcrash-migrate").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 5;
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            put(&cluster, "k", "v").await;
+            let before = cluster.coord.config();
+            let mut log = ScheduleLog::start();
+            CoordinatorCrash {
+                partition: 0,
+                recover: false,
+                kill_after_ns: 1,
+                then_power_loss: false,
+                frac_1024: 512,
+            }
+            .run(&mut cluster, &mut log)
+            .await
+            .expect("coordinator-crash migrate failed");
+            let after = cluster.coord.config();
+            assert_eq!(cluster.coord.open_plan_count(), 0, "no plan may stay open");
+            // The resumed split either installed (one more partition, newer
+            // map) or aborted back to the pre-split map; both are legal, and
+            // the keyspace must stay fully covered either way.
+            assert!(after.partitions.len() >= before.partitions.len());
+            if after.partitions.len() > before.partitions.len() {
+                assert!(after.version > before.version);
+            }
+            let mut ranges: Vec<_> = after.partitions.iter().map(|p| p.range).collect();
+            ranges.sort_by_key(|r| r.start);
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(u64::MAX));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "keyspace gap or overlap after resume");
+            }
+            put(&cluster, "k", "after").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("after")));
+        });
+    }
+
+    #[test]
+    fn overlay_runs_concurrently_with_a_structural_episode() {
+        run_sim(async {
+            let mut cluster = SimCluster::build(Mode::Curp, RamcloudParams::new(3)).await;
+            put(&cluster, "k", "v").await;
+            let mut log = ScheduleLog::start();
+            let overlay_log = log.clone();
+            let overlay = PacketDrop { victim: 1, drop_rate: 0.2, seed: 9, hold_ns: 400_000 };
+            let net = cluster.net.clone();
+            let masters = cluster.master_servers();
+            let pool = replica_pool(&cluster);
+            // The overlay holds its faults across the whole churn: the heal
+            // barrier only exists at the end of the schedule.
+            let overlay_fut = overlay.run_overlay(&net, masters, pool, &overlay_log);
+            let structural_fut = async {
+                tokio::time::sleep(vns(30_000)).await;
+                MasterChurn { partition: 0 }.run(&mut cluster, &mut log).await
+            };
+            let (o, s) = tokio::join!(overlay_fut, structural_fut);
+            o.expect("overlay failed");
+            s.expect("structural failed");
+            assert!(cluster.net.residual_faults().is_empty(), "faults must be healed");
+            // Both streams recorded into the same shared log.
+            let names: std::collections::BTreeSet<_> =
+                log.events().iter().map(|e| e.nemesis.to_string()).collect();
+            assert!(names.contains("packet-drop") && names.contains("master-churn"), "{log}");
+            put(&cluster, "k", "after").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("after")));
+        });
+    }
+
+    #[test]
     fn drawn_schedule_is_a_pure_function_of_the_seed() {
         let topo = Topology::of(2, 3, true);
         let draw_names = |seed: u64| -> Vec<&'static str> {
@@ -954,26 +1561,46 @@ mod tests {
         // Same seed → identical sequence; different seed → different.
         assert_eq!(draw_names(0xC0FFEE), draw_names(0xC0FFEE));
         assert_ne!(draw_names(0xC0FFEE), draw_names(0xC0FFEF));
-        // All nine combinators are reachable from draw_nemesis.
+        // All ten combinators are reachable from draw_nemesis.
         let mut rng = StdRng::seed_from_u64(1);
         let mut seen = std::collections::BTreeSet::new();
-        for _ in 0..256 {
+        for _ in 0..512 {
             seen.insert(draw_nemesis(&mut rng, &topo).name());
         }
-        assert_eq!(seen.len(), 9, "combinators drawn: {seen:?}");
+        assert_eq!(seen.len(), 10, "combinators drawn: {seen:?}");
+        // Overlays draw only the five network combinators.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut overlays = std::collections::BTreeSet::new();
+        for _ in 0..256 {
+            let n = draw_overlay(&mut rng, &topo);
+            assert!(n.is_overlay(), "{} drawn as overlay", n.name());
+            overlays.insert(n.name());
+        }
+        assert_eq!(overlays.len(), 5, "overlay combinators drawn: {overlays:?}");
+        // And whole schedules replay identically from the same seed.
+        let shape = |seed: u64| -> Vec<(usize, &'static str, bool, u64)> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            draw_schedule(&mut rng, &topo)
+                .iter()
+                .map(|e| (e.index, e.nemesis.name(), e.overlay, e.at_ns))
+                .collect()
+        };
+        assert_eq!(shape(0xFEED), shape(0xFEED));
+        let structural = shape(0xFEED).iter().filter(|(_, _, overlay, _)| !overlay).count();
+        assert!((1..=3).contains(&structural));
     }
 
     #[test]
     fn schedule_hash_is_order_and_content_sensitive() {
         run_sim(async {
-            let mut a = ScheduleLog::start();
+            let a = ScheduleLog::start();
             a.record("x", "one");
             a.record("y", "two");
-            let mut b_log = ScheduleLog::start();
+            let b_log = ScheduleLog::start();
             b_log.record("y", "two");
             b_log.record("x", "one");
             assert_ne!(a.hash(), b_log.hash(), "hash must be order-sensitive");
-            let mut c = ScheduleLog::start();
+            let c = ScheduleLog::start();
             c.record("x", "one");
             c.record("y", "two");
             assert_eq!(a.hash(), c.hash(), "identical logs must hash equal");

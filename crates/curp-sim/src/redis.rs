@@ -226,6 +226,7 @@ impl RedisSim {
             record_witnesses: matches!(self.mode, RedisMode::Curp { .. }),
             max_retries: 50,
             retry_backoff: vus(500),
+            retry_backoff_max: vus(8_000),
         };
         Arc::new(CurpClient::connect(self.net.client(id), COORD, cfg).await.expect("connect"))
     }

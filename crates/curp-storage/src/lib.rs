@@ -15,13 +15,18 @@
 //!   fast-path case) execute without contending on a single global lock.
 //! * [`aof`] — a Redis-style append-only file with configurable fsync
 //!   policy, used to make a cache durable exactly the way §5.4 describes.
+//! * [`intent`] — a write-ahead journal of orchestration plans (the same
+//!   frame discipline as the AOF), letting a coordinator that crashed
+//!   mid-reconfiguration resume-or-abort the in-flight plan on restart.
 
 pub mod aof;
+pub mod intent;
 pub mod sharded;
 pub mod store;
 pub mod tempdir;
 
 pub use aof::{fsync_dir, Aof, FsyncPolicy, LoadOutcome};
+pub use intent::{IntentLog, OpenPlan};
 pub use sharded::{ShardGuards, ShardedStore, DEFAULT_STORE_SHARDS};
 pub use store::{Object, Store, Value};
 pub use tempdir::TempDir;

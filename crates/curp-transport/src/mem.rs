@@ -297,6 +297,34 @@ impl MemNetwork {
         self.inner.partitions.lock().clear();
     }
 
+    /// Every piece of injected network state still in force, one line per
+    /// item — partitions, per-link faults, the default fault, per-link
+    /// latency overrides. A fault-injection schedule that claims to have
+    /// healed must leave this empty; the chaos fleet asserts exactly that
+    /// at the end of every run.
+    pub fn residual_faults(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cuts: Vec<_> = self.inner.partitions.lock().iter().copied().collect();
+        cuts.sort();
+        for (from, to) in cuts {
+            out.push(format!("partition s{} -> s{}", from.0, to.0));
+        }
+        let mut faults: Vec<_> = self.inner.link_faults.lock().keys().copied().collect();
+        faults.sort();
+        for (from, to) in faults {
+            out.push(format!("link fault s{} -> s{}", from.0, to.0));
+        }
+        if self.inner.default_fault.lock().is_some() {
+            out.push("default fault on all links".into());
+        }
+        let mut slow: Vec<_> = self.inner.link_latency.lock().keys().copied().collect();
+        slow.sort();
+        for (from, to) in slow {
+            out.push(format!("latency override s{} -> s{}", from.0, to.0));
+        }
+        out
+    }
+
     /// Per-server message statistics.
     pub fn stats(&self, id: ServerId) -> Option<Arc<ServerStats>> {
         self.inner.servers.lock().get(&id).map(|e| Arc::clone(&e.stats))

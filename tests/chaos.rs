@@ -1,27 +1,116 @@
 //! The chaos fleet batch: every seed builds a cluster, runs open-loop
-//! load concurrently with a randomly composed nemesis sequence (network
+//! load concurrently with a randomly drawn episode schedule (network
 //! partitions, loss, delay, duplication, crash-restarts, witness loss,
-//! master churn, whole-cluster power loss), heals, and checks the full
-//! history with the Wing–Gong linearizability checker plus exactly-once
-//! and final-read anchors.
+//! master churn, split migrations, coordinator kills mid-plan,
+//! whole-cluster power loss — with network overlays running concurrently
+//! with the structural episodes), heals, audits heal discipline, and
+//! checks the full history with the Wing–Gong linearizability checker
+//! plus exactly-once and final-read anchors.
 //!
 //! Seed protocol: every run is a pure function of its seed. A failing
 //! seed prints a one-line repro — `CHAOS_SEED=<n> cargo test -q --test
 //! chaos` re-runs exactly that seed's schedule, byte for byte (the
-//! schedule-hash test below pins the replay property itself). The
-//! `#[ignore]`d soak scales the batch to `CHAOS_SOAK_SEEDS` (default
-//! 1000) for nightly-style runs.
+//! schedule-hash test below pins the replay property itself). Knobs:
+//!
+//! * `CHAOS_SEED=<u64>` — narrow the batch to one seed (the repro path);
+//! * `CHAOS_EPISODES=<i,j,...>` — with `CHAOS_SEED`, run only those
+//!   episode indices of the drawn schedule (the shrunk-repro path);
+//! * `CHAOS_SHRINK=1` — on failure, greedily shrink the failing seed to a
+//!   1-minimal episode subset and print the narrowed repro line;
+//! * `CHAOS_DUMP_DIR=<dir>` — write each failing seed's full schedule and
+//!   history to `<dir>/chaos-seed-<n>.txt` (CI uploads these);
+//! * `CHAOS_SOAK_SEEDS=<u64>` — scale the `#[ignore]`d soak (default 1000).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use curp::sim::fleet::{repro_line, run_chaos_seed};
+use curp::sim::fleet::{
+    drawn_episode_count, repro_line, repro_line_episodes, run_chaos, run_chaos_seed, shrink,
+    ChaosConfig, ChaosReport,
+};
+
+/// Parses an env var as a u64, with a loud usage message on junk — a
+/// silently ignored `CHAOS_SEED=0x2a` would "pass" by running the wrong
+/// batch.
+fn env_u64(name: &str, usage: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw:?} is not a decimal u64 — usage: {usage}"),
+    }
+}
+
+/// Parses `CHAOS_EPISODES` as a comma-separated index list, loudly.
+fn env_episodes() -> Option<Vec<usize>> {
+    let raw = std::env::var("CHAOS_EPISODES").ok()?;
+    let mask: Vec<usize> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| match s.parse() {
+            Ok(i) => i,
+            Err(_) => panic!(
+                "CHAOS_EPISODES={raw:?} is not a comma-separated list of episode indices — \
+                 usage: CHAOS_SEED=<n> CHAOS_EPISODES=0,2 cargo test -q --test chaos"
+            ),
+        })
+        .collect();
+    Some(mask)
+}
+
+/// Whether `CHAOS_SHRINK` asks for shrink-on-failure; rejects junk values
+/// so a typo'd `CHAOS_SHRINK=yes` doesn't silently skip the shrink.
+fn env_shrink() -> bool {
+    match std::env::var("CHAOS_SHRINK") {
+        Err(_) => false,
+        Ok(v) if v == "1" => true,
+        Ok(v) if v == "0" || v.is_empty() => false,
+        Ok(v) => panic!("CHAOS_SHRINK={v:?} — usage: CHAOS_SHRINK=1 cargo test -q --test chaos"),
+    }
+}
+
+/// Runs one (seed, episode-mask) pair, panics and all.
+fn run_masked(seed: u64, mask: Option<&[usize]>) -> std::thread::Result<ChaosReport> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut cfg = ChaosConfig::new(seed);
+        cfg.episodes = mask.map(|m| m.to_vec());
+        run_chaos(cfg)
+    }))
+}
+
+/// On a failing seed: greedily remove episodes while the failure persists
+/// (a panicking candidate counts as failing) and return the 1-minimal
+/// mask. Each candidate re-draws the full schedule and runs only the
+/// masked subset, so the survivors keep their exact original parameters.
+fn shrink_failure(seed: u64) -> Vec<usize> {
+    shrink(drawn_episode_count(seed), |mask| {
+        run_masked(seed, Some(mask)).map(|r| !r.is_ok()).unwrap_or(true)
+    })
+}
+
+/// Writes a failing seed's full triage dump if `CHAOS_DUMP_DIR` is set.
+fn dump_failure(seed: u64, report: Option<&ChaosReport>, why: &str) {
+    let Ok(dir) = std::env::var("CHAOS_DUMP_DIR") else { return };
+    let mut body = String::from(why);
+    if let Some(report) = report {
+        body.push_str("\nhistory:\n");
+        for ev in &report.history {
+            body.push_str(&format!("  {ev:?}\n"));
+        }
+    }
+    let path = std::path::Path::new(&dir).join(format!("chaos-seed-{seed}.txt"));
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+        eprintln!("CHAOS_DUMP_DIR: could not write {}: {e}", path.display());
+    }
+}
 
 /// Runs one seed and reports everything wrong with it (a linearizability
-/// violation, a harness error, an empty schedule, or a panic).
-fn check_seed(seed: u64) -> Result<(), String> {
-    match catch_unwind(AssertUnwindSafe(|| run_chaos_seed(seed))) {
+/// violation, a harness error, an empty schedule, or a panic). With
+/// `CHAOS_SHRINK=1`, a failing unmasked seed is shrunk to a 1-minimal
+/// episode subset before reporting.
+fn check_seed(seed: u64, mask: Option<&[usize]>) -> Result<(), String> {
+    match run_masked(seed, mask) {
         Ok(report) => {
-            if report.schedule.is_empty() {
+            if report.schedule.is_empty() && mask.is_none() {
                 return Err(format!(
                     "chaos seed {seed} recorded no schedule — repro: {}",
                     repro_line(seed)
@@ -30,17 +119,37 @@ fn check_seed(seed: u64) -> Result<(), String> {
             if report.is_ok() {
                 Ok(())
             } else {
-                Err(report.render_failure())
+                let mut why = report.render_failure();
+                if env_shrink() && mask.is_none() {
+                    let shrunk = shrink_failure(seed);
+                    why.push_str(&format!(
+                        "shrunk to episodes {shrunk:?} — repro: {}\n",
+                        repro_line_episodes(seed, &shrunk)
+                    ));
+                }
+                dump_failure(seed, Some(&report), &why);
+                Err(why)
             }
         }
-        Err(_) => Err(format!("chaos seed {seed} panicked — repro: {}", repro_line(seed))),
+        Err(_) => {
+            let mut why = format!("chaos seed {seed} panicked — repro: {}", repro_line(seed));
+            if env_shrink() && mask.is_none() {
+                let shrunk = shrink_failure(seed);
+                why.push_str(&format!(
+                    "\nshrunk to episodes {shrunk:?} — repro: {}",
+                    repro_line_episodes(seed, &shrunk)
+                ));
+            }
+            dump_failure(seed, None, &why);
+            Err(why)
+        }
     }
 }
 
 fn run_batch(seeds: impl Iterator<Item = u64>) {
     let mut failed = Vec::new();
     for seed in seeds {
-        if let Err(why) = check_seed(seed) {
+        if let Err(why) = check_seed(seed, None) {
             eprintln!("{why}");
             failed.push(seed);
         }
@@ -53,13 +162,23 @@ fn run_batch(seeds: impl Iterator<Item = u64>) {
 
 #[test]
 fn chaos_batch_is_linearizable_on_every_seed() {
-    // CHAOS_SEED=<n> narrows the batch to one seed — the repro path.
-    match std::env::var("CHAOS_SEED") {
-        Ok(s) => {
-            let seed: u64 = s.parse().expect("CHAOS_SEED must be a u64");
-            run_batch(std::iter::once(seed));
+    // CHAOS_SEED=<n> narrows the batch to one seed — the repro path —
+    // and CHAOS_EPISODES=<i,j> further narrows that seed's schedule to a
+    // shrunk episode subset.
+    let usage = "CHAOS_SEED=<n> cargo test -q --test chaos";
+    match env_u64("CHAOS_SEED", usage) {
+        Some(seed) => {
+            let mask = env_episodes();
+            if let Err(why) = check_seed(seed, mask.as_deref()) {
+                panic!("{why}");
+            }
         }
-        Err(_) => run_batch((0u64..64).map(|i| 0xC0FFEE ^ (i * 7919))),
+        None => {
+            if env_episodes().is_some() {
+                panic!("CHAOS_EPISODES is set without CHAOS_SEED — usage: CHAOS_SEED=<n> CHAOS_EPISODES=0,2 cargo test -q --test chaos");
+            }
+            run_batch((0u64..128).map(|i| 0xC0FFEE ^ (i * 7919)))
+        }
     }
 }
 
@@ -83,12 +202,15 @@ fn any_seed_replays_an_identical_schedule() {
 #[test]
 #[ignore = "seed soak — opt in with --ignored, scale with CHAOS_SOAK_SEEDS"]
 fn chaos_soak() {
-    let n: u64 =
-        std::env::var("CHAOS_SOAK_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let n = env_u64(
+        "CHAOS_SOAK_SEEDS",
+        "CHAOS_SOAK_SEEDS=<count> cargo test -q --test chaos -- --ignored",
+    )
+    .unwrap_or(1000);
     let mut failed = Vec::new();
     for i in 0..n {
         let seed = 0x50AC_0000_0000_0000u64 ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        if let Err(why) = check_seed(seed) {
+        if let Err(why) = check_seed(seed, None) {
             eprintln!("{why}");
             failed.push(seed);
         }

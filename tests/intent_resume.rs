@@ -1,0 +1,244 @@
+//! Crash-safe orchestration, step by step: the coordinator journals every
+//! `recover_master` / `migrate` step to its write-ahead intent log
+//! *before* executing it, so a coordinator death between any two journal
+//! appends leaves a resumable plan. These tests kill the coordinator at
+//! **every** step boundary of both plans — via the intent log's injected
+//! crash (`set_intent_fail_after`), which fails the next append without
+//! writing, exactly like the process dying there — then cold-boot the
+//! coordinator from the journal and re-issue the same call.
+//!
+//! After every (kill point × resume) combination the cluster map must be
+//! whole again: the keyspace fully covered by disjoint ranges, the map
+//! version strictly higher than before the kill, every range owned by
+//! exactly one live master (no double owner), the crashed incarnation
+//! gone, and no plan left open.
+
+use bytes::Bytes;
+use curp::proto::op::{Op, OpResult};
+use curp::sim::tempdir::TempDir;
+use curp::sim::{run_sim, Mode, RamcloudParams, SimCluster};
+
+/// One full recover plan writes exactly this many intent-log records:
+/// begin, Attempt, Fence, WitnessReset, Restore, Publish, Cleanup, close.
+const RECOVER_RECORDS: u64 = 8;
+/// One full migrate plan writes exactly this many intent-log records:
+/// begin, Drain, TargetWitnesses, TargetInstall, SourceRefit, Publish,
+/// close.
+const MIGRATE_RECORDS: u64 = 7;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+async fn put(cluster: &SimCluster, key: &str, val: &str) {
+    let client = cluster.client(7).await;
+    client.update(Op::Put { key: b(key), value: b(val) }).await.expect("put");
+}
+
+async fn get(cluster: &SimCluster, key: &str) -> Option<Bytes> {
+    let client = cluster.client(8).await;
+    match client.read(Op::Get { key: b(key) }).await.expect("get") {
+        OpResult::Value(v) => v,
+        other => panic!("unexpected read result {other:?}"),
+    }
+}
+
+/// The map invariants every resume must restore: disjoint ranges covering
+/// the whole keyspace, each owned by exactly one master on exactly one
+/// host.
+fn assert_map_whole(cluster: &SimCluster, context: &str) {
+    let cfg = cluster.coord.config();
+    let mut ranges: Vec<_> = cfg.partitions.iter().map(|p| p.range).collect();
+    ranges.sort_by_key(|r| r.start);
+    assert_eq!(ranges.first().map(|r| r.start), Some(0), "{context}: keyspace start uncovered");
+    assert_eq!(ranges.last().map(|r| r.end), Some(u64::MAX), "{context}: keyspace end uncovered");
+    for w in ranges.windows(2) {
+        assert_eq!(w[0].end, w[1].start, "{context}: keyspace gap or overlap");
+    }
+    let mut ids: Vec<_> = cfg.partitions.iter().map(|p| p.master_id).collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), cfg.partitions.len(), "{context}: a master id owns two ranges");
+    let mut hosts: Vec<_> = cfg.partitions.iter().map(|p| p.master).collect();
+    hosts.sort();
+    hosts.dedup();
+    assert_eq!(hosts.len(), cfg.partitions.len(), "{context}: a host owns two ranges");
+    assert_eq!(cluster.coord.open_plan_count(), 0, "{context}: a plan stayed open");
+}
+
+#[test]
+fn recovery_resumes_from_every_intent_log_step_boundary() {
+    for k in 0..RECOVER_RECORDS {
+        run_sim(async move {
+            let dir = TempDir::new("curp-intent-recover").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 2;
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            put(&cluster, "k", "v").await;
+            let before = cluster.coord.config();
+            let old = before.partitions[0].master_id;
+            let old_host = before.partitions[0].master;
+            let spare = cluster.spare_server().expect("spare server");
+            cluster.crash_server(old_host);
+
+            // The coordinator dies exactly at step boundary `k`: the k-th
+            // journal append fails without writing, aborting the plan there.
+            assert!(cluster.coord.set_intent_fail_after(Some(k)), "durable coordinator expected");
+            let err = cluster
+                .coord
+                .recover_master(old, spare)
+                .await
+                .expect_err("the injected crash must surface");
+            assert!(err.contains("injected"), "step {k}: unexpected error {err}");
+            assert!(cluster.coord.set_intent_fail_after(None));
+
+            // Cold boot from the journal, then re-issue the same call: the
+            // coordinator finds the open plan and resumes it (or, at k=0,
+            // finds nothing recorded and starts fresh — same API).
+            let open = cluster.coordinator_cold_boot().expect("cold boot");
+            assert!(open <= 1, "step {k}: {open} open plans");
+            let new_id = cluster
+                .coord
+                .recover_master(old, spare)
+                .await
+                .unwrap_or_else(|e| panic!("resume after step {k} failed: {e}"));
+
+            let after = cluster.coord.config();
+            assert!(
+                after.version > before.version,
+                "step {k}: map version must strictly increase ({} -> {})",
+                before.version,
+                after.version
+            );
+            assert_eq!(after.partitions[0].master_id, new_id, "step {k}");
+            assert!(
+                after.partitions.iter().all(|p| p.master_id != old),
+                "step {k}: crashed incarnation still owns a range"
+            );
+            assert_map_whole(&cluster, &format!("recover step {k}"));
+
+            // And the recovered partition actually serves.
+            cluster.master_ids[0] = new_id;
+            cluster.master_id = new_id;
+            cluster.restart_server(old_host).expect("old host rejoins");
+            assert_eq!(get(&cluster, "k").await, Some(b("v")), "step {k}: acknowledged write lost");
+            put(&cluster, "k", "after").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("after")), "step {k}");
+        });
+    }
+}
+
+#[test]
+fn recovery_writes_exactly_the_pinned_record_count() {
+    // Pin RECOVER_RECORDS: with a budget of exactly that many appends the
+    // plan completes — if the plan ever grows or shrinks a step, this
+    // fails and the step-boundary loop above must be revisited.
+    run_sim(async {
+        let dir = TempDir::new("curp-intent-recover-count").unwrap();
+        let mut params = RamcloudParams::new(3);
+        params.batch_size = 2;
+        let cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+        put(&cluster, "k", "v").await;
+        let old = cluster.coord.config().partitions[0].master_id;
+        let old_host = cluster.coord.config().partitions[0].master;
+        let spare = cluster.spare_server().expect("spare server");
+        cluster.crash_server(old_host);
+        assert!(cluster.coord.set_intent_fail_after(Some(RECOVER_RECORDS)));
+        cluster
+            .coord
+            .recover_master(old, spare)
+            .await
+            .expect("a full recover plan fits exactly RECOVER_RECORDS appends");
+        assert!(cluster.coord.set_intent_fail_after(None));
+        assert_eq!(cluster.coord.open_plan_count(), 0);
+    });
+}
+
+#[test]
+fn migration_resumes_from_every_intent_log_step_boundary() {
+    for k in 0..MIGRATE_RECORDS {
+        run_sim(async move {
+            let dir = TempDir::new("curp-intent-migrate").unwrap();
+            let mut params = RamcloudParams::new(3);
+            params.batch_size = 2;
+            let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+            put(&cluster, "k", "v").await;
+            let before = cluster.coord.config();
+            let part = before.partitions[0].clone();
+            let split_at = part.range.start + (part.range.end - part.range.start) / 2;
+            let spare = cluster.spare_server().expect("spare server");
+
+            assert!(cluster.coord.set_intent_fail_after(Some(k)), "durable coordinator expected");
+            let err = cluster
+                .coord
+                .migrate(
+                    part.master_id,
+                    split_at,
+                    spare,
+                    part.backups.clone(),
+                    part.witnesses.clone(),
+                )
+                .await
+                .expect_err("the injected crash must surface");
+            assert!(err.contains("injected"), "step {k}: unexpected error {err}");
+            assert!(cluster.coord.set_intent_fail_after(None));
+
+            let open = cluster.coordinator_cold_boot().expect("cold boot");
+            assert!(open <= 1, "step {k}: {open} open plans");
+            let new_id = cluster
+                .coord
+                .migrate(
+                    part.master_id,
+                    split_at,
+                    spare,
+                    part.backups.clone(),
+                    part.witnesses.clone(),
+                )
+                .await
+                .unwrap_or_else(|e| panic!("resume after step {k} failed: {e}"));
+
+            let after = cluster.coord.config();
+            assert!(
+                after.version > before.version,
+                "step {k}: map version must strictly increase ({} -> {})",
+                before.version,
+                after.version
+            );
+            assert_eq!(after.partitions.len(), before.partitions.len() + 1, "step {k}");
+            assert!(after.partitions.iter().any(|p| p.master_id == new_id), "step {k}");
+            assert_map_whole(&cluster, &format!("migrate step {k}"));
+
+            // Both halves keep serving through the published map.
+            cluster.master_ids = after.partitions.iter().map(|p| p.master_id).collect();
+            cluster.master_id = cluster.master_ids[0];
+            assert_eq!(get(&cluster, "k").await, Some(b("v")), "step {k}: acknowledged write lost");
+            put(&cluster, "k", "post").await;
+            put(&cluster, "zzz", "upper").await;
+            assert_eq!(get(&cluster, "k").await, Some(b("post")), "step {k}");
+            assert_eq!(get(&cluster, "zzz").await, Some(b("upper")), "step {k}");
+        });
+    }
+}
+
+#[test]
+fn migration_writes_exactly_the_pinned_record_count() {
+    run_sim(async {
+        let dir = TempDir::new("curp-intent-migrate-count").unwrap();
+        let mut params = RamcloudParams::new(3);
+        params.batch_size = 2;
+        let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+        put(&cluster, "k", "v").await;
+        let part = cluster.coord.config().partitions[0].clone();
+        let split_at = part.range.start + (part.range.end - part.range.start) / 2;
+        let spare = cluster.spare_server().expect("spare server");
+        assert!(cluster.coord.set_intent_fail_after(Some(MIGRATE_RECORDS)));
+        let new_id = cluster
+            .coord
+            .migrate(part.master_id, split_at, spare, part.backups.clone(), part.witnesses.clone())
+            .await
+            .expect("a full migrate plan fits exactly MIGRATE_RECORDS appends");
+        assert!(cluster.coord.set_intent_fail_after(None));
+        assert_eq!(cluster.coord.open_plan_count(), 0);
+        cluster.master_ids.push(new_id);
+    });
+}

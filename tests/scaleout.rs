@@ -178,7 +178,13 @@ fn scaleout_ramp() {
             drive_fleet(&cluster, &fleet, 250, 400, 100 + bursts * 3).await;
             bursts += 1;
         }
-        autoscaler.abort();
+        autoscaler.shutdown();
+        for e in autoscaler.tick_errors() {
+            // Advisory (an unreachable master mid-split attempt is normal
+            // under load); a poisoned tick must not have killed the loop,
+            // which reaching 4 partitions above already proves.
+            eprintln!("autoscaler tick error: {e}");
+        }
         let config = cluster.coord.config();
         assert!(config.partitions.len() >= 4, "expected >= 4 partitions");
         assert!(
