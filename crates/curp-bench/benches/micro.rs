@@ -26,7 +26,7 @@ use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{ClientId, KeyHash, MasterId, RpcId, WitnessListVersion};
 use curp_proto::wire::{Decode, Encode};
 use curp_sim::{run_sim, to_virtual_ns, Mode, RamcloudParams, SimCluster};
-use curp_storage::{Aof, FsyncPolicy, ShardedStore, Store};
+use curp_storage::{Aof, FsyncPolicy, ShardedStore, StateStore, Store, TierConfig, TieredStore};
 use curp_witness::{CacheConfig, WitnessCache, WitnessService};
 
 fn request(seq: u64, key: u64) -> RecordedRequest {
@@ -370,6 +370,147 @@ fn bench_aof(c: &mut Criterion) {
     });
 }
 
+// ---- tiered engine: memtable-miss writes, run merges, log rewrites ----------
+//
+// `tiered_put_miss_memtable` prices the steady-state write path of the
+// larger-than-memory engine: every put lands on a key whose state was
+// evicted to a sorted run, so the lock-time promotion (run lookup +
+// reinsert) runs on each op, and the periodic sync+maintain that re-evicts
+// the written keys is amortized into the loop — the honest per-op cost of
+// a working set that does not fit the memtable (tier fsync off; the disk
+// share is priced by the fsync-bound benches below). `run_merge` and
+// `aof_rewrite_compact` price the two background compaction steps a
+// durable backup pays to keep its disk footprint bounded; both are
+// fsync/IO-bound and gate-exempt ([`curp_bench::gate`]) like
+// `aof_append_batch_fsync`.
+
+fn tiered_put_miss_time(iters: u64) -> Duration {
+    const KEYS: u64 = 1024;
+    let dir = std::env::temp_dir().join(format!("curp-bench-tier-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench tier root");
+    let mut cfg = TierConfig::new(&dir);
+    cfg.memtable_budget = 1; // every maintain evicts all synced state
+    cfg.fsync = false;
+    let store: TieredStore = TieredStore::over(ShardedStore::new(4), cfg).expect("tiered store");
+    let value = Bytes::from(vec![b'x'; 100]);
+    let put = |i: u64| {
+        let op = Op::Put { key: Bytes::from(i.to_le_bytes().to_vec()), value: value.clone() };
+        let set = op.key_hashes().shard_set(store.num_shards());
+        store.lock_for(&set, Some(&op)).execute(&op);
+    };
+    // Preload and evict: every key starts cold in a run file.
+    for i in 0..KEYS {
+        put(i);
+    }
+    store.lock_all_for(None).mark_synced(store.log_head());
+    store.maintain().expect("preload flush");
+    let t0 = Instant::now();
+    for i in 0..iters {
+        put(i % KEYS);
+        if i % 256 == 255 {
+            // Re-evict the freshly written (now synced) keys so the next
+            // lap's writes miss the memtable again.
+            store.lock_all_for(None).mark_synced(store.log_head());
+            store.maintain().expect("steady-state maintain");
+        }
+    }
+    let elapsed = t0.elapsed();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    elapsed
+}
+
+/// One merge of 4 runs x 256 records into a single run, setup untimed.
+/// Physical rounds are capped and extrapolated like [`aof_round_time`].
+fn run_merge_time(iters: u64) -> Duration {
+    const CAP: u64 = 32;
+    let rounds = iters.clamp(1, CAP);
+    let dir = std::env::temp_dir().join(format!("curp-bench-merge-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench merge root");
+    let value = Bytes::from(vec![b'x'; 100]);
+    let mut total = Duration::ZERO;
+    for _ in 0..rounds {
+        let mut cfg = TierConfig::new(&dir);
+        cfg.memtable_budget = 1;
+        cfg.merge_threshold = 3; // 4 runs trip the merge
+        cfg.fsync = true;
+        let store: TieredStore =
+            TieredStore::over(ShardedStore::new(4), cfg).expect("tiered store");
+        for run in 0..4u64 {
+            for i in 0..256u64 {
+                // Half the keyspace overlaps across runs, half is private.
+                let key = run * 128 + i;
+                let op =
+                    Op::Put { key: Bytes::from(key.to_le_bytes().to_vec()), value: value.clone() };
+                let set = op.key_hashes().shard_set(store.num_shards());
+                store.lock_for(&set, Some(&op)).execute(&op);
+            }
+            store.lock_all_for(None).mark_synced(store.log_head());
+            if run < 3 {
+                store.maintain().expect("build run"); // flush only: below threshold
+            }
+        }
+        let t0 = Instant::now();
+        store.maintain().expect("merge"); // 4th flush + all-runs merge
+        total += t0.elapsed();
+        assert_eq!(store.run_count(), 1, "merge must have collapsed the runs");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if rounds == iters {
+        total
+    } else {
+        Duration::from_nanos((total.as_nanos() as f64 * iters as f64 / rounds as f64).round() as u64)
+    }
+}
+
+/// One crash-safe `Aof::rewrite` compacting a 2000-entry log to its
+/// 100-entry live suffix (tmp + fsync + rename + dir fsync) — the price
+/// of bounding a backup's log once checkpoint coverage has advanced.
+fn aof_rewrite_time(iters: u64) -> Duration {
+    const CAP: u64 = 32;
+    let rounds = iters.clamp(1, CAP);
+    let dir = std::env::temp_dir().join(format!("curp-bench-rewrite-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench rewrite root");
+    let path = dir.join("log.aof");
+    let entry = |seq: u64| LogEntry {
+        seq,
+        rpc_id: Some(RpcId::new(ClientId(1), seq + 1)),
+        op: Op::Put {
+            key: Bytes::from(seq.to_le_bytes().to_vec()),
+            value: Bytes::from(vec![b'x'; 100]),
+        },
+        result: OpResult::Written { version: seq + 1 },
+    };
+    let full: Vec<LogEntry> = (0..2000).map(entry).collect();
+    let suffix: Vec<LogEntry> = (1900..2000).map(entry).collect();
+    let mut total = Duration::ZERO;
+    for _ in 0..rounds {
+        let _ = std::fs::remove_file(&path);
+        let mut aof = Aof::open(&path, FsyncPolicy::Manual).expect("open bench aof");
+        aof.append_batch(&full).expect("append");
+        aof.sync().expect("fsync");
+        drop(aof);
+        let t0 = Instant::now();
+        drop(Aof::rewrite(&path, &suffix, FsyncPolicy::Manual).expect("rewrite"));
+        total += t0.elapsed();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if rounds == iters {
+        total
+    } else {
+        Duration::from_nanos((total.as_nanos() as f64 * iters as f64 / rounds as f64).round() as u64)
+    }
+}
+
+fn bench_tiered(c: &mut Criterion) {
+    c.bench_function("tiered_put_miss_memtable", |b| b.iter_custom(tiered_put_miss_time));
+    c.bench_function("run_merge", |b| b.iter_custom(run_merge_time));
+    c.bench_function("aof_rewrite_compact", |b| b.iter_custom(aof_rewrite_time));
+}
+
 fn bench_codec(c: &mut Criterion) {
     let req = Request::ClientUpdate {
         rpc_id: RpcId::new(ClientId(7), 1234),
@@ -538,7 +679,7 @@ fn bench_commutativity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_witness, bench_store, bench_contention, bench_aof, bench_codec, bench_commutativity
+    targets = bench_witness, bench_store, bench_contention, bench_aof, bench_tiered, bench_codec, bench_commutativity
 }
 criterion_group! {
     name = client_benches;

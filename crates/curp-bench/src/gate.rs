@@ -78,12 +78,18 @@ impl GateConfig {
     /// fsync, whose latency is a property of the runner's storage device
     /// (tmpfs vs local SSD vs network block storage spans 100×), not of
     /// the code; its `_nofsync` twin isolates the software share of the
-    /// durable write path and *is* gated.
+    /// durable write path and *is* gated. `aof_rewrite_compact` and
+    /// `run_merge` are the same story — each is a handful of fsyncs plus
+    /// a rename around a modest sequential write; the gated
+    /// `tiered_put_miss_memtable` (tier fsync off) covers the software
+    /// share of the tiered engine's hot path.
     pub fn default_skips() -> Vec<String> {
         vec![
             "store_sharded_put_4threads_wallclock".to_string(),
             "witness_record_2masters_concurrent".to_string(),
             "aof_append_batch_fsync".to_string(),
+            "aof_rewrite_compact".to_string(),
+            "run_merge".to_string(),
         ]
     }
 }

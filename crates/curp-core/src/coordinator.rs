@@ -38,7 +38,7 @@ use curp_proto::cluster::{ClusterConfig, HashRange, LoadStats, PartitionConfig};
 use curp_proto::message::{Request, Response};
 use curp_proto::types::{ClientId, Epoch, MasterId, ServerId, WitnessListVersion};
 use curp_rifl::LeaseManager;
-use curp_storage::intent::IntentLog;
+use curp_storage::IntentLog;
 use curp_transport::rpc::{BoxFuture, RpcClient, RpcHandler};
 use parking_lot::Mutex;
 
@@ -334,7 +334,7 @@ impl Coordinator {
     }
 
     /// Creates a coordinator whose orchestration plans are write-ahead
-    /// journaled to `intent_path` (see [`curp_storage::intent`]): a
+    /// journaled to `intent_path` (see [`curp_storage::IntentLog`]): a
     /// coordinator re-created over the same path resumes-or-aborts whatever
     /// reconfiguration its predecessor died inside of.
     pub fn new_durable(
@@ -389,7 +389,7 @@ impl Coordinator {
         Ok(n)
     }
 
-    fn install_loaded_plans(&self, open: Vec<curp_storage::intent::OpenPlan>) {
+    fn install_loaded_plans(&self, open: Vec<curp_storage::OpenPlan>) {
         let mut plans = self.plans.lock();
         let mut max_master = 0u64;
         for p in open {

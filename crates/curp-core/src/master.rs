@@ -10,12 +10,14 @@
 //! ## Sharded execution engine
 //!
 //! Commutativity is CURP's whole premise, so the master must not serialize
-//! commuting operations on a lock either. Execution state lives in a
-//! [`ShardedStore`] split by key hash: each shard's mutex protects that
-//! shard's key space **plus** the master's per-shard state (the pending
-//! log tail and the hot-key history), so the fast path costs exactly one
-//! lock acquisition. Log order stays global via atomic counters
-//! (`next_seq`, the store's log head).
+//! commuting operations on a lock either. Execution state lives behind the
+//! [`StateStore`] boundary — a key-hash-sharded engine whose shard mutexes
+//! protect their key space **plus** the master's per-shard state (the
+//! pending log tail and the hot-key history), so the fast path costs
+//! exactly one lock acquisition. Which engine backs the boundary is a
+//! [`StoreConfig`] decision: purely in-memory, or tiered with an LSM-lite
+//! run tier for larger-than-memory partitions. Log order stays global via
+//! atomic counters (`next_seq`, the store's log head).
 //!
 //! Locking discipline (see DESIGN.md, invariant 6):
 //!
@@ -47,7 +49,7 @@ use curp_proto::message::{LogEntry, RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{Epoch, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
 use curp_rifl::{CheckResult, RiflTable};
-use curp_storage::{ShardedStore, Store, DEFAULT_STORE_SHARDS};
+use curp_storage::{StateStore, Store, StoreConfig};
 use curp_transport::rpc::RpcClient;
 use parking_lot::Mutex;
 use tokio::sync::{watch, Notify};
@@ -92,10 +94,11 @@ pub struct MasterConfig {
     /// durable Redis, whose event loop batches one fsync across all ready
     /// clients (§C.2).
     pub sync_group_commit: bool,
-    /// Number of key-hash shards in the execution engine. Single-key
-    /// operations lock exactly one shard; commuting operations on different
-    /// shards execute without contending.
-    pub store_shards: usize,
+    /// Execution-engine construction: shard count plus an optional
+    /// larger-than-memory run tier. Single-key operations lock exactly one
+    /// shard; commuting operations on different shards execute without
+    /// contending.
+    pub store: StoreConfig,
 }
 
 impl Default for MasterConfig {
@@ -112,7 +115,7 @@ impl Default for MasterConfig {
             sync_coalesce: Duration::ZERO,
             sync_workers: 4,
             sync_group_commit: false,
-            store_shards: DEFAULT_STORE_SHARDS,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -135,7 +138,7 @@ pub struct MasterStats {
 }
 
 /// The master's per-shard state, co-located with the store shard inside the
-/// same mutex (the `Ext` parameter of [`ShardedStore`]): one lock per
+/// same mutex (the `Ext` parameter of [`StateStore`]): one lock per
 /// operation covers the key space, the pending tail, and the hot-key scan.
 #[derive(Default)]
 struct ShardMeta {
@@ -177,9 +180,9 @@ pub struct Master {
     id: MasterId,
     cfg: MasterConfig,
     rpc: Arc<dyn RpcClient>,
-    /// The sharded execution engine; per-shard [`ShardMeta`] rides inside
-    /// each shard's lock.
-    store: ShardedStore<ShardMeta>,
+    /// The execution engine, behind the [`StateStore`] boundary; per-shard
+    /// [`ShardMeta`] rides inside each shard's lock.
+    store: Box<dyn StateStore<ShardMeta>>,
     /// Duplicate detection (RIFL). Its own leaf lock: checks and completion
     /// records never contend with execution on other shards. Atomicity of
     /// check-then-execute for one rpc id comes from the shard guards — a
@@ -247,12 +250,12 @@ impl Master {
         next_seq: u64,
     ) -> Arc<Master> {
         let sync_workers = cfg.sync_workers.max(1);
-        let shards = cfg.store_shards.max(1);
+        let store = cfg.store.build_from_store(store);
         Arc::new(Master {
             id: seed.id,
             cfg,
             rpc,
-            store: ShardedStore::from_store(shards, store),
+            store,
             rifl: Mutex::new(rifl),
             ctrl: Mutex::new(Ctrl {
                 epoch: seed.epoch,
@@ -316,7 +319,7 @@ impl Master {
     /// Number of pending (speculative) entries — diagnostics.
     pub fn pending_len(&self) -> usize {
         let mut total = 0;
-        self.store.lock_all().for_each_ext_mut(|_, meta| total += meta.pending.len());
+        self.store.lock_all_for(None).for_each_ext_mut(|_, meta| total += meta.pending.len());
         total
     }
 
@@ -341,7 +344,7 @@ impl Master {
         let range = self.ctrl.lock().range;
         let mut histogram = vec![0u64; curp_proto::cluster::LOAD_HISTOGRAM_BUCKETS];
         let mut pending = 0u64;
-        self.store.lock_all().for_each_ext_mut(|_, meta| {
+        self.store.lock_all_for(None).for_each_ext_mut(|_, meta| {
             pending += meta.pending.len() as u64;
             for &h in meta.recent_updates.keys() {
                 if range.contains(h) {
@@ -400,7 +403,10 @@ impl Master {
         let shard_set = self.shard_set_for(&footprint);
         let self_repl = self.cfg.sync_every_op && !self.cfg.sync_group_commit;
         let (result, must_sync, repl_entry) = {
-            let mut guards = self.store.lock(&shard_set);
+            // Lock-time readiness: a tiered engine promotes the op's cold
+            // keys here, so the commute check and execute below see exactly
+            // the in-memory engine's state.
+            let mut guards = self.store.lock_for(&shard_set, Some(&op));
             {
                 let ctrl = self.ctrl.lock();
                 if ctrl.sealed {
@@ -519,7 +525,7 @@ impl Master {
         let shard_set = self.shard_set_for(&footprint);
         for _ in 0..100 {
             {
-                let mut guards = self.store.lock(&shard_set);
+                let mut guards = self.store.lock_for(&shard_set, Some(&op));
                 {
                     let ctrl = self.ctrl.lock();
                     if ctrl.sealed {
@@ -666,7 +672,7 @@ impl Master {
         // Commit: drop the entry from its home shard's pending tail and
         // advance the watermark.
         {
-            let mut guards = self.store.lock(&home_set);
+            let mut guards = self.store.lock_for(&home_set, None);
             let meta = guards.ext_mut(home_set[0]);
             let before = meta.pending.len();
             meta.pending.retain(|e| e.seq != seq);
@@ -677,7 +683,7 @@ impl Master {
             // Nothing pending anywhere: the whole log is durable, so the
             // synced frontier may advance to the head. Re-verify under all
             // shard locks (a new op may have landed meanwhile).
-            let mut guards = self.store.lock_all();
+            let mut guards = self.store.lock_all_for(None);
             let mut pending = 0;
             guards.for_each_ext_mut(|_, meta| pending += meta.pending.len());
             if pending == 0 {
@@ -705,7 +711,7 @@ impl Master {
             tokio::time::sleep(self.cfg.sync_coalesce).await;
         }
         let (entries, pos_target, epoch, backups) = {
-            let mut guards = self.store.lock_all();
+            let mut guards = self.store.lock_all_for(None);
             let ctrl = self.ctrl.lock();
             if ctrl.sealed {
                 return false;
@@ -759,7 +765,7 @@ impl Master {
         // frontier is clamped: a concurrent per-request replication
         // (`sync_every_op` mode) may already have advanced it further.
         let (gc_pairs, witnesses) = {
-            let mut guards = self.store.lock_all();
+            let mut guards = self.store.lock_all_for(None);
             let target = pos_target.max(self.store.synced_pos());
             guards.mark_synced(target);
             if let Some(last) = entries.last().map(|e| e.seq) {
@@ -788,6 +794,12 @@ impl Master {
             let frontier = last.seq + 1;
             self.synced_tx.send_modify(|f| *f = (*f).max(frontier));
         }
+        // Background store maintenance rides the sync cadence: with the
+        // frontier just advanced, a tiered engine may flush newly-synced
+        // state and merge runs. Failure is not a sync failure — nothing is
+        // evicted unless its spill landed durably, so the store is simply
+        // unchanged and the next round retries.
+        let _ = self.store.maintain();
 
         if !gc_pairs.is_empty() && !witnesses.is_empty() {
             // Gc RPCs are batched, one per witness per sync round (§3.5).
@@ -819,7 +831,7 @@ impl Master {
             return false;
         }
         let shard_set = self.shard_set_for(&req.key_hashes);
-        let mut guards = self.store.lock(&shard_set);
+        let mut guards = self.store.lock_for(&shard_set, Some(&req.op));
         // Ownership is checked *under the shard guards* (invariant 6):
         // migration flips the range while holding all shards, so the check
         // cannot interleave with a concurrent migrate_out.
@@ -865,7 +877,7 @@ impl Master {
                     // Already executed. If still pending it will be gc'd with
                     // its own sync; otherwise schedule an explicit re-gc.
                     let shard_set = self.shard_set_for(&req.key_hashes);
-                    let mut guards = self.store.lock(&shard_set);
+                    let mut guards = self.store.lock_for(&shard_set, None);
                     let mut still_pending = false;
                     guards.for_each_ext_mut(|_, meta| {
                         still_pending |= meta.pending.iter().any(|e| e.rpc_id == Some(req.rpc_id));
@@ -945,7 +957,7 @@ impl Master {
         // Step 4: make the recovered state durable on all backups under the
         // new master id, folding in the replayed entries.
         let (blob, next_seq, epoch, backups) = {
-            let mut guards = master.store.lock_all();
+            let mut guards = master.store.lock_all_for(None);
             let head = master.store.log_head();
             if head > master.store.synced_pos() {
                 guards.mark_synced(head);
@@ -957,6 +969,9 @@ impl Master {
             });
             master.pending_count.fetch_sub(cleared, Ordering::SeqCst);
             let next_seq = master.next_seq.load(Ordering::SeqCst);
+            // Fold any run-tier state back into the memtable so the
+            // guard-level export below is the *whole* store.
+            master.store.absorb_runs(&mut guards);
             let snap = Snapshot::from_parts(guards.export(), master.rifl.lock().export(), next_seq);
             let ctrl = master.ctrl.lock();
             (snap.to_blob(), next_seq, ctrl.epoch, ctrl.backups.clone())
@@ -1051,7 +1066,7 @@ impl Master {
                 break;
             }
         }
-        let mut guards = self.store.lock_all();
+        let mut guards = self.store.lock_all_for(None);
         let mut pending = 0;
         guards.for_each_ext_mut(|_, meta| pending += meta.pending.len());
         if pending > 0 {
@@ -1072,6 +1087,9 @@ impl Master {
             ctrl.range = lo;
             hi
         };
+        // Migrated keys may live in a run tier; fold everything back so the
+        // split sees the whole store.
+        self.store.absorb_runs(&mut guards);
         let (objects, dead) = guards.split_off(&|h| hi.contains(h));
         // The migrated partition inherits the full RIFL table: duplicate
         // detection must keep working for requests that moved with the data.

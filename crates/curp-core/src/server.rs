@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use curp_proto::message::{Request, Response};
 use curp_proto::types::ServerId;
+use curp_storage::StoreConfig;
 use curp_transport::rpc::{BoxFuture, RpcHandler};
 use curp_witness::cache::CacheConfig;
 use curp_witness::{JournaledWitness, WitnessService};
@@ -62,10 +63,21 @@ pub struct CurpServer {
 impl CurpServer {
     /// Creates a memory-only server with empty roles.
     pub fn new(id: ServerId, witness_config: CacheConfig) -> Arc<CurpServer> {
+        Self::new_with(id, witness_config, StoreConfig::memory(1))
+    }
+
+    /// [`new`](Self::new) with an explicit engine choice for the backup
+    /// role's replicas — e.g. [`StoreConfig::tiered`] for replicas larger
+    /// than memory.
+    pub fn new_with(
+        id: ServerId,
+        witness_config: CacheConfig,
+        backup_store: StoreConfig,
+    ) -> Arc<CurpServer> {
         Arc::new(CurpServer {
             id,
             master: Mutex::new(None),
-            backup: BackupService::new(),
+            backup: BackupService::with_store(backup_store),
             witness: WitnessRole::Plain(WitnessService::new(witness_config)),
         })
     }
@@ -80,11 +92,24 @@ impl CurpServer {
         witness_config: CacheConfig,
         data_dir: &Path,
     ) -> std::io::Result<Arc<CurpServer>> {
+        Self::new_durable_with(id, witness_config, data_dir, StoreConfig::memory(1))
+    }
+
+    /// [`new_durable`](Self::new_durable) with an explicit engine choice
+    /// for the backup role's replicas. The choice must stay stable across
+    /// restarts of the same data directory (see `BackupService`'s module
+    /// docs on checkpoint shard layout).
+    pub fn new_durable_with(
+        id: ServerId,
+        witness_config: CacheConfig,
+        data_dir: &Path,
+        backup_store: StoreConfig,
+    ) -> std::io::Result<Arc<CurpServer>> {
         std::fs::create_dir_all(data_dir)?;
         Ok(Arc::new(CurpServer {
             id,
             master: Mutex::new(None),
-            backup: BackupService::durable(data_dir.join("backup"))?,
+            backup: BackupService::durable_with(data_dir.join("backup"), backup_store)?,
             witness: WitnessRole::Journaled(JournaledWitness::open(
                 witness_config,
                 &data_dir.join("witness.journal"),

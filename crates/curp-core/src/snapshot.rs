@@ -40,7 +40,7 @@ impl Snapshot {
     /// sharded engine exports under its own shard locks) plus an exported
     /// RIFL table.
     pub fn from_parts(
-        export: curp_storage::store::StoreExport,
+        export: curp_storage::StoreExport,
         rifl: curp_rifl::table::RiflExport,
         next_seq: u64,
     ) -> Self {

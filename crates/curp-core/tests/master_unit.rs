@@ -469,7 +469,8 @@ async fn load_stats_snapshot_is_allocation_bounded() {
     // One shard with a tiny hot-key window makes the retain bound
     // (8 * hotkey_window + 64 entries per shard) small enough to exercise.
     let hotkey_window = 4u64;
-    let r = rig(MasterConfig { store_shards: 1, hotkey_window, ..lazy() });
+    let r =
+        rig(MasterConfig { store: curp_storage::StoreConfig::memory(1), hotkey_window, ..lazy() });
     // An empty master still answers with the full (all-zero) histogram.
     let empty = r.master.load_stats();
     assert_eq!(empty.hot_hash_histogram.len(), LOAD_HISTOGRAM_BUCKETS);

@@ -25,6 +25,7 @@ use curp_core::server::{CurpServer, ServerHandler};
 use curp_proto::cluster::HashRange;
 use curp_proto::op::Op;
 use curp_proto::types::{MasterId, ServerId};
+use curp_storage::StoreConfig;
 use curp_transport::latency::NetProfile;
 use curp_transport::mem::{MemNetwork, ServerSpec};
 use curp_witness::cache::CacheConfig;
@@ -83,6 +84,12 @@ pub struct RamcloudParams {
     pub spares: usize,
     /// RNG seed for the network latency model.
     pub seed: u64,
+    /// When set, every backup role runs on the larger-than-memory
+    /// [`curp_storage::TieredStore`] rooted under this directory, tuned
+    /// aggressively (1 KiB memtable budget, merge threshold 2) so even
+    /// short simulated workloads spill to sorted runs and exercise the
+    /// compaction path. `None` keeps the in-memory engine.
+    pub tiered: Option<std::path::PathBuf>,
 }
 
 impl RamcloudParams {
@@ -100,6 +107,7 @@ impl RamcloudParams {
             separate_witnesses: false,
             spares: 1,
             seed: 0xCB5B_F00D,
+            tiered: None,
         }
     }
 }
@@ -234,7 +242,7 @@ impl SimCluster {
         let wit_extra = if params.separate_witnesses && mode == Mode::Curp { params.f } else { 0 };
         let mut servers = Vec::new();
         for i in 1..=(partitions + f + wit_extra + params.spares.max(1)) {
-            let s = Self::boot_server(i, durable_root.as_deref());
+            let s = Self::boot_server(i, durable_root.as_deref(), params.tiered.as_deref());
             let dispatch = Self::dispatch_cost(i, partitions, f + wit_extra, &params);
             net.add_server(
                 s.id(),
@@ -290,15 +298,31 @@ impl SimCluster {
 
     /// Boots (or reboots) server `i`'s process object: durable servers
     /// reopen their data directory, which replays the backup AOFs and the
-    /// witness journal.
-    fn boot_server(i: usize, root: Option<&Path>) -> Arc<CurpServer> {
+    /// witness journal. With `tiered` set, the backup role's replicas run
+    /// on the larger-than-memory engine rooted under that directory.
+    fn boot_server(i: usize, root: Option<&Path>, tiered: Option<&Path>) -> Arc<CurpServer> {
         let id = ServerId(i as u64);
-        match root {
-            Some(root) => {
-                CurpServer::new_durable(id, CacheConfig::default(), &root.join(format!("s{i}")))
-                    .unwrap_or_else(|e| panic!("boot durable server s{i}: {e}"))
+        let store = match tiered {
+            Some(tier_root) => {
+                let mut cfg = StoreConfig::tiered(1, tier_root);
+                if let Some(tier) = cfg.tier.as_mut() {
+                    // Spill even on short simulated workloads.
+                    tier.memtable_budget = 1024;
+                    tier.merge_threshold = 2;
+                }
+                cfg
             }
-            None => CurpServer::new(id, CacheConfig::default()),
+            None => StoreConfig::memory(1),
+        };
+        match root {
+            Some(root) => CurpServer::new_durable_with(
+                id,
+                CacheConfig::default(),
+                &root.join(format!("s{i}")),
+                store,
+            )
+            .unwrap_or_else(|e| panic!("boot durable server s{i}: {e}")),
+            None => CurpServer::new_with(id, CacheConfig::default(), store),
         }
     }
 
@@ -355,7 +379,7 @@ impl SimCluster {
         let mut fresh = Vec::with_capacity(self.servers.len());
         for idx in 0..self.servers.len() {
             let i = idx + 1;
-            let s = Self::boot_server(i, Some(root.as_path()));
+            let s = Self::boot_server(i, Some(root.as_path()), self.params.tiered.as_deref());
             let dispatch =
                 Self::dispatch_cost(i, self.partitions, self.replica_block(), &self.params);
             self.net.add_server(
@@ -481,7 +505,7 @@ impl SimCluster {
         match self.durable_root.clone() {
             Some(root) => {
                 let i = id.0 as usize;
-                let s = Self::boot_server(i, Some(root.as_path()));
+                let s = Self::boot_server(i, Some(root.as_path()), self.params.tiered.as_deref());
                 let dispatch =
                     Self::dispatch_cost(i, self.partitions, self.replica_block(), &self.params);
                 // add_server installs a fresh (non-crashed) entry.

@@ -74,13 +74,17 @@ pub struct ChaosConfig {
     /// is still *drawn* identically, so the survivors keep their exact
     /// parameters. This is the shrinker's knob (`CHAOS_EPISODES=i,j`).
     pub episodes: Option<Vec<usize>>,
+    /// Run every backup role on the larger-than-memory
+    /// [`curp_storage::TieredStore`] (aggressively tuned so chaos-scale
+    /// workloads spill to sorted runs) instead of the in-memory engine.
+    pub tiered: bool,
 }
 
 impl ChaosConfig {
     /// Fleet defaults: 48 arrivals, one every 40 µs — a ~2 ms load span
     /// that overlaps a multi-episode nemesis sequence.
     pub fn new(seed: u64) -> ChaosConfig {
-        ChaosConfig { seed, ops: 48, arrival_ns: 40_000, episodes: None }
+        ChaosConfig { seed, ops: 48, arrival_ns: 40_000, episodes: None, tiered: false }
     }
 }
 
@@ -275,12 +279,25 @@ async fn chaos_run(cfg: ChaosConfig) -> ChaosReport {
     // rejoins the pool.
     params.spares = 2;
 
-    // The scratch directory exists only for durable runs and its path never
-    // enters the schedule log (it would break cross-process replay hashes).
-    let dir = if durable { Some(TempDir::new("curp-chaos").expect("tempdir")) } else { None };
-    let mut cluster = match &dir {
-        Some(d) => SimCluster::build_durable(Mode::Curp, params, partitions, d.path()).await,
-        None => SimCluster::build_partitioned(Mode::Curp, params, partitions).await,
+    // The scratch directory exists only for durable or tiered runs and its
+    // path never enters the schedule log (it would break cross-process
+    // replay hashes).
+    let dir = if durable || cfg.tiered {
+        Some(TempDir::new("curp-chaos").expect("tempdir"))
+    } else {
+        None
+    };
+    if cfg.tiered {
+        let d = dir.as_ref().expect("tiered runs always get a scratch dir");
+        let tier_root = d.path().join("tier");
+        std::fs::create_dir_all(&tier_root).expect("tier root");
+        params.tiered = Some(tier_root);
+    }
+    let mut cluster = match (&dir, durable) {
+        (Some(d), true) => {
+            SimCluster::build_durable(Mode::Curp, params, partitions, d.path()).await
+        }
+        _ => SimCluster::build_partitioned(Mode::Curp, params, partitions).await,
     };
 
     let pipe = cluster.pipelined_client(0, PipelineConfig::default()).await;

@@ -152,7 +152,7 @@ impl RedisSim {
             sync_group_commit: true,
             // Redis is single-threaded: one shard reproduces its serialized
             // command loop faithfully in the model.
-            store_shards: 1,
+            store: curp_storage::StoreConfig::memory(1),
         };
         let net_for_factory = net.clone();
         let coord = Coordinator::new(

@@ -18,7 +18,7 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 use bytes::BytesMut;
-use curp_proto::frame::{write_frame, FrameDecoder};
+use curp_proto::frame::write_frame;
 use curp_proto::message::LogEntry;
 use curp_proto::wire::{Decode, Encode};
 
@@ -170,43 +170,50 @@ impl Aof {
 
     /// Decodes a raw AOF byte stream (see [`Aof::load`] for the semantics).
     pub fn load_frames(raw: &[u8]) -> std::io::Result<LoadOutcome> {
-        let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
-        let mut decoder = FrameDecoder::new();
-        decoder.push(raw);
-        let mut frames = Vec::new();
-        loop {
-            match decoder.next_frame() {
-                Ok(Some(frame)) => frames.push(frame),
-                // Leftover bytes are a torn (incomplete) final record.
-                Ok(None) => break,
-                Err(e) => return Err(corrupt(format!("corrupt frame header: {e}"))),
+        let out = crate::frames::decode_frames(raw, "", |frame| {
+            LogEntry::from_bytes_shared(frame).map_err(|e| e.to_string())
+        })?;
+        Ok(LoadOutcome { entries: out.records, truncated: out.truncated, clean_len: out.clean_len })
+    }
+
+    /// Atomically replaces the log at `path` with exactly `entries` and
+    /// reopens it for appending under `policy` — the AOF-compaction
+    /// primitive behind the backup's bounded-log maintenance.
+    ///
+    /// Crash-safe by construction: the new content is written to a
+    /// sibling `.rewrite` file, fsynced there, and renamed over `path`
+    /// (with a directory fsync), so a crash at any byte offset leaves
+    /// either the old log or the new one fully loadable — never a spliced
+    /// hybrid. The returned handle replaces any prior [`Aof`] for `path`:
+    /// the old handle's descriptor points at the unlinked file and must
+    /// not be appended to again.
+    ///
+    /// Callers must make every *dropped* entry durable elsewhere (a
+    /// snapshot or checkpoint covering its seq) before calling; the
+    /// rewrite itself never checks that (DESIGN.md invariant 12).
+    pub fn rewrite(path: &Path, entries: &[LogEntry], policy: FsyncPolicy) -> std::io::Result<Aof> {
+        let tmp = path.with_extension("rewrite");
+        {
+            let mut f = File::create(&tmp)?;
+            let mut buf = BytesMut::new();
+            for e in entries {
+                write_frame(&e.to_bytes(), &mut buf);
+            }
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if policy != FsyncPolicy::Never {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fsync_dir(dir)?;
             }
         }
-        let mut outcome =
-            LoadOutcome { entries: Vec::new(), truncated: decoder.buffered() > 0, clean_len: 0 };
-        let last = frames.len();
-        for (i, frame) in frames.into_iter().enumerate() {
-            let frame_len = 4 + frame.len() as u64;
-            match LogEntry::from_bytes_shared(frame) {
-                Ok(e) => {
-                    outcome.entries.push(e);
-                    outcome.clean_len += frame_len;
-                }
-                // A final undecodable frame is indistinguishable from a torn
-                // write; one followed by complete frames is not.
-                Err(_) if i + 1 == last => {
-                    outcome.truncated = true;
-                    break;
-                }
-                Err(e) => {
-                    return Err(corrupt(format!(
-                        "corrupt record {i} with {} complete frames after it: {e}",
-                        last - i - 1
-                    )))
-                }
-            }
-        }
-        Ok(outcome)
+        let mut aof = Aof::open(path, policy)?;
+        // The renamed content is already durable; report it as such so a
+        // caller's "synced entries" accounting starts from the rewrite.
+        aof.appended = entries.len() as u64;
+        aof.synced = if policy == FsyncPolicy::Never { 0 } else { aof.appended };
+        Ok(aof)
     }
 
     /// Cuts a torn tail off the file at `path`, leaving exactly the clean

@@ -1,0 +1,198 @@
+//! The one torn-tail-vs-corruption load discipline, shared by every
+//! length-prefixed log in the system (the backup AOF, the coordinator's
+//! intent log, the witness journal, and the tiered store's run files).
+//!
+//! All of these logs are append-only streams of [`write_frame`]-encoded
+//! records whose fsync precedes the ack, so a crash can only leave a
+//! *prefix* of the bytes that were written. Loading therefore
+//! distinguishes exactly three shapes:
+//!
+//! * clean EOF — every frame decodes; `truncated == false`;
+//! * torn tail — leftover bytes after the last complete frame, or a
+//!   *final* complete-but-undecodable frame (a tear can land inside the
+//!   payload after the length prefix): the tail is dropped and reported
+//!   via `truncated`, never an error, because the record it described was
+//!   never acknowledged;
+//! * mid-log corruption — an undecodable record with complete frames
+//!   *after* it, or an out-of-bounds length prefix (a torn append writes
+//!   the 4 header bytes before any payload, so a tear leaves a *short*
+//!   header, not a wrong one): `InvalidData`, because silently skipping
+//!   it would drop acknowledged state.
+//!
+//! Known limit (shared by all call sites): an in-place bit flip that turns
+//! a length prefix into a different *in-bounds* value makes the rest of
+//! the file parse as one incomplete frame, indistinguishable from a tear
+//! without per-record checksums — this loader detects torn writes and
+//! payload corruption, not adversarial in-place media corruption.
+//!
+//! [`write_frame`]: curp_proto::frame::write_frame
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use bytes::Bytes;
+use curp_proto::frame::FrameDecoder;
+
+/// What [`decode_frames`] found in a raw log byte stream.
+#[derive(Debug, Default)]
+pub struct FramesOutcome<T> {
+    /// Every record of the clean prefix, in append order.
+    pub records: Vec<T>,
+    /// Whether a torn tail (incomplete or undecodable final record) was
+    /// dropped. The file must be cut back to `clean_len` before appending
+    /// again: a new record written after leftover torn bytes hides behind
+    /// their stale length prefix and poisons the next load.
+    pub truncated: bool,
+    /// Byte length of the clean prefix (`records` re-encoded).
+    pub clean_len: u64,
+}
+
+/// Reads and decodes the log at `path`; a missing file is an empty log.
+/// See [`decode_frames`] for the torn-tail-vs-corruption semantics.
+pub fn load_framed<T>(
+    path: &Path,
+    what: &str,
+    decode: impl FnMut(Bytes) -> Result<T, String>,
+) -> std::io::Result<FramesOutcome<T>> {
+    let mut raw = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut raw)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    decode_frames(&raw, what, decode)
+}
+
+/// Decodes a raw framed byte stream under the module's discipline.
+///
+/// `what` names the log in error messages (`"intent"`, `"journal"`, …; an
+/// empty string for the plain AOF). `decode` turns one complete frame into
+/// a record; its `Err` string is appended to the corruption message when
+/// non-empty. A decode failure on the *final* frame is treated as a torn
+/// tail; anywhere else it is `InvalidData`.
+pub fn decode_frames<T>(
+    raw: &[u8],
+    what: &str,
+    mut decode: impl FnMut(Bytes) -> Result<T, String>,
+) -> std::io::Result<FramesOutcome<T>> {
+    let corrupt = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let noun = |base: &str| {
+        if what.is_empty() {
+            base.to_string()
+        } else {
+            format!("{what} {base}")
+        }
+    };
+    let mut decoder = FrameDecoder::new();
+    decoder.push(raw);
+    let mut frames = Vec::new();
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(frame)) => frames.push(frame),
+            // Leftover bytes are a torn (incomplete) final record.
+            Ok(None) => break,
+            Err(e) => return Err(corrupt(format!("corrupt {} header: {e}", noun("frame")))),
+        }
+    }
+    let mut outcome =
+        FramesOutcome { records: Vec::new(), truncated: decoder.buffered() > 0, clean_len: 0 };
+    let last = frames.len();
+    for (i, frame) in frames.into_iter().enumerate() {
+        let frame_len = 4 + frame.len() as u64;
+        match decode(frame) {
+            Ok(r) => {
+                outcome.records.push(r);
+                outcome.clean_len += frame_len;
+            }
+            // A final undecodable frame is indistinguishable from a torn
+            // write; one followed by complete frames is not.
+            Err(_) if i + 1 == last => {
+                outcome.truncated = true;
+                break;
+            }
+            Err(e) => {
+                let detail = if e.is_empty() { String::new() } else { format!(": {e}") };
+                return Err(corrupt(format!(
+                    "corrupt {} {i} with {} complete frames after it{detail}",
+                    noun("record"),
+                    last - i - 1
+                )));
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use curp_proto::frame::write_frame;
+
+    fn framed(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        for p in payloads {
+            write_frame(p, &mut buf);
+        }
+        buf.to_vec()
+    }
+
+    fn utf8(frame: Bytes) -> Result<String, String> {
+        String::from_utf8(frame.to_vec()).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn clean_stream_decodes_every_record() {
+        let raw = framed(&[b"a", b"bc"]);
+        let out = decode_frames(&raw, "", utf8).unwrap();
+        assert_eq!(out.records, vec!["a".to_string(), "bc".to_string()]);
+        assert!(!out.truncated);
+        assert_eq!(out.clean_len, raw.len() as u64);
+    }
+
+    #[test]
+    fn leftover_bytes_are_a_tear_not_an_error() {
+        let mut raw = framed(&[b"a"]);
+        let clean = raw.len() as u64;
+        raw.extend_from_slice(&[9, 0, 0]); // short header
+        let out = decode_frames(&raw, "", utf8).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert!(out.truncated);
+        assert_eq!(out.clean_len, clean);
+    }
+
+    #[test]
+    fn final_undecodable_frame_is_a_tear() {
+        let raw = framed(&[b"a", &[0xFF, 0xFE]]);
+        let out = decode_frames(&raw, "", utf8).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert!(out.truncated);
+        assert_eq!(out.clean_len, framed(&[b"a"]).len() as u64);
+    }
+
+    #[test]
+    fn mid_log_bad_record_is_invalid_data() {
+        let raw = framed(&[&[0xFF, 0xFE], b"a"]);
+        let err = decode_frames(&raw, "journal", utf8).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("journal record 0"), "{err}");
+    }
+
+    #[test]
+    fn out_of_bounds_length_prefix_is_invalid_data() {
+        let mut raw = framed(&[b"a"]);
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(b"junk");
+        let err = decode_frames(&raw, "", utf8).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let out = load_framed(Path::new("/nonexistent/curp-frames-test"), "", utf8).unwrap();
+        assert!(out.records.is_empty() && !out.truncated && out.clean_len == 0);
+    }
+}

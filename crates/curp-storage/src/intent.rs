@@ -22,11 +22,11 @@
 //! trivially testable.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use bytes::BytesMut;
-use curp_proto::frame::{write_frame, FrameDecoder};
+use curp_proto::frame::write_frame;
 
 use crate::aof::fsync_dir;
 
@@ -175,42 +175,13 @@ impl IntentLog {
     /// log; a torn final record is dropped; a bad record with complete
     /// frames after it is corruption ([`std::io::ErrorKind::InvalidData`]).
     fn load(path: &Path) -> std::io::Result<Vec<(u8, u64, Vec<u8>)>> {
-        let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
-        let mut raw = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut raw)?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
-        let mut decoder = FrameDecoder::new();
-        decoder.push(&raw);
-        let mut frames = Vec::new();
-        loop {
-            match decoder.next_frame() {
-                Ok(Some(frame)) => frames.push(frame),
-                Ok(None) => break,
-                Err(e) => return Err(corrupt(format!("corrupt intent frame header: {e}"))),
-            }
-        }
-        let mut records = Vec::new();
-        let last = frames.len();
-        for (i, frame) in frames.into_iter().enumerate() {
-            match decode_record(&frame) {
-                Some(r) => records.push(r),
-                // An undecodable final frame is a torn append; one followed
-                // by complete frames is not (same rule as `Aof::load`).
-                None if i + 1 == last => break,
-                None => {
-                    return Err(corrupt(format!(
-                        "corrupt intent record {i} with {} complete frames after it",
-                        last - i - 1
-                    )))
-                }
-            }
-        }
-        Ok(records)
+        // The shared framed-log reader supplies the torn-tail-vs-corruption
+        // rule (same discipline as `Aof::load`); only the record codec is
+        // intent-specific.
+        let out = crate::frames::load_framed(path, "intent", |frame| {
+            decode_record(&frame).ok_or_else(String::new)
+        })?;
+        Ok(out.records)
     }
 }
 

@@ -263,6 +263,17 @@ impl<Ext> ShardedStore<Ext> {
         self.lock_all().export()
     }
 
+    /// Exports one shard's state in deterministic (sorted) order, locking
+    /// only that shard — the unit of incremental checkpointing.
+    pub fn export_shard(&self, idx: usize) -> StoreExport {
+        let mut objects = Vec::new();
+        let mut dead = Vec::new();
+        self.shards[idx].lock().space.export_into(&mut objects, &mut dead);
+        objects.sort_by(|a, b| a.0.cmp(&b.0));
+        dead.sort_by(|a, b| a.0.cmp(&b.0));
+        (objects, dead)
+    }
+
     /// Removes and returns every entry whose key hash satisfies `belongs`,
     /// in sorted order (§3.6 migration). The caller must have synced first.
     ///
@@ -458,6 +469,34 @@ impl<'a, Ext> ShardGuards<'a, Ext> {
         (objects, dead)
     }
 
+    /// Crate-internal: whether every shard is held (the tiered engine's
+    /// `absorb_runs` precondition check).
+    pub(crate) fn holds_all_shards(&self) -> bool {
+        self.holds_all()
+    }
+
+    /// Crate-internal: whether these guards lock `store` (the tiered
+    /// engine hands out its memtable's guards and must reject foreign
+    /// ones in `absorb_runs`).
+    pub(crate) fn guards_store(&self, store: &ShardedStore<Ext>) -> bool {
+        std::ptr::eq(self.store, store)
+    }
+
+    /// Crate-internal: a held shard's key space (tiered promotion).
+    pub(crate) fn space_mut(&mut self, idx: usize) -> &mut KeySpace {
+        &mut self.shard_mut(idx).space
+    }
+
+    /// Crate-internal: visits `(shard index, key space)` for every held
+    /// shard in ascending order (tiered flush/absorb).
+    pub(crate) fn for_each_space_mut(&mut self, mut f: impl FnMut(usize, &mut KeySpace)) {
+        match &mut self.repr {
+            GuardsRepr::None => {}
+            GuardsRepr::One(s, g) => f(*s, &mut g.space),
+            GuardsRepr::Many(v) => v.iter_mut().for_each(|(s, g)| f(*s, &mut g.space)),
+        }
+    }
+
     fn for_each_shard(&self, mut f: impl FnMut(&Shard<Ext>)) {
         match &self.repr {
             GuardsRepr::None => {}
@@ -472,6 +511,64 @@ impl<'a, Ext> ShardGuards<'a, Ext> {
             GuardsRepr::One(_, g) => f(g),
             GuardsRepr::Many(v) => v.iter_mut().for_each(|(_, g)| f(g)),
         }
+    }
+}
+
+/// The in-memory engine is the reference [`crate::StateStore`]: every key is
+/// always resident, so lock-time readiness and `absorb_runs` are no-ops
+/// and maintenance has nothing to do.
+impl<Ext: Send> crate::StateStore<Ext> for ShardedStore<Ext> {
+    fn num_shards(&self) -> usize {
+        ShardedStore::num_shards(self)
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        ShardedStore::shard_of(self, key)
+    }
+
+    fn log_head(&self) -> u64 {
+        ShardedStore::log_head(self)
+    }
+
+    fn synced_pos(&self) -> u64 {
+        ShardedStore::synced_pos(self)
+    }
+
+    fn has_unsynced(&self) -> bool {
+        ShardedStore::has_unsynced(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedStore::len(self)
+    }
+
+    fn get_object(&self, key: &[u8]) -> Option<Object> {
+        ShardedStore::get_object(self, key)
+    }
+
+    fn lock_for<'a>(&'a self, shard_set: &[usize], _op: Option<&Op>) -> ShardGuards<'a, Ext> {
+        self.lock(shard_set)
+    }
+
+    fn lock_all_for<'a>(&'a self, _op: Option<&Op>) -> ShardGuards<'a, Ext> {
+        self.lock_all()
+    }
+
+    fn absorb_runs(&self, guards: &mut ShardGuards<'_, Ext>) {
+        assert!(guards.guards_store(self), "absorb_runs with foreign guards");
+        assert!(guards.holds_all_shards(), "absorb_runs requires all shards locked");
+    }
+
+    fn export(&self) -> StoreExport {
+        ShardedStore::export(self)
+    }
+
+    fn export_shard(&self, shard: usize) -> StoreExport {
+        ShardedStore::export_shard(self, shard)
+    }
+
+    fn maintain(&self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 

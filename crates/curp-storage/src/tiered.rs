@@ -1,0 +1,711 @@
+//! The larger-than-memory engine: a [`ShardedStore`] memtable over
+//! sorted-run files.
+//!
+//! [`TieredStore`] keeps hot state in an ordinary sharded memtable and
+//! spills cold, **synced** state to immutable sorted runs
+//! ([`RunFile`]) on [`maintain`](crate::StateStore::maintain) ticks —
+//! LSM-lite: one level, whole-memtable flushes, all-runs merges. The
+//! design leans on three CURP-specific facts:
+//!
+//! 1. **Only synced state may leave memory.** The §4.3 commute check is
+//!    answered entirely from the memtable (`write_pos` vs the synced
+//!    frontier); an object below the frontier always answers "synced",
+//!    which is exactly what an evicted (hence flushed-as-synced) object
+//!    must answer. Unsynced objects and unsynced-deletion tombstones are
+//!    never spilled, so eviction cannot change any protocol decision.
+//! 2. **Lock-time readiness.** Before an op executes, the lock methods
+//!    promote its run-resident keys back into the memtable (object *or*
+//!    dead-key version memory — a `ConditionalPut` after a flushed delete
+//!    must still see the version). After promotion the execution path is
+//!    byte-identical to the in-memory engine; the equivalence proptest
+//!    pins this. Promoted and flushed objects read back with
+//!    `write_pos == 0` (they are synced; the exact historical position no
+//!    longer matters).
+//! 3. **Runs are a rebuildable cache.** Crash recovery never reads them —
+//!    masters recover from backups, backup replicas from snapshot +
+//!    checkpoints + AOF — so each store instance starts from an empty
+//!    private run directory and removes it on drop, and a run-file *read*
+//!    error is fail-stop (panic) rather than a recoverable condition:
+//!    the bytes were written and fsynced by this same process.
+//!
+//! Locking: shard locks first (ascending, via the memtable), the tier's
+//! run-list mutex strictly last (a leaf). Flush runs under all shard
+//! locks and evicts only after the run file is durably in place, so a
+//! failed `maintain` leaves the store exactly as it was.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use curp_proto::op::Op;
+use curp_proto::wire::Encode;
+use parking_lot::Mutex;
+
+use crate::runfile::{RunFile, RunRecord, RunWriter};
+use crate::sharded::{ShardGuards, ShardedStore};
+use crate::store::{Object, StoreExport};
+use crate::{StateStore, TierConfig};
+
+/// Distinguishes tier directories of multiple stores within one process
+/// (a simulated cluster shares one config root across many masters).
+static NEXT_TIER_DIR: AtomicU64 = AtomicU64::new(0);
+
+struct TierState {
+    /// Oldest first; lookups scan newest (last) to oldest, merges let
+    /// later runs win.
+    runs: Vec<Arc<RunFile>>,
+    next_run: u64,
+}
+
+/// A [`StateStore`] whose working set may exceed memory: `ShardedStore`
+/// memtable + sorted-run spill tier. See the module docs for the design.
+pub struct TieredStore<Ext = ()> {
+    mem: ShardedStore<Ext>,
+    tier: Mutex<TierState>,
+    cfg: TierConfig,
+    dir: PathBuf,
+}
+
+impl<Ext> TieredStore<Ext> {
+    /// Puts a tier under an existing memtable. Creates (and takes
+    /// ownership of) a fresh private run directory beneath `cfg.root`.
+    pub fn over(mem: ShardedStore<Ext>, cfg: TierConfig) -> std::io::Result<TieredStore<Ext>> {
+        let dir = cfg.root.join(format!(
+            "tier-{}-{}",
+            std::process::id(),
+            NEXT_TIER_DIR.fetch_add(1, Ordering::Relaxed)
+        ));
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        std::fs::create_dir_all(&dir)?;
+        Ok(TieredStore {
+            mem,
+            tier: Mutex::new(TierState { runs: Vec::new(), next_run: 0 }),
+            cfg,
+            dir,
+        })
+    }
+
+    /// The store's private run directory.
+    pub fn tier_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of run files currently on disk.
+    pub fn run_count(&self) -> usize {
+        self.tier.lock().runs.len()
+    }
+
+    /// Total bytes of run files currently on disk.
+    pub fn run_bytes(&self) -> u64 {
+        self.tier.lock().runs.iter().map(|r| r.file_len()).sum()
+    }
+
+    fn snapshot_runs(&self) -> Vec<Arc<RunFile>> {
+        self.tier.lock().runs.clone()
+    }
+
+    fn run_read_failed(e: std::io::Error) -> ! {
+        panic!("tier run read failed (runs are this process's own fsynced cache; fail-stop): {e}")
+    }
+
+    /// The newest cold record for `key`, if any run holds one.
+    fn lookup_cold(&self, key: &[u8]) -> Option<RunRecord> {
+        for run in self.snapshot_runs().iter().rev() {
+            if let Some(rec) = run.get(key).unwrap_or_else(|e| Self::run_read_failed(e)) {
+                return Some(rec);
+            }
+        }
+        None
+    }
+
+    /// All cold records, newest-wins across runs, sorted by key.
+    fn cold_view(runs: &[Arc<RunFile>]) -> BTreeMap<Bytes, RunRecord> {
+        let mut view = BTreeMap::new();
+        for run in runs {
+            for rec in run.iter() {
+                let (k, r) = rec.unwrap_or_else(|e| Self::run_read_failed(e));
+                view.insert(k, r);
+            }
+        }
+        view
+    }
+
+    /// Lock-time readiness (trait obligation): restores every key of `op`
+    /// that lives only in the run tier into its (held) memtable shard.
+    fn promote(&self, guards: &mut ShardGuards<'_, Ext>, op: &Op) {
+        for key in op.keys() {
+            let idx = self.mem.shard_of(key);
+            let space = guards.space_mut(idx);
+            if space.objects.contains_key(key) || space.dead_versions.contains_key(key) {
+                continue;
+            }
+            match self.lookup_cold(key) {
+                None => {}
+                Some(RunRecord::Live(obj)) => {
+                    guards.space_mut(idx).objects.insert(key.clone(), obj);
+                }
+                Some(RunRecord::Dead(version)) => {
+                    guards.space_mut(idx).dead_versions.insert(key.clone(), version);
+                }
+            }
+        }
+    }
+
+    /// Spills all synced memtable state to a new run if the memtable is
+    /// over budget. Evicts **only after** the run file is durably in
+    /// place; on error the store is unchanged.
+    fn flush(&self, guards: &mut ShardGuards<'_, Ext>) -> std::io::Result<()> {
+        let mut resident = 0u64;
+        guards.for_each_space_mut(|_, space| {
+            for (k, o) in &space.objects {
+                resident += k.len() as u64 + o.encoded_len() as u64;
+            }
+            for k in space.dead_versions.keys() {
+                resident += k.len() as u64 + 8;
+            }
+        });
+        if resident <= self.cfg.memtable_budget {
+            return Ok(());
+        }
+        let synced = self.mem.synced_pos();
+        let mut records: Vec<(Bytes, RunRecord)> = Vec::new();
+        guards.for_each_space_mut(|_, space| {
+            for (k, o) in &space.objects {
+                if o.write_pos < synced {
+                    let mut obj = o.clone();
+                    obj.write_pos = 0;
+                    records.push((k.clone(), RunRecord::Live(obj)));
+                }
+            }
+            for (k, &v) in &space.dead_versions {
+                // A tombstoned entry is an unsynced deletion: not spillable.
+                if !space.tombstones.contains_key(k) {
+                    records.push((k.clone(), RunRecord::Dead(v)));
+                }
+            }
+        });
+        if records.is_empty() {
+            return Ok(());
+        }
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        {
+            let mut tier = self.tier.lock();
+            let path = self.dir.join(format!("{:06}.run", tier.next_run));
+            let run = RunFile::write(path, &records, self.cfg.fsync)?;
+            tier.next_run += 1;
+            tier.runs.push(Arc::new(run));
+        }
+        // The run is durable; now it is safe to evict what it covers.
+        guards.for_each_space_mut(|_, space| {
+            space.objects.retain(|_, o| o.write_pos >= synced);
+            let tombstones = &space.tombstones;
+            space.dead_versions.retain(|k, _| tombstones.contains_key(k));
+        });
+        Ok(())
+    }
+
+    /// Merges all runs into one (newest record per key wins) once the run
+    /// count passes the threshold. Dead records are never discarded — a
+    /// merge may supersede version memory with a newer record, never
+    /// forget it.
+    fn merge(&self) -> std::io::Result<()> {
+        let mut tier = self.tier.lock();
+        if tier.runs.len() <= self.cfg.merge_threshold {
+            return Ok(());
+        }
+        let sources = tier.runs.clone();
+        let path = self.dir.join(format!("{:06}.run", tier.next_run));
+        let mut writer = RunWriter::create(path, self.cfg.fsync)?;
+        let mut iters: Vec<_> = sources.iter().map(|r| r.iter().peekable()).collect();
+        loop {
+            let mut min_key: Option<Bytes> = None;
+            for it in iters.iter_mut() {
+                match it.peek() {
+                    None => {}
+                    Some(Err(_)) => {
+                        return Err(it.next().expect("just peeked").expect_err("just peeked Err"))
+                    }
+                    Some(Ok((k, _))) if min_key.as_ref().is_none_or(|m| k < m) => {
+                        min_key = Some(k.clone());
+                    }
+                    Some(Ok(_)) => {}
+                }
+            }
+            let Some(key) = min_key else { break };
+            // Ascending source order is oldest→newest; the last match wins.
+            let mut newest = None;
+            for it in iters.iter_mut() {
+                if matches!(it.peek(), Some(Ok((k, _))) if *k == key) {
+                    let (_, rec) = it.next().expect("just peeked")?;
+                    newest = Some(rec);
+                }
+            }
+            writer.add(key, &newest.expect("min key came from some run"))?;
+        }
+        let merged = writer.finish()?;
+        tier.next_run += 1;
+        tier.runs = vec![Arc::new(merged)];
+        Ok(())
+    }
+
+    /// Merges cold records into already-exported memtable maps (memtable
+    /// entries win: the memtable is authoritative for any key it knows).
+    fn overlay_cold(
+        cold: impl IntoIterator<Item = (Bytes, RunRecord)>,
+        objects: &mut BTreeMap<Bytes, Object>,
+        dead: &mut BTreeMap<Bytes, u64>,
+    ) {
+        for (k, rec) in cold {
+            if objects.contains_key(&k) || dead.contains_key(&k) {
+                continue;
+            }
+            match rec {
+                RunRecord::Live(o) => {
+                    objects.insert(k, o);
+                }
+                RunRecord::Dead(v) => {
+                    dead.insert(k, v);
+                }
+            }
+        }
+    }
+}
+
+impl<Ext> std::fmt::Debug for TieredStore<Ext> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("mem", &self.mem)
+            .field("runs", &self.run_count())
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<Ext> Drop for TieredStore<Ext> {
+    fn drop(&mut self) {
+        // Runs are a cache owned by this instance; remove the whole
+        // private directory (individual RunFile drops then find their
+        // files already gone, which they tolerate).
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl<Ext: Send> StateStore<Ext> for TieredStore<Ext> {
+    fn num_shards(&self) -> usize {
+        self.mem.num_shards()
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        self.mem.shard_of(key)
+    }
+
+    fn log_head(&self) -> u64 {
+        self.mem.log_head()
+    }
+
+    fn synced_pos(&self) -> u64 {
+        self.mem.synced_pos()
+    }
+
+    fn has_unsynced(&self) -> bool {
+        self.mem.has_unsynced()
+    }
+
+    fn len(&self) -> usize {
+        let mut guards = self.mem.lock_all();
+        let mut live = 0usize;
+        guards.for_each_space_mut(|_, space| live += space.objects.len());
+        for (k, rec) in Self::cold_view(&self.snapshot_runs()) {
+            if matches!(rec, RunRecord::Live(_)) {
+                let space = guards.space_mut(self.mem.shard_of(&k));
+                if !space.objects.contains_key(&k) && !space.dead_versions.contains_key(&k) {
+                    live += 1;
+                }
+            }
+        }
+        live
+    }
+
+    fn get_object(&self, key: &[u8]) -> Option<Object> {
+        let idx = self.mem.shard_of(key);
+        let mut guards = self.mem.lock(&[idx]);
+        let space = guards.space_mut(idx);
+        if let Some(obj) = space.objects.get(key) {
+            return Some(obj.clone());
+        }
+        if space.dead_versions.contains_key(key) {
+            return None;
+        }
+        match self.lookup_cold(key) {
+            Some(RunRecord::Live(obj)) => Some(obj),
+            Some(RunRecord::Dead(_)) | None => None,
+        }
+    }
+
+    fn lock_for<'a>(&'a self, shard_set: &[usize], op: Option<&Op>) -> ShardGuards<'a, Ext> {
+        let mut guards = self.mem.lock(shard_set);
+        if let Some(op) = op {
+            self.promote(&mut guards, op);
+        }
+        guards
+    }
+
+    fn lock_all_for<'a>(&'a self, op: Option<&Op>) -> ShardGuards<'a, Ext> {
+        let mut guards = self.mem.lock_all();
+        if let Some(op) = op {
+            self.promote(&mut guards, op);
+        }
+        guards
+    }
+
+    fn absorb_runs(&self, guards: &mut ShardGuards<'_, Ext>) {
+        assert!(guards.guards_store(&self.mem), "absorb_runs with foreign guards");
+        assert!(guards.holds_all_shards(), "absorb_runs requires all shards locked");
+        let runs = std::mem::take(&mut self.tier.lock().runs);
+        if runs.is_empty() {
+            return;
+        }
+        for (k, rec) in Self::cold_view(&runs) {
+            let space = guards.space_mut(self.mem.shard_of(&k));
+            if space.objects.contains_key(&k) || space.dead_versions.contains_key(&k) {
+                continue;
+            }
+            match rec {
+                RunRecord::Live(obj) => {
+                    space.objects.insert(k, obj);
+                }
+                RunRecord::Dead(version) => {
+                    space.dead_versions.insert(k, version);
+                }
+            }
+        }
+        // Dropping `runs` (the last references) deletes the files.
+    }
+
+    fn export(&self) -> StoreExport {
+        let mut guards = self.mem.lock_all();
+        let mut objects = BTreeMap::new();
+        let mut dead = BTreeMap::new();
+        guards.for_each_space_mut(|_, space| {
+            for (k, o) in &space.objects {
+                objects.insert(k.clone(), o.clone());
+            }
+            for (k, &v) in &space.dead_versions {
+                dead.insert(k.clone(), v);
+            }
+        });
+        Self::overlay_cold(Self::cold_view(&self.snapshot_runs()), &mut objects, &mut dead);
+        (objects.into_iter().collect(), dead.into_iter().collect())
+    }
+
+    fn export_shard(&self, shard: usize) -> StoreExport {
+        let mut guards = self.mem.lock(&[shard]);
+        let mut objects = BTreeMap::new();
+        let mut dead = BTreeMap::new();
+        let space = guards.space_mut(shard);
+        for (k, o) in &space.objects {
+            objects.insert(k.clone(), o.clone());
+        }
+        for (k, &v) in &space.dead_versions {
+            dead.insert(k.clone(), v);
+        }
+        let cold = Self::cold_view(&self.snapshot_runs())
+            .into_iter()
+            .filter(|(k, _)| self.mem.shard_of(k) == shard);
+        Self::overlay_cold(cold, &mut objects, &mut dead);
+        (objects.into_iter().collect(), dead.into_iter().collect())
+    }
+
+    fn maintain(&self) -> std::io::Result<()> {
+        {
+            let mut guards = self.mem.lock_all();
+            self.flush(&mut guards)?;
+        }
+        self.merge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StoreConfig, TempDir};
+    use curp_proto::op::OpResult;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    /// A tiered store with a 1-byte budget: every maintain() spills all
+    /// synced state.
+    fn tiny(dir: &TempDir, shards: usize) -> TieredStore {
+        let mut cfg = TierConfig::new(dir.path());
+        cfg.memtable_budget = 1;
+        cfg.fsync = false;
+        TieredStore::over(ShardedStore::new(shards), cfg).unwrap()
+    }
+
+    fn put(store: &TieredStore, k: &str, v: &str) -> OpResult {
+        let op = Op::Put { key: b(k), value: b(v) };
+        let set = op.key_hashes().shard_set(store.num_shards());
+        store.lock_for(&set, Some(&op)).execute(&op)
+    }
+
+    fn get(store: &TieredStore, k: &str) -> OpResult {
+        let op = Op::Get { key: b(k) };
+        let set = op.key_hashes().shard_set(store.num_shards());
+        store.lock_for(&set, Some(&op)).execute(&op)
+    }
+
+    fn sync_all(store: &TieredStore) {
+        store.lock_all_for(None).mark_synced(store.log_head());
+    }
+
+    #[test]
+    fn flush_evicts_synced_state_and_reads_promote_it_back() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let store = tiny(&dir, 4);
+        for i in 0..32 {
+            put(&store, &format!("k{i}"), &format!("v{i}"));
+        }
+        sync_all(&store);
+        store.maintain().unwrap();
+        assert_eq!(store.run_count(), 1);
+        // Everything was synced, so the memtable is now empty...
+        let mut resident = 0;
+        let mut guards = store.mem.lock_all();
+        guards.for_each_space_mut(|_, s| resident += s.objects.len());
+        drop(guards);
+        assert_eq!(resident, 0, "synced state must be evicted after flush");
+        // ...but every key still reads correctly (lock-time promotion).
+        assert_eq!(store.len(), 32);
+        for i in 0..32 {
+            assert_eq!(
+                get(&store, &format!("k{i}")),
+                OpResult::Value(Some(b(&format!("v{i}")))),
+                "key k{i} after eviction"
+            );
+        }
+    }
+
+    #[test]
+    fn unsynced_state_is_never_spilled() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let store = tiny(&dir, 2);
+        put(&store, "synced", "s");
+        sync_all(&store);
+        put(&store, "spec", "fast-path"); // unsynced: above the frontier
+        store.maintain().unwrap();
+        // The unsynced object stays resident and still reports unsynced.
+        assert!(store.mem.is_unsynced(b"spec"));
+        assert!(!store.mem.is_unsynced(b"synced"));
+        assert_eq!(store.mem.get_object(b"spec").unwrap().value, crate::Value::Str(b("fast-path")));
+        assert!(store.mem.get_object(b"synced").is_none(), "synced state should be spilled");
+        assert_eq!(get(&store, "synced"), OpResult::Value(Some(b("s"))));
+    }
+
+    #[test]
+    fn version_memory_survives_flush_for_conditional_put() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let store = tiny(&dir, 2);
+        put(&store, "k", "v1");
+        put(&store, "k", "v2"); // version 2
+        sync_all(&store);
+        store.maintain().unwrap();
+        let op = Op::ConditionalPut { key: b("k"), expected_version: 2, value: b("v3") };
+        let set = op.key_hashes().shard_set(2);
+        let r = store.lock_for(&set, Some(&op)).execute(&op);
+        assert_eq!(r, OpResult::Written { version: 3 }, "promotion must restore the version");
+    }
+
+    #[test]
+    fn dead_key_version_memory_survives_flush() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let store = tiny(&dir, 2);
+        put(&store, "k", "v1"); // version 1
+        let del = Op::Delete { key: b("k") };
+        let set = del.key_hashes().shard_set(2);
+        store.lock_for(&set, Some(&del)).execute(&del);
+        sync_all(&store);
+        store.maintain().unwrap();
+        // Re-create: the version must continue from the dead record.
+        assert_eq!(put(&store, "k", "v2"), OpResult::Written { version: 2 });
+        // And a conditional against the deleted version works pre-recreate.
+        let dir2 = TempDir::new("curp-tiered").unwrap();
+        let store2 = tiny(&dir2, 2);
+        put(&store2, "k", "v1");
+        store2.lock_for(&set, Some(&del)).execute(&del);
+        sync_all(&store2);
+        store2.maintain().unwrap();
+        let cput = Op::ConditionalPut { key: b("k"), expected_version: 1, value: b("v2") };
+        let cset = cput.key_hashes().shard_set(2);
+        assert_eq!(
+            store2.lock_for(&cset, Some(&cput)).execute(&cput),
+            OpResult::Written { version: 2 }
+        );
+    }
+
+    #[test]
+    fn merge_collapses_runs_and_newest_record_wins() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let mut cfg = TierConfig::new(dir.path());
+        cfg.memtable_budget = 1;
+        cfg.merge_threshold = 2;
+        cfg.fsync = false;
+        let store: TieredStore = TieredStore::over(ShardedStore::new(2), cfg).unwrap();
+        // Three flush cycles over overlapping keys: k stays hot, ki varies.
+        for round in 0..3 {
+            put(&store, "k", &format!("round{round}"));
+            put(&store, &format!("only{round}"), "x");
+            sync_all(&store);
+            // Flush without merging yet (threshold 2 → merge on 3rd run).
+            let mut guards = store.mem.lock_all();
+            store.flush(&mut guards).unwrap();
+        }
+        assert_eq!(store.run_count(), 3);
+        store.merge().unwrap();
+        assert_eq!(store.run_count(), 1, "merge must collapse to one run");
+        assert_eq!(get(&store, "k"), OpResult::Value(Some(b("round2"))), "newest must win");
+        for round in 0..3 {
+            assert_eq!(get(&store, &format!("only{round}")), OpResult::Value(Some(b("x"))));
+        }
+        // Only the merged run file remains on disk.
+        let files: Vec<_> = std::fs::read_dir(store.tier_dir()).unwrap().collect();
+        assert_eq!(files.len(), 1, "old run files must be deleted after merge");
+    }
+
+    #[test]
+    fn merge_preserves_dead_records() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let mut cfg = TierConfig::new(dir.path());
+        cfg.memtable_budget = 1;
+        cfg.merge_threshold = 1;
+        cfg.fsync = false;
+        let store: TieredStore = TieredStore::over(ShardedStore::new(2), cfg).unwrap();
+        put(&store, "gone", "v"); // version 1
+        let del = Op::Delete { key: b("gone") };
+        let set = del.key_hashes().shard_set(2);
+        store.lock_for(&set, Some(&del)).execute(&del);
+        put(&store, "pad", "p");
+        sync_all(&store);
+        {
+            let mut guards = store.mem.lock_all();
+            store.flush(&mut guards).unwrap();
+        }
+        put(&store, "pad", "p2");
+        sync_all(&store);
+        store.maintain().unwrap(); // second flush + merge (threshold 1)
+        assert_eq!(store.run_count(), 1);
+        // The dead record survived the merge: version memory intact.
+        assert_eq!(put(&store, "gone", "back"), OpResult::Written { version: 2 });
+    }
+
+    #[test]
+    fn export_merges_memtable_over_runs() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let store = tiny(&dir, 4);
+        let reference: ShardedStore = ShardedStore::new(4);
+        let ops: Vec<Op> = (0..24)
+            .map(|i| Op::Put { key: b(&format!("k{}", i % 8)), value: b(&format!("v{i}")) })
+            .chain([Op::Delete { key: b("k3") }])
+            .collect();
+        for (i, op) in ops.iter().enumerate() {
+            let set = op.key_hashes().shard_set(4);
+            store.lock_for(&set, Some(op)).execute(op);
+            reference.execute(op);
+            if i == 10 {
+                sync_all(&store);
+                reference.mark_synced(reference.log_head());
+                store.maintain().unwrap();
+            }
+        }
+        let (mut t_obj, t_dead) = store.export();
+        let (mut r_obj, r_dead) = reference.export();
+        // Flushed/promoted objects read back with write_pos == 0; compare
+        // with positions normalized (the frontier logic is tested elsewhere).
+        for (_, o) in t_obj.iter_mut().chain(r_obj.iter_mut()) {
+            o.write_pos = 0;
+        }
+        assert_eq!(t_obj, r_obj);
+        assert_eq!(t_dead, r_dead);
+        assert_eq!(store.len(), reference.len());
+        // Per-shard exports union to the full export.
+        let mut shard_obj = Vec::new();
+        let mut shard_dead = Vec::new();
+        for s in 0..4 {
+            let (o, d) = store.export_shard(s);
+            shard_obj.extend(o);
+            shard_dead.extend(d);
+        }
+        shard_obj.sort_by(|a, b| a.0.cmp(&b.0));
+        shard_dead.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, o) in shard_obj.iter_mut() {
+            o.write_pos = 0;
+        }
+        assert_eq!(shard_obj, t_obj);
+        assert_eq!(shard_dead, t_dead);
+    }
+
+    #[test]
+    fn absorb_runs_folds_everything_back_into_the_memtable() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let store = tiny(&dir, 4);
+        for i in 0..16 {
+            put(&store, &format!("k{i}"), &format!("v{i}"));
+        }
+        let del = Op::Delete { key: b("k0") };
+        let set = del.key_hashes().shard_set(4);
+        store.lock_for(&set, Some(&del)).execute(&del);
+        sync_all(&store);
+        store.maintain().unwrap();
+        let before = store.export();
+        let mut guards = store.lock_all_for(None);
+        store.absorb_runs(&mut guards);
+        // Guard-level whole-store view now sees every key.
+        let (mut obj, dead) = guards.export();
+        drop(guards);
+        for (_, o) in obj.iter_mut() {
+            o.write_pos = 0;
+        }
+        let (mut before_obj, before_dead) = before;
+        for (_, o) in before_obj.iter_mut() {
+            o.write_pos = 0;
+        }
+        assert_eq!(obj, before_obj);
+        assert_eq!(dead, before_dead);
+        assert_eq!(store.run_count(), 0);
+        let files: Vec<_> = std::fs::read_dir(store.tier_dir()).unwrap().collect();
+        assert!(files.is_empty(), "absorbed run files must be deleted");
+    }
+
+    #[test]
+    fn drop_removes_the_tier_directory() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let tier_dir;
+        {
+            let store = tiny(&dir, 2);
+            put(&store, "k", "v");
+            sync_all(&store);
+            store.maintain().unwrap();
+            tier_dir = store.tier_dir().to_path_buf();
+            assert!(tier_dir.exists());
+        }
+        assert!(!tier_dir.exists(), "dropping the store must remove its run directory");
+    }
+
+    #[test]
+    fn store_config_builds_a_tiered_engine() {
+        let dir = TempDir::new("curp-tiered").unwrap();
+        let cfg = StoreConfig::tiered(4, dir.path());
+        let store: Box<dyn StateStore> = cfg.build();
+        let op = Op::Put { key: b("k"), value: b("v") };
+        let set = op.key_hashes().shard_set(store.num_shards());
+        assert_eq!(store.lock_for(&set, Some(&op)).execute(&op), OpResult::Written { version: 1 });
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -85,4 +85,63 @@ proptest! {
         }
         std::fs::remove_file(&path).unwrap();
     }
+
+    /// Crash-mid-rewrite at **every** byte offset of the tmp file: the
+    /// live AOF still loads exactly the old entries (the rename is the
+    /// commit point; an un-renamed tmp is dead bytes, whatever prefix of
+    /// it reached disk). Once the rename lands, the file loads exactly
+    /// the new entries. At no offset does a load observe a splice of the
+    /// two logs — the invariant that lets `BackupService` rewrite a
+    /// backup's log underneath a live replica without a recovery mode.
+    #[test]
+    fn rewrite_crash_at_every_offset_yields_old_or_new_never_a_splice(
+        old in arb_entries(),
+        new in arb_entries(),
+    ) {
+        let tag = (old.len() * 31 + new.len()) as u64;
+        let path = tmpfile(tag);
+        let tmp = path.with_extension("rewrite");
+        {
+            let mut aof = Aof::open(&path, FsyncPolicy::Manual).unwrap();
+            aof.append_batch(&old).unwrap();
+            aof.sync().unwrap();
+        }
+        let old_raw = std::fs::read(&path).unwrap();
+        // The exact bytes `Aof::rewrite` streams into the tmp file: a
+        // completed rewrite at a scratch path yields them verbatim.
+        let scratch = tmpfile(tag ^ 0x5CA7C4);
+        let new_raw = {
+            drop(Aof::rewrite(&scratch, &new, FsyncPolicy::Never).unwrap());
+            let raw = std::fs::read(&scratch).unwrap();
+            std::fs::remove_file(&scratch).unwrap();
+            raw
+        };
+
+        // Phase 1 — power fails while the tmp file is being written (or
+        // fsynced, or before the rename commits): any byte prefix of the
+        // tmp may survive next to the untouched live AOF.
+        for cut in 0..=new_raw.len() {
+            std::fs::write(&path, &old_raw).unwrap();
+            std::fs::write(&tmp, &new_raw[..cut]).unwrap();
+            let outcome = Aof::load(&path).unwrap_or_else(|e| {
+                panic!("tmp cut at {cut}/{} corrupted the live AOF: {e}", new_raw.len())
+            });
+            prop_assert_eq!(
+                &outcome.entries[..], &old[..],
+                "tmp cut at {} leaked into the live log", cut
+            );
+            prop_assert!(!outcome.truncated, "the live AOF was never touched");
+        }
+        std::fs::remove_file(&tmp).unwrap();
+
+        // Phase 2 — the rename landed (tmp was complete and fsynced
+        // first): the path now loads exactly the new entries.
+        std::fs::write(&path, &old_raw).unwrap();
+        drop(Aof::rewrite(&path, &new, FsyncPolicy::Manual).unwrap());
+        let outcome = Aof::load(&path).unwrap();
+        prop_assert_eq!(&outcome.entries[..], &new[..]);
+        prop_assert!(!outcome.truncated);
+        prop_assert!(!tmp.exists(), "a completed rewrite must consume its tmp file");
+        std::fs::remove_file(&path).unwrap();
+    }
 }

@@ -8,7 +8,7 @@ use std::collections::{HashMap, HashSet};
 use bytes::Bytes;
 use curp_proto::op::{Op, OpResult};
 use curp_proto::wire::encode_seq;
-use curp_storage::{ShardedStore, Store};
+use curp_storage::{ShardedStore, StateStore, Store, TempDir, TierConfig, TieredStore};
 use proptest::prelude::*;
 
 fn key(i: u8) -> Bytes {
@@ -228,9 +228,26 @@ fn arb_any_step() -> impl Strategy<Value = Step> {
     ]
 }
 
+/// A step for the tiered-vs-memory equivalence property: the full op
+/// surface, sync-frontier advances, and maintenance ticks (flush+merge).
+#[derive(Debug, Clone)]
+enum TierStep {
+    Op(Op),
+    Sync,
+    Maintain,
+}
+
+fn arb_tier_step() -> impl Strategy<Value = TierStep> {
+    prop_oneof![
+        8 => arb_any_op().prop_map(TierStep::Op),
+        1 => Just(TierStep::Sync),
+        1 => Just(TierStep::Maintain),
+    ]
+}
+
 /// Deterministic byte encoding of an exported store state — the payload a
 /// snapshot would carry. Byte-identical iff the exports are identical.
-fn export_bytes(export: &curp_storage::store::StoreExport) -> Bytes {
+fn export_bytes(export: &curp_storage::StoreExport) -> Bytes {
     let mut buf = bytes::BytesMut::new();
     encode_seq(&export.0, &mut buf);
     encode_seq(&export.1, &mut buf);
@@ -286,6 +303,56 @@ proptest! {
         let resingle = Store::import(ss.0, ss.1);
         prop_assert_eq!(resharded.export(), resingle.export());
         prop_assert_eq!(resharded.has_unsynced(), resingle.has_unsynced());
+    }
+
+    /// The larger-than-memory engine is observationally identical to the
+    /// in-memory sharded engine under the same op/sync/maintain stream,
+    /// with a 1-byte memtable budget so *every* maintenance tick evicts
+    /// all synced state to run files: same results and versions, same log
+    /// positions, same synced frontier, and the same export modulo
+    /// `write_pos` (flushed-then-promoted objects read back at 0 — they
+    /// are synced, the historical position no longer matters). This is
+    /// the equivalence the `StateStore` abstraction promises consumers.
+    #[test]
+    fn tiered_store_matches_the_in_memory_engine(
+        steps in prop::collection::vec(arb_tier_step(), 1..120)
+    ) {
+        let dir = TempDir::new("curp-proptest-tiered").unwrap();
+        let mut cfg = TierConfig::new(dir.path());
+        cfg.memtable_budget = 1;
+        cfg.merge_threshold = 1;
+        cfg.fsync = false;
+        let tiered: TieredStore = TieredStore::over(ShardedStore::new(4), cfg).unwrap();
+        let reference: ShardedStore = ShardedStore::new(4);
+        for step in &steps {
+            match step {
+                TierStep::Sync => {
+                    tiered.lock_all_for(None).mark_synced(tiered.log_head());
+                    reference.mark_synced(reference.log_head());
+                }
+                TierStep::Maintain => tiered.maintain().unwrap(),
+                TierStep::Op(op) => {
+                    let set = op.key_hashes().shard_set(4);
+                    prop_assert_eq!(
+                        tiered.lock_for(&set, Some(op)).execute(op),
+                        reference.execute(op),
+                        "result diverged on {:?}",
+                        op
+                    );
+                    prop_assert_eq!(StateStore::log_head(&tiered), reference.log_head());
+                }
+            }
+            prop_assert_eq!(StateStore::synced_pos(&tiered), reference.synced_pos());
+            prop_assert_eq!(StateStore::has_unsynced(&tiered), reference.has_unsynced());
+        }
+        prop_assert_eq!(StateStore::len(&tiered), reference.len());
+        let (mut t_obj, t_dead) = StateStore::export(&tiered);
+        let (mut r_obj, r_dead) = reference.export();
+        for (_, o) in t_obj.iter_mut().chain(r_obj.iter_mut()) {
+            o.write_pos = 0;
+        }
+        prop_assert_eq!(t_obj, r_obj, "exports diverged");
+        prop_assert_eq!(t_dead, r_dead, "dead-version exports diverged");
     }
 
     /// The in-place `Store::execute` matches the naive clone-per-mutation

@@ -16,11 +16,11 @@
 //! durability claim honest on disk-backed hardware.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 use bytes::{Buf, BufMut, BytesMut};
-use curp_proto::frame::{write_frame, FrameDecoder};
+use curp_proto::frame::write_frame;
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::types::{KeyHash, MasterId, RpcId};
 use curp_proto::wire::{
@@ -113,76 +113,41 @@ impl JournaledWitness {
     /// frames *after* it cannot be a tear and fails the open with
     /// `InvalidData`: silently skipping it would thaw acknowledged state.
     pub fn open(config: CacheConfig, path: &Path) -> std::io::Result<JournaledWitness> {
-        let corrupt = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
         let inner = WitnessService::new(config);
-        // Replay. A missing journal is a fresh witness; any *other* open
-        // failure (permissions, I/O) must fail loudly — skipping replay on
-        // a transient error would boot an empty-but-acking witness and thaw
-        // frozen instances.
-        let existing = match File::open(path) {
-            Ok(f) => Some(f),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-            Err(e) => return Err(e),
-        };
-        if let Some(mut f) = existing {
-            let mut raw = Vec::new();
-            f.read_to_end(&mut raw)?;
-            drop(f);
-            let mut decoder = FrameDecoder::new();
-            decoder.push(&raw);
-            let mut frames = Vec::new();
-            loop {
-                match decoder.next_frame() {
-                    Ok(Some(frame)) => frames.push(frame),
-                    Ok(None) => break, // leftover bytes: torn final record
-                    Err(e) => return Err(corrupt(format!("corrupt journal header: {e}"))),
+        // Replay through the shared framed-log reader (a missing journal is
+        // a fresh witness; any *other* open failure — permissions, I/O —
+        // fails loudly: skipping replay on a transient error would boot an
+        // empty-but-acking witness and thaw frozen instances).
+        let out = curp_storage::load_framed(path, "journal", |frame| {
+            JournalOp::from_bytes_shared(frame).map_err(|e| e.to_string())
+        })?;
+        for op in out.records {
+            match op {
+                JournalOp::Start(m) => {
+                    inner.start(m);
                 }
-            }
-            // Byte length of the fully-replayed prefix; grown per frame so
-            // a torn tail can be cut off below.
-            let mut clean_len = 0u64;
-            let last = frames.len();
-            for (i, frame) in frames.into_iter().enumerate() {
-                let frame_len = 4 + frame.len() as u64;
-                let op = match JournalOp::from_bytes_shared(frame) {
-                    Ok(op) => op,
-                    // Final complete-but-undecodable frame: same tear class.
-                    Err(_) if i + 1 == last => break,
-                    Err(e) => {
-                        return Err(corrupt(format!(
-                            "corrupt journal record {i} with {} complete frames after it: {e}",
-                            last - i - 1
-                        )))
-                    }
-                };
-                clean_len += frame_len;
-                match op {
-                    JournalOp::Start(m) => {
-                        inner.start(m);
-                    }
-                    JournalOp::Record(r) => {
-                        inner.record(r);
-                    }
-                    JournalOp::Gc { master, pairs } => {
-                        inner.gc(master, &pairs);
-                    }
-                    // Freezing is irreversible and must survive restarts: a
-                    // thawed witness could accept records that recovery will
-                    // never replay (§4.6).
-                    JournalOp::Freeze(m) => {
-                        inner.get_recovery_data(m);
-                    }
-                    JournalOp::End(m) => inner.end(m),
+                JournalOp::Record(r) => {
+                    inner.record(r);
                 }
+                JournalOp::Gc { master, pairs } => {
+                    inner.gc(master, &pairs);
+                }
+                // Freezing is irreversible and must survive restarts: a
+                // thawed witness could accept records that recovery will
+                // never replay (§4.6).
+                JournalOp::Freeze(m) => {
+                    inner.get_recovery_data(m);
+                }
+                JournalOp::End(m) => inner.end(m),
             }
-            // Cut any torn tail before reopening for append: a new record
-            // journaled after the leftover bytes would hide behind the
-            // tear's stale length prefix and poison the next replay.
-            if clean_len < raw.len() as u64 {
-                let t = OpenOptions::new().write(true).open(path)?;
-                t.set_len(clean_len)?;
-                t.sync_data()?;
-            }
+        }
+        // Cut any torn tail before reopening for append: a new record
+        // journaled after the leftover bytes would hide behind the tear's
+        // stale length prefix and poison the next replay.
+        if out.truncated {
+            let t = OpenOptions::new().write(true).open(path)?;
+            t.set_len(out.clean_len)?;
+            t.sync_data()?;
         }
         let created = !path.exists();
         let file = OpenOptions::new().create(true).append(true).open(path)?;

@@ -68,11 +68,13 @@ fn env_shrink() -> bool {
     }
 }
 
-/// Runs one (seed, episode-mask) pair, panics and all.
-fn run_masked(seed: u64, mask: Option<&[usize]>) -> std::thread::Result<ChaosReport> {
+/// Runs one (seed, episode-mask) pair, panics and all. `tiered` swaps
+/// every backup role onto the larger-than-memory engine.
+fn run_masked(seed: u64, mask: Option<&[usize]>, tiered: bool) -> std::thread::Result<ChaosReport> {
     catch_unwind(AssertUnwindSafe(|| {
         let mut cfg = ChaosConfig::new(seed);
         cfg.episodes = mask.map(|m| m.to_vec());
+        cfg.tiered = tiered;
         run_chaos(cfg)
     }))
 }
@@ -81,9 +83,9 @@ fn run_masked(seed: u64, mask: Option<&[usize]>) -> std::thread::Result<ChaosRep
 /// (a panicking candidate counts as failing) and return the 1-minimal
 /// mask. Each candidate re-draws the full schedule and runs only the
 /// masked subset, so the survivors keep their exact original parameters.
-fn shrink_failure(seed: u64) -> Vec<usize> {
+fn shrink_failure(seed: u64, tiered: bool) -> Vec<usize> {
     shrink(drawn_episode_count(seed), |mask| {
-        run_masked(seed, Some(mask)).map(|r| !r.is_ok()).unwrap_or(true)
+        run_masked(seed, Some(mask), tiered).map(|r| !r.is_ok()).unwrap_or(true)
     })
 }
 
@@ -107,8 +109,8 @@ fn dump_failure(seed: u64, report: Option<&ChaosReport>, why: &str) {
 /// violation, a harness error, an empty schedule, or a panic). With
 /// `CHAOS_SHRINK=1`, a failing unmasked seed is shrunk to a 1-minimal
 /// episode subset before reporting.
-fn check_seed(seed: u64, mask: Option<&[usize]>) -> Result<(), String> {
-    match run_masked(seed, mask) {
+fn check_seed(seed: u64, mask: Option<&[usize]>, tiered: bool) -> Result<(), String> {
+    match run_masked(seed, mask, tiered) {
         Ok(report) => {
             if report.schedule.is_empty() && mask.is_none() {
                 return Err(format!(
@@ -121,7 +123,7 @@ fn check_seed(seed: u64, mask: Option<&[usize]>) -> Result<(), String> {
             } else {
                 let mut why = report.render_failure();
                 if env_shrink() && mask.is_none() {
-                    let shrunk = shrink_failure(seed);
+                    let shrunk = shrink_failure(seed, tiered);
                     why.push_str(&format!(
                         "shrunk to episodes {shrunk:?} — repro: {}\n",
                         repro_line_episodes(seed, &shrunk)
@@ -134,7 +136,7 @@ fn check_seed(seed: u64, mask: Option<&[usize]>) -> Result<(), String> {
         Err(_) => {
             let mut why = format!("chaos seed {seed} panicked — repro: {}", repro_line(seed));
             if env_shrink() && mask.is_none() {
-                let shrunk = shrink_failure(seed);
+                let shrunk = shrink_failure(seed, tiered);
                 why.push_str(&format!(
                     "\nshrunk to episodes {shrunk:?} — repro: {}",
                     repro_line_episodes(seed, &shrunk)
@@ -146,10 +148,10 @@ fn check_seed(seed: u64, mask: Option<&[usize]>) -> Result<(), String> {
     }
 }
 
-fn run_batch(seeds: impl Iterator<Item = u64>) {
+fn run_batch(seeds: impl Iterator<Item = u64>, tiered: bool) {
     let mut failed = Vec::new();
     for seed in seeds {
-        if let Err(why) = check_seed(seed, None) {
+        if let Err(why) = check_seed(seed, None, tiered) {
             eprintln!("{why}");
             failed.push(seed);
         }
@@ -169,7 +171,7 @@ fn chaos_batch_is_linearizable_on_every_seed() {
     match env_u64("CHAOS_SEED", usage) {
         Some(seed) => {
             let mask = env_episodes();
-            if let Err(why) = check_seed(seed, mask.as_deref()) {
+            if let Err(why) = check_seed(seed, mask.as_deref(), false) {
                 panic!("{why}");
             }
         }
@@ -177,8 +179,28 @@ fn chaos_batch_is_linearizable_on_every_seed() {
             if env_episodes().is_some() {
                 panic!("CHAOS_EPISODES is set without CHAOS_SEED — usage: CHAOS_SEED=<n> CHAOS_EPISODES=0,2 cargo test -q --test chaos");
             }
-            run_batch((0u64..128).map(|i| 0xC0FFEE ^ (i * 7919)))
+            run_batch((0u64..128).map(|i| 0xC0FFEE ^ (i * 7919)), false)
         }
+    }
+}
+
+/// The same 128-seed batch with every backup replica on the tiered
+/// engine: identical schedules (the engine choice never enters the
+/// draws), but now every sync round lands in a memtable small enough
+/// that chaos-scale load spills to sorted runs mid-episode, and every
+/// power-loss reboot restores through checkpoints + runs instead of a
+/// pure in-memory replay. `CHAOS_SEED` narrows this batch too (repro
+/// with the plain batch first to tell engine bugs from schedule bugs).
+#[test]
+fn chaos_batch_is_linearizable_on_the_tiered_engine() {
+    match env_u64("CHAOS_SEED", "CHAOS_SEED=<n> cargo test -q --test chaos") {
+        Some(seed) => {
+            let mask = env_episodes();
+            if let Err(why) = check_seed(seed, mask.as_deref(), true) {
+                panic!("{why}");
+            }
+        }
+        None => run_batch((0u64..128).map(|i| 0xC0FFEE ^ (i * 7919)), true),
     }
 }
 
@@ -210,7 +232,7 @@ fn chaos_soak() {
     let mut failed = Vec::new();
     for i in 0..n {
         let seed = 0x50AC_0000_0000_0000u64 ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        if let Err(why) = check_seed(seed, None) {
+        if let Err(why) = check_seed(seed, None, false) {
             eprintln!("{why}");
             failed.push(seed);
         }

@@ -89,13 +89,18 @@ async fn one_op(
     history.lock().push(event);
 }
 
-fn run_case(seed: u64, partitions: usize) {
+fn run_case(seed: u64, partitions: usize, tiered: bool) {
     run_sim(async move {
         let dir = TempDir::new("curp-powerloss-e2e").unwrap();
         let mut params = RamcloudParams::new(3);
         params.seed = seed;
         params.batch_size = 5; // frequent syncs: both AOFs and journals carry state
         params.sync_interval_ns = 30_000;
+        if tiered {
+            let tier_root = dir.path().join("tier");
+            std::fs::create_dir_all(&tier_root).unwrap();
+            params.tiered = Some(tier_root);
+        }
         let mut cluster =
             SimCluster::build_durable(Mode::Curp, params, partitions, dir.path()).await;
         let pipe = cluster.pipelined_client(0, PipelineConfig::default()).await;
@@ -185,14 +190,26 @@ fn run_case(seed: u64, partitions: usize) {
 #[test]
 fn power_loss_under_open_loop_load_loses_no_acknowledged_write() {
     for seed in 0..4 {
-        run_case(seed * 11 + 2, 1);
+        run_case(seed * 11 + 2, 1, false);
     }
 }
 
 #[test]
 fn power_loss_with_two_partitions_recovers_every_partition() {
     for seed in 0..2 {
-        run_case(seed * 17 + 5, 2);
+        run_case(seed * 17 + 5, 2, false);
+    }
+}
+
+/// The same outage with every backup replica on the larger-than-memory
+/// tiered engine (1 KiB memtable, so the pre-outage load spills to sorted
+/// runs): the cold restart reconstructs each replica from base snapshot +
+/// per-shard checkpoints + AOF suffix instead of a pure in-memory replay,
+/// and still may not lose an acknowledged write.
+#[test]
+fn power_loss_on_the_tiered_engine_loses_no_acknowledged_write() {
+    for seed in 0..4 {
+        run_case(seed * 11 + 2, 1, true);
     }
 }
 
@@ -241,5 +258,75 @@ fn witness_only_and_aof_only_tails_both_survive() {
         // Exactly-once survived two outages: a fresh increment lands on 9.
         let r = client.update(Op::Incr { key: Bytes::from("c0"), delta: 1 }).await.unwrap();
         assert_eq!(r, OpResult::Counter(9));
+    });
+}
+
+/// The larger-than-memory acceptance run: a workload writing ~24x the sim
+/// tier's 1 KiB memtable budget (256 puts of 96-byte values over 24 keys,
+/// so most writes are overwrites) completes on a tiered durable cluster,
+/// and after compaction every backup's AOF is bounded by its *live* state
+/// — at most 2x the replica's state bytes, not the full write history.
+/// A power loss after compaction then restores purely from base snapshot
+/// + checkpoints + the bounded AOF suffix.
+#[test]
+fn tiered_backup_bounds_its_aof_by_live_state_under_overwrites() {
+    run_sim(async {
+        let dir = TempDir::new("curp-tiered-e2e").unwrap();
+        let mut params = RamcloudParams::new(3);
+        params.batch_size = 5;
+        params.sync_interval_ns = 30_000;
+        let tier_root = dir.path().join("tier");
+        std::fs::create_dir_all(&tier_root).unwrap();
+        params.tiered = Some(tier_root);
+        let mut cluster = SimCluster::build_durable(Mode::Curp, params, 1, dir.path()).await;
+        let client = cluster.client(0).await;
+
+        let mut last = std::collections::HashMap::new();
+        for i in 0..256u32 {
+            let key = format!("k{:02}", i % 24);
+            let value = Bytes::from(vec![b'a' + (i % 26) as u8; 96]);
+            last.insert(key.clone(), value.clone());
+            client.update(Op::Put { key: Bytes::from(key), value }).await.unwrap();
+        }
+        // A read blocks on a full sync: every acknowledged write above is
+        // now on the backups' AOFs.
+        client.read(Op::Get { key: Bytes::from("k00") }).await.unwrap();
+
+        let master = cluster.master_id;
+        let mut backups = 0;
+        for s in &cluster.servers {
+            let Some(before) = s.backup().footprint(master) else { continue };
+            backups += 1;
+            s.backup().compact(master).expect("compaction failed");
+            let after = s.backup().footprint(master).expect("footprint after compaction");
+            assert!(
+                after.aof_bytes < before.aof_bytes,
+                "compaction must shrink a history-heavy AOF \
+                 ({} -> {} bytes on s{})",
+                before.aof_bytes,
+                after.aof_bytes,
+                s.id().0
+            );
+            assert!(
+                after.aof_bytes <= 2 * after.state_bytes,
+                "post-compaction AOF ({} bytes) exceeds 2x live state ({} bytes) on s{}",
+                after.aof_bytes,
+                after.state_bytes,
+                s.id().0
+            );
+        }
+        assert_eq!(backups, 3, "all f=3 backups must hold a replica of the master");
+
+        // Power loss after compaction: restore runs from base snapshot +
+        // per-shard checkpoints + the bounded AOF suffix alone.
+        cluster.power_loss_restart().await.expect("cold restart failed");
+        for (key, want) in &last {
+            let r = client.read(Op::Get { key: Bytes::from(key.clone()) }).await.unwrap();
+            assert_eq!(
+                r,
+                OpResult::Value(Some(want.clone())),
+                "key {key} diverged after the post-compaction restart"
+            );
+        }
     });
 }
