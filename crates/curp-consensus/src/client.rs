@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use curp_proto::lockrank;
 use curp_proto::message::RecordedRequest;
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{ClientId, MasterId, ServerId};
@@ -62,8 +63,16 @@ impl ConsensusClient {
         ConsensusClient {
             rpc,
             replicas,
-            rifl: Mutex::new(RiflSequencer::new(client_id)),
-            leader_cache: Mutex::new(None),
+            rifl: Mutex::ranked(
+                lockrank::CONSENSUS_CLIENT_RIFL,
+                "consensus.client.rifl",
+                RiflSequencer::new(client_id),
+            ),
+            leader_cache: Mutex::ranked(
+                lockrank::CONSENSUS_LEADER_CACHE,
+                "consensus.client.leader_cache",
+                None,
+            ),
             max_retries: 60,
             retry_backoff: Duration::from_millis(20),
             stats: ConsensusClientStats::default(),

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use curp_proto::lockrank;
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{RpcId, ServerId};
@@ -126,25 +127,29 @@ impl Replica {
             peers,
             cfg: cfg.clone(),
             rpc,
-            st: Mutex::new(St {
-                term: 0,
-                voted_for: None,
-                role: Role::Follower,
-                leader_hint: None,
-                log: Vec::new(),
-                commit: 0,
-                applied: 0,
-                store: Store::new(),
-                exec_heads: Vec::new(),
-                rifl: RiflTable::new(),
-                witness: WitnessCache::new(cfg.witness),
-                next_index: HashMap::new(),
-                match_index: HashMap::new(),
-                votes: 0,
-                election_deadline: tokio::time::Instant::now() + timeout,
-                rng,
-                recovered: true,
-            }),
+            st: Mutex::ranked(
+                lockrank::CONSENSUS_REPLICA,
+                "consensus.replica.st",
+                St {
+                    term: 0,
+                    voted_for: None,
+                    role: Role::Follower,
+                    leader_hint: None,
+                    log: Vec::new(),
+                    commit: 0,
+                    applied: 0,
+                    store: Store::new(),
+                    exec_heads: Vec::new(),
+                    rifl: RiflTable::new(),
+                    witness: WitnessCache::new(cfg.witness),
+                    next_index: HashMap::new(),
+                    match_index: HashMap::new(),
+                    votes: 0,
+                    election_deadline: tokio::time::Instant::now() + timeout,
+                    rng,
+                    recovered: true,
+                },
+            ),
             commit_tx: watch::channel(0).0,
         });
         let ticker = Arc::clone(&replica);

@@ -53,6 +53,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 use bytes::{Buf, Bytes};
+use curp_proto::lockrank;
 use curp_proto::message::{LogEntry, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{Epoch, KeyHash, MasterId};
@@ -259,6 +260,7 @@ fn replay_plan(op: &Op, covered: impl Fn(&Bytes) -> bool) -> Replay {
 }
 
 /// Outcome of one [`BackupService::sync`] round.
+#[must_use = "a sync round's outcome decides whether witnesses may be reset"]
 #[derive(Debug, PartialEq, Eq)]
 pub enum SyncOutcome {
     /// Entries staged/applied; everything at `seq < next_seq` is durable
@@ -308,7 +310,11 @@ pub struct BackupService {
 impl Default for BackupService {
     fn default() -> Self {
         BackupService {
-            replicas: Mutex::new(HashMap::new()),
+            replicas: Mutex::ranked(
+                lockrank::BACKUP_REPLICAS,
+                "core.backup.replicas",
+                HashMap::new(),
+            ),
             dir: None,
             store_cfg: StoreConfig::memory(1),
         }
@@ -343,7 +349,15 @@ impl BackupService {
     ) -> std::io::Result<BackupService> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let svc = BackupService { replicas: Mutex::new(HashMap::new()), dir: Some(dir), store_cfg };
+        let svc = BackupService {
+            replicas: Mutex::ranked(
+                lockrank::BACKUP_REPLICAS,
+                "core.backup.replicas",
+                HashMap::new(),
+            ),
+            dir: Some(dir),
+            store_cfg,
+        };
         svc.restore_all_from_disk()?;
         Ok(svc)
     }
@@ -788,7 +802,9 @@ impl BackupService {
 
         let store = self.store_cfg.build_import(objects, dead_versions);
         let mut rifl = RiflTable::import(rifl_export);
+        // lint: audited-unwrap — num_shards is asserted positive at construction
         let min_cov = *coverage.iter().min().expect("at least one shard");
+        // lint: audited-unwrap — same non-empty shard vector as above
         let max_cov = *coverage.iter().max().expect("at least one shard");
         // A crash mid-rewrite may strand the tmp file the rename never
         // consumed; the rename is the commit point, so the tmp is dead

@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use curp_proto::cluster::{ClusterConfig, PartitionConfig};
 use curp_proto::footprint::Footprint;
+use curp_proto::lockrank;
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{MasterId, RpcId, ServerId};
@@ -157,7 +158,11 @@ impl CurpClient {
             rpc,
             coordinator,
             cfg,
-            state: Mutex::new(ClientState { config, rifl: RiflSequencer::new(lease) }),
+            state: Mutex::ranked(
+                lockrank::CLIENT_STATE,
+                "core.client.state",
+                ClientState { config, rifl: RiflSequencer::new(lease) },
+            ),
             stats: ClientStats::default(),
         })
     }
@@ -519,7 +524,7 @@ impl PipelinedClient {
         Arc::new_cyclic(|self_weak| PipelinedClient {
             inner,
             cfg,
-            pipes: Mutex::new(HashMap::new()),
+            pipes: Mutex::ranked(lockrank::CLIENT_PIPES, "core.client.pipes", HashMap::new()),
             self_weak: self_weak.clone(),
         })
     }

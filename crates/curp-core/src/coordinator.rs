@@ -35,6 +35,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use curp_proto::cluster::{ClusterConfig, HashRange, LoadStats, PartitionConfig};
+use curp_proto::lockrank;
 use curp_proto::message::{Request, Response};
 use curp_proto::types::{ClientId, Epoch, MasterId, ServerId, WitnessListVersion};
 use curp_rifl::LeaseManager;
@@ -358,13 +359,25 @@ impl Coordinator {
         Arc::new(Coordinator {
             client_for,
             master_cfg,
-            st: Mutex::new(CoordState {
-                config: ClusterConfig { partitions: Vec::new(), version: 1 },
-                leases: LeaseManager::new(lease_ttl_ms),
-                next_master: 1,
-            }),
-            servers: Mutex::new(HashMap::new()),
-            plans: Mutex::new(PlanJournal { log, open: Vec::new(), next_mem_id: 0 }),
+            st: Mutex::ranked(
+                lockrank::COORD_STATE,
+                "core.coordinator.st",
+                CoordState {
+                    config: ClusterConfig { partitions: Vec::new(), version: 1 },
+                    leases: LeaseManager::new(lease_ttl_ms),
+                    next_master: 1,
+                },
+            ),
+            servers: Mutex::ranked(
+                lockrank::COORD_SERVERS,
+                "core.coordinator.servers",
+                HashMap::new(),
+            ),
+            plans: Mutex::ranked(
+                lockrank::COORD_PLANS,
+                "core.coordinator.plans",
+                PlanJournal { log, open: Vec::new(), next_mem_id: 0 },
+            ),
             epoch0: tokio::time::Instant::now(),
         })
     }
@@ -1314,7 +1327,11 @@ impl Autoscaler {
     /// error is retained on the handle and the loop ticks again.
     pub fn run(mut self) -> AutoscalerHandle {
         let stop = Arc::new(AtomicBool::new(false));
-        let errors = Arc::new(Mutex::new(Vec::new()));
+        let errors = Arc::new(Mutex::ranked(
+            lockrank::AUTOSCALER_ERRORS,
+            "core.autoscaler.errors",
+            Vec::new(),
+        ));
         let task = {
             let stop = Arc::clone(&stop);
             let errors = Arc::clone(&errors);

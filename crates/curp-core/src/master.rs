@@ -45,6 +45,7 @@ use std::time::Duration;
 
 use curp_proto::cluster::{HashRange, LoadStats};
 use curp_proto::footprint::{Footprint, ShardSet};
+use curp_proto::lockrank;
 use curp_proto::message::{LogEntry, RecordedRequest, Request, Response};
 use curp_proto::op::{Op, OpResult};
 use curp_proto::types::{Epoch, KeyHash, MasterId, RpcId, ServerId, WitnessListVersion};
@@ -256,18 +257,26 @@ impl Master {
             cfg,
             rpc,
             store,
-            rifl: Mutex::new(rifl),
-            ctrl: Mutex::new(Ctrl {
-                epoch: seed.epoch,
-                backups: seed.backups,
-                witnesses: seed.witnesses,
-                wl_version: seed.wl_version,
-                range: seed.range,
-                sealed: false,
-                draining: false,
-                migration_stash: None,
-            }),
-            pending_gc: Mutex::new(Vec::new()),
+            rifl: Mutex::ranked(lockrank::MASTER_RIFL, "core.master.rifl", rifl),
+            ctrl: Mutex::ranked(
+                lockrank::MASTER_CTRL,
+                "core.master.ctrl",
+                Ctrl {
+                    epoch: seed.epoch,
+                    backups: seed.backups,
+                    witnesses: seed.witnesses,
+                    wl_version: seed.wl_version,
+                    range: seed.range,
+                    sealed: false,
+                    draining: false,
+                    migration_stash: None,
+                },
+            ),
+            pending_gc: Mutex::ranked(
+                lockrank::MASTER_PENDING_GC,
+                "core.master.pending_gc",
+                Vec::new(),
+            ),
             next_seq: AtomicU64::new(next_seq),
             pending_count: AtomicUsize::new(0),
             sync_lock: tokio::sync::Mutex::new(()),
@@ -641,6 +650,7 @@ impl Master {
     /// footprint), passed in by the caller so this path never re-hashes the
     /// op's keys.
     async fn replicate_one(self: &Arc<Self>, entry: LogEntry, home_shard: usize) -> bool {
+        // lint: audited-unwrap — the semaphore lives in self and is never closed
         let permit = Arc::clone(&self.repl_slots).acquire_owned().await.expect("semaphore closed");
         let (epoch, backups) = {
             let ctrl = self.ctrl.lock();

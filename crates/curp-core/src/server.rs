@@ -17,6 +17,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use curp_proto::lockrank;
 use curp_proto::message::{Request, Response};
 use curp_proto::types::ServerId;
 use curp_storage::StoreConfig;
@@ -76,7 +77,7 @@ impl CurpServer {
     ) -> Arc<CurpServer> {
         Arc::new(CurpServer {
             id,
-            master: Mutex::new(None),
+            master: Mutex::ranked(lockrank::SERVER_MASTER, "core.server.master", None),
             backup: BackupService::with_store(backup_store),
             witness: WitnessRole::Plain(WitnessService::new(witness_config)),
         })
@@ -108,7 +109,7 @@ impl CurpServer {
         std::fs::create_dir_all(data_dir)?;
         Ok(Arc::new(CurpServer {
             id,
-            master: Mutex::new(None),
+            master: Mutex::ranked(lockrank::SERVER_MASTER, "core.server.master", None),
             backup: BackupService::durable_with(data_dir.join("backup"), backup_store)?,
             witness: WitnessRole::Journaled(JournaledWitness::open(
                 witness_config,

@@ -1,0 +1,25 @@
+//! Seeded violation fixture for rule `std-sync`. Not compiled; lexed by
+//! curp-lint's self-tests.
+
+use std::sync::{Arc, Mutex}; // line 4: flagged (Mutex in grouped import)
+
+fn direct() {
+    let _l = std::sync::RwLock::new(0); // line 7: flagged (direct path)
+}
+
+fn fine() {
+    let _a: Arc<u32> = Arc::new(0); // Arc alone is fine
+    let _s = "std::sync::Mutex"; // string contents never flag
+}
+
+fn audited() {
+    // lint: std-sync-ok
+    let _m = std::sync::Mutex::new(0); // line 17: suppressed by marker
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests() {
+        let _m = std::sync::Mutex::new(0); // test code: never flagged
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded violation fixture for rule `std-time`.
+
+use std::time::{Duration, Instant}; // line 3: flagged (Instant only)
+
+fn direct() {
+    let _t = std::time::SystemTime::now(); // line 6: flagged
+}
+
+fn fine() {
+    let _d = Duration::from_millis(1); // Duration alone is fine
+    let _v = tokio::time::Instant::now(); // virtual clock is the point
+}
+
+fn audited() {
+    let _w = std::time::Instant::now(); // lint: real-time-ok — wallclock meter
+}

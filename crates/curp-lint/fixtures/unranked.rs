@@ -1,0 +1,23 @@
+//! Seeded violation fixture for rule `unranked-mutex`. The crate counts as
+//! "ranking its locks" because of the `ranked` call below.
+
+fn ranked_lock() {
+    let _m = Mutex::ranked(0x100, "fixture.ranked", 0);
+}
+
+fn unranked_lock() {
+    let _m = Mutex::new(0); // line 9: flagged
+}
+
+fn unranked_rwlock() {
+    let _l = RwLock::new(0); // line 13: flagged
+}
+
+fn async_lock_is_fine() {
+    let _m = tokio::sync::Mutex::new(0); // async lock: out of scope
+}
+
+fn audited() {
+    // lint: unranked-ok
+    let _m = Mutex::new(0); // line 22: suppressed by marker
+}

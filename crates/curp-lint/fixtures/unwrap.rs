@@ -1,0 +1,32 @@
+//! Seeded violation fixture for rule `unwrap-expect`. Only takes effect
+//! when the path looks like a fast-path crate (the self-test passes a
+//! `curp-core/src/...` path).
+
+fn naked_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 6: flagged
+}
+
+fn naked_expect(x: Option<u32>) -> u32 {
+    x.expect("boom") // line 10: flagged
+}
+
+fn audited(x: Option<u32>) -> u32 {
+    // lint: audited-unwrap — x is Some by construction here
+    x.unwrap()
+}
+
+fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) // different method; not flagged
+}
+
+#[test]
+fn in_test_fn() {
+    let _ = Some(1).unwrap(); // test code: never flagged
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper(x: Option<u32>) -> u32 {
+        x.expect("tests may expect freely")
+    }
+}

@@ -1,0 +1,360 @@
+//! A minimal hand-rolled Rust lexer: just enough to walk real source as a
+//! token stream without being fooled by the classic text-scanner traps —
+//! string literals (including raw/byte forms), nested block comments,
+//! lifetimes vs char literals, doc comments, and macro bodies (which are
+//! ordinary token trees and need no special casing).
+//!
+//! Deliberately dependency-free (no `syn`): the workspace builds offline
+//! and the lint must never be a bootstrapping problem for the crates it
+//! checks. Literal *contents* are dropped on the floor — rules match on
+//! identifier/punctuation sequences, so a rule pattern appearing inside a
+//! string (e.g. in this very crate) can never self-flag.
+
+use std::collections::HashMap;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `Punct(':')`).
+    Punct(char),
+    /// Any string-ish literal (str, raw str, byte str, char). Contents
+    /// intentionally discarded.
+    Literal,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A numeric literal.
+    Number,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus `// lint: <marker>` comments by line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// Line number of the comment → marker names found on it. A marker
+    /// suppresses findings on its own line and the line below, so both
+    /// trailing comments and line-above comments work.
+    pub markers: HashMap<u32, Vec<String>>,
+}
+
+impl Lexed {
+    /// True if `marker` appears on `line` or the line directly above it.
+    pub fn marked(&self, line: u32, marker: &str) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.markers.get(l).is_some_and(|ms| ms.iter().any(|m| m == marker)))
+    }
+}
+
+/// Lexes `src` into tokens and lint markers.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances past `n` bytes, counting newlines.
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (incl. doc comments). Harvest `lint:` markers.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            harvest_markers(&src[start..i], line, &mut out.markers);
+            continue; // the \n is consumed by the whitespace arm below
+        }
+        // Block comment, possibly nested. Markers attach to the start line.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            advance!(2);
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    advance!(2);
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            harvest_markers(&src[start..i], start_line, &mut out.markers);
+            continue;
+        }
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Identifier, keyword, or a prefixed string literal (r"", b"", br#""#, …).
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let next = b.get(i).copied();
+            let is_str_prefix = matches!(word, "r" | "b" | "br" | "rb" | "c" | "cr")
+                && matches!(next, Some(b'"') | Some(b'#'));
+            if is_str_prefix && word.contains('r') {
+                // Raw form: r#*" … "#*  (also br/cr). A lone `r#ident` is a
+                // raw identifier, not a string — only commit once we see
+                // the opening quote after the hashes.
+                let mut j = i;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    let tok_line = line;
+                    advance!(j + 1 - i); // consume hashes + opening quote
+                                         // Scan for `"` followed by `hashes` hashes.
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut k = i + 1;
+                            let mut seen = 0usize;
+                            while k < b.len() && b[k] == b'#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                advance!(k - i);
+                                break 'raw;
+                            }
+                        }
+                        advance!(1);
+                    }
+                    out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                    continue;
+                }
+                // Raw identifier `r#foo`: fall through, emit `r` as ident
+                // (good enough — rules never match on raw identifiers).
+            } else if is_str_prefix && next == Some(b'"') {
+                // Plain-escaped byte/c string: b"…" / c"…".
+                let tok_line = line;
+                advance!(1); // opening quote
+                scan_escaped_string(b, &mut i, &mut line);
+                out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                continue;
+            }
+            out.tokens.push(Token { tok: Tok::Ident(word.to_string()), line });
+            continue;
+        }
+        // Ordinary string literal.
+        if c == b'"' {
+            let tok_line = line;
+            advance!(1);
+            scan_escaped_string(b, &mut i, &mut line);
+            out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+            continue;
+        }
+        // `'`: lifetime or char literal.
+        if c == b'\'' {
+            let tok_line = line;
+            // Escaped char: definitely a literal.
+            if b.get(i + 1) == Some(&b'\\') {
+                advance!(2); // ' and backslash
+                advance!(1); // escaped char (enough: closing quote found below)
+                while i < b.len() && b[i] != b'\'' {
+                    advance!(1);
+                }
+                advance!(1); // closing quote
+                out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+                continue;
+            }
+            // `'x` where x is ident-ish: char literal iff a `'` follows the
+            // ident run (`'a'`), otherwise a lifetime (`'a`, `'static`).
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            if j > i + 1 && b.get(j) != Some(&b'\'') {
+                advance!(j - i);
+                out.tokens.push(Token { tok: Tok::Lifetime, line: tok_line });
+                continue;
+            }
+            // Char literal: `'a'` or punctuation like `'('`.
+            advance!(1); // opening quote
+            while i < b.len() && b[i] != b'\'' {
+                advance!(1);
+            }
+            advance!(1); // closing quote
+            out.tokens.push(Token { tok: Tok::Literal, line: tok_line });
+            continue;
+        }
+        // Number (suffixes and hex digits folded in; `.` excluded so method
+        // calls on numeric results still lex as Punct('.')).
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.tokens.push(Token { tok: Tok::Number, line: tok_line });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.tokens.push(Token { tok: Tok::Punct(c as char), line });
+        advance!(1);
+    }
+    out
+}
+
+/// Consumes an escaped string body up to and including the closing quote.
+/// `i` must point just past the opening quote.
+fn scan_escaped_string(b: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => {
+                *i += 2; // skip the escape pair (\" \\ \n …)
+            }
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Pulls `lint: <name>` markers out of a comment's text.
+fn harvest_markers(comment: &str, line: u32, markers: &mut HashMap<u32, Vec<String>>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:") {
+        rest = &rest[pos + "lint:".len()..];
+        let name: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            markers.entry(line).or_default().push(name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        // The rule pattern inside the raw string must not surface as idents.
+        let src = r##"let x = r#"std::sync::Mutex::new"#; let y = other;"##;
+        assert_eq!(idents(src), ["let", "x", "let", "y", "other"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let src = "let s = r##\"inner \"# quote\"##; after();";
+        assert_eq!(idents(src), ["let", "s", "after"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = "let a = b\"std::sync\"; let c = br#\"Mutex::new\"#; done();";
+        assert_eq!(idents(src), ["let", "a", "let", "c", "done"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "before(); /* outer /* inner Mutex::new */ still comment */ after();";
+        assert_eq!(idents(src), ["before", "after"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; let p = '('; x }";
+        let lexed = lex(src);
+        let lifetimes = lexed.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let literals = lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count();
+        assert_eq!(lifetimes, 3, "'a, 'a, 'static");
+        assert_eq!(literals, 2, "'x' and '('");
+    }
+
+    #[test]
+    fn escaped_char_and_string_quotes() {
+        let src = r#"let q = '\''; let s = "a \" b"; end();"#;
+        assert_eq!(idents(src), ["let", "q", "let", "s", "end"]);
+    }
+
+    #[test]
+    fn macro_bodies_are_plain_token_streams() {
+        // Tokens inside macro_rules! bodies and macro invocations are
+        // visible to rules exactly like ordinary code.
+        let src = "macro_rules! m { () => { std::sync::Mutex::new(()) }; } m!();";
+        let ids = idents(src);
+        assert!(ids.contains(&"std".to_string()));
+        assert!(ids.contains(&"Mutex".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline string\"\nb /* c\nc */ d\n'\\n'\ne";
+        let lexed = lex(src);
+        let find = |name: &str| {
+            lexed.tokens.iter().find(|t| t.tok == Tok::Ident(name.to_string())).map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("d"), Some(5));
+        assert_eq!(find("e"), Some(7));
+    }
+
+    #[test]
+    fn markers_are_harvested_with_lines() {
+        let src = "x(); // lint: audited-unwrap reason here\ny(); /* lint: ack-after-fsync */";
+        let lexed = lex(src);
+        assert!(lexed.marked(1, "audited-unwrap"));
+        assert!(lexed.marked(2, "audited-unwrap"), "marker covers the next line");
+        assert!(lexed.marked(2, "ack-after-fsync"));
+        assert!(!lexed.marked(1, "ack-after-fsync"));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_eat_source() {
+        let src = "let r#type = 1; follow();";
+        let ids = idents(src);
+        assert!(ids.contains(&"follow".to_string()));
+    }
+}

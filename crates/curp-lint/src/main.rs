@@ -1,0 +1,42 @@
+//! CLI entry point: `cargo run -p curp-lint [-- --root <path>]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("curp-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        manifest.canonicalize().unwrap_or(manifest)
+    });
+
+    let allow = curp_lint::load_allowlist(&root);
+    match curp_lint::lint_workspace(&root, &allow) {
+        Ok(findings) if findings.is_empty() => {
+            println!("curp-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("curp-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("curp-lint: io error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -22,6 +22,7 @@
 pub mod cluster;
 pub mod footprint;
 pub mod frame;
+pub mod lockrank;
 pub mod message;
 pub mod op;
 pub mod types;

@@ -38,7 +38,9 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::task::{Context, Poll};
 
 use bytes::Bytes;
@@ -89,6 +91,7 @@ impl ChaosConfig {
 }
 
 /// What one chaos run did and found.
+#[must_use = "a chaos run's invariant violations must be checked, not dropped"]
 #[derive(Debug)]
 pub struct ChaosReport {
     /// The seed this run derived from.
@@ -301,7 +304,11 @@ async fn chaos_run(cfg: ChaosConfig) -> ChaosReport {
     };
 
     let pipe = cluster.pipelined_client(0, PipelineConfig::default()).await;
-    let history: Arc<Mutex<Vec<HistoryEvent>>> = Arc::new(Mutex::new(Vec::new()));
+    let history: Arc<Mutex<Vec<HistoryEvent>>> = Arc::new(Mutex::ranked(
+        curp_proto::lockrank::FLEET_HISTORY,
+        "sim.fleet.history",
+        Vec::new(),
+    ));
     let epoch = tokio::time::Instant::now();
     let mut log = ScheduleLog::start();
     let mut errors = Vec::new();
@@ -445,12 +452,7 @@ async fn chaos_run(cfg: ChaosConfig) -> ChaosReport {
         match client.update(Op::Incr { key: key.clone(), delta: 1 }).await {
             Ok(OpResult::Counter(v)) => {
                 let ret = epoch.elapsed().as_millis() as u64;
-                history.lock().unwrap().push(HistoryEvent {
-                    key,
-                    op: HistOp::Incr(1, v),
-                    invoke,
-                    ret,
-                });
+                history.lock().push(HistoryEvent { key, op: HistOp::Incr(1, v), invoke, ret });
             }
             Ok(other) => errors.push(format!("anchor incr on {key:?} returned {other:?}")),
             Err(e) => errors.push(format!("anchor incr on {key:?} failed after heal: {e}")),
@@ -462,14 +464,14 @@ async fn chaos_run(cfg: ChaosConfig) -> ChaosReport {
         match client.read(Op::Get { key: key.clone() }).await {
             Ok(OpResult::Value(v)) => {
                 let ret = epoch.elapsed().as_millis() as u64;
-                history.lock().unwrap().push(HistoryEvent { key, op: HistOp::Get(v), invoke, ret });
+                history.lock().push(HistoryEvent { key, op: HistOp::Get(v), invoke, ret });
             }
             Ok(other) => errors.push(format!("anchor read on {key:?} returned {other:?}")),
             Err(e) => errors.push(format!("anchor read on {key:?} failed after heal: {e}")),
         }
     }
 
-    let history = std::mem::take(&mut *history.lock().unwrap());
+    let history = std::mem::take(&mut *history.lock());
     let completed_ops = history.iter().filter(|e| !e.is_pending()).count();
     let pending_ops = history.len() - completed_ops;
     let violations: Vec<String> =
@@ -585,7 +587,7 @@ async fn one_op(
         // Unknown outcome: the op may or may not have taken effect.
         Err(_) => HistoryEvent { key, op: op_for_history, invoke, ret: u64::MAX },
     };
-    history.lock().unwrap().push(event);
+    history.lock().push(event);
 }
 
 #[cfg(test)]

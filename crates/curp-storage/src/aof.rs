@@ -46,6 +46,7 @@ pub enum FsyncPolicy {
 /// * mid-log corruption — [`Aof::load`] returns an error instead (a corrupt
 ///   record with complete frames *after* it cannot be explained by a torn
 ///   write, and truncating there would drop durable entries).
+#[must_use = "recovery must inspect how much of the log survived"]
 #[derive(Debug, Default)]
 pub struct LoadOutcome {
     /// Every complete, decodable entry, in file order.

@@ -242,6 +242,8 @@ impl StoreConfig {
             None => Box::new(mem),
             Some(tier) => Box::new(
                 TieredStore::over(mem, tier.clone())
+                    // deliberate fail-fast: a master must not start over an
+                    // unusable tier root. lint: audited-unwrap
                     .expect("tier root unusable; tiered StoreConfig cannot build"),
             ),
         }

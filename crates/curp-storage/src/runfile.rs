@@ -296,7 +296,9 @@ impl RunFile {
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)?;
         let trailer = &raw[raw.len() - 16..];
+        // lint: audited-unwrap — trailer is a 16-byte slice by construction
         let index_offset = u64::from_le_bytes(trailer[..8].try_into().unwrap());
+        // lint: audited-unwrap — remaining 8 bytes of the same 16-byte slice
         let magic = u64::from_le_bytes(trailer[8..].try_into().unwrap());
         if magic != RUN_MAGIC {
             return Err(corrupt(format!("bad run magic {magic:#x}")));

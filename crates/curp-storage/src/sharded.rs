@@ -77,9 +77,19 @@ impl<Ext: Default> ShardedStore<Ext> {
     /// Panics if `num_shards` is zero.
     pub fn new(num_shards: usize) -> Self {
         assert!(num_shards > 0, "num_shards must be positive");
+        assert!(
+            num_shards <= curp_proto::lockrank::MAX_SHARDS,
+            "num_shards exceeds the lock-rank shard band"
+        );
         ShardedStore {
             shards: (0..num_shards)
-                .map(|_| Mutex::new(Shard { space: KeySpace::default(), ext: Ext::default() }))
+                .map(|i| {
+                    Mutex::ranked(
+                        curp_proto::lockrank::STORE_SHARD + i as u32,
+                        "store.shard",
+                        Shard { space: KeySpace::default(), ext: Ext::default() },
+                    )
+                })
                 .collect(),
             log_head: AtomicU64::new(0),
             synced_pos: AtomicU64::new(0),
@@ -223,6 +233,7 @@ impl<Ext> ShardedStore<Ext> {
             }
             _ => {
                 // Single-key op: exactly one shard.
+                // lint: audited-unwrap — guarded by the multi_key match arm above
                 let key = op.keys().next().expect("single-key op has a key");
                 let s = self.shard_of(key);
                 ShardGuards { store: self, repr: GuardsRepr::One(s, self.shards[s].lock()) }
@@ -307,6 +318,7 @@ enum GuardsRepr<'a, Ext> {
 /// check ([`touches_unsynced`](Self::touches_unsynced)) and the execution
 /// that depends on it stay atomic, exactly as they were under the old
 /// global lock — but only for the keys this operation touches.
+#[must_use = "shard guards that are immediately dropped release the shards"]
 pub struct ShardGuards<'a, Ext> {
     store: &'a ShardedStore<Ext>,
     repr: GuardsRepr<'a, Ext>,
@@ -672,7 +684,7 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn descending_lock_order_is_rejected() {
         let store: ShardedStore = ShardedStore::new(4);
-        store.lock(&[2, 1]);
+        let _ = store.lock(&[2, 1]);
     }
 
     #[test]

@@ -240,12 +240,14 @@ impl KeySpace {
         let keys: Vec<Bytes> =
             self.objects.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
         for k in keys {
+            // lint: audited-unwrap — key came from self.objects.keys() above
             let o = self.objects.remove(&k).expect("key just listed");
             objects.push((k, o));
         }
         let dead_keys: Vec<Bytes> =
             self.dead_versions.keys().filter(|k| belongs(KeyHash::of(k))).cloned().collect();
         for k in dead_keys {
+            // lint: audited-unwrap — key came from self.dead_versions.keys() above
             let v = self.dead_versions.remove(&k).expect("key just listed");
             dead.push((k, v));
         }

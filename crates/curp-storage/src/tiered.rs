@@ -85,7 +85,11 @@ impl<Ext> TieredStore<Ext> {
         std::fs::create_dir_all(&dir)?;
         Ok(TieredStore {
             mem,
-            tier: Mutex::new(TierState { runs: Vec::new(), next_run: 0 }),
+            tier: Mutex::ranked_leaf(
+                curp_proto::lockrank::TIER_RUNS,
+                "storage.tier.runs",
+                TierState { runs: Vec::new(), next_run: 0 },
+            ),
             cfg,
             dir,
         })
@@ -229,7 +233,8 @@ impl<Ext> TieredStore<Ext> {
                 match it.peek() {
                     None => {}
                     Some(Err(_)) => {
-                        return Err(it.next().expect("just peeked").expect_err("just peeked Err"))
+                        // lint: audited-unwrap — peek returned Some(Err(_)) above
+                        return Err(it.next().expect("just peeked").expect_err("just peeked Err"));
                     }
                     Some(Ok((k, _))) if min_key.as_ref().is_none_or(|m| k < m) => {
                         min_key = Some(k.clone());
@@ -242,10 +247,12 @@ impl<Ext> TieredStore<Ext> {
             let mut newest = None;
             for it in iters.iter_mut() {
                 if matches!(it.peek(), Some(Ok((k, _))) if *k == key) {
+                    // lint: audited-unwrap — matches! above peeked Some(Ok(..))
                     let (_, rec) = it.next().expect("just peeked")?;
                     newest = Some(rec);
                 }
             }
+            // lint: audited-unwrap — min_key was produced by one of these iterators
             writer.add(key, &newest.expect("min key came from some run"))?;
         }
         let merged = writer.finish()?;

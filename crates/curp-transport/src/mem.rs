@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use curp_proto::lockrank;
 use curp_proto::message::{Request, Response};
 use curp_proto::types::ServerId;
 use curp_proto::wire::Encode;
@@ -158,15 +159,47 @@ impl MemNetwork {
     pub fn new(seed: u64) -> Self {
         MemNetwork {
             inner: Arc::new(Inner {
-                servers: Mutex::new(HashMap::new()),
-                default_latency: Mutex::new(Arc::new(Fixed(Duration::from_micros(1)))),
-                link_latency: Mutex::new(HashMap::new()),
-                partitions: Mutex::new(HashSet::new()),
-                link_faults: Mutex::new(HashMap::new()),
-                default_fault: Mutex::new(None),
-                latency_rngs: Mutex::new(HashMap::new()),
+                servers: Mutex::ranked(
+                    lockrank::TRANSPORT_SERVERS,
+                    "transport.mem.servers",
+                    HashMap::new(),
+                ),
+                default_latency: Mutex::ranked(
+                    lockrank::TRANSPORT_DEFAULT_LATENCY,
+                    "transport.mem.default_latency",
+                    Arc::new(Fixed(Duration::from_micros(1))),
+                ),
+                link_latency: Mutex::ranked(
+                    lockrank::TRANSPORT_LINK_LATENCY,
+                    "transport.mem.link_latency",
+                    HashMap::new(),
+                ),
+                partitions: Mutex::ranked(
+                    lockrank::TRANSPORT_PARTITIONS,
+                    "transport.mem.partitions",
+                    HashSet::new(),
+                ),
+                link_faults: Mutex::ranked(
+                    lockrank::TRANSPORT_LINK_FAULTS,
+                    "transport.mem.link_faults",
+                    HashMap::new(),
+                ),
+                default_fault: Mutex::ranked(
+                    lockrank::TRANSPORT_DEFAULT_FAULT,
+                    "transport.mem.default_fault",
+                    None,
+                ),
+                latency_rngs: Mutex::ranked(
+                    lockrank::TRANSPORT_LATENCY_RNGS,
+                    "transport.mem.latency_rngs",
+                    HashMap::new(),
+                ),
                 seed,
-                rpc_timeout: Mutex::new(Duration::from_millis(200)),
+                rpc_timeout: Mutex::ranked(
+                    lockrank::TRANSPORT_RPC_TIMEOUT,
+                    "transport.mem.rpc_timeout",
+                    Duration::from_millis(200),
+                ),
             }),
         }
     }

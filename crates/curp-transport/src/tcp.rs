@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use bytes::BytesMut;
 use curp_proto::frame::{write_frame, write_frame_encoded, FrameDecoder};
+use curp_proto::lockrank;
 use curp_proto::message::{Request, Response, RpcEnvelope};
 use curp_proto::types::ServerId;
 use curp_proto::wire::{Decode, Encode};
@@ -184,7 +185,7 @@ impl TcpRouter {
         TcpRouter {
             inner: Arc::new(RouterInner {
                 self_id,
-                routes: Mutex::new(HashMap::new()),
+                routes: Mutex::ranked(lockrank::TCP_ROUTES, "transport.tcp.routes", HashMap::new()),
                 conns: tokio::sync::Mutex::new(HashMap::new()),
                 next_corr: AtomicU64::new(1),
                 timeout: DEFAULT_RPC_TIMEOUT,
@@ -215,7 +216,8 @@ impl TcpRouter {
         let stream = TcpStream::connect(addr).await.map_err(|_| RpcError::Unreachable { to })?;
         stream.set_nodelay(true).ok();
         let (mut rd, mut wr) = stream.into_split();
-        let pending: Pending = Arc::new(Mutex::new(HashMap::new()));
+        let pending: Pending =
+            Arc::new(Mutex::ranked(lockrank::TCP_PENDING, "transport.tcp.pending", HashMap::new()));
 
         // Writer task: owns one persistent encode buffer for the life of
         // the connection — envelopes are framed into it in place (no fresh

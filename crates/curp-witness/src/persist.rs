@@ -21,6 +21,7 @@ use std::path::Path;
 
 use bytes::{Buf, BufMut, BytesMut};
 use curp_proto::frame::write_frame;
+use curp_proto::lockrank;
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::types::{KeyHash, MasterId, RpcId};
 use curp_proto::wire::{
@@ -159,7 +160,10 @@ impl JournaledWitness {
                 File::open(dir)?.sync_all()?;
             }
         }
-        Ok(JournaledWitness { inner, journal: Mutex::new(file) })
+        Ok(JournaledWitness {
+            inner,
+            journal: Mutex::ranked(lockrank::WITNESS_JOURNAL, "witness.journal.file", file),
+        })
     }
 
     fn append(&self, op: &JournalOp) -> std::io::Result<()> {

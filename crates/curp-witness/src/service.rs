@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use curp_proto::lockrank;
 use curp_proto::message::{RecordedRequest, Request, Response};
 use curp_proto::types::{KeyHash, MasterId, RpcId};
 use parking_lot::{Mutex, RwLock};
@@ -72,7 +73,11 @@ impl WitnessService {
         WitnessService {
             config,
             cache_shards: ShardedWitnessCache::shards_for(&config),
-            instances: Mutex::new(HashMap::new()),
+            instances: Mutex::ranked(
+                lockrank::WITNESS_INSTANCES,
+                "witness.service.instances",
+                HashMap::new(),
+            ),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             gcs: AtomicU64::new(0),
@@ -94,7 +99,7 @@ impl WitnessService {
             master,
             Arc::new(Instance {
                 cache: ShardedWitnessCache::new(self.config, self.cache_shards),
-                mode: RwLock::new(Mode::Normal),
+                mode: RwLock::ranked(lockrank::WITNESS_MODE, "witness.instance.mode", Mode::Normal),
             }),
         );
         true

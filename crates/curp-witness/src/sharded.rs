@@ -48,6 +48,10 @@ impl ShardedWitnessCache {
     /// `associativity * num_shards`).
     pub fn new(config: CacheConfig, num_shards: usize) -> Self {
         assert!(num_shards > 0, "num_shards must be positive");
+        assert!(
+            num_shards <= curp_proto::lockrank::MAX_SHARDS,
+            "num_shards exceeds the lock-rank shard band"
+        );
         assert_eq!(
             config.total_slots % (config.associativity * num_shards),
             0,
@@ -55,7 +59,15 @@ impl ShardedWitnessCache {
         );
         let inner = CacheConfig { total_slots: config.total_slots / num_shards, ..config };
         ShardedWitnessCache {
-            shards: (0..num_shards).map(|_| Mutex::new(WitnessCache::new(inner))).collect(),
+            shards: (0..num_shards)
+                .map(|i| {
+                    Mutex::ranked(
+                        curp_proto::lockrank::WITNESS_SHARD + i as u32,
+                        "witness.cache.shard",
+                        WitnessCache::new(inner),
+                    )
+                })
+                .collect(),
             config,
         }
     }

@@ -1,0 +1,271 @@
+//! Runtime lock-order auditing, compiled in only under the `lock_audit`
+//! feature.
+//!
+//! Two independent checks run on every acquisition of a *ranked* lock
+//! (constructed via [`Mutex::ranked`]/[`RwLock::ranked`] and friends):
+//!
+//! 1. **Rank monotonicity** — a thread-local stack records the ranked locks
+//!    the current thread holds. A new acquisition must carry a rank strictly
+//!    greater than the top of the stack, and nothing may be acquired while a
+//!    strict-leaf lock is held. Violations panic *before* the thread blocks
+//!    on the inner lock, so an ordering bug surfaces as a deterministic
+//!    panic instead of a hung test.
+//! 2. **Acquisition-order graph** — a global digraph keyed on
+//!    `(rank, name)` records every observed "held A, acquired B" edge with
+//!    the full held-stack provenance of its first sighting. Inserting an
+//!    edge that closes a cycle panics with the cycle path and each edge's
+//!    provenance. This catches cross-thread inversions that per-thread rank
+//!    checks cannot see (e.g. orderings only reachable through `try_lock`,
+//!    which never blocks and is therefore exempt from the rank check).
+//!
+//! Unranked locks (plain `Mutex::new`) are invisible to the auditor; the
+//! static pass in `curp-lint` is what keeps production crates from minting
+//! new unranked locks.
+//!
+//! `std::sync` primitives are used directly here on purpose: this module
+//! *is* part of the parking_lot shim, the one place they are allowed.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Identity a lock carries from construction: its rank, display name and
+/// whether it is a strict leaf (nothing may be acquired while it is held).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LockMeta {
+    pub(crate) rank: u32,
+    pub(crate) name: &'static str,
+    pub(crate) leaf: bool,
+    pub(crate) tracked: bool,
+}
+
+impl LockMeta {
+    pub(crate) const UNRANKED: LockMeta =
+        LockMeta { rank: 0, name: "<unranked>", leaf: false, tracked: false };
+
+    pub(crate) const fn ranked(rank: u32, name: &'static str) -> Self {
+        LockMeta { rank, name, leaf: false, tracked: true }
+    }
+
+    pub(crate) const fn ranked_leaf(rank: u32, name: &'static str) -> Self {
+        LockMeta { rank, name, leaf: true, tracked: true }
+    }
+}
+
+impl Default for LockMeta {
+    fn default() -> Self {
+        LockMeta::UNRANKED
+    }
+}
+
+/// One entry on the per-thread held-lock stack.
+#[derive(Clone, Copy)]
+struct Held {
+    rank: u32,
+    name: &'static str,
+    leaf: bool,
+    /// Acquired through `try_lock`: later blocking acquisitions on this
+    /// thread skip the rank check (but still feed the cycle graph).
+    by_try: bool,
+    /// Unique per-acquisition token so out-of-order guard drops pop the
+    /// right entry even when the same lock name appears twice.
+    seq: u64,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    static NEXT_SEQ: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// RAII token embedded in lock guards: pops its held-stack entry on drop.
+/// Not `Send`, matching the `std::sync` guards it travels with.
+pub(crate) struct AuditHold {
+    seq: Option<u64>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AuditHold {
+    fn drop(&mut self) {
+        if let Some(seq) = self.seq {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(pos) = h.iter().rposition(|e| e.seq == seq) {
+                    h.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Validates an impending *blocking* acquisition against the current
+/// thread's held stack and the global order graph. Panics on violation.
+/// Must be called before blocking on the inner lock.
+pub(crate) fn check_before_blocking(meta: &LockMeta) {
+    if !meta.tracked {
+        return;
+    }
+    let top = HELD.with(|h| h.borrow().last().copied());
+    let Some(top) = top else { return };
+    if top.by_try {
+        // Rank-exempt, but the ordering still lands in the global graph:
+        // if another thread orders these locks the other way, the edge
+        // that closes the cycle panics with both threads' provenance.
+        record_edge((top.rank, top.name), (meta.rank, meta.name));
+        return;
+    }
+    if top.leaf {
+        panic!(
+            "lock-audit: acquiring `{}` (rank {:#x}) while holding strict-leaf `{}` (rank {:#x}); held: {}",
+            meta.name,
+            meta.rank,
+            top.name,
+            top.rank,
+            held_desc()
+        );
+    }
+    if meta.rank <= top.rank {
+        panic!(
+            "lock-audit: rank inversion: acquiring `{}` (rank {:#x}) while holding `{}` (rank {:#x}); ranks must strictly ascend; held: {}",
+            meta.name,
+            meta.rank,
+            top.name,
+            top.rank,
+            held_desc()
+        );
+    }
+    record_edge((top.rank, top.name), (meta.rank, meta.name));
+}
+
+/// Pushes a successfully acquired lock onto the held stack. Returns the
+/// token whose drop pops it. `by_try` acquisitions skip
+/// [`check_before_blocking`] (they cannot deadlock on their own) but still
+/// contribute to the stack so later blocking acquisitions see them.
+pub(crate) fn push_acquired(meta: &LockMeta, by_try: bool) -> AuditHold {
+    if !meta.tracked {
+        return AuditHold { seq: None, _not_send: std::marker::PhantomData };
+    }
+    let seq = NEXT_SEQ.with(|s| {
+        let mut s = s.borrow_mut();
+        *s += 1;
+        *s
+    });
+    HELD.with(|h| {
+        h.borrow_mut().push(Held { rank: meta.rank, name: meta.name, leaf: meta.leaf, by_try, seq })
+    });
+    AuditHold { seq: Some(seq), _not_send: std::marker::PhantomData }
+}
+
+/// Snapshot of the current thread's held ranked locks, innermost last.
+/// Exposed for tests.
+pub fn held_locks() -> Vec<(u32, &'static str)> {
+    HELD.with(|h| h.borrow().iter().map(|e| (e.rank, e.name)).collect())
+}
+
+fn held_desc() -> String {
+    let mut s = String::from("[");
+    HELD.with(|h| {
+        for (i, e) in h.borrow().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "`{}`({:#x})", e.name, e.rank);
+        }
+    });
+    s.push(']');
+    s
+}
+
+type Node = (u32, &'static str);
+
+struct Edge {
+    /// Held-stack + thread description captured the first time this edge
+    /// was observed; reported when the edge participates in a cycle.
+    provenance: String,
+}
+
+#[derive(Default)]
+struct Graph {
+    edges: HashMap<Node, HashMap<Node, Edge>>,
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+fn record_edge(from: Node, to: Node) {
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    let out = g.edges.entry(from).or_default();
+    if out.contains_key(&to) {
+        return;
+    }
+    let thread = std::thread::current();
+    let provenance =
+        format!("held {} on thread `{}`", held_desc(), thread.name().unwrap_or("<unnamed>"));
+    out.insert(to, Edge { provenance });
+    // The graph was acyclic before this insertion, so any cycle must pass
+    // through the new edge: search for a path `to -> ... -> from`.
+    if let Some(mut path) = find_path(&g, to, from) {
+        let mut msg = String::from("lock-audit: acquisition-order cycle detected:\n");
+        path.insert(0, from); // from -> to -> ... -> from
+        path.insert(1, to);
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let prov = g
+                .edges
+                .get(&a)
+                .and_then(|m| m.get(&b))
+                .map(|e| e.provenance.as_str())
+                .unwrap_or("<unknown>");
+            let _ = writeln!(
+                msg,
+                "  `{}`({:#x}) -> `{}`({:#x})  first seen: {}",
+                a.1, a.0, b.1, b.0, prov
+            );
+        }
+        // Drop the bad edge so a caught panic does not wedge the graph for
+        // every later acquisition in the process (e.g. #[should_panic]).
+        if let Some(out) = g.edges.get_mut(&from) {
+            out.remove(&to);
+        }
+        drop(g);
+        panic!("{msg}");
+    }
+}
+
+/// Depth-first search for a path from `start` to `goal`; returns the
+/// intermediate nodes (excluding `start`, including `goal`) if found.
+fn find_path(g: &Graph, start: Node, goal: Node) -> Option<Vec<Node>> {
+    let mut stack = vec![start];
+    let mut visited: Vec<Node> = Vec::new();
+    let mut parent: HashMap<Node, Node> = HashMap::new();
+    while let Some(n) = stack.pop() {
+        if visited.contains(&n) {
+            continue;
+        }
+        visited.push(n);
+        if let Some(out) = g.edges.get(&n) {
+            for next in out.keys() {
+                if !visited.contains(next) {
+                    parent.entry(*next).or_insert(n);
+                    stack.push(*next);
+                }
+                if *next == goal {
+                    let mut path = vec![goal];
+                    let mut cur = n;
+                    while cur != start {
+                        path.push(cur);
+                        cur = parent[&cur];
+                    }
+                    path.push(start);
+                    path.reverse();
+                    // path = start, ..., goal ; drop leading start
+                    path.remove(0);
+                    return Some(path);
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,20 +1,81 @@
 //! Offline shim for the [`parking_lot`](https://crates.io/crates/parking_lot)
 //! API subset this workspace uses: non-poisoning `Mutex` and `RwLock` built
 //! on `std::sync`. See the workspace README's "Dependency policy" section.
+//!
+//! # Lock auditing (`lock_audit` feature)
+//!
+//! With the `lock_audit` feature enabled, locks constructed through
+//! [`Mutex::ranked`], [`Mutex::ranked_leaf`] or [`RwLock::ranked`] carry a
+//! rank and a name, and every blocking acquisition is validated against the
+//! workspace lock-order discipline (see `DESIGN.md` invariant 6): ranks must
+//! strictly ascend within a thread, nothing may be acquired while a strict
+//! leaf is held, and a global acquisition-order graph panics on cycles.
+//! Without the feature every constructor and acquisition compiles down to
+//! the plain `std::sync` call — zero cost in release builds.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
+#[cfg(feature = "lock_audit")]
+mod audit;
+
+#[cfg(feature = "lock_audit")]
+pub use audit::held_locks;
+
+#[cfg(feature = "lock_audit")]
+use audit::{AuditHold, LockMeta};
+
+/// Whether this build of the shim has the runtime lock-order auditor
+/// compiled in. Lets tests skip audit-only assertions when run standalone
+/// (e.g. `cargo test -p <crate>` without the facade's dev-dependencies).
+pub const fn lock_audit_enabled() -> bool {
+    cfg!(feature = "lock_audit")
+}
+
 /// A non-poisoning mutual-exclusion lock (API-compatible subset).
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock_audit")]
+    meta: LockMeta,
     inner: std::sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex protecting `value`.
+    /// Creates a new mutex protecting `value`. The lock is *unranked*:
+    /// invisible to the `lock_audit` auditor. Production crates should use
+    /// [`Mutex::ranked`] instead (enforced by `curp-lint`).
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            #[cfg(feature = "lock_audit")]
+            meta: LockMeta::UNRANKED,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex with a lock-order rank and a diagnostic name.
+    /// Under `lock_audit`, acquiring it while holding a lock of equal or
+    /// higher rank panics; without the feature it is identical to `new`.
+    pub const fn ranked(rank: u32, name: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lock_audit"))]
+        let _ = (rank, name);
+        Mutex {
+            #[cfg(feature = "lock_audit")]
+            meta: LockMeta::ranked(rank, name),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a ranked mutex that is additionally a *strict leaf*: under
+    /// `lock_audit`, acquiring any ranked lock while this one is held
+    /// panics regardless of rank.
+    pub const fn ranked_leaf(rank: u32, name: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lock_audit"))]
+        let _ = (rank, name);
+        Mutex {
+            #[cfg(feature = "lock_audit")]
+            meta: LockMeta::ranked_leaf(rank, name),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the protected value.
@@ -26,16 +87,33 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()) }
+        #[cfg(feature = "lock_audit")]
+        audit::check_before_blocking(&self.meta);
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            inner,
+            #[cfg(feature = "lock_audit")]
+            _audit: audit::push_acquired(&self.meta, false),
+        }
     }
 
-    /// Attempts to acquire the lock without blocking.
+    /// Attempts to acquire the lock without blocking. Exempt from the
+    /// rank check under `lock_audit` (it cannot deadlock), and blocking
+    /// acquisitions made while a try-acquired lock is on top of the held
+    /// stack are rank-exempt too — but every such ordering is recorded in
+    /// the global acquisition-order graph, so two threads probing locks in
+    /// opposite orders still panic on the edge that closes the cycle.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard { inner: e.into_inner() }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner,
+            #[cfg(feature = "lock_audit")]
+            _audit: audit::push_acquired(&self.meta, true),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -54,8 +132,11 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
+#[must_use = "a lock guard that is immediately dropped releases the lock"]
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: std::sync::MutexGuard<'a, T>,
+    #[cfg(feature = "lock_audit")]
+    _audit: AuditHold,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -80,13 +161,31 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
 /// A non-poisoning reader-writer lock (API-compatible subset).
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock_audit")]
+    meta: LockMeta,
     inner: std::sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
-    /// Creates a new lock protecting `value`.
+    /// Creates a new lock protecting `value`. Unranked; see [`Mutex::new`].
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            #[cfg(feature = "lock_audit")]
+            meta: LockMeta::UNRANKED,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock with a lock-order rank and a diagnostic name; see
+    /// [`Mutex::ranked`]. Read and write acquisitions are audited alike.
+    pub const fn ranked(rank: u32, name: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lock_audit"))]
+        let _ = (rank, name);
+        RwLock {
+            #[cfg(feature = "lock_audit")]
+            meta: LockMeta::ranked(rank, name),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the protected value.
@@ -98,12 +197,26 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock. Never poisons.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+        #[cfg(feature = "lock_audit")]
+        audit::check_before_blocking(&self.meta);
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard {
+            inner,
+            #[cfg(feature = "lock_audit")]
+            _audit: audit::push_acquired(&self.meta, false),
+        }
     }
 
     /// Acquires an exclusive write lock. Never poisons.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+        #[cfg(feature = "lock_audit")]
+        audit::check_before_blocking(&self.meta);
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard {
+            inner,
+            #[cfg(feature = "lock_audit")]
+            _audit: audit::push_acquired(&self.meta, false),
+        }
     }
 }
 
@@ -114,8 +227,11 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 }
 
 /// RAII guard returned by [`RwLock::read`].
+#[must_use = "a lock guard that is immediately dropped releases the lock"]
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lock_audit")]
+    _audit: AuditHold,
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
@@ -126,8 +242,11 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
 }
 
 /// RAII guard returned by [`RwLock::write`].
+#[must_use = "a lock guard that is immediately dropped releases the lock"]
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lock_audit")]
+    _audit: AuditHold,
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
@@ -161,5 +280,51 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn ranked_ascending_ok() {
+        let a = Mutex::ranked(0x10, "test.a", 1);
+        let b = Mutex::ranked(0x20, "test.b", 2);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+        if lock_audit_enabled() {
+            #[cfg(feature = "lock_audit")]
+            assert_eq!(held_locks(), vec![(0x10, "test.a"), (0x20, "test.b")]);
+        }
+    }
+
+    #[cfg(feature = "lock_audit")]
+    #[test]
+    #[should_panic(expected = "rank inversion")]
+    fn ranked_descending_panics() {
+        let a = Mutex::ranked(0x10, "test.low", 1);
+        let b = Mutex::ranked(0x20, "test.high", 2);
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    #[cfg(feature = "lock_audit")]
+    #[test]
+    #[should_panic(expected = "strict-leaf")]
+    fn leaf_blocks_everything() {
+        let leaf = Mutex::ranked_leaf(0x10, "test.leaf", 1);
+        let other = Mutex::ranked(0x20, "test.other", 2);
+        let _gl = leaf.lock();
+        let _go = other.lock();
+    }
+
+    #[cfg(feature = "lock_audit")]
+    #[test]
+    fn out_of_order_drop_pops_correct_entry() {
+        let a = Mutex::ranked(0x11, "test.ooo.a", 1);
+        let b = Mutex::ranked(0x21, "test.ooo.b", 2);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // release outer first
+        assert_eq!(held_locks(), vec![(0x21, "test.ooo.b")]);
+        drop(gb);
+        assert_eq!(held_locks(), vec![]);
     }
 }
